@@ -1,0 +1,177 @@
+//! Criterion microbenchmarks of the execution engine's operators: the
+//! per-tuple costs behind the paper's work-unit metric.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ishare_common::{CostWeights, QuerySet, SubplanId, TableId, Value, WorkCounter};
+use ishare_exec::SubplanExecutor;
+use ishare_expr::Expr;
+use ishare_plan::{AggExpr, AggFunc, InputSource, OpTree, SelectBranch, Subplan, TreeOp};
+use ishare_storage::{Catalog, DeltaBatch, DeltaRow, Field, Row, Schema, TableStats};
+use std::collections::HashMap;
+
+fn catalog() -> Catalog {
+    use ishare_common::DataType;
+    let mut c = Catalog::new();
+    c.add_table(
+        "t",
+        Schema::new(vec![Field::new("k", DataType::Int), Field::new("v", DataType::Int)]),
+        TableStats::unknown(100_000.0, 2),
+    )
+    .unwrap();
+    c.add_table(
+        "u",
+        Schema::new(vec![Field::new("k", DataType::Int), Field::new("w", DataType::Int)]),
+        TableStats::unknown(100_000.0, 2),
+    )
+    .unwrap();
+    c
+}
+
+fn rows(n: usize, keys: i64, mask: QuerySet) -> Vec<DeltaRow> {
+    (0..n as i64)
+        .map(|i| DeltaRow {
+            row: Row::new(vec![Value::Int(i % keys), Value::Int(i * 13 % 1000)]),
+            weight: 1,
+            mask,
+        })
+        .collect()
+}
+
+fn agg_subplan(shared_masks: bool) -> Subplan {
+    let both = QuerySet(0b11);
+    let branches = if shared_masks {
+        vec![SelectBranch { queries: both, predicate: Expr::true_lit() }]
+    } else {
+        vec![
+            SelectBranch { queries: QuerySet(0b01), predicate: Expr::true_lit() },
+            SelectBranch {
+                queries: QuerySet(0b10),
+                predicate: Expr::col(1).lt(Expr::lit(500i64)),
+            },
+        ]
+    };
+    Subplan {
+        id: SubplanId(0),
+        root: OpTree::node(
+            TreeOp::Aggregate {
+                group_by: vec![(Expr::col(0), "k".into())],
+                aggs: vec![AggExpr::new(AggFunc::Sum, Expr::col(1), "s")],
+            },
+            vec![OpTree::node(
+                TreeOp::Select { branches },
+                vec![OpTree::input(InputSource::Base(TableId(0)))],
+            )],
+        ),
+        queries: both,
+        output_queries: both,
+    }
+}
+
+fn join_subplan() -> Subplan {
+    let q = QuerySet(0b1);
+    Subplan {
+        id: SubplanId(0),
+        root: OpTree::node(
+            TreeOp::Join { keys: vec![(Expr::col(0), Expr::col(0))] },
+            vec![
+                OpTree::input(InputSource::Base(TableId(0))),
+                OpTree::input(InputSource::Base(TableId(1))),
+            ],
+        ),
+        queries: q,
+        output_queries: q,
+    }
+}
+
+fn bench_aggregate(c: &mut Criterion) {
+    let cat = catalog();
+    let mut g = c.benchmark_group("aggregate_exec");
+    for &n in &[1_000usize, 10_000] {
+        // Fully-shared masks: one class per group (the cheap path) vs
+        // marking selects forcing partition-refined classes (the shared
+        // overhead the paper's decomposition removes).
+        for (label, shared) in [("shared_mask", true), ("split_masks", false)] {
+            g.bench_with_input(BenchmarkId::new(label, n), &n, |b, &n| {
+                let input = rows(n, 64, QuerySet(0b11));
+                b.iter(|| {
+                    let sp = agg_subplan(shared);
+                    let mut ex = SubplanExecutor::new(
+                        &sp,
+                        &cat,
+                        &HashMap::new(),
+                        CostWeights::default(),
+                    )
+                    .unwrap();
+                    let leaves = ex.leaf_paths();
+                    let counter = WorkCounter::new();
+                    let mut inputs = HashMap::new();
+                    inputs.insert(leaves[0].0.clone(), DeltaBatch::from_rows(input.clone()));
+                    ex.execute(&mut inputs, &counter).unwrap()
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_join(c: &mut Criterion) {
+    let cat = catalog();
+    let mut g = c.benchmark_group("join_exec");
+    for &n in &[1_000usize, 10_000] {
+        g.bench_with_input(BenchmarkId::new("symmetric_hash", n), &n, |b, &n| {
+            let left = rows(n, 256, QuerySet(0b1));
+            let right = rows(n / 4, 256, QuerySet(0b1));
+            b.iter(|| {
+                let sp = join_subplan();
+                let mut ex =
+                    SubplanExecutor::new(&sp, &cat, &HashMap::new(), CostWeights::default())
+                        .unwrap();
+                let leaves = ex.leaf_paths();
+                let counter = WorkCounter::new();
+                let mut inputs = HashMap::new();
+                inputs.insert(leaves[0].0.clone(), DeltaBatch::from_rows(left.clone()));
+                inputs.insert(leaves[1].0.clone(), DeltaBatch::from_rows(right.clone()));
+                ex.execute(&mut inputs, &counter).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_incremental_vs_batch(c: &mut Criterion) {
+    // The Fig. 1 trade-off as a microbenchmark: same data, different paces.
+    let cat = catalog();
+    let input = rows(20_000, 64, QuerySet(0b11));
+    let mut g = c.benchmark_group("pace_tradeoff");
+    for &pace in &[1usize, 10, 50] {
+        g.bench_with_input(BenchmarkId::new("agg_20k_rows", pace), &pace, |b, &pace| {
+            b.iter(|| {
+                let sp = agg_subplan(true);
+                let mut ex =
+                    SubplanExecutor::new(&sp, &cat, &HashMap::new(), CostWeights::default())
+                        .unwrap();
+                let leaves = ex.leaf_paths();
+                let counter = WorkCounter::new();
+                for i in 0..pace {
+                    let lo = i * input.len() / pace;
+                    let hi = (i + 1) * input.len() / pace;
+                    let mut inputs = HashMap::new();
+                    inputs.insert(
+                        leaves[0].0.clone(),
+                        DeltaBatch::from_rows(input[lo..hi].to_vec()),
+                    );
+                    ex.execute(&mut inputs, &counter).unwrap();
+                }
+                counter.total()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_aggregate, bench_join, bench_incremental_vs_batch
+}
+criterion_main!(benches);

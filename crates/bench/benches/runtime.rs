@@ -1,0 +1,80 @@
+//! Criterion benchmarks of the paced runtime end to end: full TPC-H
+//! workloads planned and executed at different constraint tightnesses.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ishare_common::{CostWeights, QueryId};
+use ishare_core::{plan_workload, Approach, FinalWorkConstraint, PlanningOptions};
+use ishare_plan::LogicalPlan;
+use ishare_stream::execute_planned;
+use ishare_tpch::{generate, query_by_name, TpchData};
+use std::collections::BTreeMap;
+
+fn pair(data: &TpchData, a: &str, b: &str) -> Vec<(QueryId, LogicalPlan)> {
+    vec![
+        (QueryId(0), query_by_name(&data.catalog, a).unwrap().plan),
+        (QueryId(1), query_by_name(&data.catalog, b).unwrap().plan),
+    ]
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let data = generate(0.002, 42).unwrap();
+    let queries = pair(&data, "qa", "qb");
+    let mut g = c.benchmark_group("paced_runtime");
+    for &(label, frac) in &[("loose", 1.0f64), ("tight", 0.1)] {
+        for approach in [Approach::ShareUniform, Approach::IShare] {
+            let mut cons = BTreeMap::new();
+            cons.insert(QueryId(0), FinalWorkConstraint::Relative(1.0));
+            cons.insert(QueryId(1), FinalWorkConstraint::Relative(frac));
+            let opts = PlanningOptions { max_pace: 30, ..Default::default() };
+            let planned =
+                plan_workload(approach, &queries, &cons, &data.catalog, &opts).unwrap();
+            g.bench_with_input(
+                BenchmarkId::new(format!("{}_{}", approach.label(), label), frac),
+                &frac,
+                |b, _| {
+                    b.iter(|| {
+                        execute_planned(
+                            &planned.plan,
+                            planned.paces.as_slice(),
+                            &data.catalog,
+                            &data.data,
+                            CostWeights::default(),
+                        )
+                        .unwrap()
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_planning(c: &mut Criterion) {
+    let data = generate(0.002, 42).unwrap();
+    let queries = pair(&data, "q7", "q15");
+    let mut g = c.benchmark_group("planning");
+    for approach in [
+        Approach::NoShareUniform,
+        Approach::ShareUniform,
+        Approach::IShareNoUnshare,
+        Approach::IShare,
+    ] {
+        let cons: BTreeMap<QueryId, FinalWorkConstraint> = (0..2)
+            .map(|i| (QueryId(i as u16), FinalWorkConstraint::Relative(0.2)))
+            .collect();
+        g.bench_function(approach.label(), |b| {
+            let opts = PlanningOptions { max_pace: 30, ..Default::default() };
+            b.iter(|| {
+                plan_workload(approach, &queries, &cons, &data.catalog, &opts).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_end_to_end, bench_planning
+}
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! The workspace-wide error type.
+
+use std::fmt;
+
+/// Errors surfaced by the iShare engine and optimizers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// A scalar expression was applied to values of an unsupported type,
+    /// e.g. arithmetic on strings.
+    TypeMismatch(String),
+    /// An expression referenced a column index outside the row's arity.
+    ColumnOutOfBounds {
+        /// The offending column index.
+        index: usize,
+        /// The row's arity.
+        arity: usize,
+    },
+    /// A name lookup (table, column, query) failed.
+    NotFound(String),
+    /// A plan violated a structural invariant (cycle, arity mismatch between
+    /// an operator and its input, subplan query-set subsumption, …).
+    InvalidPlan(String),
+    /// A delta stream violated multiset semantics, e.g. a retraction of a
+    /// row that was never inserted reached a stateful operator.
+    InvalidDelta(String),
+    /// The optimizer could not satisfy a final work constraint even at the
+    /// maximum pace. Carries a human-readable description of the offending
+    /// query and constraint.
+    InfeasibleConstraint(String),
+    /// A configuration value was out of range (zero pace, scale factor ≤ 0, …).
+    InvalidConfig(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::TypeMismatch(m) => write!(f, "type mismatch: {m}"),
+            Error::ColumnOutOfBounds { index, arity } => {
+                write!(f, "column index {index} out of bounds for row arity {arity}")
+            }
+            Error::NotFound(m) => write!(f, "not found: {m}"),
+            Error::InvalidPlan(m) => write!(f, "invalid plan: {m}"),
+            Error::InvalidDelta(m) => write!(f, "invalid delta stream: {m}"),
+            Error::InfeasibleConstraint(m) => write!(f, "infeasible constraint: {m}"),
+            Error::InvalidConfig(m) => write!(f, "invalid configuration: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Workspace-wide result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            Error::ColumnOutOfBounds { index: 5, arity: 3 }.to_string(),
+            "column index 5 out of bounds for row arity 3"
+        );
+        assert!(Error::TypeMismatch("x".into()).to_string().contains("type mismatch"));
+        assert!(Error::InfeasibleConstraint("q1".into()).to_string().contains("infeasible"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err(_e: &dyn std::error::Error) {}
+        takes_err(&Error::NotFound("t".into()));
+    }
+}

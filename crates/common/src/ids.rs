@@ -1,0 +1,55 @@
+//! Identifier newtypes.
+
+use std::fmt;
+
+/// Identifies a base relation in the catalog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TableId(pub u32);
+
+impl fmt::Display for TableId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Identifies a node in a shared plan DAG.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifies a subplan of a shared plan (Sec. 2.2 of the paper: a subtree
+/// of operators shared by the same set of queries, split at operators with
+/// more than one parent).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SubplanId(pub u32);
+
+impl SubplanId {
+    /// Array index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for SubplanId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sp{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(TableId(1).to_string(), "t1");
+        assert_eq!(NodeId(2).to_string(), "n2");
+        assert_eq!(SubplanId(3).to_string(), "sp3");
+        assert_eq!(SubplanId(3).index(), 3);
+    }
+}

@@ -1,0 +1,27 @@
+//! # ishare-common
+//!
+//! Foundation types shared by every crate in the iShare workspace:
+//!
+//! * [`Value`] / [`DataType`] — the dynamically-typed scalar values that flow
+//!   through the engine (iShare is an analytical engine over a small fixed
+//!   type lattice: bool, i64, f64, date, string).
+//! * [`QuerySet`] / [`QueryId`] — the per-tuple / per-operator bitvectors of
+//!   SharedDB-style shared execution (Sec. 2.3 of the paper): one bit per
+//!   participating query, at most [`QuerySet::MAX_QUERIES`] concurrent queries.
+//! * [`WorkUnits`] and [`WorkCounter`] — the cost accounting used for both the
+//!   *total work* and *final work* metrics of Sec. 2.1.
+//! * Identifier newtypes and the crate-wide [`Error`] type.
+
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod ids;
+pub mod queryset;
+pub mod value;
+pub mod work;
+
+pub use error::{Error, Result};
+pub use ids::{NodeId, SubplanId, TableId};
+pub use queryset::{QueryId, QuerySet};
+pub use value::{date, days_to_ymd, ymd_to_days, DataType, Value};
+pub use work::{CostWeights, WorkCounter, WorkUnits};

@@ -1,0 +1,214 @@
+//! Query identifiers and bitvector query sets.
+//!
+//! SharedDB-style shared execution (Sec. 2.3 of the paper) annotates every
+//! intermediate tuple with a bitvector `B = (b1 … bn)` — one bit per query —
+//! and every shared operator with the bitvector of queries sharing it.
+//! [`QuerySet`] is that bitvector, packed into a `u64` (the paper's largest
+//! workload is 22 TPC-H queries plus 20 predicate variants, well under 64).
+
+use std::fmt;
+
+/// Index of a query within a workload (bit position inside a [`QuerySet`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct QueryId(pub u16);
+
+impl QueryId {
+    /// Bit position.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for QueryId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+/// A set of queries, as a 64-bit bitvector.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct QuerySet(pub u64);
+
+impl QuerySet {
+    /// Maximum number of concurrent queries in one workload.
+    pub const MAX_QUERIES: usize = 64;
+
+    /// The empty set.
+    pub const EMPTY: QuerySet = QuerySet(0);
+
+    /// Set containing a single query.
+    pub fn single(q: QueryId) -> Self {
+        debug_assert!(q.index() < Self::MAX_QUERIES);
+        QuerySet(1u64 << q.index())
+    }
+
+    /// Set containing queries `0..n`.
+    pub fn first_n(n: usize) -> Self {
+        assert!(n <= Self::MAX_QUERIES);
+        if n == 64 {
+            QuerySet(u64::MAX)
+        } else {
+            QuerySet((1u64 << n) - 1)
+        }
+    }
+
+    /// Build from an iterator of query ids (also available through the
+    /// `FromIterator` impl; this inherent method reads better at call sites
+    /// that pass arrays).
+    #[allow(clippy::should_implement_trait)]
+    pub fn from_iter(queries: impl IntoIterator<Item = QueryId>) -> Self {
+        let mut s = QuerySet::EMPTY;
+        for q in queries {
+            s.insert(q);
+        }
+        s
+    }
+
+    /// `true` iff the set is empty.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of queries in the set.
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Membership test.
+    pub fn contains(self, q: QueryId) -> bool {
+        q.index() < Self::MAX_QUERIES && self.0 & (1u64 << q.index()) != 0
+    }
+
+    /// Insert a query.
+    pub fn insert(&mut self, q: QueryId) {
+        debug_assert!(q.index() < Self::MAX_QUERIES);
+        self.0 |= 1u64 << q.index();
+    }
+
+    /// Remove a query.
+    pub fn remove(&mut self, q: QueryId) {
+        self.0 &= !(1u64 << q.index());
+    }
+
+    /// Set union.
+    pub fn union(self, other: QuerySet) -> QuerySet {
+        QuerySet(self.0 | other.0)
+    }
+
+    /// Set intersection.
+    pub fn intersect(self, other: QuerySet) -> QuerySet {
+        QuerySet(self.0 & other.0)
+    }
+
+    /// Set difference (`self \ other`).
+    pub fn difference(self, other: QuerySet) -> QuerySet {
+        QuerySet(self.0 & !other.0)
+    }
+
+    /// `true` iff `self ⊆ other`.
+    pub fn is_subset_of(self, other: QuerySet) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// `true` iff the sets share at least one query.
+    pub fn intersects(self, other: QuerySet) -> bool {
+        self.0 & other.0 != 0
+    }
+
+    /// Iterate over member query ids in increasing order.
+    pub fn iter(self) -> impl Iterator<Item = QueryId> {
+        let mut bits = self.0;
+        std::iter::from_fn(move || {
+            if bits == 0 {
+                None
+            } else {
+                let idx = bits.trailing_zeros() as u16;
+                bits &= bits - 1;
+                Some(QueryId(idx))
+            }
+        })
+    }
+
+    /// The lowest-numbered query in the set, if any. Useful as a canonical
+    /// representative when ordering partitions deterministically.
+    pub fn min_query(self) -> Option<QueryId> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(QueryId(self.0.trailing_zeros() as u16))
+        }
+    }
+}
+
+impl fmt::Debug for QuerySet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, q) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{q}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl fmt::Display for QuerySet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl FromIterator<QueryId> for QuerySet {
+    fn from_iter<T: IntoIterator<Item = QueryId>>(iter: T) -> Self {
+        QuerySet::from_iter(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_ops() {
+        let mut s = QuerySet::EMPTY;
+        assert!(s.is_empty());
+        s.insert(QueryId(3));
+        s.insert(QueryId(0));
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(QueryId(3)));
+        assert!(!s.contains(QueryId(1)));
+        s.remove(QueryId(3));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.min_query(), Some(QueryId(0)));
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = QuerySet::from_iter([QueryId(0), QueryId(1), QueryId(2)]);
+        let b = QuerySet::from_iter([QueryId(1), QueryId(3)]);
+        assert_eq!(a.union(b).len(), 4);
+        assert_eq!(a.intersect(b), QuerySet::single(QueryId(1)));
+        assert_eq!(a.difference(b), QuerySet::from_iter([QueryId(0), QueryId(2)]));
+        assert!(QuerySet::single(QueryId(1)).is_subset_of(a));
+        assert!(!b.is_subset_of(a));
+        assert!(a.intersects(b));
+        assert!(!a.intersects(QuerySet::single(QueryId(5))));
+    }
+
+    #[test]
+    fn first_n_and_iter() {
+        let s = QuerySet::first_n(5);
+        assert_eq!(s.len(), 5);
+        let ids: Vec<u16> = s.iter().map(|q| q.0).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+        assert_eq!(QuerySet::first_n(64).len(), 64);
+        assert_eq!(QuerySet::first_n(0), QuerySet::EMPTY);
+    }
+
+    #[test]
+    fn display() {
+        let s = QuerySet::from_iter([QueryId(2), QueryId(5)]);
+        assert_eq!(format!("{s}"), "{q2,q5}");
+    }
+}

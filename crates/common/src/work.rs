@@ -1,0 +1,193 @@
+//! Work accounting.
+//!
+//! The paper (Sec. 2.1) uses *total work* as a proxy for total execution time
+//! / CPU consumption and *final work* as a proxy for query latency, both
+//! "quantified based on the DBMS's cost model — for example … the number of
+//! tuples processed by all operators". This module provides the unit type and
+//! the counter that the execution engine increments while physically
+//! processing tuples; the cost model (`ishare-cost`) produces *estimates* in
+//! the same unit so that estimated and measured work are directly comparable.
+
+use std::cell::Cell;
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// Cost-model work units (weighted tuples processed). A plain `f64` newtype
+/// so that work can't be accidentally mixed with cardinalities.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct WorkUnits(pub f64);
+
+impl WorkUnits {
+    /// Zero work.
+    pub const ZERO: WorkUnits = WorkUnits(0.0);
+
+    /// The raw amount.
+    pub fn get(self) -> f64 {
+        self.0
+    }
+
+    /// Saturating subtraction (work differences are clamped at zero where the
+    /// paper's formulas take `max(0, …)`).
+    pub fn saturating_sub(self, other: WorkUnits) -> WorkUnits {
+        WorkUnits((self.0 - other.0).max(0.0))
+    }
+
+    /// `true` iff within `eps` of `other` (cost comparisons tolerate float noise).
+    pub fn approx_eq(self, other: WorkUnits, eps: f64) -> bool {
+        (self.0 - other.0).abs() <= eps
+    }
+}
+
+impl Add for WorkUnits {
+    type Output = WorkUnits;
+    fn add(self, rhs: WorkUnits) -> WorkUnits {
+        WorkUnits(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for WorkUnits {
+    fn add_assign(&mut self, rhs: WorkUnits) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for WorkUnits {
+    type Output = WorkUnits;
+    fn sub(self, rhs: WorkUnits) -> WorkUnits {
+        WorkUnits(self.0 - rhs.0)
+    }
+}
+
+impl std::iter::Sum for WorkUnits {
+    fn sum<I: Iterator<Item = WorkUnits>>(iter: I) -> WorkUnits {
+        WorkUnits(iter.map(|w| w.0).sum())
+    }
+}
+
+impl fmt::Display for WorkUnits {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1}wu", self.0)
+    }
+}
+
+/// Per-operator cost weights. Tuples processed by different operators cost
+/// differently; these weights are the engine's crude CPU model and are shared
+/// verbatim by the estimator so that estimates and measurements line up.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostWeights {
+    /// Reading one tuple from a buffer / base delta log.
+    pub scan: f64,
+    /// Evaluating one select branch on one tuple.
+    pub filter: f64,
+    /// Computing one projection expression on one tuple.
+    pub project: f64,
+    /// Hashing + probing one tuple through a join (per side).
+    pub join_probe: f64,
+    /// Inserting one tuple into join state.
+    pub join_insert: f64,
+    /// Emitting one joined output tuple.
+    pub join_emit: f64,
+    /// Updating one aggregate accumulator with one input tuple.
+    pub agg_update: f64,
+    /// Emitting one aggregate output tuple (retraction or insertion).
+    pub agg_emit: f64,
+    /// Touching one stored value during a MIN/MAX rescan after the current
+    /// extremum was deleted. Rescans are what make MIN/MAX queries
+    /// non-incrementable (the paper's Q15 discussion).
+    pub minmax_rescan: f64,
+    /// Materialising one tuple into a subplan output buffer.
+    pub materialize: f64,
+}
+
+impl Default for CostWeights {
+    fn default() -> Self {
+        CostWeights {
+            scan: 1.0,
+            filter: 1.0,
+            project: 0.5,
+            join_probe: 2.0,
+            join_insert: 2.0,
+            join_emit: 1.0,
+            agg_update: 2.0,
+            agg_emit: 1.0,
+            minmax_rescan: 1.0,
+            materialize: 1.0,
+        }
+    }
+}
+
+/// A mutable work counter threaded through operator execution.
+///
+/// Uses `Cell` so that operators holding shared references can still account
+/// work without threading `&mut` through the whole operator tree.
+#[derive(Debug, Default)]
+pub struct WorkCounter {
+    total: Cell<f64>,
+}
+
+impl WorkCounter {
+    /// Fresh counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `n` occurrences of an action costing `weight` each.
+    pub fn charge(&self, weight: f64, n: usize) {
+        self.total.set(self.total.get() + weight * n as f64);
+    }
+
+    /// Add a raw amount of work.
+    pub fn charge_raw(&self, amount: f64) {
+        self.total.set(self.total.get() + amount);
+    }
+
+    /// Total work recorded so far.
+    pub fn total(&self) -> WorkUnits {
+        WorkUnits(self.total.get())
+    }
+
+    /// Reset to zero and return the previous total (used to carve one
+    /// incremental execution's work out of a long-lived counter).
+    pub fn take(&self) -> WorkUnits {
+        let t = self.total.get();
+        self.total.set(0.0);
+        WorkUnits(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = WorkUnits(3.0) + WorkUnits(4.0);
+        assert_eq!(a, WorkUnits(7.0));
+        assert_eq!(a - WorkUnits(2.0), WorkUnits(5.0));
+        assert_eq!(WorkUnits(1.0).saturating_sub(WorkUnits(5.0)), WorkUnits::ZERO);
+        let s: WorkUnits = [WorkUnits(1.0), WorkUnits(2.5)].into_iter().sum();
+        assert_eq!(s, WorkUnits(3.5));
+        assert!(WorkUnits(1.0).approx_eq(WorkUnits(1.0 + 1e-12), 1e-9));
+    }
+
+    #[test]
+    fn counter_charges_and_takes() {
+        let c = WorkCounter::new();
+        c.charge(2.0, 3);
+        c.charge_raw(0.5);
+        assert_eq!(c.total(), WorkUnits(6.5));
+        assert_eq!(c.take(), WorkUnits(6.5));
+        assert_eq!(c.total(), WorkUnits::ZERO);
+    }
+
+    #[test]
+    fn default_weights_positive() {
+        let w = CostWeights::default();
+        for v in [
+            w.scan, w.filter, w.project, w.join_probe, w.join_insert, w.join_emit,
+            w.agg_update, w.agg_emit, w.minmax_rescan, w.materialize,
+        ] {
+            assert!(v > 0.0);
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Model-based property tests: [`QuerySet`] against `BTreeSet<u16>`.
+
+use ishare_common::{QueryId, QuerySet};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn model(ids: &[u16]) -> (QuerySet, BTreeSet<u16>) {
+    let qs = QuerySet::from_iter(ids.iter().map(|&i| QueryId(i % 64)));
+    let m: BTreeSet<u16> = ids.iter().map(|&i| i % 64).collect();
+    (qs, m)
+}
+
+proptest! {
+    #[test]
+    fn set_algebra_matches_btreeset(
+        a in proptest::collection::vec(0u16..64, 0..20),
+        b in proptest::collection::vec(0u16..64, 0..20),
+    ) {
+        let (qa, ma) = model(&a);
+        let (qb, mb) = model(&b);
+
+        prop_assert_eq!(qa.len(), ma.len());
+        prop_assert_eq!(qa.is_empty(), ma.is_empty());
+
+        let union: BTreeSet<u16> = ma.union(&mb).copied().collect();
+        prop_assert_eq!(
+            qa.union(qb).iter().map(|q| q.0).collect::<BTreeSet<_>>(),
+            union
+        );
+        let inter: BTreeSet<u16> = ma.intersection(&mb).copied().collect();
+        prop_assert_eq!(
+            qa.intersect(qb).iter().map(|q| q.0).collect::<BTreeSet<_>>(),
+            inter.clone()
+        );
+        let diff: BTreeSet<u16> = ma.difference(&mb).copied().collect();
+        prop_assert_eq!(
+            qa.difference(qb).iter().map(|q| q.0).collect::<BTreeSet<_>>(),
+            diff
+        );
+        prop_assert_eq!(qa.is_subset_of(qb), ma.is_subset(&mb));
+        prop_assert_eq!(qa.intersects(qb), !inter.is_empty());
+        prop_assert_eq!(qa.min_query().map(|q| q.0), ma.first().copied());
+        for i in 0..64u16 {
+            prop_assert_eq!(qa.contains(QueryId(i)), ma.contains(&i));
+        }
+    }
+
+    #[test]
+    fn insert_remove_roundtrip(ids in proptest::collection::vec(0u16..64, 0..30)) {
+        let mut qs = QuerySet::EMPTY;
+        let mut m = BTreeSet::new();
+        for (i, &id) in ids.iter().enumerate() {
+            if i % 3 == 2 {
+                qs.remove(QueryId(id));
+                m.remove(&id);
+            } else {
+                qs.insert(QueryId(id));
+                m.insert(id);
+            }
+            prop_assert_eq!(qs.iter().map(|q| q.0).collect::<BTreeSet<_>>(), m.clone());
+        }
+    }
+}

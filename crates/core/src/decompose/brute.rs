@@ -1,0 +1,173 @@
+//! Brute-force split enumeration (the `iShare (Brute-Force)` variant of
+//! Sec. 5.4/5.5).
+//!
+//! Enumerates *every* set partition of the queries sharing a subplan
+//! (Bell-number many), evaluating each partition at its selected pace, and
+//! returns the split with the smallest local total work. A wall-clock
+//! deadline makes the exponential blow-up observable instead of fatal —
+//! Fig. 16 plots exactly this growth against the clustering algorithm.
+
+use super::clustering::Split;
+use super::local::{LocalProblem, PartitionEval};
+use ishare_common::{QueryId, QuerySet, Result};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Outcome of a brute-force search.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BruteOutcome {
+    /// The optimal split found.
+    Done(Split),
+    /// The deadline expired before the enumeration finished (the paper's
+    /// DNF marker); carries the number of splits evaluated.
+    TimedOut(usize),
+}
+
+/// Enumerate all splits of the subplan's query set within `deadline`.
+pub fn brute_force_split(
+    problem: &LocalProblem<'_>,
+    deadline: Duration,
+) -> Result<BruteOutcome> {
+    let queries: Vec<QueryId> = problem.subplan.queries.iter().collect();
+    let n = queries.len();
+    let start = Instant::now();
+    let mut memo: HashMap<QuerySet, PartitionEval> = HashMap::new();
+    let mut best: Option<Split> = None;
+    let mut evaluated = 0usize;
+
+    // Enumerate set partitions via restricted growth strings.
+    let mut rgs = vec![0usize; n];
+    loop {
+        if start.elapsed() > deadline {
+            return Ok(BruteOutcome::TimedOut(evaluated));
+        }
+        // Materialize the partition described by `rgs`.
+        let blocks = rgs.iter().copied().max().unwrap_or(0) + 1;
+        let mut parts: Vec<QuerySet> = vec![QuerySet::EMPTY; blocks];
+        for (i, &b) in rgs.iter().enumerate() {
+            parts[b].insert(queries[i]);
+        }
+        let mut total = 0.0;
+        let mut with_paces = Vec::with_capacity(parts.len());
+        for p in &parts {
+            let eval = problem.eval_partition(*p, 1, &mut memo)?;
+            total += eval.wpt;
+            with_paces.push((*p, eval.pace));
+        }
+        evaluated += 1;
+        let better = best.as_ref().is_none_or(|b| total < b.local_total);
+        if better {
+            with_paces
+                .sort_by_key(|(s, _)| s.min_query().map(|q| q.0).unwrap_or(u16::MAX));
+            best = Some(Split { partitions: with_paces, local_total: total });
+        }
+        // Next restricted growth string.
+        if !next_rgs(&mut rgs) {
+            break;
+        }
+    }
+    Ok(BruteOutcome::Done(best.expect("at least the trivial partition")))
+}
+
+/// Advance a restricted growth string; returns `false` after the last one.
+/// RGS invariant: `rgs[0] = 0` and `rgs[i] ≤ max(rgs[0..i]) + 1`.
+fn next_rgs(rgs: &mut [usize]) -> bool {
+    let n = rgs.len();
+    for i in (1..n).rev() {
+        let max_prefix = rgs[..i].iter().copied().max().unwrap_or(0);
+        if rgs[i] <= max_prefix {
+            rgs[i] += 1;
+            for v in rgs[i + 1..].iter_mut() {
+                *v = 0;
+            }
+            return true;
+        }
+    }
+    false
+}
+
+/// Number of set partitions of an `n`-set (Bell number) — used by the
+/// optimization-overhead experiments to report search-space sizes.
+pub fn bell_number(n: usize) -> u128 {
+    // Bell triangle.
+    let mut row = vec![1u128];
+    for _ in 1..=n {
+        let mut next = Vec::with_capacity(row.len() + 1);
+        next.push(*row.last().expect("nonempty"));
+        for &v in &row {
+            let last = *next.last().expect("nonempty");
+            next.push(last + v);
+        }
+        row = next;
+    }
+    row[0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decompose::clustering::cluster_split;
+    use crate::decompose::local::tests::{inputs_for, shared_agg_subplan};
+    use ishare_common::CostWeights;
+    use ishare_cost::simulate::simulate_subplan;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn rgs_enumerates_all_partitions() {
+        // 4 elements → Bell(4) = 15 partitions.
+        let mut rgs = vec![0; 4];
+        let mut count = 1;
+        while next_rgs(&mut rgs) {
+            count += 1;
+        }
+        assert_eq!(count, 15);
+        assert_eq!(bell_number(4), 15);
+        assert_eq!(bell_number(0), 1);
+        assert_eq!(bell_number(1), 1);
+        assert_eq!(bell_number(10), 115_975);
+    }
+
+    #[test]
+    fn brute_force_at_least_as_good_as_clustering() {
+        let sp = shared_agg_subplan();
+        let inputs = inputs_for(&sp, 5_000.0);
+        let batch = simulate_subplan(&sp, 1, &inputs, &CostWeights::default()).unwrap();
+        let mut cons: BTreeMap<ishare_common::QueryId, f64> = BTreeMap::new();
+        cons.insert(ishare_common::QueryId(0), batch.private_final * 0.05);
+        cons.insert(ishare_common::QueryId(1), batch.private_final * 2.0);
+        cons.insert(ishare_common::QueryId(2), batch.private_final * 2.0);
+        let prob = LocalProblem {
+            subplan: &sp,
+            inputs: &inputs,
+            local_constraints: &cons,
+            weights: CostWeights::default(),
+            max_pace: 100,
+        };
+        let clustered = cluster_split(&prob).unwrap();
+        match brute_force_split(&prob, Duration::from_secs(60)).unwrap() {
+            BruteOutcome::Done(best) => {
+                assert!(best.local_total <= clustered.local_total + 1e-9);
+            }
+            BruteOutcome::TimedOut(_) => panic!("3 queries cannot time out"),
+        }
+    }
+
+    #[test]
+    fn deadline_produces_dnf() {
+        let sp = shared_agg_subplan();
+        let inputs = inputs_for(&sp, 5_000.0);
+        let cons: BTreeMap<ishare_common::QueryId, f64> =
+            sp.queries.iter().map(|q| (q, f64::INFINITY)).collect();
+        let prob = LocalProblem {
+            subplan: &sp,
+            inputs: &inputs,
+            local_constraints: &cons,
+            weights: CostWeights::default(),
+            max_pace: 100,
+        };
+        match brute_force_split(&prob, Duration::ZERO).unwrap() {
+            BruteOutcome::TimedOut(evaluated) => assert_eq!(evaluated, 0),
+            BruteOutcome::Done(_) => panic!("zero deadline must DNF"),
+        }
+    }
+}

@@ -1,0 +1,269 @@
+//! Partial decomposition (Sec. 4.3).
+//!
+//! Instead of un-sharing a whole subplan, iShare can split only a subtree
+//! that contains the subplan's root, leaving the operators below it shared:
+//! "we first break the subplan into three subplans: the join operator
+//! itself, and the left/right child subtree of the join operator.
+//! Afterwards, we split the join operator using the clustering algorithm."
+//!
+//! Candidates are generated breadth-first from the root, each adding the
+//! not-yet-included operator closest to the root, so there are at most as
+//! many candidates as operators in the subplan.
+
+use ishare_common::{QuerySet, Result, SubplanId};
+use ishare_plan::{InputSource, OpTree, SharedPlan, Subplan, TreeOp};
+use std::collections::HashSet;
+
+/// A candidate cut: the set of tree paths kept in the top (root) subplan.
+pub type IncludedSet = HashSet<Vec<usize>>;
+
+/// Generate the BFS candidate sequence of root-anchored subtrees. Each
+/// candidate includes one more operator than the previous, in
+/// breadth-first (closest-to-root) order. Candidates that would cut nothing
+/// (every excluded child is already a leaf) and the full tree are skipped —
+/// the former is equivalent to whole-subplan decomposition, which the
+/// caller tries separately.
+pub fn subtree_candidates(subplan: &Subplan) -> Vec<IncludedSet> {
+    // All internal (non-leaf) node paths in BFS order.
+    let mut internal: Vec<Vec<usize>> = Vec::new();
+    let mut queue: Vec<(Vec<usize>, &OpTree)> = vec![(Vec::new(), &subplan.root)];
+    let mut qi = 0;
+    while qi < queue.len() {
+        let (path, node) = queue[qi].clone();
+        qi += 1;
+        if !matches!(node.op, TreeOp::Input(_)) {
+            internal.push(path.clone());
+        }
+        for (i, c) in node.inputs.iter().enumerate() {
+            let mut p = path.clone();
+            p.push(i);
+            queue.push((p, c));
+        }
+    }
+    // Sort by depth then path (BFS order is already by depth).
+    let total_internal = internal.len();
+    let mut out = Vec::new();
+    let mut included: IncludedSet = HashSet::new();
+    for (n, path) in internal.into_iter().enumerate() {
+        included.insert(path);
+        // Skip the full tree (== whole-subplan decomposition).
+        if n + 1 == total_internal {
+            break;
+        }
+        // Skip candidates that cut only leaves.
+        if cut_points(subplan, &included).is_empty() {
+            continue;
+        }
+        out.push(included.clone());
+    }
+    out
+}
+
+/// The non-leaf subtrees directly below the cut (paths of excluded internal
+/// nodes whose parent is included).
+fn cut_points(subplan: &Subplan, included: &IncludedSet) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    fn go(
+        t: &OpTree,
+        path: &mut Vec<usize>,
+        included: &IncludedSet,
+        out: &mut Vec<Vec<usize>>,
+    ) {
+        for (i, c) in t.inputs.iter().enumerate() {
+            path.push(i);
+            if included.contains(path.as_slice()) {
+                go(c, path, included, out);
+            } else if !matches!(c.op, TreeOp::Input(_)) {
+                out.push(path.clone());
+            }
+            path.pop();
+        }
+    }
+    if included.contains(&Vec::new()) {
+        go(&subplan.root, &mut Vec::new(), included, &mut out);
+    }
+    out
+}
+
+/// Split `subplan` at `included`: returns the top subplan (keeping the
+/// original id) and one bottom subplan per cut subtree, with ids starting
+/// at `next_id`. Bottoms serve the same queries and produce no query
+/// output.
+pub fn split_at(
+    subplan: &Subplan,
+    included: &IncludedSet,
+    next_id: u32,
+) -> Result<(Subplan, Vec<Subplan>)> {
+    let mut bottoms = Vec::new();
+    let top_root = rebuild(
+        &subplan.root,
+        &mut Vec::new(),
+        included,
+        subplan.queries,
+        next_id,
+        &mut bottoms,
+    )?;
+    let top = Subplan {
+        id: subplan.id,
+        root: top_root,
+        queries: subplan.queries,
+        output_queries: subplan.output_queries,
+    };
+    Ok((top, bottoms))
+}
+
+fn rebuild(
+    t: &OpTree,
+    path: &mut Vec<usize>,
+    included: &IncludedSet,
+    queries: QuerySet,
+    next_id: u32,
+    bottoms: &mut Vec<Subplan>,
+) -> Result<OpTree> {
+    let mut inputs = Vec::with_capacity(t.inputs.len());
+    for (i, c) in t.inputs.iter().enumerate() {
+        path.push(i);
+        let keep = included.contains(path.as_slice()) || matches!(c.op, TreeOp::Input(_));
+        let rebuilt = if keep && !matches!(c.op, TreeOp::Input(_)) {
+            rebuild(c, path, included, queries, next_id, bottoms)?
+        } else if keep {
+            c.clone()
+        } else {
+            let id = SubplanId(next_id + bottoms.len() as u32);
+            bottoms.push(Subplan {
+                id,
+                root: c.clone(),
+                queries,
+                output_queries: QuerySet::EMPTY,
+            });
+            OpTree::input(InputSource::Subplan(id))
+        };
+        inputs.push(rebuilt);
+        path.pop();
+    }
+    Ok(OpTree { op: t.op.clone(), inputs })
+}
+
+/// Build the intermediate plan where `target` is replaced by its top part
+/// and the bottom subplans are appended; the target id keeps addressing the
+/// top, so existing references stay valid.
+pub fn apply_split_to_plan(
+    plan: &SharedPlan,
+    target: SubplanId,
+    included: &IncludedSet,
+) -> Result<SharedPlan> {
+    let sp = plan.subplan(target)?;
+    let (top, bottoms) = split_at(sp, included, plan.len() as u32)?;
+    let mut subplans = plan.subplans.clone();
+    subplans[target.index()] = top;
+    subplans.extend(bottoms);
+    Ok(SharedPlan { subplans })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ishare_common::{QueryId, TableId};
+    use ishare_expr::Expr;
+    use ishare_plan::{AggExpr, AggFunc, SelectBranch};
+
+    fn qs(ids: &[u16]) -> QuerySet {
+        QuerySet::from_iter(ids.iter().map(|&i| QueryId(i)))
+    }
+
+    /// agg( join( select(scan t), agg2(scan u) ) ) — two internal levels.
+    fn deep_subplan() -> Subplan {
+        let left = OpTree::node(
+            TreeOp::Select {
+                branches: vec![SelectBranch {
+                    queries: qs(&[0, 1]),
+                    predicate: Expr::true_lit(),
+                }],
+            },
+            vec![OpTree::input(InputSource::Base(TableId(0)))],
+        );
+        let right = OpTree::node(
+            TreeOp::Aggregate {
+                group_by: vec![(Expr::col(0), "k".into())],
+                aggs: vec![AggExpr::new(AggFunc::Sum, Expr::col(1), "s")],
+            },
+            vec![OpTree::input(InputSource::Base(TableId(1)))],
+        );
+        let join = OpTree::node(
+            TreeOp::Join { keys: vec![(Expr::col(0), Expr::col(0))] },
+            vec![left, right],
+        );
+        let root = OpTree::node(
+            TreeOp::Aggregate {
+                group_by: vec![(Expr::col(0), "k".into())],
+                aggs: vec![AggExpr::new(AggFunc::Sum, Expr::col(3), "t")],
+            },
+            vec![join],
+        );
+        Subplan { id: SubplanId(0), root, queries: qs(&[0, 1]), output_queries: qs(&[0, 1]) }
+    }
+
+    #[test]
+    fn candidate_count_bounded_by_operators() {
+        let sp = deep_subplan();
+        let cands = subtree_candidates(&sp);
+        // Internal ops: root agg, join, select, agg2 → at most 3 proper
+        // candidates (full tree excluded).
+        assert!(!cands.is_empty());
+        assert!(cands.len() <= sp.root.operator_count());
+        // Candidates grow monotonically.
+        for w in cands.windows(2) {
+            assert!(w[0].len() < w[1].len());
+            assert!(w[0].iter().all(|p| w[1].contains(p)));
+        }
+        // First candidate = root only.
+        assert!(cands[0].contains(&Vec::new()));
+    }
+
+    #[test]
+    fn split_at_root_creates_bottom_for_join() {
+        let sp = deep_subplan();
+        let mut included = IncludedSet::new();
+        included.insert(Vec::new()); // root aggregate only
+        let (top, bottoms) = split_at(&sp, &included, 10).unwrap();
+        assert_eq!(bottoms.len(), 1, "the join subtree becomes one bottom");
+        assert_eq!(bottoms[0].id, SubplanId(10));
+        assert_eq!(bottoms[0].root.op.label(), "join");
+        assert_eq!(top.root.op.label(), "aggregate");
+        assert_eq!(top.root.inputs[0].op.label(), "input");
+        assert_eq!(top.children(), vec![SubplanId(10)]);
+        assert_eq!(bottoms[0].queries, sp.queries);
+        assert!(bottoms[0].output_queries.is_empty());
+    }
+
+    #[test]
+    fn split_deeper_keeps_join_cuts_children() {
+        let sp = deep_subplan();
+        let mut included = IncludedSet::new();
+        included.insert(Vec::new());
+        included.insert(vec![0]); // include the join
+        let (top, bottoms) = split_at(&sp, &included, 5).unwrap();
+        // Left child of join is select (internal → bottom), right is agg2
+        // (internal → bottom).
+        assert_eq!(bottoms.len(), 2);
+        assert_eq!(top.root.inputs[0].op.label(), "join");
+        let kids = top.children();
+        assert_eq!(kids.len(), 2);
+    }
+
+    #[test]
+    fn leaf_children_stay_inline() {
+        let sp = deep_subplan();
+        let mut included = IncludedSet::new();
+        included.insert(Vec::new());
+        included.insert(vec![0]);
+        included.insert(vec![0, 0]); // select included; its child is a leaf
+        let (top, bottoms) = split_at(&sp, &included, 5).unwrap();
+        assert_eq!(bottoms.len(), 1, "only agg2 is cut");
+        // The select's base input stays a leaf of the top.
+        assert!(top
+            .root
+            .referenced_tables()
+            .contains(&TableId(0)));
+    }
+}

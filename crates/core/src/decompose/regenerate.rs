@@ -1,0 +1,484 @@
+//! Plan regeneration after a split (Sec. 4.2).
+//!
+//! Replacing a shared subplan with its partitions can violate the engine
+//! requirement that a subplan's query set subsume its parents' — Fig. 8:
+//! after splitting `Subplan1` into `{q1,q2}` and `{q3}`, the parent
+//! `Subplan4` (queries `{q1,q3}`) straddles both pieces. The fix is to split
+//! the ancestors along the same query partition, recursively, and then merge
+//! newly created subplans that ended up with a single parent (e.g.
+//! `Subplan1b` + `Subplan4b` → `Subplan14b`).
+//!
+//! [`initial_paces`] implements the pace initialization of "Finding a new
+//! pace configuration": every new subplan adopts the pace of the subplan it
+//! derives from, merged subplans take the larger pace, and parent paces are
+//! clamped to their children's.
+
+use crate::pace::PaceConfiguration;
+use ishare_common::{Error, QuerySet, Result, SubplanId};
+use ishare_plan::{InputSource, OpTree, SharedPlan, Subplan, TreeOp};
+use ishare_storage::Catalog;
+use std::collections::{HashMap, HashSet};
+
+/// Result of regenerating a plan around a split.
+#[derive(Debug, Clone)]
+pub struct Regenerated {
+    /// The new plan (validated).
+    pub plan: SharedPlan,
+    /// Per new subplan: the old subplan ids it derives from (singleton
+    /// unless subplans were merged).
+    pub derived_from: Vec<Vec<SubplanId>>,
+}
+
+/// Replace `target` with one subplan per partition and restore structural
+/// invariants.
+pub fn regenerate(
+    plan: &SharedPlan,
+    target: SubplanId,
+    partitions: &[QuerySet],
+    catalog: &Catalog,
+) -> Result<Regenerated> {
+    let target_sp = plan.subplan(target)?;
+    // Sanity: partitions form a partition of the target's queries.
+    let mut seen = QuerySet::EMPTY;
+    for p in partitions {
+        if p.is_empty() || p.intersects(seen) {
+            return Err(Error::InvalidPlan("split is not a partition".into()));
+        }
+        seen = seen.union(*p);
+    }
+    if seen != target_sp.queries {
+        return Err(Error::InvalidPlan(format!(
+            "split covers {seen}, target has {}",
+            target_sp.queries
+        )));
+    }
+    if partitions.len() < 2 {
+        return Err(Error::InvalidPlan("split must have at least two partitions".into()));
+    }
+
+    // Ancestors: transitive readers of the target.
+    let parents = plan.parents();
+    let mut ancestors: HashSet<SubplanId> = HashSet::new();
+    let mut work = vec![target];
+    while let Some(x) = work.pop() {
+        for &p in &parents[x.index()] {
+            if ancestors.insert(p) {
+                work.push(p);
+            }
+        }
+    }
+
+    // Build protos: pieces for the target and its ancestors, verbatim
+    // copies for everything else.
+    struct Proto {
+        old: SubplanId,
+        is_piece: bool,
+        subplan: Subplan,
+        derived: Vec<SubplanId>,
+        dead: bool,
+    }
+    let mut protos: Vec<Proto> = Vec::new();
+    for sp in &plan.subplans {
+        if sp.id == target || ancestors.contains(&sp.id) {
+            for part in partitions {
+                let pq = sp.queries.intersect(*part);
+                if pq.is_empty() {
+                    continue;
+                }
+                protos.push(Proto {
+                    old: sp.id,
+                    is_piece: true,
+                    subplan: sp.restrict(pq)?,
+                    derived: vec![sp.id],
+                    dead: false,
+                });
+            }
+        } else {
+            protos.push(Proto {
+                old: sp.id,
+                is_piece: false,
+                subplan: sp.clone(),
+                derived: vec![sp.id],
+                dead: false,
+            });
+        }
+    }
+
+    // Rewire child references to proto indices. A reader's queries always
+    // sit inside exactly one piece of a split child.
+    let resolve = |reader_queries: QuerySet, old_child: SubplanId, protos: &[Proto]| -> Result<usize> {
+        let mut found = None;
+        for (i, p) in protos.iter().enumerate() {
+            if p.old == old_child && reader_queries.is_subset_of(p.subplan.queries) {
+                found = Some(i);
+                break;
+            }
+        }
+        found.ok_or_else(|| {
+            Error::InvalidPlan(format!(
+                "no piece of {old_child} covers reader queries {reader_queries}"
+            ))
+        })
+    };
+    for i in 0..protos.len() {
+        let reader_queries = protos[i].subplan.queries;
+        let refs = protos[i].subplan.root.referenced_subplans();
+        let mut map: HashMap<u32, u32> = HashMap::new();
+        for old_child in refs {
+            let idx = resolve(reader_queries, old_child, &protos)?;
+            map.insert(old_child.0, idx as u32);
+        }
+        protos[i].subplan.root = protos[i]
+            .subplan
+            .root
+            .remap_subplan_inputs(&|old| SubplanId(*map.get(&old.0).unwrap_or(&old.0)));
+    }
+
+    // Merge newly generated subplans that have exactly one parent reference,
+    // produce no query output, and whose single reader is also new.
+    loop {
+        // Count leaf references per proto index.
+        let mut ref_count: HashMap<u32, usize> = HashMap::new();
+        let mut single_reader: HashMap<u32, usize> = HashMap::new();
+        for (ri, p) in protos.iter().enumerate() {
+            if p.dead {
+                continue;
+            }
+            for r in p.subplan.root.referenced_subplans() {
+                *ref_count.entry(r.0).or_insert(0) += 1;
+                single_reader.insert(r.0, ri);
+            }
+        }
+        let mut merged_any = false;
+        for xi in 0..protos.len() {
+            if protos[xi].dead
+                || !protos[xi].is_piece
+                || !protos[xi].subplan.output_queries.is_empty()
+            {
+                continue;
+            }
+            if ref_count.get(&(xi as u32)).copied().unwrap_or(0) != 1 {
+                continue;
+            }
+            let yi = single_reader[&(xi as u32)];
+            if protos[yi].dead || !protos[yi].is_piece || yi == xi {
+                continue;
+            }
+            // Inline X into its single reader Y, narrowing X's tree to Y's
+            // queries.
+            let y_queries = protos[yi].subplan.queries;
+            let x_restricted = Subplan {
+                id: protos[xi].subplan.id,
+                root: protos[xi].subplan.root.clone(),
+                queries: protos[xi].subplan.queries,
+                output_queries: QuerySet::EMPTY,
+            }
+            .restrict(y_queries)?;
+            let new_root = inline_input(
+                &protos[yi].subplan.root,
+                SubplanId(xi as u32),
+                &x_restricted.root,
+            );
+            protos[yi].subplan.root = new_root;
+            let derived: Vec<SubplanId> = protos[xi].derived.clone();
+            for d in derived {
+                if !protos[yi].derived.contains(&d) {
+                    protos[yi].derived.push(d);
+                }
+            }
+            protos[xi].dead = true;
+            merged_any = true;
+            break; // recompute reference counts
+        }
+        if !merged_any {
+            break;
+        }
+    }
+
+    // Renumber and build the final plan.
+    let mut final_ids: HashMap<u32, u32> = HashMap::new();
+    let mut next = 0u32;
+    for (i, p) in protos.iter().enumerate() {
+        if !p.dead {
+            final_ids.insert(i as u32, next);
+            next += 1;
+        }
+    }
+    let mut subplans = Vec::with_capacity(next as usize);
+    let mut derived_from = Vec::with_capacity(next as usize);
+    for (i, p) in protos.iter().enumerate() {
+        if p.dead {
+            continue;
+        }
+        let id = SubplanId(final_ids[&(i as u32)]);
+        let root = p.subplan.root.remap_subplan_inputs(&|proto_idx| {
+            SubplanId(*final_ids.get(&proto_idx.0).unwrap_or(&proto_idx.0))
+        });
+        subplans.push(Subplan {
+            id,
+            root,
+            queries: p.subplan.queries,
+            output_queries: p.subplan.output_queries,
+        });
+        derived_from.push(p.derived.clone());
+    }
+    let new_plan = SharedPlan { subplans };
+    new_plan.validate(catalog)?;
+    Ok(Regenerated { plan: new_plan, derived_from })
+}
+
+/// Replace every `Input(Subplan(victim))` leaf with `replacement`.
+fn inline_input(tree: &OpTree, victim: SubplanId, replacement: &OpTree) -> OpTree {
+    match &tree.op {
+        TreeOp::Input(InputSource::Subplan(id)) if *id == victim => replacement.clone(),
+        _ => OpTree {
+            op: tree.op.clone(),
+            inputs: tree
+                .inputs
+                .iter()
+                .map(|i| inline_input(i, victim, replacement))
+                .collect(),
+        },
+    }
+}
+
+/// Sec. 4.2 pace initialization: each new subplan adopts the pace of the
+/// old subplan(s) it derives from (the larger when merged), then parent
+/// paces are clamped down to their children's so the engine requirement
+/// holds. The result is eagerer than or equal to the donor configuration —
+/// the right starting point for lazy-ward relaxation.
+pub fn initial_paces(reg: &Regenerated, old_paces: &PaceConfiguration) -> Result<PaceConfiguration> {
+    let mut paces = Vec::with_capacity(reg.plan.len());
+    for derived in &reg.derived_from {
+        let p = derived
+            .iter()
+            .map(|d| old_paces.pace(*d))
+            .max()
+            .ok_or_else(|| Error::InvalidPlan("subplan derives from nothing".into()))?;
+        paces.push(p);
+    }
+    let mut config = PaceConfiguration::new(paces)?;
+    // Clamp parents to children, parents processed after children.
+    for id in reg.plan.topo_order()? {
+        let sp = reg.plan.subplan(id)?;
+        let min_child = sp.children().iter().map(|c| config.pace(*c)).min();
+        if let Some(mc) = min_child {
+            if config.pace(id) > mc {
+                config.set(id, mc);
+            }
+        }
+    }
+    config.respects_plan(&reg.plan)?;
+    Ok(config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ishare_common::{DataType, QueryId};
+    use ishare_expr::Expr;
+    use ishare_plan::{AggExpr, AggFunc, DagOp, SelectBranch, SharedDag};
+    use ishare_storage::{Catalog, ColumnStats, Field, Schema, TableStats};
+
+    fn qs(ids: &[u16]) -> QuerySet {
+        QuerySet::from_iter(ids.iter().map(|&i| QueryId(i)))
+    }
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.add_table(
+            "t",
+            Schema::new(vec![
+                Field::new("k", DataType::Int),
+                Field::new("v", DataType::Int),
+            ]),
+            TableStats {
+                row_count: 1000.0,
+                columns: vec![ColumnStats::ndv(20.0), ColumnStats::ndv(100.0)],
+            },
+        )
+        .unwrap();
+        c
+    }
+
+    /// Fig. 8-like shape: sp0 shared by q1,q2,q3; sp1 (parent, {q0-like
+    /// mix}) reads sp0; per-query roots on top.
+    ///
+    /// Concretely: sp0 = agg shared by {0,1,2}; sp1 = select over sp0 shared
+    /// by {0,2} (straddles a {0,1}/{2} split); roots: q0,q1,q2.
+    fn fig8_plan(c: &Catalog) -> SharedPlan {
+        let t = c.table_by_name("t").unwrap().id;
+        let mut d = SharedDag::new();
+        let scan = d.add_node(DagOp::Scan { table: t }, vec![], qs(&[0, 1, 2])).unwrap();
+        let sel = d
+            .add_node(
+                DagOp::Select {
+                    branches: vec![
+                        SelectBranch { queries: qs(&[0]), predicate: Expr::true_lit() },
+                        SelectBranch {
+                            queries: qs(&[1]),
+                            predicate: Expr::col(1).gt(Expr::lit(10i64)),
+                        },
+                        SelectBranch {
+                            queries: qs(&[2]),
+                            predicate: Expr::col(1).lt(Expr::lit(90i64)),
+                        },
+                    ],
+                },
+                vec![scan],
+                qs(&[0, 1, 2]),
+            )
+            .unwrap();
+        let agg = d
+            .add_node(
+                DagOp::Aggregate {
+                    group_by: vec![(Expr::col(0), "k".into())],
+                    aggs: vec![AggExpr::new(AggFunc::Sum, Expr::col(1), "s")],
+                },
+                vec![sel],
+                qs(&[0, 1, 2]),
+            )
+            .unwrap();
+        // Shared parent over {0, 2}.
+        let sel2 = d
+            .add_node(
+                DagOp::Select {
+                    branches: vec![
+                        SelectBranch { queries: qs(&[0]), predicate: Expr::true_lit() },
+                        SelectBranch {
+                            queries: qs(&[2]),
+                            predicate: Expr::col(1).gt(Expr::lit(0i64)),
+                        },
+                    ],
+                },
+                vec![agg],
+                qs(&[0, 2]),
+            )
+            .unwrap();
+        let r0 = d
+            .add_node(
+                DagOp::Project { exprs: vec![(Expr::col(1), "x".into())] },
+                vec![sel2],
+                qs(&[0]),
+            )
+            .unwrap();
+        let r2 = d
+            .add_node(
+                DagOp::Project { exprs: vec![(Expr::col(0), "y".into())] },
+                vec![sel2],
+                qs(&[2]),
+            )
+            .unwrap();
+        let r1 = d
+            .add_node(
+                DagOp::Project { exprs: vec![(Expr::col(0), "z".into())] },
+                vec![agg],
+                qs(&[1]),
+            )
+            .unwrap();
+        d.set_query_root(QueryId(0), r0).unwrap();
+        d.set_query_root(QueryId(1), r1).unwrap();
+        d.set_query_root(QueryId(2), r2).unwrap();
+        d.validate(c).unwrap();
+        SharedPlan::from_dag(&d, |_| false).unwrap()
+    }
+
+    #[test]
+    fn straddling_parent_gets_split() {
+        let c = catalog();
+        let plan = fig8_plan(&c);
+        plan.validate(&c).unwrap();
+        // sp0 is the shared agg (queries {0,1,2}); split into {0,1} | {2}.
+        let target = SubplanId(0);
+        assert_eq!(plan.subplan(target).unwrap().queries, qs(&[0, 1, 2]));
+        let reg =
+            regenerate(&plan, target, &[qs(&[0, 1]), qs(&[2])], &c).unwrap();
+        reg.plan.validate(&c).unwrap();
+        // Every query still has exactly one output subplan.
+        for q in [0, 1, 2] {
+            assert!(reg.plan.query_root(QueryId(q)).is_some(), "q{q} root");
+        }
+        // No subplan may violate subsumption (validate checked), and the
+        // {2} piece must not serve q0/q1.
+        for sp in &reg.plan.subplans {
+            if sp.queries == qs(&[2]) {
+                assert!(!sp.queries.intersects(qs(&[0, 1])));
+            }
+        }
+        // The straddling select-parent {0,2} must have been split: no
+        // remaining subplan has queries {0,2} while reading a {2}-piece or
+        // {0,1}-piece it is not a subset of — validate() proves that, so
+        // just assert the old shape is gone.
+        assert!(
+            reg.plan.subplans.iter().all(|sp| sp.queries != qs(&[0, 2])
+                || sp
+                    .children()
+                    .iter()
+                    .all(|ch| sp.queries.is_subset_of(reg.plan.subplan(*ch).unwrap().queries))),
+        );
+        // derived_from aligns with the new plan.
+        assert_eq!(reg.derived_from.len(), reg.plan.len());
+    }
+
+    #[test]
+    fn single_parent_pieces_merge() {
+        let c = catalog();
+        let plan = fig8_plan(&c);
+        let target = SubplanId(0);
+        let reg = regenerate(&plan, target, &[qs(&[0, 1]), qs(&[2])], &c).unwrap();
+        // The {2} piece of the target has a single parent chain (the {2}
+        // piece of the select parent, then q2's root): at least one merged
+        // subplan must derive from more than one old subplan.
+        assert!(
+            reg.derived_from.iter().any(|d| d.len() > 1),
+            "expected a merge, derived = {:?}",
+            reg.derived_from
+        );
+    }
+
+    #[test]
+    fn bad_splits_rejected() {
+        let c = catalog();
+        let plan = fig8_plan(&c);
+        let target = SubplanId(0);
+        // Overlapping.
+        assert!(regenerate(&plan, target, &[qs(&[0, 1]), qs(&[1, 2])], &c).is_err());
+        // Not covering.
+        assert!(regenerate(&plan, target, &[qs(&[0]), qs(&[1])], &c).is_err());
+        // Single partition.
+        assert!(regenerate(&plan, target, &[qs(&[0, 1, 2])], &c).is_err());
+        // Empty partition.
+        assert!(regenerate(
+            &plan,
+            target,
+            &[qs(&[0, 1, 2]), QuerySet::EMPTY],
+            &c
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn initial_paces_adopt_and_clamp() {
+        let c = catalog();
+        let plan = fig8_plan(&c);
+        let target = SubplanId(0);
+        let reg = regenerate(&plan, target, &[qs(&[0, 1]), qs(&[2])], &c).unwrap();
+        // Old config: target eager (8), everything else lazy (1).
+        let mut old = PaceConfiguration::batch(plan.len());
+        old.set(target, 8);
+        let init = initial_paces(&reg, &old).unwrap();
+        init.respects_plan(&reg.plan).unwrap();
+        // Pieces deriving from the target adopt pace 8 (possibly clamped by
+        // children, of which there are none below the target's pieces).
+        let mut saw_eager = false;
+        for (i, derived) in reg.derived_from.iter().enumerate() {
+            if derived.contains(&target) {
+                assert!(init.as_slice()[i] >= 1);
+                if init.as_slice()[i] == 8 {
+                    saw_eager = true;
+                }
+            }
+        }
+        assert!(saw_eager, "at least one piece keeps the donor pace");
+    }
+}

@@ -1,0 +1,503 @@
+//! Whole-plan cost estimation with memoization (Algorithm 1 of the paper).
+//!
+//! The estimator walks the subplans children-first; each subplan's
+//! simulation result is memoized keyed by its *private pace configuration* —
+//! the paces of the subplan and all of its descendants — because those are
+//! exactly the inputs its private total/final work and output cardinality
+//! depend on. The greedy pace search evaluates many configurations that
+//! differ in a single subplan's pace; with the memo only that subplan and
+//! its ancestors are re-simulated.
+
+use crate::simulate::{simulate_subplan, SubplanSim};
+use crate::stats::StreamEstimate;
+use ishare_common::{
+    CostWeights, Error, QueryId, Result, SubplanId, TableId, WorkUnits,
+};
+use ishare_plan::{InputSource, SharedPlan};
+use ishare_storage::Catalog;
+use std::collections::{BTreeMap, HashMap};
+
+/// The estimator's view of one pace configuration.
+#[derive(Debug, Clone)]
+pub struct CostReport {
+    /// Total work C_T(P): sum of every subplan's private total work.
+    pub total_work: WorkUnits,
+    /// Final work C_F(P, q) per query: sum of the private final work of the
+    /// query's subplans.
+    pub final_work: BTreeMap<QueryId, WorkUnits>,
+    /// Private total work per subplan.
+    pub subplan_total: Vec<f64>,
+    /// Private final work per subplan.
+    pub subplan_final: Vec<f64>,
+    /// Full-trigger input estimate per subplan leaf (the Fig. 7 input
+    /// cardinalities the decomposition algorithm consumes).
+    pub subplan_inputs: Vec<HashMap<Vec<usize>, StreamEstimate>>,
+    /// Full-trigger output estimate per subplan.
+    pub subplan_output: Vec<StreamEstimate>,
+}
+
+impl CostReport {
+    /// Final work of one query.
+    pub fn final_of(&self, q: QueryId) -> WorkUnits {
+        self.final_work.get(&q).copied().unwrap_or(WorkUnits::ZERO)
+    }
+}
+
+/// Cheap observability into memo effectiveness (Fig. 15's mechanism).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EstimatorCounters {
+    /// Subplan simulations actually run.
+    pub simulations: usize,
+    /// Simulations skipped thanks to the memo.
+    pub memo_hits: usize,
+}
+
+/// Memoized whole-plan cost estimator, bound to one [`SharedPlan`].
+pub struct PlanEstimator {
+    plan: SharedPlan,
+    weights: CostWeights,
+    /// Children-first subplan order.
+    topo: Vec<SubplanId>,
+    /// Per subplan: sorted list of (that subplan + descendants) — the key
+    /// domain of its private pace configuration.
+    descendants: Vec<Vec<SubplanId>>,
+    /// Per subplan: its leaves (path, source).
+    leaves: Vec<Vec<(Vec<usize>, InputSource)>>,
+    /// Base-table full-trigger stream estimates.
+    base: HashMap<TableId, StreamEstimate>,
+    /// Per subplan: memo from private pace configuration to simulation
+    /// (Arc so hits are O(1), not a deep clone of the stream estimate).
+    memo: Vec<HashMap<Vec<u32>, std::sync::Arc<SubplanSim>>>,
+    /// Hit/miss counters.
+    pub counters: EstimatorCounters,
+    /// When `false`, [`PlanEstimator::estimate`] behaves like
+    /// [`PlanEstimator::estimate_unmemoized`] — used to run whole searches
+    /// without memoization (the Fig. 15 `w/o memo` variant).
+    memo_enabled: bool,
+}
+
+impl PlanEstimator {
+    /// Build an estimator for `plan` using the catalog's table statistics.
+    pub fn new(plan: &SharedPlan, catalog: &Catalog, weights: CostWeights) -> Result<Self> {
+        let topo = plan.topo_order()?;
+        let n = plan.subplans.len();
+
+        // Leaves per subplan.
+        let mut leaves = Vec::with_capacity(n);
+        for sp in &plan.subplans {
+            let mut out = Vec::new();
+            collect_leaves(&sp.root, &mut Vec::new(), &mut out);
+            leaves.push(out);
+        }
+
+        // Descendant closure (children-first order makes one pass enough).
+        let mut descendants: Vec<Vec<SubplanId>> = vec![Vec::new(); n];
+        for &id in &topo {
+            let mut set: Vec<SubplanId> = vec![id];
+            for c in plan.subplans[id.index()].children() {
+                for &d in &descendants[c.index()] {
+                    if !set.contains(&d) {
+                        set.push(d);
+                    }
+                }
+            }
+            set.sort();
+            descendants[id.index()] = set;
+        }
+
+        // Base streams: every row of a base table is valid for every query
+        // of the whole plan (leaf narrowing restricts per subplan).
+        let queries = plan.queries();
+        let mut base = HashMap::new();
+        for sp in &plan.subplans {
+            for t in sp.root.referenced_tables() {
+                if let std::collections::hash_map::Entry::Vacant(e) = base.entry(t) {
+                    let def = catalog.table(t)?;
+                    e.insert(StreamEstimate::insert_only(
+                        def.stats.row_count,
+                        queries,
+                        def.stats.columns.clone(),
+                    ));
+                }
+            }
+        }
+
+        Ok(PlanEstimator {
+            plan: plan.clone(),
+            weights,
+            topo,
+            descendants,
+            leaves,
+            base,
+            memo: vec![HashMap::new(); n],
+            counters: EstimatorCounters::default(),
+            memo_enabled: true,
+        })
+    }
+
+    /// Enable or disable memoization for subsequent [`PlanEstimator::estimate`]
+    /// calls.
+    pub fn set_memo_enabled(&mut self, on: bool) {
+        self.memo_enabled = on;
+    }
+
+    /// The plan this estimator is bound to.
+    pub fn plan(&self) -> &SharedPlan {
+        &self.plan
+    }
+
+    /// Estimate a pace configuration (one pace per subplan, positionally).
+    /// The report's `subplan_inputs` are left empty — the pace searches call
+    /// this tens of thousands of times and only the decomposition pass needs
+    /// the per-leaf stream estimates; use
+    /// [`PlanEstimator::estimate_detailed`] for those.
+    pub fn estimate(&mut self, paces: &[u32]) -> Result<CostReport> {
+        self.estimate_inner(paces, self.memo_enabled, false)
+    }
+
+    /// Like [`PlanEstimator::estimate`] but also collects each subplan's
+    /// full-trigger leaf input estimates (the Fig. 7 cardinalities the
+    /// decomposition algorithm consumes).
+    pub fn estimate_detailed(&mut self, paces: &[u32]) -> Result<CostReport> {
+        self.estimate_inner(paces, self.memo_enabled, true)
+    }
+
+    /// Estimate without the memo — recomputing every subplan from scratch,
+    /// like the original simulation algorithm the paper compares against in
+    /// Fig. 15 (`iShare (w/o memo)`).
+    pub fn estimate_unmemoized(&mut self, paces: &[u32]) -> Result<CostReport> {
+        self.estimate_inner(paces, false, false)
+    }
+
+    fn estimate_inner(
+        &mut self,
+        paces: &[u32],
+        use_memo: bool,
+        collect_inputs: bool,
+    ) -> Result<CostReport> {
+        let n = self.plan.subplans.len();
+        if paces.len() != n {
+            return Err(Error::InvalidConfig(format!(
+                "{} paces for {n} subplans",
+                paces.len()
+            )));
+        }
+        if let Some(&bad) = paces.iter().find(|&&p| p == 0) {
+            return Err(Error::InvalidConfig(format!("pace {bad} must be >= 1")));
+        }
+        let mut outputs: Vec<Option<StreamEstimate>> = vec![None; n];
+        let mut report = CostReport {
+            total_work: WorkUnits::ZERO,
+            final_work: BTreeMap::new(),
+            subplan_total: vec![0.0; n],
+            subplan_final: vec![0.0; n],
+            subplan_inputs: vec![HashMap::new(); n],
+            subplan_output: Vec::new(),
+        };
+        for &id in &self.topo.clone() {
+            let i = id.index();
+            // Assemble this subplan's leaf inputs from children's outputs.
+            let mut inputs = HashMap::new();
+            for (path, src) in &self.leaves[i] {
+                let est = match src {
+                    InputSource::Base(t) => self
+                        .base
+                        .get(t)
+                        .ok_or_else(|| Error::NotFound(format!("base stream {t}")))?
+                        .clone(),
+                    InputSource::Subplan(c) => outputs[c.index()]
+                        .clone()
+                        .ok_or_else(|| {
+                            Error::InvalidPlan(format!("child {c} output missing for {id}"))
+                        })?,
+                };
+                inputs.insert(path.clone(), est);
+            }
+            let key: Vec<u32> =
+                self.descendants[i].iter().map(|d| paces[d.index()]).collect();
+            let sim: std::sync::Arc<SubplanSim> = if use_memo {
+                if let Some(hit) = self.memo[i].get(&key) {
+                    self.counters.memo_hits += 1;
+                    hit.clone()
+                } else {
+                    self.counters.simulations += 1;
+                    let sim = std::sync::Arc::new(simulate_subplan(
+                        &self.plan.subplans[i],
+                        paces[i],
+                        &inputs,
+                        &self.weights,
+                    )?);
+                    self.memo[i].insert(key, sim.clone());
+                    sim
+                }
+            } else {
+                self.counters.simulations += 1;
+                std::sync::Arc::new(simulate_subplan(
+                    &self.plan.subplans[i],
+                    paces[i],
+                    &inputs,
+                    &self.weights,
+                )?)
+            };
+            report.total_work += WorkUnits(sim.private_total);
+            report.subplan_total[i] = sim.private_total;
+            report.subplan_final[i] = sim.private_final;
+            if collect_inputs {
+                report.subplan_inputs[i] = inputs;
+            }
+            outputs[i] = Some(sim.output.clone());
+        }
+        for sp in &self.plan.subplans {
+            for q in sp.queries.iter() {
+                *report.final_work.entry(q).or_insert(WorkUnits::ZERO) +=
+                    WorkUnits(report.subplan_final[sp.id.index()]);
+            }
+        }
+        report.subplan_output = outputs
+            .into_iter()
+            .map(|o| o.expect("all subplans simulated"))
+            .collect();
+        Ok(report)
+    }
+}
+
+fn collect_leaves(
+    t: &ishare_plan::OpTree,
+    path: &mut Vec<usize>,
+    out: &mut Vec<(Vec<usize>, InputSource)>,
+) {
+    if let ishare_plan::TreeOp::Input(src) = &t.op {
+        out.push((path.clone(), *src));
+    }
+    for (i, c) in t.inputs.iter().enumerate() {
+        path.push(i);
+        collect_leaves(c, path, out);
+        path.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ishare_common::{DataType, QuerySet};
+    use ishare_expr::Expr;
+    use ishare_mqo_like::*;
+
+    /// Build a small shared plan without depending on ishare-mqo (dependency
+    /// direction): handcrafted DAG equivalent to two queries sharing an
+    /// aggregate, one adding a further join.
+    mod ishare_mqo_like {
+        pub use ishare_plan::{AggExpr, AggFunc, DagOp, SelectBranch, SharedDag};
+        pub use ishare_storage::{ColumnStats, Field, Schema, TableStats};
+    }
+    use ishare_plan::SharedPlan;
+    use ishare_storage::Catalog;
+
+    fn qs(ids: &[u16]) -> QuerySet {
+        QuerySet::from_iter(ids.iter().map(|&i| QueryId(i)))
+    }
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.add_table(
+            "t",
+            Schema::new(vec![
+                Field::new("k", DataType::Int),
+                Field::new("v", DataType::Int),
+            ]),
+            TableStats {
+                row_count: 10_000.0,
+                columns: vec![ColumnStats::ndv(50.0), ColumnStats::ndv(1000.0)],
+            },
+        )
+        .unwrap();
+        c.add_table(
+            "u",
+            Schema::new(vec![
+                Field::new("uk", DataType::Int),
+                Field::new("w", DataType::Int),
+            ]),
+            TableStats {
+                row_count: 1_000.0,
+                columns: vec![ColumnStats::ndv(50.0), ColumnStats::ndv(100.0)],
+            },
+        )
+        .unwrap();
+        c
+    }
+
+    /// sp0 = agg(select(scan t)) shared by q0,q1;
+    /// sp1 = root of q0 (project);
+    /// sp2 = root of q1 (join with u + agg).
+    fn fig2_plan(c: &Catalog) -> SharedPlan {
+        let t = c.table_by_name("t").unwrap().id;
+        let u = c.table_by_name("u").unwrap().id;
+        let mut d = SharedDag::new();
+        let scan = d.add_node(DagOp::Scan { table: t }, vec![], qs(&[0, 1])).unwrap();
+        let sel = d
+            .add_node(
+                DagOp::Select {
+                    branches: vec![
+                        SelectBranch { queries: qs(&[0]), predicate: Expr::true_lit() },
+                        SelectBranch {
+                            queries: qs(&[1]),
+                            predicate: Expr::col(1).lt(Expr::lit(100i64)),
+                        },
+                    ],
+                },
+                vec![scan],
+                qs(&[0, 1]),
+            )
+            .unwrap();
+        let agg = d
+            .add_node(
+                DagOp::Aggregate {
+                    group_by: vec![(Expr::col(0), "k".into())],
+                    aggs: vec![AggExpr::new(AggFunc::Sum, Expr::col(1), "s")],
+                },
+                vec![sel],
+                qs(&[0, 1]),
+            )
+            .unwrap();
+        let p0 = d
+            .add_node(
+                DagOp::Project { exprs: vec![(Expr::col(1), "s".into())] },
+                vec![agg],
+                qs(&[0]),
+            )
+            .unwrap();
+        let scan_u = d.add_node(DagOp::Scan { table: u }, vec![], qs(&[1])).unwrap();
+        let join = d
+            .add_node(
+                DagOp::Join { keys: vec![(Expr::col(0), Expr::col(0))] },
+                vec![agg, scan_u],
+                qs(&[1]),
+            )
+            .unwrap();
+        let agg2 = d
+            .add_node(
+                DagOp::Aggregate {
+                    group_by: vec![],
+                    aggs: vec![AggExpr::new(AggFunc::Max, Expr::col(1), "m")],
+                },
+                vec![join],
+                qs(&[1]),
+            )
+            .unwrap();
+        d.set_query_root(QueryId(0), p0).unwrap();
+        d.set_query_root(QueryId(1), agg2).unwrap();
+        d.validate(c).unwrap();
+        SharedPlan::from_dag(&d, |_| false).unwrap()
+    }
+
+    #[test]
+    fn batch_config_baseline() {
+        let c = catalog();
+        let plan = fig2_plan(&c);
+        let mut est = PlanEstimator::new(&plan, &c, CostWeights::default()).unwrap();
+        let ones = vec![1u32; plan.len()];
+        let rep = est.estimate(&ones).unwrap();
+        assert!(rep.total_work.get() > 0.0);
+        assert_eq!(rep.final_work.len(), 2);
+        // Batch execution: final work equals total work per subplan.
+        for i in 0..plan.len() {
+            assert!((rep.subplan_total[i] - rep.subplan_final[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn eager_shared_subplan_raises_total_lowers_final() {
+        let c = catalog();
+        let plan = fig2_plan(&c);
+        let mut est = PlanEstimator::new(&plan, &c, CostWeights::default()).unwrap();
+        let n = plan.len();
+        let lazy = est.estimate(&vec![1; n]).unwrap();
+        let mut paces = vec![1u32; n];
+        paces[0] = 10; // the shared aggregate subplan
+        let eager = est.estimate(&paces).unwrap();
+        assert!(eager.total_work > lazy.total_work);
+        // The eager subplan's own final execution is cheaper…
+        assert!(eager.subplan_final[0] < lazy.subplan_final[0]);
+        // …but its churn inflates the lazy parents' inputs: q1's parent
+        // (a MAX aggregate) sees retractions and its final work grows. This
+        // is exactly the eager-execution overhead the paper optimizes away.
+        let q1_root = plan.query_root(QueryId(1)).unwrap();
+        assert!(eager.subplan_final[q1_root.index()] > lazy.subplan_final[q1_root.index()]);
+    }
+
+    #[test]
+    fn memo_avoids_resimulation() {
+        let c = catalog();
+        let plan = fig2_plan(&c);
+        let mut est = PlanEstimator::new(&plan, &c, CostWeights::default()).unwrap();
+        let n = plan.len();
+        est.estimate(&vec![1; n]).unwrap();
+        let sims_first = est.counters.simulations;
+        assert_eq!(sims_first, n);
+        // Same config again: all hits.
+        est.estimate(&vec![1; n]).unwrap();
+        assert_eq!(est.counters.simulations, sims_first);
+        assert_eq!(est.counters.memo_hits, n);
+        // Change only a root subplan's pace: descendants are hits.
+        let root = plan.query_root(QueryId(0)).unwrap();
+        let mut paces = vec![1u32; n];
+        paces[root.index()] = 2;
+        est.estimate(&paces).unwrap();
+        assert_eq!(
+            est.counters.simulations,
+            sims_first + 1,
+            "only the changed subplan re-simulates"
+        );
+    }
+
+    #[test]
+    fn memoized_equals_unmemoized() {
+        let c = catalog();
+        let plan = fig2_plan(&c);
+        let mut est = PlanEstimator::new(&plan, &c, CostWeights::default()).unwrap();
+        let n = plan.len();
+        for trial in 0..4u32 {
+            let paces: Vec<u32> = (0..n as u32).map(|i| 1 + (i + trial) % 4).collect();
+            // Clamp to parent<=child validity is not required by the
+            // estimator itself; it costs any configuration.
+            let a = est.estimate(&paces).unwrap();
+            let b = est.estimate_unmemoized(&paces).unwrap();
+            assert!(
+                (a.total_work.get() - b.total_work.get()).abs() < 1e-6,
+                "trial {trial}"
+            );
+            for (q, w) in &a.final_work {
+                assert!((w.get() - b.final_work[q].get()).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn report_shape() {
+        let c = catalog();
+        let plan = fig2_plan(&c);
+        let mut est = PlanEstimator::new(&plan, &c, CostWeights::default()).unwrap();
+        let rep = est.estimate(&vec![2; plan.len()]).unwrap();
+        assert_eq!(rep.subplan_inputs.len(), plan.len());
+        assert_eq!(rep.subplan_output.len(), plan.len());
+        // The shared subplan's output feeds two parents; its estimate must
+        // track per-query cardinalities for both.
+        let shared = &rep.subplan_output[0];
+        assert!(shared.rows.query(QueryId(0)) > 0.0);
+        assert!(shared.rows.query(QueryId(1)) > 0.0);
+        assert!(shared.delete_frac > 0.0, "pace 2 aggregate churns");
+        // Final work sums subplans per query.
+        let q1_subplans: Vec<_> = plan.subplans_of_query(QueryId(1));
+        let sum: f64 = q1_subplans.iter().map(|id| rep.subplan_final[id.index()]).sum();
+        assert!((rep.final_of(QueryId(1)).get() - sum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bad_configs_rejected() {
+        let c = catalog();
+        let plan = fig2_plan(&c);
+        let mut est = PlanEstimator::new(&plan, &c, CostWeights::default()).unwrap();
+        assert!(est.estimate(&[1, 1]).is_err());
+        assert!(est.estimate(&vec![0; plan.len()]).is_err());
+    }
+}

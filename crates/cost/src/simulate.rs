@@ -1,0 +1,684 @@
+//! Per-subplan pace simulation.
+//!
+//! "To estimate the cost of a subplan with a pace k, we take the estimated
+//! total input data of this subplan and start k incremental executions where
+//! each processes 1/k of its total input data." (Sec. 3.2, the memoization
+//! algorithm's pace semantics.)
+//!
+//! The simulation mirrors the execution engine operator by operator and
+//! charges the same [`CostWeights`], tracking:
+//!
+//! * per-query cardinalities ([`CardVec`]) through every operator,
+//! * aggregate churn — each execution retracts and reinserts the touched
+//!   groups' outputs, so eager paces inflate output cardinality and
+//!   downstream work,
+//! * MIN/MAX rescans driven by upstream retractions, and
+//! * growing operator state (join sides, seen groups) across the k steps.
+
+use crate::selectivity::selectivity;
+use crate::stats::{expected_distinct, CardVec, StreamEstimate};
+use ishare_common::{CostWeights, Error, Result};
+use ishare_plan::{OpTree, Subplan, TreeOp};
+use ishare_storage::ColumnStats;
+use std::collections::{BTreeMap, HashMap};
+
+/// Result of simulating one subplan at one pace.
+#[derive(Debug, Clone)]
+pub struct SubplanSim {
+    /// Private total work: estimated work of all `k` incremental executions
+    /// of this subplan over its input.
+    pub private_total: f64,
+    /// Private final work: estimated work of the final (k-th) execution.
+    pub private_final: f64,
+    /// The subplan's output stream over the whole trigger (including
+    /// retract/insert churn, which grows with the pace).
+    pub output: StreamEstimate,
+}
+
+/// Simulate `k` incremental executions of `subplan` over its full-trigger
+/// `leaf_inputs` (one [`StreamEstimate`] per leaf path).
+pub fn simulate_subplan(
+    subplan: &Subplan,
+    pace: u32,
+    leaf_inputs: &HashMap<Vec<usize>, StreamEstimate>,
+    weights: &CostWeights,
+) -> Result<SubplanSim> {
+    if pace == 0 {
+        return Err(Error::InvalidConfig("pace must be >= 1".into()));
+    }
+    // Static pass: batch cardinalities, column stats, operator domains.
+    let mut statics = HashMap::new();
+    let root_static =
+        static_pass(subplan, &subplan.root, &mut Vec::new(), leaf_inputs, &mut statics)?;
+
+    // Dynamic pass: k steps with growing state.
+    let mut states: HashMap<Vec<usize>, OpSimState> = HashMap::new();
+    let mut private_total = 0.0;
+    let mut private_final = 0.0;
+    let mut out_rows = CardVec::zero(subplan.queries);
+    let mut out_deletes = 0.0;
+    for step in 1..=pace {
+        let mut work = 0.0;
+        let flow = dyn_pass(
+            subplan,
+            &subplan.root,
+            &mut Vec::new(),
+            pace,
+            leaf_inputs,
+            &statics,
+            &mut states,
+            weights,
+            &mut work,
+        )?;
+        // Materialization of the subplan's output into its buffer.
+        work += weights.materialize * flow.rows.total;
+        out_rows = out_rows.add(&flow.rows);
+        out_deletes += flow.deletes;
+        private_total += work;
+        if step == pace {
+            private_final = work;
+        }
+    }
+    let delete_frac = if out_rows.total > 0.0 {
+        (out_deletes / out_rows.total).clamp(0.0, 0.95)
+    } else {
+        0.0
+    };
+    Ok(SubplanSim {
+        private_total,
+        private_final,
+        output: StreamEstimate { rows: out_rows, delete_frac, cols: root_static.cols },
+    })
+}
+
+/// Static (pace-independent) info per node.
+#[derive(Debug, Clone)]
+struct NodeStatic {
+    /// Full-trigger batch-cardinality estimate at this node.
+    rows: CardVec,
+    /// Column statistics of the node's output.
+    cols: Vec<ColumnStats>,
+    /// Select: per-branch selectivity.
+    branch_sels: Vec<f64>,
+    /// Join: max of the two sides' key ndv.
+    key_ndv: f64,
+    /// Aggregate: group-key domain size.
+    group_domain: f64,
+}
+
+impl NodeStatic {
+    fn new(rows: CardVec, cols: Vec<ColumnStats>) -> Self {
+        NodeStatic { rows, cols, branch_sels: Vec::new(), key_ndv: 1.0, group_domain: 1.0 }
+    }
+}
+
+fn static_pass(
+    subplan: &Subplan,
+    t: &OpTree,
+    path: &mut Vec<usize>,
+    leaf_inputs: &HashMap<Vec<usize>, StreamEstimate>,
+    statics: &mut HashMap<Vec<usize>, NodeStatic>,
+) -> Result<NodeStatic> {
+    let info = match &t.op {
+        TreeOp::Input(src) => {
+            let input = leaf_inputs.get(path.as_slice()).ok_or_else(|| {
+                Error::InvalidPlan(format!("no input estimate for leaf {path:?} ({src:?})"))
+            })?;
+            NodeStatic::new(input.rows.restrict(subplan.queries), input.cols.clone())
+        }
+        TreeOp::Select { branches } => {
+            let child = rec_static(subplan, t, 0, path, leaf_inputs, statics)?;
+            let mut sels = Vec::with_capacity(branches.len());
+            for b in branches {
+                sels.push(selectivity(&b.predicate, &child.cols));
+            }
+            let rows = select_rows(&child.rows, branches, &sels);
+            let mut cols = child.cols.clone();
+            scale_ndvs(&mut cols, rows.total);
+            let mut info = NodeStatic::new(rows, cols);
+            info.branch_sels = sels;
+            info
+        }
+        TreeOp::Project { exprs } => {
+            let child = rec_static(subplan, t, 0, path, leaf_inputs, statics)?;
+            let cols = exprs
+                .iter()
+                .map(|(e, _)| match e {
+                    ishare_expr::Expr::Column(i) => child
+                        .cols
+                        .get(*i)
+                        .cloned()
+                        .unwrap_or_else(|| ColumnStats::ndv(child.rows.total.max(1.0))),
+                    ishare_expr::Expr::Literal(_) => ColumnStats::ndv(1.0),
+                    _ => ColumnStats::ndv(child.rows.total.max(1.0)),
+                })
+                .collect();
+            NodeStatic { rows: child.rows.clone(), cols, ..NodeStatic::new(CardVec::default(), vec![]) }
+        }
+        TreeOp::Join { keys } => {
+            let l = rec_static(subplan, t, 0, path, leaf_inputs, statics)?;
+            let r = rec_static(subplan, t, 1, path, leaf_inputs, statics)?;
+            let key_ndv = join_key_ndv(&l, &r, keys);
+            let rows = join_rows(&l.rows, &r.rows, key_ndv);
+            let mut cols = l.cols.clone();
+            cols.extend(r.cols.iter().cloned());
+            scale_ndvs(&mut cols, rows.total);
+            let mut info = NodeStatic::new(rows, cols);
+            info.key_ndv = key_ndv;
+            info
+        }
+        TreeOp::Aggregate { group_by, aggs } => {
+            let child = rec_static(subplan, t, 0, path, leaf_inputs, statics)?;
+            let domain = group_domain(&child, group_by);
+            let mut per_query = BTreeMap::new();
+            for (&q, &n) in &child.rows.per_query {
+                per_query.insert(q, expected_distinct(n, domain));
+            }
+            let total = expected_distinct(child.rows.total, domain);
+            let rows = CardVec { total, per_query };
+            let mut cols: Vec<ColumnStats> = group_by
+                .iter()
+                .map(|(e, _)| match e {
+                    ishare_expr::Expr::Column(i) => {
+                        let mut c = child
+                            .cols
+                            .get(*i)
+                            .cloned()
+                            .unwrap_or_else(|| ColumnStats::ndv(domain));
+                        c.ndv = c.ndv.min(domain);
+                        c
+                    }
+                    _ => ColumnStats::ndv(domain),
+                })
+                .collect();
+            for _ in aggs {
+                cols.push(ColumnStats::ndv(total.max(1.0)));
+            }
+            let mut info = NodeStatic::new(rows, cols);
+            info.group_domain = domain;
+            info
+        }
+    };
+    statics.insert(path.clone(), info.clone());
+    Ok(info)
+}
+
+fn rec_static(
+    subplan: &Subplan,
+    t: &OpTree,
+    child: usize,
+    path: &mut Vec<usize>,
+    leaf_inputs: &HashMap<Vec<usize>, StreamEstimate>,
+    statics: &mut HashMap<Vec<usize>, NodeStatic>,
+) -> Result<NodeStatic> {
+    path.push(child);
+    let r = static_pass(subplan, &t.inputs[child], path, leaf_inputs, statics);
+    path.pop();
+    r
+}
+
+fn scale_ndvs(cols: &mut [ColumnStats], rows: f64) {
+    let cap = rows.max(1.0);
+    for c in cols {
+        c.ndv = c.ndv.min(cap).max(1.0);
+    }
+}
+
+/// Per-query select output: `n_q × s_branch(q)`; total via the independence
+/// union over branches.
+fn select_rows(
+    input: &CardVec,
+    branches: &[ishare_plan::SelectBranch],
+    sels: &[f64],
+) -> CardVec {
+    let mut per_query = BTreeMap::new();
+    for (b, &s) in branches.iter().zip(sels) {
+        for q in b.queries.iter() {
+            per_query.insert(q.0, input.query(q) * s);
+        }
+    }
+    let total = if input.total <= 0.0 {
+        0.0
+    } else {
+        let mut miss = 1.0;
+        for (b, &s) in branches.iter().zip(sels) {
+            let frac_b = (input.union_of(b.queries) / input.total).clamp(0.0, 1.0);
+            miss *= 1.0 - s * frac_b;
+        }
+        input.total * (1.0 - miss)
+    };
+    CardVec { total, per_query }
+}
+
+fn join_key_ndv(l: &NodeStatic, r: &NodeStatic, keys: &[(ishare_expr::Expr, ishare_expr::Expr)]) -> f64 {
+    let side_ndv = |info: &NodeStatic, exprs: Vec<&ishare_expr::Expr>| -> f64 {
+        let mut nd = 1.0f64;
+        for e in exprs {
+            let col = match e {
+                ishare_expr::Expr::Column(i) => {
+                    info.cols.get(*i).map(|c| c.ndv).unwrap_or(info.rows.total.max(1.0))
+                }
+                _ => info.rows.total.max(1.0),
+            };
+            nd *= col.max(1.0);
+        }
+        nd.min(info.rows.total.max(1.0))
+    };
+    let lk = side_ndv(l, keys.iter().map(|(a, _)| a).collect());
+    let rk = side_ndv(r, keys.iter().map(|(_, b)| b).collect());
+    lk.max(rk).max(1.0)
+}
+
+fn join_rows(l: &CardVec, r: &CardVec, key_ndv: f64) -> CardVec {
+    let mut per_query = BTreeMap::new();
+    for (&q, &ln) in &l.per_query {
+        let rn = r.per_query.get(&q).copied().unwrap_or(0.0);
+        per_query.insert(q, ln * rn / key_ndv);
+    }
+    CardVec { total: l.total * r.total / key_ndv, per_query }
+}
+
+fn group_domain(child: &NodeStatic, group_by: &[(ishare_expr::Expr, String)]) -> f64 {
+    if group_by.is_empty() {
+        return 1.0;
+    }
+    let mut d = 1.0f64;
+    for (e, _) in group_by {
+        let nd = match e {
+            ishare_expr::Expr::Column(i) => {
+                child.cols.get(*i).map(|c| c.ndv).unwrap_or(child.rows.total.max(1.0))
+            }
+            _ => child.rows.total.max(1.0),
+        };
+        d *= nd.max(1.0);
+    }
+    d.min(child.rows.total.max(1.0)).max(1.0)
+}
+
+/// Per-step flow through an operator.
+#[derive(Debug, Clone)]
+struct StepFlow {
+    rows: CardVec,
+    /// Absolute number of retraction rows within `rows.total`.
+    deletes: f64,
+}
+
+impl StepFlow {
+    fn delete_frac(&self) -> f64 {
+        if self.rows.total > 0.0 {
+            (self.deletes / self.rows.total).clamp(0.0, 1.0)
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Growing state of stateful operators across steps.
+#[derive(Debug, Default)]
+struct OpSimState {
+    /// Join: net stored rows per side.
+    l_cum: f64,
+    r_cum: f64,
+    l_cum_q: BTreeMap<u16, f64>,
+    r_cum_q: BTreeMap<u16, f64>,
+    /// Aggregate: net input rows and groups seen so far.
+    agg_cum: f64,
+    agg_cum_q: BTreeMap<u16, f64>,
+    seen_groups: f64,
+    /// All rows ever fed to the aggregate (MIN/MAX rescans are charged
+    /// against arrived values, mirroring the engine).
+    agg_arrived: f64,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dyn_pass(
+    subplan: &Subplan,
+    t: &OpTree,
+    path: &mut Vec<usize>,
+    pace: u32,
+    leaf_inputs: &HashMap<Vec<usize>, StreamEstimate>,
+    statics: &HashMap<Vec<usize>, NodeStatic>,
+    states: &mut HashMap<Vec<usize>, OpSimState>,
+    weights: &CostWeights,
+    work: &mut f64,
+) -> Result<StepFlow> {
+    let my_static = statics
+        .get(path.as_slice())
+        .ok_or_else(|| Error::InvalidPlan(format!("missing static info at {path:?}")))?
+        .clone();
+    match &t.op {
+        TreeOp::Input(_) => {
+            let input = leaf_inputs.get(path.as_slice()).expect("checked in static pass");
+            let slice = input.rows.scaled(1.0 / pace as f64);
+            // The engine charges the scan before narrowing drops rows.
+            *work += weights.scan * slice.total;
+            let narrowed = slice.restrict(subplan.queries);
+            let deletes = narrowed.total * input.delete_frac;
+            Ok(StepFlow { rows: narrowed, deletes })
+        }
+        TreeOp::Select { branches } => {
+            let child = rec_dyn(
+                subplan, t, 0, path, pace, leaf_inputs, statics, states, weights, work,
+            )?;
+            for b in branches {
+                *work += weights.filter * child.rows.union_of(b.queries);
+            }
+            let rows = select_rows(&child.rows, branches, &my_static.branch_sels);
+            let deletes = rows.total * child.delete_frac();
+            Ok(StepFlow { rows, deletes })
+        }
+        TreeOp::Project { exprs } => {
+            let child = rec_dyn(
+                subplan, t, 0, path, pace, leaf_inputs, statics, states, weights, work,
+            )?;
+            *work += weights.project * child.rows.total * exprs.len() as f64;
+            Ok(child)
+        }
+        TreeOp::Join { .. } => {
+            let l = rec_dyn(
+                subplan, t, 0, path, pace, leaf_inputs, statics, states, weights, work,
+            )?;
+            let r = rec_dyn(
+                subplan, t, 1, path, pace, leaf_inputs, statics, states, weights, work,
+            )?;
+            let st = states.entry(path.clone()).or_default();
+            let key_ndv = my_static.key_ndv;
+            // ΔL ⋈ R_old + L_new ⋈ ΔR.
+            let mut per_query = BTreeMap::new();
+            for (&q, &lq) in &l.rows.per_query {
+                let rq = r.rows.per_query.get(&q).copied().unwrap_or(0.0);
+                let l_cum_q = st.l_cum_q.get(&q).copied().unwrap_or(0.0);
+                let r_cum_q = st.r_cum_q.get(&q).copied().unwrap_or(0.0);
+                per_query.insert(q, (lq * r_cum_q + (l_cum_q + lq) * rq) / key_ndv);
+            }
+            let out_total =
+                (l.rows.total * st.r_cum + (st.l_cum + l.rows.total) * r.rows.total) / key_ndv;
+            *work += weights.join_probe * (l.rows.total + r.rows.total);
+            *work += weights.join_insert * (l.rows.total + r.rows.total);
+            *work += weights.join_emit * out_total;
+            // Deletes cancel prior inserts in the stored state.
+            let l_net = (l.rows.total - 2.0 * l.deletes).max(0.0);
+            let r_net = (r.rows.total - 2.0 * r.deletes).max(0.0);
+            st.l_cum += l_net;
+            st.r_cum += r_net;
+            let l_scale = if l.rows.total > 0.0 { l_net / l.rows.total } else { 0.0 };
+            let r_scale = if r.rows.total > 0.0 { r_net / r.rows.total } else { 0.0 };
+            for (&q, &n) in &l.rows.per_query {
+                *st.l_cum_q.entry(q).or_insert(0.0) += n * l_scale;
+            }
+            for (&q, &n) in &r.rows.per_query {
+                *st.r_cum_q.entry(q).or_insert(0.0) += n * r_scale;
+            }
+            let df = (l.delete_frac() + r.delete_frac()).min(0.9);
+            let rows = CardVec { total: out_total, per_query };
+            let deletes = rows.total * df;
+            Ok(StepFlow { rows, deletes })
+        }
+        TreeOp::Aggregate { aggs, .. } => {
+            let child = rec_dyn(
+                subplan, t, 0, path, pace, leaf_inputs, statics, states, weights, work,
+            )?;
+            let st = states.entry(path.clone()).or_default();
+            let domain = my_static.group_domain;
+            let n = child.rows.total;
+            let d = child.deletes;
+            let net = (n - 2.0 * d).max(0.0);
+            let touched = expected_distinct(n, domain);
+            let seen_after = expected_distinct(st.agg_cum + net, domain);
+            let new_groups = (seen_after - st.seen_groups).clamp(0.0, touched);
+            let touched_old = (touched - new_groups).max(0.0);
+            // Shared-state class multiplicity: when marking selects upstream
+            // give this aggregate's queries different inputs, each group's
+            // state splits into disjoint mask classes, multiplying emitted
+            // churn. A query whose cardinality is below the stream's total
+            // contributes one extra class boundary.
+            let class_factor = (1.0
+                + child
+                    .rows
+                    .per_query
+                    .values()
+                    .filter(|&&nq| nq < 0.95 * n)
+                    .count() as f64)
+                .min(child.rows.per_query.len().max(1) as f64);
+            // Per-query churn.
+            let mut per_query = BTreeMap::new();
+            for (&q, &nq) in &child.rows.per_query {
+                let cum_q = st.agg_cum_q.get(&q).copied().unwrap_or(0.0);
+                let dq = if n > 0.0 { d * nq / n } else { 0.0 };
+                let net_q = (nq - 2.0 * dq).max(0.0);
+                let touched_q = expected_distinct(nq, domain);
+                let seen_q_before = expected_distinct(cum_q, domain);
+                let seen_q_after = expected_distinct(cum_q + net_q, domain);
+                let new_q = (seen_q_after - seen_q_before).clamp(0.0, touched_q);
+                let old_q = (touched_q - new_q).max(0.0);
+                per_query.insert(q, new_q + 2.0 * old_q);
+                *st.agg_cum_q.entry(q).or_insert(0.0) += net_q;
+            }
+            let out_total = (new_groups + 2.0 * touched_old) * class_factor;
+            *work += weights.agg_update * n * (aggs.len().max(1)) as f64;
+            *work += weights.agg_emit * out_total;
+            let arrived_now = st.agg_arrived + (n - d).max(0.0);
+            // MIN/MAX rescans driven by upstream retractions, charged
+            // against arrived values (see the engine's accumulator). Sizes
+            // use post-step state so the first execution is not degenerate.
+            let has_extremum = aggs.iter().any(|a| a.func.is_extremum());
+            if has_extremum && d > 0.0 {
+                let groups_after = seen_after.max(1.0);
+                let avg_size = ((st.agg_cum + net) / groups_after).max(1.0);
+                // At least ~one rescan per execution under adversarial
+                // (monotone) data, plus the uniform-case expectation.
+                let rescans = d.min(1.0 + d / avg_size);
+                let arrived_per_group = arrived_now / groups_after;
+                *work += weights.minmax_rescan * rescans * arrived_per_group;
+            }
+            st.agg_arrived = arrived_now;
+            st.agg_cum += net;
+            st.seen_groups = seen_after;
+            let rows = CardVec { total: out_total, per_query };
+            Ok(StepFlow { rows, deletes: touched_old * class_factor })
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn rec_dyn(
+    subplan: &Subplan,
+    t: &OpTree,
+    child: usize,
+    path: &mut Vec<usize>,
+    pace: u32,
+    leaf_inputs: &HashMap<Vec<usize>, StreamEstimate>,
+    statics: &HashMap<Vec<usize>, NodeStatic>,
+    states: &mut HashMap<Vec<usize>, OpSimState>,
+    weights: &CostWeights,
+    work: &mut f64,
+) -> Result<StepFlow> {
+    path.push(child);
+    let r = dyn_pass(subplan, &t.inputs[child], path, pace, leaf_inputs, statics, states, weights, work);
+    path.pop();
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ishare_common::{QueryId, QuerySet, SubplanId, TableId};
+    use ishare_expr::Expr;
+    use ishare_plan::{AggExpr, AggFunc, InputSource, SelectBranch};
+
+    fn qs(ids: &[u16]) -> QuerySet {
+        QuerySet::from_iter(ids.iter().map(|&i| QueryId(i)))
+    }
+
+    fn base_input(total: f64, queries: QuerySet, ndvs: &[f64]) -> StreamEstimate {
+        StreamEstimate::insert_only(
+            total,
+            queries,
+            ndvs.iter().map(|&n| ColumnStats::ndv(n)).collect(),
+        )
+    }
+
+    /// agg(sum v by k) over select(all q0; v>... q1) over base.
+    fn agg_subplan() -> Subplan {
+        let tree = OpTree::node(
+            TreeOp::Aggregate {
+                group_by: vec![(Expr::col(0), "k".into())],
+                aggs: vec![AggExpr::new(AggFunc::Sum, Expr::col(1), "s")],
+            },
+            vec![OpTree::node(
+                TreeOp::Select {
+                    branches: vec![
+                        SelectBranch { queries: qs(&[0]), predicate: Expr::true_lit() },
+                        SelectBranch {
+                            queries: qs(&[1]),
+                            predicate: Expr::col(1).eq(Expr::lit(1i64)),
+                        },
+                    ],
+                },
+                vec![OpTree::input(InputSource::Base(TableId(0)))],
+            )],
+        );
+        Subplan { id: SubplanId(0), root: tree, queries: qs(&[0, 1]), output_queries: qs(&[0, 1]) }
+    }
+
+    fn inputs_for(sp: &Subplan, est: StreamEstimate) -> HashMap<Vec<usize>, StreamEstimate> {
+        // Single leaf at path [0, 0].
+        let mut m = HashMap::new();
+        let mut paths = Vec::new();
+        fn collect(t: &OpTree, p: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+            if matches!(t.op, TreeOp::Input(_)) {
+                out.push(p.clone());
+            }
+            for (i, c) in t.inputs.iter().enumerate() {
+                p.push(i);
+                collect(c, p, out);
+                p.pop();
+            }
+        }
+        collect(&sp.root, &mut Vec::new(), &mut paths);
+        for p in paths {
+            m.insert(p, est.clone());
+        }
+        m
+    }
+
+    #[test]
+    fn higher_pace_higher_total_lower_final() {
+        let sp = agg_subplan();
+        let inputs = inputs_for(&sp, base_input(1000.0, qs(&[0, 1]), &[20.0, 50.0]));
+        let w = CostWeights::default();
+        let lazy = simulate_subplan(&sp, 1, &inputs, &w).unwrap();
+        let eager = simulate_subplan(&sp, 10, &inputs, &w).unwrap();
+        assert!(
+            eager.private_total > lazy.private_total,
+            "eager {} vs lazy {}",
+            eager.private_total,
+            lazy.private_total
+        );
+        assert!(
+            eager.private_final < lazy.private_final,
+            "final work shrinks with pace"
+        );
+        // Churn inflates the eager output cardinality.
+        assert!(eager.output.rows.total > lazy.output.rows.total);
+        assert!(eager.output.delete_frac > 0.0);
+        assert_eq!(lazy.output.delete_frac, 0.0, "single batch never retracts");
+    }
+
+    #[test]
+    fn per_query_cardinalities_respect_selectivity() {
+        let sp = agg_subplan();
+        let inputs = inputs_for(&sp, base_input(1000.0, qs(&[0, 1]), &[20.0, 50.0]));
+        let sim = simulate_subplan(&sp, 1, &inputs, &CostWeights::default()).unwrap();
+        let q0 = sim.output.rows.query(QueryId(0));
+        let q1 = sim.output.rows.query(QueryId(1));
+        assert!(q0 > q1, "q1 is filtered (sel 1/50) so it sees fewer groups");
+        assert!(q0 <= 20.0 + 1e-9, "at most the group domain");
+    }
+
+    #[test]
+    fn join_state_grows_across_steps() {
+        let tree = OpTree::node(
+            TreeOp::Join { keys: vec![(Expr::col(0), Expr::col(0))] },
+            vec![
+                OpTree::input(InputSource::Base(TableId(0))),
+                OpTree::input(InputSource::Base(TableId(1))),
+            ],
+        );
+        let sp = Subplan {
+            id: SubplanId(0),
+            root: tree,
+            queries: qs(&[0]),
+            output_queries: qs(&[0]),
+        };
+        let mut inputs = HashMap::new();
+        inputs.insert(vec![0], base_input(100.0, qs(&[0]), &[10.0, 10.0]));
+        inputs.insert(vec![1], base_input(100.0, qs(&[0]), &[10.0, 10.0]));
+        let w = CostWeights::default();
+        let one = simulate_subplan(&sp, 1, &inputs, &w).unwrap();
+        let four = simulate_subplan(&sp, 4, &inputs, &w).unwrap();
+        // Join output cardinality is pace-independent (no churn):
+        assert!((one.output.rows.total - four.output.rows.total).abs() / one.output.rows.total < 1e-6);
+        // 100×100/10 = 1000 joined rows.
+        assert!((one.output.rows.total - 1000.0).abs() < 1e-6);
+        // But the final step of the eager run is cheaper.
+        assert!(four.private_final < one.private_final);
+    }
+
+    #[test]
+    fn extremum_aggregate_pays_rescans_under_churn() {
+        // max over an input stream with deletes (as if fed by an upstream
+        // aggregate).
+        let tree = OpTree::node(
+            TreeOp::Aggregate {
+                group_by: vec![],
+                aggs: vec![AggExpr::new(AggFunc::Max, Expr::col(1), "m")],
+            },
+            vec![OpTree::input(InputSource::Base(TableId(0)))],
+        );
+        let sp = Subplan {
+            id: SubplanId(0),
+            root: tree,
+            queries: qs(&[0]),
+            output_queries: qs(&[0]),
+        };
+        let mut churny = base_input(1000.0, qs(&[0]), &[100.0, 1000.0]);
+        churny.delete_frac = 0.4;
+        let mut inputs = HashMap::new();
+        inputs.insert(vec![0], churny);
+        let w = CostWeights::default();
+        let lazy = simulate_subplan(&sp, 1, &inputs, &w).unwrap();
+        let eager = simulate_subplan(&sp, 50, &inputs, &w).unwrap();
+        // Compare against the same aggregate with SUM instead of MAX: the
+        // rescan surcharge must make eager MAX disproportionately expensive.
+        let sum_tree = OpTree::node(
+            TreeOp::Aggregate {
+                group_by: vec![],
+                aggs: vec![AggExpr::new(AggFunc::Sum, Expr::col(1), "m")],
+            },
+            vec![OpTree::input(InputSource::Base(TableId(0)))],
+        );
+        let sum_sp = Subplan { root: sum_tree, ..sp.clone() };
+        let sum_eager = simulate_subplan(&sum_sp, 50, &inputs, &w).unwrap();
+        assert!(eager.private_total > sum_eager.private_total);
+        assert!(eager.private_total > lazy.private_total);
+    }
+
+    #[test]
+    fn zero_pace_rejected_and_missing_inputs_error() {
+        let sp = agg_subplan();
+        let inputs = inputs_for(&sp, base_input(10.0, qs(&[0, 1]), &[2.0, 2.0]));
+        assert!(simulate_subplan(&sp, 0, &inputs, &CostWeights::default()).is_err());
+        assert!(simulate_subplan(&sp, 1, &HashMap::new(), &CostWeights::default()).is_err());
+    }
+
+    #[test]
+    fn total_is_sum_of_steps_final_is_last() {
+        let sp = agg_subplan();
+        let inputs = inputs_for(&sp, base_input(500.0, qs(&[0, 1]), &[10.0, 25.0]));
+        let w = CostWeights::default();
+        let sim = simulate_subplan(&sp, 5, &inputs, &w).unwrap();
+        assert!(sim.private_final <= sim.private_total / 2.0, "final is one of five steps");
+        assert!(sim.private_final > 0.0);
+    }
+}

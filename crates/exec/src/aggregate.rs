@@ -1,0 +1,515 @@
+//! Incremental shared group-by aggregation with mask-partitioned state.
+//!
+//! Every group's state is a set of *disjoint query-mask classes*; a class
+//! holds one accumulator per aggregate column covering exactly the input
+//! tuples whose mask contains the class's bits. When all tuples of a group
+//! carry the same mask (the common, fully shared case) there is exactly one
+//! class and the accumulator is genuinely shared. When marking selects
+//! upstream give tuples different masks, partition refinement splits classes
+//! so that each query's aggregate stays correct.
+//!
+//! Emission implements the paper's delete amplification: after each
+//! incremental execution, a touched group retracts its previously emitted
+//! output rows and inserts the new ones (identical pairs cancel and are not
+//! emitted). This retract+insert churn is exactly why eager incremental
+//! execution of aggregates wastes work (Fig. 1 / Sec. 1).
+//!
+//! MIN/MAX accumulators keep the full value multiset; deleting the current
+//! extremum triggers a rescan charged at `minmax_rescan × multiset size` —
+//! the paper's "if a max value is deleted, the max operator needs to rescan
+//! all arrived values" (Sec. 5.3, Q15).
+
+use ishare_common::{CostWeights, Error, QuerySet, Result, Value, WorkCounter};
+use ishare_expr::eval::eval;
+use ishare_expr::Expr;
+use ishare_plan::{AggExpr, AggFunc};
+use ishare_storage::{DeltaBatch, DeltaRow, Row};
+use std::collections::{HashMap, HashSet};
+
+/// One aggregate accumulator.
+#[derive(Debug, Clone)]
+pub enum Accumulator {
+    /// SUM — integer-exact when the argument is an integer column.
+    Sum {
+        /// Argument type is integer (output stays `Value::Int`).
+        int: bool,
+        /// Integer sum (valid when `int`).
+        sum_i: i64,
+        /// Float sum (valid when `!int`).
+        sum_f: f64,
+        /// Weighted count of non-NULL contributions (SUM of nothing is NULL).
+        nonnull: i64,
+    },
+    /// COUNT of non-NULL arguments.
+    Count {
+        /// Weighted count.
+        count: i64,
+    },
+    /// AVG maintained as sum + count.
+    Avg {
+        /// Weighted sum.
+        sum: f64,
+        /// Weighted count of non-NULL contributions.
+        count: i64,
+    },
+    /// MIN or MAX over a stored multiset.
+    MinMax {
+        /// `true` for MIN.
+        min: bool,
+        /// Value multiset (value → net weight).
+        values: HashMap<Value, i64>,
+        /// Cached extremum.
+        cached: Option<Value>,
+        /// Monotone count of values ever inserted. A rescan after deleting
+        /// the extremum is charged against *all arrived values* — the
+        /// paper's Sec. 5.3: "the max operator needs to rescan all arrived
+        /// values to find the new max one" — which is what makes MIN/MAX
+        /// genuinely non-incrementable under churn.
+        arrived: i64,
+    },
+}
+
+impl Accumulator {
+    /// Fresh accumulator for an aggregate column; `int` says whether the
+    /// argument is integer-typed (affects SUM's output type).
+    pub fn new(func: AggFunc, int: bool) -> Accumulator {
+        match func {
+            AggFunc::Sum => Accumulator::Sum { int, sum_i: 0, sum_f: 0.0, nonnull: 0 },
+            AggFunc::Count => Accumulator::Count { count: 0 },
+            AggFunc::Avg => Accumulator::Avg { sum: 0.0, count: 0 },
+            AggFunc::Min => Accumulator::MinMax {
+                min: true,
+                values: HashMap::new(),
+                cached: None,
+                arrived: 0,
+            },
+            AggFunc::Max => Accumulator::MinMax {
+                min: false,
+                values: HashMap::new(),
+                cached: None,
+                arrived: 0,
+            },
+        }
+    }
+
+    /// Fold one weighted value in. NULLs are ignored (SQL aggregate
+    /// semantics). Charges MIN/MAX rescans to `counter`.
+    pub fn update(
+        &mut self,
+        v: &Value,
+        w: i64,
+        weights: &CostWeights,
+        counter: &WorkCounter,
+    ) -> Result<()> {
+        if v.is_null() {
+            return Ok(());
+        }
+        match self {
+            Accumulator::Sum { int, sum_i, sum_f, nonnull } => {
+                if *int {
+                    let x = v.as_i64().ok_or_else(|| type_err("sum", v))?;
+                    *sum_i += x * w;
+                } else {
+                    let x = v.as_f64().ok_or_else(|| type_err("sum", v))?;
+                    *sum_f += x * w as f64;
+                }
+                *nonnull += w;
+            }
+            Accumulator::Count { count } => *count += w,
+            Accumulator::Avg { sum, count } => {
+                let x = v.as_f64().ok_or_else(|| type_err("avg", v))?;
+                *sum += x * w as f64;
+                *count += w;
+            }
+            Accumulator::MinMax { min, values, cached, arrived } => {
+                let entry = values.entry(v.clone()).or_insert(0);
+                *entry += w;
+                let now = *entry;
+                if now == 0 {
+                    values.remove(v);
+                }
+                if now < 0 {
+                    return Err(Error::InvalidDelta(format!(
+                        "MIN/MAX multiset went negative for value {v}"
+                    )));
+                }
+                if w > 0 {
+                    *arrived += w;
+                }
+                if w > 0 && now > 0 {
+                    // Insertion may improve the extremum — O(1).
+                    let better = match cached {
+                        None => true,
+                        Some(c) => {
+                            if *min {
+                                v < c
+                            } else {
+                                v > c
+                            }
+                        }
+                    };
+                    if better {
+                        *cached = Some(v.clone());
+                    }
+                } else if now == 0 && cached.as_ref() == Some(v) {
+                    // The extremum was deleted: find the new one. The engine
+                    // charges the rescan against all arrived values (paper
+                    // Sec. 5.3) — the cost a log-backed IVM engine pays.
+                    counter.charge(weights.minmax_rescan, (*arrived).max(0) as usize);
+                    *cached = if *min {
+                        values.keys().min().cloned()
+                    } else {
+                        values.keys().max().cloned()
+                    };
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Current aggregate value.
+    pub fn value(&self) -> Value {
+        match self {
+            Accumulator::Sum { int, sum_i, sum_f, nonnull } => {
+                if *nonnull == 0 {
+                    Value::Null
+                } else if *int {
+                    Value::Int(*sum_i)
+                } else {
+                    Value::Float(*sum_f)
+                }
+            }
+            Accumulator::Count { count } => Value::Int(*count),
+            Accumulator::Avg { sum, count } => {
+                if *count == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(*sum / *count as f64)
+                }
+            }
+            Accumulator::MinMax { cached, .. } => cached.clone().unwrap_or(Value::Null),
+        }
+    }
+}
+
+fn type_err(what: &str, v: &Value) -> Error {
+    Error::TypeMismatch(format!("{what} over non-numeric value {v}"))
+}
+
+/// One disjoint query-mask class within a group.
+#[derive(Debug, Clone)]
+struct ClassState {
+    mask: QuerySet,
+    /// Net weight of input rows attributed to this class.
+    rows: i64,
+    accums: Vec<Accumulator>,
+}
+
+/// Per-group state: mask classes plus the output rows currently outstanding
+/// downstream (needed to emit exact retractions).
+#[derive(Debug, Default)]
+struct GroupState {
+    classes: Vec<ClassState>,
+    emitted: Vec<(QuerySet, Row)>,
+}
+
+/// Persistent state of one aggregate operator across incremental executions.
+#[derive(Debug, Default)]
+pub struct AggState {
+    groups: HashMap<Vec<Value>, GroupState>,
+}
+
+impl AggState {
+    /// Fresh empty state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of live groups (state-size diagnostics).
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Run one incremental execution.
+    ///
+    /// `agg_int[i]` says whether aggregate `i`'s argument is integer-typed.
+    pub fn execute(
+        &mut self,
+        input: DeltaBatch,
+        group_by: &[(Expr, String)],
+        aggs: &[AggExpr],
+        agg_int: &[bool],
+        weights: &CostWeights,
+        counter: &WorkCounter,
+    ) -> Result<DeltaBatch> {
+        let mut touched: HashSet<Vec<Value>> = HashSet::new();
+        for dr in &input.rows {
+            counter.charge(weights.agg_update, aggs.len().max(1));
+            let mut key = Vec::with_capacity(group_by.len());
+            for (e, _) in group_by {
+                key.push(eval(e, dr.row.values())?);
+            }
+            let group = self.groups.entry(key.clone()).or_default();
+            touched.insert(key);
+            refine_classes(group, dr.mask, aggs, agg_int);
+            for class in &mut group.classes {
+                if class.mask.is_subset_of(dr.mask) {
+                    class.rows += dr.weight;
+                    for (acc, agg) in class.accums.iter_mut().zip(aggs) {
+                        let v = eval(&agg.arg, dr.row.values())?;
+                        acc.update(&v, dr.weight, weights, counter)?;
+                    }
+                }
+            }
+        }
+
+        // Flush: per touched group, retract stale output rows and emit new
+        // ones (unchanged pairs cancel).
+        let mut out = DeltaBatch::new();
+        for key in touched {
+            let group = self.groups.get_mut(&key).expect("touched group exists");
+            for class in &group.classes {
+                if class.rows < 0 {
+                    return Err(Error::InvalidDelta(format!(
+                        "group {key:?} class {} retracted below zero",
+                        class.mask
+                    )));
+                }
+            }
+            let new_pairs: Vec<(QuerySet, Row)> = group
+                .classes
+                .iter()
+                .filter(|c| c.rows > 0)
+                .map(|c| {
+                    let mut vals = key.clone();
+                    vals.extend(c.accums.iter().map(|a| a.value()));
+                    (c.mask, Row::new(vals))
+                })
+                .collect();
+
+            let mut diff: HashMap<(QuerySet, Row), i64> = HashMap::new();
+            for (m, r) in &group.emitted {
+                *diff.entry((*m, r.clone())).or_insert(0) -= 1;
+            }
+            for (m, r) in &new_pairs {
+                *diff.entry((*m, r.clone())).or_insert(0) += 1;
+            }
+            for ((mask, row), w) in diff {
+                if w != 0 {
+                    counter.charge(weights.agg_emit, w.unsigned_abs() as usize);
+                    out.push(DeltaRow { row, weight: w, mask });
+                }
+            }
+            group.emitted = new_pairs;
+            group.classes.retain(|c| c.rows > 0);
+            if group.classes.is_empty() {
+                self.groups.remove(&key);
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Partition refinement: after this, every class is either a subset of
+/// `mask` or disjoint from it, and `mask` is fully covered by classes.
+fn refine_classes(group: &mut GroupState, mask: QuerySet, aggs: &[AggExpr], agg_int: &[bool]) {
+    let mut covered = QuerySet::EMPTY;
+    let mut splits = Vec::new();
+    for class in &mut group.classes {
+        let inter = class.mask.intersect(mask);
+        covered = covered.union(inter);
+        if !inter.is_empty() && inter != class.mask {
+            // Split off the intersecting part; the accumulators describe the
+            // same underlying tuples for both halves, so they are cloned.
+            let outside = class.mask.difference(mask);
+            let split = ClassState { mask: inter, rows: class.rows, accums: class.accums.clone() };
+            class.mask = outside;
+            splits.push(split);
+        }
+    }
+    group.classes.extend(splits);
+    let leftover = mask.difference(covered);
+    if !leftover.is_empty() {
+        group.classes.push(ClassState {
+            mask: leftover,
+            rows: 0,
+            accums: aggs
+                .iter()
+                .zip(agg_int)
+                .map(|(a, &int)| Accumulator::new(a.func, int))
+                .collect(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ishare_common::QueryId;
+    use ishare_storage::consolidate;
+
+    fn qs(ids: &[u16]) -> QuerySet {
+        QuerySet::from_iter(ids.iter().map(|&i| QueryId(i)))
+    }
+
+    fn dr(k: i64, v: i64, w: i64, m: &[u16]) -> DeltaRow {
+        DeltaRow { row: Row::new(vec![Value::Int(k), Value::Int(v)]), weight: w, mask: qs(m) }
+    }
+
+    fn sum_spec() -> (Vec<(Expr, String)>, Vec<AggExpr>, Vec<bool>) {
+        (
+            vec![(Expr::col(0), "k".into())],
+            vec![AggExpr::new(AggFunc::Sum, Expr::col(1), "s")],
+            vec![true],
+        )
+    }
+
+    fn run(st: &mut AggState, rows: Vec<DeltaRow>) -> DeltaBatch {
+        let (g, a, i) = sum_spec();
+        let c = WorkCounter::new();
+        st.execute(DeltaBatch::from_rows(rows), &g, &a, &i, &CostWeights::default(), &c)
+            .unwrap()
+    }
+
+    #[test]
+    fn first_execution_only_inserts() {
+        let mut st = AggState::new();
+        let out = run(&mut st, vec![dr(1, 10, 1, &[0]), dr(1, 5, 1, &[0]), dr(2, 7, 1, &[0])]);
+        let c = consolidate(out.rows);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c[&(Row::new(vec![Value::Int(1), Value::Int(15)]), qs(&[0]))], 1);
+        assert_eq!(c[&(Row::new(vec![Value::Int(2), Value::Int(7)]), qs(&[0]))], 1);
+    }
+
+    #[test]
+    fn updates_emit_retract_plus_insert() {
+        let mut st = AggState::new();
+        run(&mut st, vec![dr(1, 10, 1, &[0])]);
+        let out = run(&mut st, vec![dr(1, 5, 1, &[0])]);
+        // Delete amplification: old sum (10) retracted, new sum (15) inserted.
+        assert_eq!(out.len(), 2);
+        let c = consolidate(out.rows);
+        assert_eq!(c[&(Row::new(vec![Value::Int(1), Value::Int(10)]), qs(&[0]))], -1);
+        assert_eq!(c[&(Row::new(vec![Value::Int(1), Value::Int(15)]), qs(&[0]))], 1);
+    }
+
+    #[test]
+    fn untouched_groups_stay_silent() {
+        let mut st = AggState::new();
+        run(&mut st, vec![dr(1, 10, 1, &[0]), dr(2, 20, 1, &[0])]);
+        let out = run(&mut st, vec![dr(1, 1, 1, &[0])]);
+        // Group 2 untouched — nothing emitted for it.
+        assert!(out.rows.iter().all(|r| r.row.get(0) == &Value::Int(1)));
+    }
+
+    #[test]
+    fn group_deletion_retracts_only() {
+        let mut st = AggState::new();
+        run(&mut st, vec![dr(1, 10, 1, &[0])]);
+        let out = run(&mut st, vec![dr(1, 10, -1, &[0])]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.rows[0].weight, -1);
+        assert_eq!(st.group_count(), 0);
+    }
+
+    #[test]
+    fn mask_classes_keep_queries_correct() {
+        let mut st = AggState::new();
+        // q0 sees both rows; q1 sees only the second (marking select upstream).
+        let out = run(&mut st, vec![dr(1, 10, 1, &[0, 1]), dr(1, 5, 1, &[0])]);
+        let c = consolidate(out.rows);
+        // q0's sum is 15, q1's sum is 10: two disjoint output classes.
+        assert_eq!(c.len(), 2);
+        assert_eq!(c[&(Row::new(vec![Value::Int(1), Value::Int(15)]), qs(&[0]))], 1);
+        assert_eq!(c[&(Row::new(vec![Value::Int(1), Value::Int(10)]), qs(&[1]))], 1);
+    }
+
+    #[test]
+    fn shared_case_single_output_row() {
+        let mut st = AggState::new();
+        let out = run(&mut st, vec![dr(1, 10, 1, &[0, 1]), dr(1, 5, 1, &[0, 1])]);
+        assert_eq!(out.len(), 1, "fully shared masks collapse to one class");
+        assert_eq!(out.rows[0].mask, qs(&[0, 1]));
+        assert_eq!(out.rows[0].row.get(1), &Value::Int(15));
+    }
+
+    #[test]
+    fn over_retraction_detected() {
+        let mut st = AggState::new();
+        run(&mut st, vec![dr(1, 10, 1, &[0])]);
+        let (g, a, i) = sum_spec();
+        let c = WorkCounter::new();
+        let res = st.execute(
+            DeltaBatch::from_rows(vec![dr(1, 10, -2, &[0])]),
+            &g,
+            &a,
+            &i,
+            &CostWeights::default(),
+            &c,
+        );
+        assert!(matches!(res, Err(Error::InvalidDelta(_))));
+    }
+
+    #[test]
+    fn max_rescan_on_extremum_delete() {
+        let weights = CostWeights::default();
+        let counter = WorkCounter::new();
+        let mut acc = Accumulator::new(AggFunc::Max, true);
+        for v in [1i64, 5, 3] {
+            acc.update(&Value::Int(v), 1, &weights, &counter).unwrap();
+        }
+        assert_eq!(acc.value(), Value::Int(5));
+        let before = counter.total().get();
+        // Deleting a non-extremum is O(1): no rescan charge.
+        acc.update(&Value::Int(1), -1, &weights, &counter).unwrap();
+        assert_eq!(counter.total().get(), before);
+        assert_eq!(acc.value(), Value::Int(5));
+        // Deleting the max rescans the remaining multiset.
+        acc.update(&Value::Int(5), -1, &weights, &counter).unwrap();
+        assert_eq!(acc.value(), Value::Int(3));
+        assert!(counter.total().get() > before, "rescan must be charged");
+    }
+
+    #[test]
+    fn accumulator_values() {
+        let w = CostWeights::default();
+        let c = WorkCounter::new();
+        let mut sum_f = Accumulator::new(AggFunc::Sum, false);
+        sum_f.update(&Value::Float(1.5), 2, &w, &c).unwrap();
+        assert_eq!(sum_f.value(), Value::Float(3.0));
+        let empty_sum = Accumulator::new(AggFunc::Sum, true);
+        assert_eq!(empty_sum.value(), Value::Null);
+        let mut avg = Accumulator::new(AggFunc::Avg, false);
+        avg.update(&Value::Int(4), 1, &w, &c).unwrap();
+        avg.update(&Value::Int(8), 1, &w, &c).unwrap();
+        assert_eq!(avg.value(), Value::Float(6.0));
+        let mut cnt = Accumulator::new(AggFunc::Count, true);
+        cnt.update(&Value::Int(1), 1, &w, &c).unwrap();
+        cnt.update(&Value::Null, 1, &w, &c).unwrap();
+        assert_eq!(cnt.value(), Value::Int(1), "NULLs not counted");
+        let mut mn = Accumulator::new(AggFunc::Min, true);
+        mn.update(&Value::Int(3), 1, &w, &c).unwrap();
+        mn.update(&Value::Int(1), 1, &w, &c).unwrap();
+        assert_eq!(mn.value(), Value::Int(1));
+    }
+
+    #[test]
+    fn global_aggregate_empty_group_key() {
+        let mut st = AggState::new();
+        let g: Vec<(Expr, String)> = vec![];
+        let a = vec![AggExpr::new(AggFunc::Count, Expr::lit(1i64), "n")];
+        let c = WorkCounter::new();
+        let out = st
+            .execute(
+                DeltaBatch::from_rows(vec![dr(1, 1, 1, &[0]), dr(2, 2, 1, &[0])]),
+                &g,
+                &a,
+                &[true],
+                &CostWeights::default(),
+                &c,
+            )
+            .unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.rows[0].row.values(), &[Value::Int(2)]);
+    }
+}

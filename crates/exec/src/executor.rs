@@ -1,0 +1,388 @@
+//! The subplan executor: runs one subplan's operator tree over one
+//! incremental input batch, keeping join/aggregate state alive across
+//! executions.
+//!
+//! The paced driver (`ishare-stream`) owns the buffers; for each incremental
+//! execution it pulls the new deltas for every leaf of the tree and hands
+//! them to [`SubplanExecutor::execute`], which returns the subplan's output
+//! delta (to be materialized into the subplan's buffer, or consumed as final
+//! query results).
+
+use crate::aggregate::AggState;
+use crate::join::JoinState;
+use crate::operators::{apply_project, apply_select, narrow_input};
+use ishare_common::{
+    CostWeights, DataType, Error, QuerySet, Result, SubplanId, WorkCounter,
+};
+use ishare_plan::{InputSource, OpTree, Subplan, TreeOp};
+use ishare_storage::{Catalog, DeltaBatch, Schema};
+use std::collections::HashMap;
+
+/// Stateful-operator state, keyed by tree path.
+#[derive(Debug)]
+enum OpState {
+    Join(JoinState),
+    Agg(AggState),
+}
+
+/// Executes one subplan incrementally, holding its operator state.
+#[derive(Debug)]
+pub struct SubplanExecutor {
+    subplan: Subplan,
+    weights: CostWeights,
+    /// Per-aggregate-node flags: is each aggregate argument integer-typed?
+    agg_int: HashMap<Vec<usize>, Vec<bool>>,
+    states: HashMap<Vec<usize>, OpState>,
+}
+
+impl SubplanExecutor {
+    /// Build an executor for `subplan`. `child_schemas` must contain the
+    /// output schema of every child subplan referenced by the tree (see
+    /// [`ishare_plan::SharedPlan::schemas`]).
+    pub fn new(
+        subplan: &Subplan,
+        catalog: &Catalog,
+        child_schemas: &HashMap<SubplanId, Schema>,
+        weights: CostWeights,
+    ) -> Result<Self> {
+        let mut agg_int = HashMap::new();
+        let mut states = HashMap::new();
+        init_states(
+            &subplan.root,
+            &mut Vec::new(),
+            catalog,
+            child_schemas,
+            &mut agg_int,
+            &mut states,
+        )?;
+        Ok(SubplanExecutor { subplan: subplan.clone(), weights, agg_int, states })
+    }
+
+    /// The executed subplan.
+    pub fn subplan(&self) -> &Subplan {
+        &self.subplan
+    }
+
+    /// All leaves of the tree with their tree paths, in pre-order. The
+    /// driver registers one buffer consumer per leaf (a self-join reads the
+    /// same source through two leaves, each with its own cursor).
+    pub fn leaf_paths(&self) -> Vec<(Vec<usize>, InputSource)> {
+        let mut out = Vec::new();
+        fn go(t: &OpTree, path: &mut Vec<usize>, out: &mut Vec<(Vec<usize>, InputSource)>) {
+            if let TreeOp::Input(src) = &t.op {
+                out.push((path.clone(), *src));
+            }
+            for (i, child) in t.inputs.iter().enumerate() {
+                path.push(i);
+                go(child, path, out);
+                path.pop();
+            }
+        }
+        go(&self.subplan.root, &mut Vec::new(), &mut out);
+        out
+    }
+
+    /// Run one incremental execution. `inputs` maps leaf paths to the new
+    /// deltas pulled from the corresponding buffers; missing entries mean no
+    /// new data for that leaf. Returns the subplan's output delta.
+    pub fn execute(
+        &mut self,
+        inputs: &mut HashMap<Vec<usize>, DeltaBatch>,
+        counter: &WorkCounter,
+    ) -> Result<DeltaBatch> {
+        let root = self.subplan.root.clone();
+        self.exec_node(&root, &mut Vec::new(), inputs, counter)
+    }
+
+    fn exec_node(
+        &mut self,
+        t: &OpTree,
+        path: &mut Vec<usize>,
+        inputs: &mut HashMap<Vec<usize>, DeltaBatch>,
+        counter: &WorkCounter,
+    ) -> Result<DeltaBatch> {
+        match &t.op {
+            TreeOp::Input(_) => {
+                let batch = inputs.remove(path.as_slice()).unwrap_or_default();
+                Ok(narrow_input(&batch, self.subplan.queries, &self.weights, counter))
+            }
+            TreeOp::Select { branches } => {
+                path.push(0);
+                let input = self.exec_node(&t.inputs[0], path, inputs, counter)?;
+                path.pop();
+                apply_select(input, branches, &self.weights, counter)
+            }
+            TreeOp::Project { exprs } => {
+                path.push(0);
+                let input = self.exec_node(&t.inputs[0], path, inputs, counter)?;
+                path.pop();
+                apply_project(input, exprs, &self.weights, counter)
+            }
+            TreeOp::Join { keys } => {
+                path.push(0);
+                let left = self.exec_node(&t.inputs[0], path, inputs, counter)?;
+                path.pop();
+                path.push(1);
+                let right = self.exec_node(&t.inputs[1], path, inputs, counter)?;
+                path.pop();
+                let state = match self.states.get_mut(path.as_slice()) {
+                    Some(OpState::Join(js)) => js,
+                    _ => {
+                        return Err(Error::InvalidPlan(format!(
+                            "missing join state at path {path:?}"
+                        )))
+                    }
+                };
+                state.execute(left, right, keys, &self.weights, counter)
+            }
+            TreeOp::Aggregate { group_by, aggs } => {
+                path.push(0);
+                let input = self.exec_node(&t.inputs[0], path, inputs, counter)?;
+                path.pop();
+                let int_flags = self
+                    .agg_int
+                    .get(path.as_slice())
+                    .cloned()
+                    .unwrap_or_else(|| vec![false; aggs.len()]);
+                let state = match self.states.get_mut(path.as_slice()) {
+                    Some(OpState::Agg(st)) => st,
+                    _ => {
+                        return Err(Error::InvalidPlan(format!(
+                            "missing aggregate state at path {path:?}"
+                        )))
+                    }
+                };
+                state.execute(input, group_by, aggs, &int_flags, &self.weights, counter)
+            }
+        }
+    }
+
+    /// The queries this subplan serves.
+    pub fn queries(&self) -> QuerySet {
+        self.subplan.queries
+    }
+}
+
+fn init_states(
+    t: &OpTree,
+    path: &mut Vec<usize>,
+    catalog: &Catalog,
+    child_schemas: &HashMap<SubplanId, Schema>,
+    agg_int: &mut HashMap<Vec<usize>, Vec<bool>>,
+    states: &mut HashMap<Vec<usize>, OpState>,
+) -> Result<()> {
+    match &t.op {
+        TreeOp::Join { .. } => {
+            states.insert(path.clone(), OpState::Join(JoinState::new()));
+        }
+        TreeOp::Aggregate { aggs, .. } => {
+            let in_schema = t.inputs[0].schema(catalog, child_schemas)?;
+            let mut flags = Vec::with_capacity(aggs.len());
+            for a in aggs {
+                let ty = ishare_expr::typecheck::infer_type(&a.arg, &in_schema)?;
+                flags.push(ty == DataType::Int);
+            }
+            agg_int.insert(path.clone(), flags);
+            states.insert(path.clone(), OpState::Agg(AggState::new()));
+        }
+        _ => {}
+    }
+    for (i, child) in t.inputs.iter().enumerate() {
+        path.push(i);
+        init_states(child, path, catalog, child_schemas, agg_int, states)?;
+    }
+    path.pop();
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ishare_common::{QueryId, Value};
+    use ishare_expr::Expr;
+    use ishare_plan::{AggExpr, AggFunc, SelectBranch};
+    use ishare_storage::{consolidate, DeltaRow, Field, Row, TableStats};
+
+    fn qs(ids: &[u16]) -> QuerySet {
+        QuerySet::from_iter(ids.iter().map(|&i| QueryId(i)))
+    }
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.add_table(
+            "t",
+            Schema::new(vec![
+                Field::new("k", DataType::Int),
+                Field::new("v", DataType::Int),
+            ]),
+            TableStats::unknown(100.0, 2),
+        )
+        .unwrap();
+        c.add_table(
+            "u",
+            Schema::new(vec![
+                Field::new("k", DataType::Int),
+                Field::new("w", DataType::Int),
+            ]),
+            TableStats::unknown(100.0, 2),
+        )
+        .unwrap();
+        c
+    }
+
+    /// select(v>2 for q1; all for q0) -> join(t,u on k) -> agg sum(w) by t.k
+    fn sample_subplan(c: &Catalog) -> Subplan {
+        let t = c.table_by_name("t").unwrap().id;
+        let u = c.table_by_name("u").unwrap().id;
+        let tree = OpTree::node(
+            TreeOp::Aggregate {
+                group_by: vec![(Expr::col(0), "k".into())],
+                aggs: vec![AggExpr::new(AggFunc::Sum, Expr::col(3), "sw")],
+            },
+            vec![OpTree::node(
+                TreeOp::Join { keys: vec![(Expr::col(0), Expr::col(0))] },
+                vec![
+                    OpTree::node(
+                        TreeOp::Select {
+                            branches: vec![
+                                SelectBranch { queries: qs(&[0]), predicate: Expr::true_lit() },
+                                SelectBranch {
+                                    queries: qs(&[1]),
+                                    predicate: Expr::col(1).gt(Expr::lit(2i64)),
+                                },
+                            ],
+                        },
+                        vec![OpTree::input(InputSource::Base(t))],
+                    ),
+                    OpTree::input(InputSource::Base(u)),
+                ],
+            )],
+        );
+        Subplan {
+            id: SubplanId(0),
+            root: tree,
+            queries: qs(&[0, 1]),
+            output_queries: qs(&[0, 1]),
+        }
+    }
+
+    fn t_row(k: i64, v: i64) -> DeltaRow {
+        DeltaRow { row: Row::new(vec![Value::Int(k), Value::Int(v)]), weight: 1, mask: qs(&[0, 1]) }
+    }
+
+    #[test]
+    fn end_to_end_one_batch() {
+        let c = catalog();
+        let sp = sample_subplan(&c);
+        let mut ex = SubplanExecutor::new(&sp, &c, &HashMap::new(), CostWeights::default())
+            .unwrap();
+        let leaves = ex.leaf_paths();
+        assert_eq!(leaves.len(), 2);
+        let counter = WorkCounter::new();
+        let mut inputs = HashMap::new();
+        // t rows: (1, v=1) fails q1's filter; (1, v=5) passes both.
+        inputs.insert(
+            leaves[0].0.clone(),
+            DeltaBatch::from_rows(vec![t_row(1, 1), t_row(1, 5)]),
+        );
+        inputs.insert(leaves[1].0.clone(), DeltaBatch::from_rows(vec![t_row(1, 100)]));
+        let out = ex.execute(&mut inputs, &counter).unwrap();
+        let cons = consolidate(out.rows);
+        // q0 joined both t rows with u's row: sum = 200 (two matches × 100).
+        // q1 joined only (1,5): sum = 100.
+        assert_eq!(
+            cons[&(Row::new(vec![Value::Int(1), Value::Int(200)]), qs(&[0]))],
+            1
+        );
+        assert_eq!(
+            cons[&(Row::new(vec![Value::Int(1), Value::Int(100)]), qs(&[1]))],
+            1
+        );
+        assert!(counter.total().get() > 0.0);
+    }
+
+    #[test]
+    fn incremental_matches_single_batch() {
+        let c = catalog();
+        let sp = sample_subplan(&c);
+        let weights = CostWeights::default();
+        let counter = WorkCounter::new();
+
+        let t_rows = vec![t_row(1, 1), t_row(1, 5), t_row(2, 9), t_row(2, 2)];
+        let u_rows = vec![t_row(1, 10), t_row(2, 20), t_row(2, 30)];
+
+        // One batch.
+        let mut big = SubplanExecutor::new(&sp, &c, &HashMap::new(), weights).unwrap();
+        let leaves = big.leaf_paths();
+        let mut inputs = HashMap::new();
+        inputs.insert(leaves[0].0.clone(), DeltaBatch::from_rows(t_rows.clone()));
+        inputs.insert(leaves[1].0.clone(), DeltaBatch::from_rows(u_rows.clone()));
+        let batch_out = big.execute(&mut inputs, &counter).unwrap();
+
+        // Four incremental executions with interleaved arrivals.
+        let mut inc = SubplanExecutor::new(&sp, &c, &HashMap::new(), weights).unwrap();
+        let mut acc = Vec::new();
+        let steps: Vec<(Vec<DeltaRow>, Vec<DeltaRow>)> = vec![
+            (vec![t_rows[0].clone()], vec![]),
+            (vec![t_rows[1].clone(), t_rows[2].clone()], vec![u_rows[0].clone()]),
+            (vec![], vec![u_rows[1].clone()]),
+            (vec![t_rows[3].clone()], vec![u_rows[2].clone()]),
+        ];
+        for (ts, us) in steps {
+            let mut inputs = HashMap::new();
+            inputs.insert(leaves[0].0.clone(), DeltaBatch::from_rows(ts));
+            inputs.insert(leaves[1].0.clone(), DeltaBatch::from_rows(us));
+            acc.extend(inc.execute(&mut inputs, &counter).unwrap().rows);
+        }
+        assert_eq!(consolidate(batch_out.rows), consolidate(acc));
+    }
+
+    #[test]
+    fn eager_execution_costs_more() {
+        // The paper's Fig. 1: more executions over the same data = more
+        // total work, because aggregates retract and reinsert.
+        let c = catalog();
+        let sp = sample_subplan(&c);
+        let weights = CostWeights::default();
+
+        let t_rows: Vec<DeltaRow> = (0..40).map(|i| t_row(i % 4, i)).collect();
+        let u_rows: Vec<DeltaRow> = (0..4).map(|k| t_row(k, 100)).collect();
+
+        let work_of = |chunks: usize| {
+            let mut ex = SubplanExecutor::new(&sp, &c, &HashMap::new(), weights).unwrap();
+            let leaves = ex.leaf_paths();
+            let counter = WorkCounter::new();
+            let chunk = t_rows.len() / chunks;
+            for i in 0..chunks {
+                let mut inputs = HashMap::new();
+                inputs.insert(
+                    leaves[0].0.clone(),
+                    DeltaBatch::from_rows(t_rows[i * chunk..(i + 1) * chunk].to_vec()),
+                );
+                if i == 0 {
+                    inputs.insert(leaves[1].0.clone(), DeltaBatch::from_rows(u_rows.clone()));
+                }
+                ex.execute(&mut inputs, &counter).unwrap();
+            }
+            counter.total().get()
+        };
+        let lazy = work_of(1);
+        let eager = work_of(10);
+        assert!(
+            eager > lazy * 1.2,
+            "eager ({eager}) must cost meaningfully more than lazy ({lazy})"
+        );
+    }
+
+    #[test]
+    fn missing_inputs_are_empty() {
+        let c = catalog();
+        let sp = sample_subplan(&c);
+        let mut ex = SubplanExecutor::new(&sp, &c, &HashMap::new(), CostWeights::default())
+            .unwrap();
+        let counter = WorkCounter::new();
+        let out = ex.execute(&mut HashMap::new(), &counter).unwrap();
+        assert!(out.is_empty());
+        assert_eq!(ex.queries(), qs(&[0, 1]));
+    }
+}

@@ -1,0 +1,310 @@
+//! Incremental shared symmetric hash join.
+//!
+//! State is kept for both sides as `key → {(row, mask) → weight}`. One
+//! incremental execution processes the left delta against the *old* right
+//! state, inserts the left delta, then processes the right delta against the
+//! *updated* left state — covering `ΔL⋈R + L⋈ΔR + ΔL⋈ΔR` exactly once.
+//!
+//! Output masks are the intersection of the joined tuples' masks (a joined
+//! row is valid for a query iff both inputs are); empty intersections are
+//! dropped before emission.
+//!
+//! Rows with a NULL join key never match and are not stored (SQL inner
+//! equi-join semantics).
+
+use ishare_common::{CostWeights, Error, Result, Value, WorkCounter};
+use ishare_expr::eval::eval;
+use ishare_expr::Expr;
+use ishare_storage::{DeltaBatch, DeltaRow, Row};
+use std::collections::HashMap;
+
+type Key = Vec<Value>;
+type SideMap = HashMap<Key, HashMap<(Row, ishare_common::QuerySet), i64>>;
+
+/// Persistent state of one join operator across incremental executions.
+#[derive(Debug, Default)]
+pub struct JoinState {
+    left: SideMap,
+    right: SideMap,
+    /// Total stored entries per side, for diagnostics and state-size stats.
+    left_entries: usize,
+    right_entries: usize,
+}
+
+impl JoinState {
+    /// Fresh empty state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stored (row, mask) entries on the left side.
+    pub fn left_size(&self) -> usize {
+        self.left_entries
+    }
+
+    /// Stored (row, mask) entries on the right side.
+    pub fn right_size(&self) -> usize {
+        self.right_entries
+    }
+
+    /// Run one incremental execution over the two input deltas.
+    pub fn execute(
+        &mut self,
+        left_delta: DeltaBatch,
+        right_delta: DeltaBatch,
+        keys: &[(Expr, Expr)],
+        weights: &CostWeights,
+        counter: &WorkCounter,
+    ) -> Result<DeltaBatch> {
+        let mut out = DeltaBatch::new();
+
+        // ΔL ⋈ R_old
+        let left_keyed = key_rows(&left_delta, keys.iter().map(|(l, _)| l))?;
+        for (key, dr) in &left_keyed {
+            counter.charge(weights.join_probe, 1);
+            if let Some(matches) = self.right.get(key) {
+                for ((rrow, rmask), rw) in matches {
+                    emit(&mut out, dr, rrow, *rmask, *rw, false, weights, counter);
+                }
+            }
+        }
+        // Insert ΔL.
+        for (key, dr) in &left_keyed {
+            counter.charge(weights.join_insert, 1);
+            insert_side(&mut self.left, &mut self.left_entries, key, dr)?;
+        }
+        // ΔR ⋈ L_new (covers L_old⋈ΔR and ΔL⋈ΔR).
+        let right_keyed = key_rows(&right_delta, keys.iter().map(|(_, r)| r))?;
+        for (key, dr) in &right_keyed {
+            counter.charge(weights.join_probe, 1);
+            if let Some(matches) = self.left.get(key) {
+                for ((lrow, lmask), lw) in matches {
+                    emit(&mut out, dr, lrow, *lmask, *lw, true, weights, counter);
+                }
+            }
+        }
+        for (key, dr) in &right_keyed {
+            counter.charge(weights.join_insert, 1);
+            insert_side(&mut self.right, &mut self.right_entries, key, dr)?;
+        }
+        Ok(out)
+    }
+}
+
+/// Evaluate join keys for every row; rows with NULL keys are silently
+/// excluded (they can never join).
+fn key_rows<'a>(
+    batch: &DeltaBatch,
+    key_exprs: impl Iterator<Item = &'a Expr> + Clone,
+) -> Result<Vec<(Key, DeltaRow)>> {
+    let mut out = Vec::with_capacity(batch.len());
+    'rows: for r in &batch.rows {
+        let mut key = Vec::new();
+        for e in key_exprs.clone() {
+            let v = eval(e, r.row.values())?;
+            if v.is_null() {
+                continue 'rows;
+            }
+            key.push(v);
+        }
+        out.push((key, r.clone()));
+    }
+    Ok(out)
+}
+
+fn insert_side(
+    side: &mut SideMap,
+    entries: &mut usize,
+    key: &Key,
+    dr: &DeltaRow,
+) -> Result<()> {
+    let slot = side.entry(key.clone()).or_default();
+    let e = slot.entry((dr.row.clone(), dr.mask)).or_insert(0);
+    let was_zero = *e == 0;
+    *e += dr.weight;
+    if *e == 0 {
+        slot.remove(&(dr.row.clone(), dr.mask));
+        *entries -= 1;
+        if slot.is_empty() {
+            side.remove(key);
+        }
+    } else if was_zero {
+        *entries += 1;
+    }
+    if let Some(slot) = side.get(key) {
+        if let Some(w) = slot.get(&(dr.row.clone(), dr.mask)) {
+            if *w < 0 {
+                return Err(Error::InvalidDelta(format!(
+                    "join state went negative ({w}) for row {}",
+                    dr.row
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn emit(
+    out: &mut DeltaBatch,
+    delta: &DeltaRow,
+    stored_row: &Row,
+    stored_mask: ishare_common::QuerySet,
+    stored_weight: i64,
+    delta_is_right: bool,
+    weights: &CostWeights,
+    counter: &WorkCounter,
+) {
+    let mask = delta.mask.intersect(stored_mask);
+    if mask.is_empty() || stored_weight == 0 {
+        return;
+    }
+    counter.charge(weights.join_emit, 1);
+    let row = if delta_is_right {
+        stored_row.concat(&delta.row)
+    } else {
+        delta.row.concat(stored_row)
+    };
+    out.push(DeltaRow { row, weight: delta.weight * stored_weight, mask });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ishare_common::{QueryId, QuerySet};
+    use ishare_storage::consolidate;
+
+    fn qs(ids: &[u16]) -> QuerySet {
+        QuerySet::from_iter(ids.iter().map(|&i| QueryId(i)))
+    }
+
+    fn r2(a: i64, b: i64) -> Row {
+        Row::new(vec![Value::Int(a), Value::Int(b)])
+    }
+
+    fn dr(a: i64, b: i64, w: i64, m: &[u16]) -> DeltaRow {
+        DeltaRow { row: r2(a, b), weight: w, mask: qs(m) }
+    }
+
+    fn keys() -> Vec<(Expr, Expr)> {
+        vec![(Expr::col(0), Expr::col(0))]
+    }
+
+    fn run(
+        st: &mut JoinState,
+        l: Vec<DeltaRow>,
+        r: Vec<DeltaRow>,
+    ) -> DeltaBatch {
+        let c = WorkCounter::new();
+        st.execute(
+            DeltaBatch::from_rows(l),
+            DeltaBatch::from_rows(r),
+            &keys(),
+            &CostWeights::default(),
+            &c,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn matches_within_one_batch() {
+        let mut st = JoinState::new();
+        let out = run(&mut st, vec![dr(1, 10, 1, &[0])], vec![dr(1, 20, 1, &[0])]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.rows[0].row.values().len(), 4);
+        assert_eq!(out.rows[0].weight, 1);
+        assert_eq!(st.left_size(), 1);
+        assert_eq!(st.right_size(), 1);
+    }
+
+    #[test]
+    fn matches_across_batches() {
+        let mut st = JoinState::new();
+        let out1 = run(&mut st, vec![dr(1, 10, 1, &[0])], vec![]);
+        assert!(out1.is_empty());
+        let out2 = run(&mut st, vec![], vec![dr(1, 20, 1, &[0])]);
+        assert_eq!(out2.len(), 1);
+        // No duplicate emission for the same pair.
+        let out3 = run(&mut st, vec![], vec![]);
+        assert!(out3.is_empty());
+    }
+
+    #[test]
+    fn incremental_equals_batch() {
+        // Join the same data in one batch vs three batches; consolidated
+        // outputs must match.
+        let l = vec![dr(1, 10, 1, &[0]), dr(1, 11, 1, &[0]), dr(2, 12, 1, &[0])];
+        let r = vec![dr(1, 20, 1, &[0]), dr(2, 21, 1, &[0]), dr(3, 22, 1, &[0])];
+
+        let mut all = JoinState::new();
+        let big = run(&mut all, l.clone(), r.clone());
+
+        let mut inc = JoinState::new();
+        let mut acc = Vec::new();
+        acc.extend(run(&mut inc, vec![l[0].clone()], vec![r[2].clone()]).rows);
+        acc.extend(run(&mut inc, vec![l[1].clone(), l[2].clone()], vec![]).rows);
+        acc.extend(run(&mut inc, vec![], vec![r[0].clone(), r[1].clone()]).rows);
+
+        assert_eq!(consolidate(big.rows), consolidate(acc));
+    }
+
+    #[test]
+    fn deletes_retract_matches() {
+        let mut st = JoinState::new();
+        run(&mut st, vec![dr(1, 10, 1, &[0])], vec![dr(1, 20, 1, &[0])]);
+        // Delete the left row: the joined row must be retracted.
+        let out = run(&mut st, vec![dr(1, 10, -1, &[0])], vec![]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.rows[0].weight, -1);
+        assert_eq!(st.left_size(), 0);
+    }
+
+    #[test]
+    fn masks_intersect() {
+        let mut st = JoinState::new();
+        let out = run(&mut st, vec![dr(1, 10, 1, &[0, 1])], vec![dr(1, 20, 1, &[1, 2])]);
+        assert_eq!(out.rows[0].mask, qs(&[1]));
+        // Disjoint masks produce nothing.
+        let out = run(&mut st, vec![dr(2, 10, 1, &[0])], vec![dr(2, 20, 1, &[1])]);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn null_keys_never_match() {
+        let mut st = JoinState::new();
+        let null_row = DeltaRow {
+            row: Row::new(vec![Value::Null, Value::Int(1)]),
+            weight: 1,
+            mask: qs(&[0]),
+        };
+        let out = run(&mut st, vec![null_row.clone()], vec![null_row]);
+        assert!(out.is_empty());
+        assert_eq!(st.left_size(), 0, "NULL-keyed rows are not stored");
+    }
+
+    #[test]
+    fn weight_multiplication() {
+        let mut st = JoinState::new();
+        // Two identical left rows (weight 2 consolidated).
+        let out = run(
+            &mut st,
+            vec![dr(1, 10, 2, &[0])],
+            vec![dr(1, 20, 3, &[0])],
+        );
+        assert_eq!(out.rows[0].weight, 6);
+    }
+
+    #[test]
+    fn over_retraction_is_error() {
+        let mut st = JoinState::new();
+        let c = WorkCounter::new();
+        let res = st.execute(
+            DeltaBatch::from_rows(vec![dr(1, 10, -1, &[0])]),
+            DeltaBatch::new(),
+            &keys(),
+            &CostWeights::default(),
+            &c,
+        );
+        assert!(matches!(res, Err(Error::InvalidDelta(_))));
+    }
+}

@@ -1,0 +1,464 @@
+//! The expression AST and structural helpers.
+
+use ishare_common::Value;
+use std::fmt;
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinaryOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division.
+    Div,
+    /// Equality.
+    Eq,
+    /// Inequality.
+    Ne,
+    /// Less than.
+    Lt,
+    /// Less than or equal.
+    Le,
+    /// Greater than.
+    Gt,
+    /// Greater than or equal.
+    Ge,
+    /// Logical conjunction (three-valued).
+    And,
+    /// Logical disjunction (three-valued).
+    Or,
+}
+
+impl BinaryOp {
+    /// `true` for comparison operators producing booleans.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinaryOp::Eq | BinaryOp::Ne | BinaryOp::Lt | BinaryOp::Le | BinaryOp::Gt | BinaryOp::Ge
+        )
+    }
+
+    /// `true` for `And`/`Or`.
+    pub fn is_logical(self) -> bool {
+        matches!(self, BinaryOp::And | BinaryOp::Or)
+    }
+
+    /// `true` for arithmetic.
+    pub fn is_arithmetic(self) -> bool {
+        matches!(self, BinaryOp::Add | BinaryOp::Sub | BinaryOp::Mul | BinaryOp::Div)
+    }
+}
+
+impl fmt::Display for BinaryOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinaryOp::Add => "+",
+            BinaryOp::Sub => "-",
+            BinaryOp::Mul => "*",
+            BinaryOp::Div => "/",
+            BinaryOp::Eq => "=",
+            BinaryOp::Ne => "<>",
+            BinaryOp::Lt => "<",
+            BinaryOp::Le => "<=",
+            BinaryOp::Gt => ">",
+            BinaryOp::Ge => ">=",
+            BinaryOp::And => "AND",
+            BinaryOp::Or => "OR",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Supported `LIKE` patterns. TPC-H only ever uses `'x%'`, `'%x'` and
+/// `'%x%'` shapes, so the engine supports exactly those three (documented
+/// substitution; see DESIGN.md §5).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum LikePattern {
+    /// `LIKE 'x%'`.
+    Prefix(String),
+    /// `LIKE '%x'`.
+    Suffix(String),
+    /// `LIKE '%x%'`.
+    Contains(String),
+}
+
+impl LikePattern {
+    /// Test a string against the pattern.
+    pub fn matches(&self, s: &str) -> bool {
+        match self {
+            LikePattern::Prefix(p) => s.starts_with(p.as_str()),
+            LikePattern::Suffix(p) => s.ends_with(p.as_str()),
+            LikePattern::Contains(p) => s.contains(p.as_str()),
+        }
+    }
+}
+
+impl fmt::Display for LikePattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LikePattern::Prefix(p) => write!(f, "'{p}%'"),
+            LikePattern::Suffix(p) => write!(f, "'%{p}'"),
+            LikePattern::Contains(p) => write!(f, "'%{p}%'"),
+        }
+    }
+}
+
+/// Scalar functions.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum ScalarFunc {
+    /// `EXTRACT(YEAR FROM <date>)` → `Int`.
+    Year,
+    /// `SUBSTRING(<str>, start, len)` with 1-based `start` → `Str`.
+    Substr {
+        /// 1-based start offset.
+        start: usize,
+        /// Substring length.
+        len: usize,
+    },
+}
+
+impl fmt::Display for ScalarFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScalarFunc::Year => write!(f, "year"),
+            ScalarFunc::Substr { start, len } => write!(f, "substr[{start},{len}]"),
+        }
+    }
+}
+
+/// A scalar expression over a positional row.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Expr {
+    /// Reference to the input column at a position.
+    Column(usize),
+    /// A constant.
+    Literal(Value),
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinaryOp,
+        /// Left operand.
+        left: Box<Expr>,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// Logical negation (three-valued).
+    Not(Box<Expr>),
+    /// `<expr> IS NULL`.
+    IsNull(Box<Expr>),
+    /// Membership in a literal list.
+    InList {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Candidate values.
+        list: Vec<Value>,
+    },
+    /// String pattern match.
+    Like {
+        /// Tested expression (must be a string).
+        expr: Box<Expr>,
+        /// Pattern.
+        pattern: LikePattern,
+    },
+    /// `CASE WHEN cond THEN then ELSE els END`.
+    Case {
+        /// Condition.
+        when: Box<Expr>,
+        /// Value when the condition holds.
+        then: Box<Expr>,
+        /// Value otherwise (or when the condition is NULL).
+        els: Box<Expr>,
+    },
+    /// Scalar function application.
+    Func {
+        /// The function.
+        func: ScalarFunc,
+        /// Single argument (all supported functions are unary).
+        arg: Box<Expr>,
+    },
+}
+
+// The builder methods deliberately mirror SQL operator names (`add`, `mul`,
+// `not`, …); they are DSL constructors, not the std operator traits.
+#[allow(clippy::should_implement_trait)]
+impl Expr {
+    /// Column reference.
+    pub fn col(i: usize) -> Expr {
+        Expr::Column(i)
+    }
+
+    /// Literal.
+    pub fn lit(v: impl Into<Value>) -> Expr {
+        Expr::Literal(v.into())
+    }
+
+    /// The always-true predicate (a pass-through select branch).
+    pub fn true_lit() -> Expr {
+        Expr::Literal(Value::Bool(true))
+    }
+
+    /// `true` iff this is the literal `TRUE` (pass-through predicate).
+    pub fn is_true_lit(&self) -> bool {
+        matches!(self, Expr::Literal(Value::Bool(true)))
+    }
+
+    fn bin(op: BinaryOp, l: Expr, r: Expr) -> Expr {
+        Expr::Binary { op, left: Box::new(l), right: Box::new(r) }
+    }
+
+    /// `self = other`.
+    pub fn eq(self, other: Expr) -> Expr {
+        Expr::bin(BinaryOp::Eq, self, other)
+    }
+    /// `self <> other`.
+    pub fn ne(self, other: Expr) -> Expr {
+        Expr::bin(BinaryOp::Ne, self, other)
+    }
+    /// `self < other`.
+    pub fn lt(self, other: Expr) -> Expr {
+        Expr::bin(BinaryOp::Lt, self, other)
+    }
+    /// `self <= other`.
+    pub fn le(self, other: Expr) -> Expr {
+        Expr::bin(BinaryOp::Le, self, other)
+    }
+    /// `self > other`.
+    pub fn gt(self, other: Expr) -> Expr {
+        Expr::bin(BinaryOp::Gt, self, other)
+    }
+    /// `self >= other`.
+    pub fn ge(self, other: Expr) -> Expr {
+        Expr::bin(BinaryOp::Ge, self, other)
+    }
+    /// `self AND other`.
+    pub fn and(self, other: Expr) -> Expr {
+        Expr::bin(BinaryOp::And, self, other)
+    }
+    /// `self OR other`.
+    pub fn or(self, other: Expr) -> Expr {
+        Expr::bin(BinaryOp::Or, self, other)
+    }
+    /// `self + other`.
+    pub fn add(self, other: Expr) -> Expr {
+        Expr::bin(BinaryOp::Add, self, other)
+    }
+    /// `self - other`.
+    pub fn sub(self, other: Expr) -> Expr {
+        Expr::bin(BinaryOp::Sub, self, other)
+    }
+    /// `self * other`.
+    pub fn mul(self, other: Expr) -> Expr {
+        Expr::bin(BinaryOp::Mul, self, other)
+    }
+    /// `self / other`.
+    pub fn div(self, other: Expr) -> Expr {
+        Expr::bin(BinaryOp::Div, self, other)
+    }
+    /// Logical negation.
+    pub fn not(self) -> Expr {
+        Expr::Not(Box::new(self))
+    }
+    /// `self IN (list…)`.
+    pub fn in_list(self, list: Vec<Value>) -> Expr {
+        Expr::InList { expr: Box::new(self), list }
+    }
+    /// `self LIKE pattern`.
+    pub fn like(self, pattern: LikePattern) -> Expr {
+        Expr::Like { expr: Box::new(self), pattern }
+    }
+    /// `EXTRACT(YEAR FROM self)`.
+    pub fn year(self) -> Expr {
+        Expr::Func { func: ScalarFunc::Year, arg: Box::new(self) }
+    }
+    /// `SUBSTRING(self, start, len)` (1-based start).
+    pub fn substr(self, start: usize, len: usize) -> Expr {
+        Expr::Func { func: ScalarFunc::Substr { start, len }, arg: Box::new(self) }
+    }
+    /// `CASE WHEN self THEN then ELSE els END`.
+    pub fn case(self, then: Expr, els: Expr) -> Expr {
+        Expr::Case { when: Box::new(self), then: Box::new(then), els: Box::new(els) }
+    }
+
+    /// Conjunction of several predicates; `TRUE` when empty.
+    pub fn conjunction(preds: impl IntoIterator<Item = Expr>) -> Expr {
+        let mut it = preds.into_iter();
+        match it.next() {
+            None => Expr::true_lit(),
+            Some(first) => it.fold(first, |acc, p| acc.and(p)),
+        }
+    }
+
+    /// Visit every node (pre-order).
+    pub fn visit(&self, f: &mut impl FnMut(&Expr)) {
+        f(self);
+        match self {
+            Expr::Column(_) | Expr::Literal(_) => {}
+            Expr::Binary { left, right, .. } => {
+                left.visit(f);
+                right.visit(f);
+            }
+            Expr::Not(e) | Expr::IsNull(e) => e.visit(f),
+            Expr::InList { expr, .. } | Expr::Like { expr, .. } => expr.visit(f),
+            Expr::Case { when, then, els } => {
+                when.visit(f);
+                then.visit(f);
+                els.visit(f);
+            }
+            Expr::Func { arg, .. } => arg.visit(f),
+        }
+    }
+
+    /// The largest referenced column index, if any column is referenced.
+    pub fn max_column(&self) -> Option<usize> {
+        let mut max = None;
+        self.visit(&mut |e| {
+            if let Expr::Column(i) = e {
+                max = Some(max.map_or(*i, |m: usize| m.max(*i)));
+            }
+        });
+        max
+    }
+
+    /// All referenced column indices (sorted, deduplicated).
+    pub fn columns(&self) -> Vec<usize> {
+        let mut cols = Vec::new();
+        self.visit(&mut |e| {
+            if let Expr::Column(i) = e {
+                cols.push(*i);
+            }
+        });
+        cols.sort_unstable();
+        cols.dedup();
+        cols
+    }
+
+    /// Rewrite every column index through `f`. Used by the MQO when merging
+    /// projects re-homes parent expressions onto the merged output layout.
+    pub fn map_columns(&self, f: &impl Fn(usize) -> usize) -> Expr {
+        match self {
+            Expr::Column(i) => Expr::Column(f(*i)),
+            Expr::Literal(v) => Expr::Literal(v.clone()),
+            Expr::Binary { op, left, right } => Expr::Binary {
+                op: *op,
+                left: Box::new(left.map_columns(f)),
+                right: Box::new(right.map_columns(f)),
+            },
+            Expr::Not(e) => Expr::Not(Box::new(e.map_columns(f))),
+            Expr::IsNull(e) => Expr::IsNull(Box::new(e.map_columns(f))),
+            Expr::InList { expr, list } => {
+                Expr::InList { expr: Box::new(expr.map_columns(f)), list: list.clone() }
+            }
+            Expr::Like { expr, pattern } => {
+                Expr::Like { expr: Box::new(expr.map_columns(f)), pattern: pattern.clone() }
+            }
+            Expr::Case { when, then, els } => Expr::Case {
+                when: Box::new(when.map_columns(f)),
+                then: Box::new(then.map_columns(f)),
+                els: Box::new(els.map_columns(f)),
+            },
+            Expr::Func { func, arg } => {
+                Expr::Func { func: func.clone(), arg: Box::new(arg.map_columns(f)) }
+            }
+        }
+    }
+
+    /// Shift every column index by `offset` (aligning right-join-side
+    /// expressions to the concatenated join output layout).
+    pub fn shift_columns(&self, offset: usize) -> Expr {
+        self.map_columns(&|i| i + offset)
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Column(i) => write!(f, "#{i}"),
+            Expr::Literal(v) => match v {
+                Value::Str(s) => write!(f, "'{s}'"),
+                other => write!(f, "{other}"),
+            },
+            Expr::Binary { op, left, right } => write!(f, "({left} {op} {right})"),
+            Expr::Not(e) => write!(f, "NOT ({e})"),
+            Expr::IsNull(e) => write!(f, "({e}) IS NULL"),
+            Expr::InList { expr, list } => {
+                write!(f, "({expr} IN (")?;
+                for (i, v) in list.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    match v {
+                        Value::Str(s) => write!(f, "'{s}'")?,
+                        other => write!(f, "{other}")?,
+                    }
+                }
+                write!(f, "))")
+            }
+            Expr::Like { expr, pattern } => write!(f, "({expr} LIKE {pattern})"),
+            Expr::Case { when, then, els } => {
+                write!(f, "CASE WHEN {when} THEN {then} ELSE {els} END")
+            }
+            Expr::Func { func, arg } => write!(f, "{func}({arg})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_and_display() {
+        let e = Expr::col(0).add(Expr::lit(1i64)).gt(Expr::col(2));
+        assert_eq!(e.to_string(), "((#0 + 1) > #2)");
+        let p = Expr::col(1).like(LikePattern::Prefix("PROMO".into()));
+        assert_eq!(p.to_string(), "(#1 LIKE 'PROMO%')");
+        let c = Expr::col(0).eq(Expr::lit(1i64)).case(Expr::lit(1i64), Expr::lit(0i64));
+        assert!(c.to_string().starts_with("CASE WHEN"));
+    }
+
+    #[test]
+    fn column_introspection() {
+        let e = Expr::col(3).mul(Expr::col(1)).add(Expr::lit(2.0));
+        assert_eq!(e.max_column(), Some(3));
+        assert_eq!(e.columns(), vec![1, 3]);
+        assert_eq!(Expr::lit(1i64).max_column(), None);
+    }
+
+    #[test]
+    fn remapping() {
+        let e = Expr::col(0).eq(Expr::col(2));
+        let shifted = e.shift_columns(5);
+        assert_eq!(shifted.columns(), vec![5, 7]);
+        let remapped = e.map_columns(&|i| if i == 0 { 9 } else { i });
+        assert_eq!(remapped.columns(), vec![2, 9]);
+    }
+
+    #[test]
+    fn conjunction_identity() {
+        assert!(Expr::conjunction(std::iter::empty()).is_true_lit());
+        let one = Expr::conjunction([Expr::col(0).eq(Expr::lit(1i64))]);
+        assert_eq!(one.to_string(), "(#0 = 1)");
+        let two = Expr::conjunction([Expr::true_lit(), Expr::true_lit()]);
+        assert_eq!(two.to_string(), "(true AND true)");
+    }
+
+    #[test]
+    fn like_matching() {
+        assert!(LikePattern::Prefix("ab".into()).matches("abc"));
+        assert!(!LikePattern::Prefix("ab".into()).matches("xab"));
+        assert!(LikePattern::Suffix("bc".into()).matches("abc"));
+        assert!(LikePattern::Contains("b".into()).matches("abc"));
+        assert!(!LikePattern::Contains("z".into()).matches("abc"));
+    }
+
+    #[test]
+    fn op_classification() {
+        assert!(BinaryOp::Eq.is_comparison());
+        assert!(BinaryOp::And.is_logical());
+        assert!(BinaryOp::Mul.is_arithmetic());
+        assert!(!BinaryOp::Mul.is_comparison());
+    }
+}

@@ -1,0 +1,225 @@
+//! Static type inference for expressions against a [`Schema`].
+//!
+//! Used when building plans: project operators derive their output schemas
+//! from inferred expression types, and plan validation rejects ill-typed
+//! predicates before any data flows.
+
+use crate::expr::{BinaryOp, Expr, ScalarFunc};
+use ishare_common::{DataType, Error, Result};
+use ishare_storage::Schema;
+
+/// Infer the type of `expr` over rows shaped like `schema`.
+///
+/// `Literal(Null)` has no type of its own; it unifies with anything and
+/// surfaces as `None` only when the whole expression is the bare NULL
+/// literal, in which case callers default to `Float`.
+pub fn infer_type(expr: &Expr, schema: &Schema) -> Result<DataType> {
+    Ok(infer(expr, schema)?.unwrap_or(DataType::Float))
+}
+
+fn infer(expr: &Expr, schema: &Schema) -> Result<Option<DataType>> {
+    match expr {
+        Expr::Column(i) => Ok(Some(schema.field(*i)?.ty)),
+        Expr::Literal(v) => Ok(v.data_type()),
+        Expr::Binary { op, left, right } => {
+            let l = infer(left, schema)?;
+            let r = infer(right, schema)?;
+            match op {
+                _ if op.is_logical() => {
+                    for t in [l, r].into_iter().flatten() {
+                        if t != DataType::Bool {
+                            return Err(Error::TypeMismatch(format!(
+                                "{op} applied to {t}"
+                            )));
+                        }
+                    }
+                    Ok(Some(DataType::Bool))
+                }
+                _ if op.is_comparison() => {
+                    check_comparable(l, r, *op)?;
+                    Ok(Some(DataType::Bool))
+                }
+                _ => {
+                    // Arithmetic: numeric operands only.
+                    for t in [l, r].into_iter().flatten() {
+                        if !is_numeric(t) {
+                            return Err(Error::TypeMismatch(format!(
+                                "arithmetic {op} applied to {t}"
+                            )));
+                        }
+                    }
+                    Ok(Some(match (l, r) {
+                        (Some(DataType::Int), Some(DataType::Int)) => DataType::Int,
+                        _ => DataType::Float,
+                    }))
+                }
+            }
+        }
+        Expr::Not(e) => {
+            if let Some(t) = infer(e, schema)? {
+                if t != DataType::Bool {
+                    return Err(Error::TypeMismatch(format!("NOT applied to {t}")));
+                }
+            }
+            Ok(Some(DataType::Bool))
+        }
+        Expr::IsNull(e) => {
+            infer(e, schema)?;
+            Ok(Some(DataType::Bool))
+        }
+        Expr::InList { expr, list } => {
+            let t = infer(expr, schema)?;
+            for v in list {
+                check_comparable(t, v.data_type(), BinaryOp::Eq)?;
+            }
+            Ok(Some(DataType::Bool))
+        }
+        Expr::Like { expr, .. } => {
+            if let Some(t) = infer(expr, schema)? {
+                if t != DataType::Str {
+                    return Err(Error::TypeMismatch(format!("LIKE applied to {t}")));
+                }
+            }
+            Ok(Some(DataType::Bool))
+        }
+        Expr::Case { when, then, els } => {
+            if let Some(t) = infer(when, schema)? {
+                if t != DataType::Bool {
+                    return Err(Error::TypeMismatch(format!("CASE condition of type {t}")));
+                }
+            }
+            let a = infer(then, schema)?;
+            let b = infer(els, schema)?;
+            match (a, b) {
+                (Some(x), Some(y)) if x == y => Ok(Some(x)),
+                (Some(x), Some(y)) if is_numeric(x) && is_numeric(y) => Ok(Some(DataType::Float)),
+                (Some(x), None) | (None, Some(x)) => Ok(Some(x)),
+                (None, None) => Ok(None),
+                (Some(x), Some(y)) => {
+                    Err(Error::TypeMismatch(format!("CASE branches of types {x} and {y}")))
+                }
+            }
+        }
+        Expr::Func { func, arg } => {
+            let t = infer(arg, schema)?;
+            match func {
+                ScalarFunc::Year => {
+                    if let Some(t) = t {
+                        if t != DataType::Date {
+                            return Err(Error::TypeMismatch(format!("year() applied to {t}")));
+                        }
+                    }
+                    Ok(Some(DataType::Int))
+                }
+                ScalarFunc::Substr { .. } => {
+                    if let Some(t) = t {
+                        if t != DataType::Str {
+                            return Err(Error::TypeMismatch(format!("substr() applied to {t}")));
+                        }
+                    }
+                    Ok(Some(DataType::Str))
+                }
+            }
+        }
+    }
+}
+
+fn is_numeric(t: DataType) -> bool {
+    matches!(t, DataType::Int | DataType::Float | DataType::Date)
+}
+
+fn check_comparable(l: Option<DataType>, r: Option<DataType>, op: BinaryOp) -> Result<()> {
+    match (l, r) {
+        (Some(a), Some(b)) => {
+            let ok = a == b || (is_numeric(a) && is_numeric(b));
+            if ok {
+                Ok(())
+            } else {
+                Err(Error::TypeMismatch(format!("comparison {op} between {a} and {b}")))
+            }
+        }
+        _ => Ok(()), // NULL literal unifies with anything.
+    }
+}
+
+/// Validate that a predicate is boolean-typed over `schema`.
+pub fn check_predicate(expr: &Expr, schema: &Schema) -> Result<()> {
+    let t = infer_type(expr, schema)?;
+    if t == DataType::Bool || expr == &Expr::Literal(ishare_common::Value::Null) {
+        Ok(())
+    } else {
+        Err(Error::TypeMismatch(format!("predicate has type {t}, expected bool")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ishare_common::Value;
+    use ishare_storage::Field;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::new("i", DataType::Int),
+            Field::new("f", DataType::Float),
+            Field::new("s", DataType::Str),
+            Field::new("d", DataType::Date),
+            Field::new("b", DataType::Bool),
+        ])
+    }
+
+    #[test]
+    fn inference() {
+        let s = schema();
+        assert_eq!(infer_type(&Expr::col(0).add(Expr::col(0)), &s).unwrap(), DataType::Int);
+        assert_eq!(infer_type(&Expr::col(0).add(Expr::col(1)), &s).unwrap(), DataType::Float);
+        assert_eq!(infer_type(&Expr::col(0).lt(Expr::col(1)), &s).unwrap(), DataType::Bool);
+        assert_eq!(infer_type(&Expr::col(3).year(), &s).unwrap(), DataType::Int);
+        assert_eq!(infer_type(&Expr::col(2).substr(1, 2), &s).unwrap(), DataType::Str);
+        assert_eq!(
+            infer_type(&Expr::lit(Value::Null), &s).unwrap(),
+            DataType::Float,
+            "bare NULL defaults to float"
+        );
+    }
+
+    #[test]
+    fn case_branch_unification() {
+        let s = schema();
+        let cond = Expr::col(4);
+        assert_eq!(
+            infer_type(&cond.clone().case(Expr::lit(1i64), Expr::lit(2i64)), &s).unwrap(),
+            DataType::Int
+        );
+        assert_eq!(
+            infer_type(&cond.clone().case(Expr::lit(1i64), Expr::lit(2.0)), &s).unwrap(),
+            DataType::Float
+        );
+        assert!(infer_type(&cond.case(Expr::lit(1i64), Expr::lit("x")), &s).is_err());
+    }
+
+    #[test]
+    fn predicate_checking() {
+        let s = schema();
+        assert!(check_predicate(&Expr::col(0).eq(Expr::lit(1i64)), &s).is_ok());
+        assert!(check_predicate(&Expr::col(0), &s).is_err());
+        assert!(check_predicate(&Expr::col(2).add(Expr::lit(1i64)), &s).is_err());
+        assert!(check_predicate(&Expr::true_lit(), &s).is_ok());
+    }
+
+    #[test]
+    fn comparison_type_errors() {
+        let s = schema();
+        assert!(infer_type(&Expr::col(0).eq(Expr::col(2)), &s).is_err());
+        assert!(infer_type(&Expr::col(0).eq(Expr::col(3)), &s).is_ok(), "int vs date is numeric");
+        assert!(infer_type(&Expr::col(4).and(Expr::col(0)), &s).is_err());
+        assert!(infer_type(&Expr::col(2).like(crate::expr::LikePattern::Prefix("x".into())), &s).is_ok());
+        assert!(infer_type(&Expr::col(0).like(crate::expr::LikePattern::Prefix("x".into())), &s).is_err());
+    }
+
+    #[test]
+    fn out_of_bounds_column() {
+        let s = schema();
+        assert!(infer_type(&Expr::col(99), &s).is_err());
+    }
+}

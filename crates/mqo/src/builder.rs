@@ -1,0 +1,519 @@
+//! Signature-based hash-consing of normalized query plans into a
+//! [`SharedDag`].
+
+use ishare_common::{Error, NodeId, QueryId, QuerySet, Result};
+use ishare_plan::{DagOp, LogicalPlan, SelectBranch, SharedDag};
+use ishare_storage::Catalog;
+use std::collections::HashMap;
+
+/// Configuration of the MQO pass.
+#[derive(Debug, Clone)]
+pub struct MqoConfig {
+    /// Share equal-signature subplans across queries. Disabling yields the
+    /// NoShare baselines' plans (each query fully private) in the same
+    /// [`SharedDag`] representation.
+    pub enable_sharing: bool,
+    /// Minimum operator count of a subtree for it to be shared. Subtrees
+    /// smaller than this get query-private nodes even when signatures match
+    /// — the materialization-cost guard the paper adds to its MQO optimizer
+    /// ("we extend this optimizer to account for the materialization cost of
+    /// intermediate tuples", Sec. 5.1). `1` shares everything.
+    pub min_shared_ops: usize,
+}
+
+impl Default for MqoConfig {
+    fn default() -> Self {
+        MqoConfig { enable_sharing: true, min_shared_ops: 1 }
+    }
+}
+
+impl MqoConfig {
+    /// Configuration producing fully private plans (NoShare baselines).
+    pub fn no_sharing() -> Self {
+        MqoConfig { enable_sharing: false, min_shared_ops: 1 }
+    }
+}
+
+/// Merge normalized query plans into a shared DAG.
+///
+/// Every query should be normalized first ([`crate::normalize()`]); the caller
+/// keeps control so tests can exercise non-normalized shapes.
+pub fn build_shared_dag(
+    queries: &[(QueryId, LogicalPlan)],
+    catalog: &Catalog,
+    config: &MqoConfig,
+) -> Result<SharedDag> {
+    let mut b = DagBuilder {
+        dag: SharedDag::new(),
+        by_signature: HashMap::new(),
+        select_preds: HashMap::new(),
+        subtree_ops: HashMap::new(),
+        config,
+    };
+    for (q, plan) in queries {
+        let root = b.cons(*q, plan)?;
+        b.dag.set_query_root(*q, root)?;
+    }
+    // Materialize collected per-query select predicates into branches.
+    for (node_idx, preds) in b.select_preds {
+        let node = &mut b.dag.nodes[node_idx as usize];
+        let mut branches: Vec<SelectBranch> = Vec::new();
+        for (q, pred) in preds {
+            if let Some(existing) = branches.iter_mut().find(|br| br.predicate == pred) {
+                existing.queries.insert(q);
+            } else {
+                branches.push(SelectBranch {
+                    queries: QuerySet::single(q),
+                    predicate: pred,
+                });
+            }
+        }
+        match &mut node.op {
+            DagOp::Select { branches: slot } => *slot = branches,
+            other => {
+                return Err(Error::InvalidPlan(format!(
+                    "collected predicates for non-select node ({})",
+                    other.label()
+                )))
+            }
+        }
+    }
+    b.dag.validate(catalog)?;
+    Ok(b.dag)
+}
+
+struct DagBuilder<'a> {
+    dag: SharedDag,
+    /// signature → node.
+    by_signature: HashMap<String, NodeId>,
+    /// Per select node: the (query, predicate) pairs collected so far.
+    select_preds: HashMap<u32, Vec<(QueryId, ishare_expr::Expr)>>,
+    /// Per node: operator count of its subtree (for the sharing guard).
+    subtree_ops: HashMap<u32, usize>,
+    config: &'a MqoConfig,
+}
+
+impl DagBuilder<'_> {
+    fn cons(&mut self, q: QueryId, plan: &LogicalPlan) -> Result<NodeId> {
+        match plan {
+            LogicalPlan::Scan { table } => {
+                let sig = format!("scan({table})");
+                self.intern(q, sig, DagOp::Scan { table: *table }, vec![], 1)
+            }
+            LogicalPlan::Select { input, predicate } => {
+                let child = self.cons(q, input)?;
+                let ops = self.subtree_ops[&child.0] + 1;
+                self.intern_select(q, child, predicate, ops)
+            }
+            LogicalPlan::Project { input, exprs } => {
+                let child = self.cons(q, input)?;
+                let ops = self.subtree_ops[&child.0] + 1;
+                // Expressions included: only identical projects merge (see
+                // crate docs for the documented deviation on union-merge).
+                let mut sig = format!("project({child};");
+                for (e, _) in exprs {
+                    sig.push_str(&format!("{e},"));
+                }
+                sig.push(')');
+                self.intern(q, sig, DagOp::Project { exprs: exprs.clone() }, vec![child], ops)
+            }
+            LogicalPlan::Join { left, right, keys } => {
+                let l = self.cons(q, left)?;
+                let r = self.cons(q, right)?;
+                let ops = self.subtree_ops[&l.0] + self.subtree_ops[&r.0] + 1;
+                let mut sig = format!("join({l},{r};");
+                for (lk, rk) in keys {
+                    sig.push_str(&format!("{lk}={rk},"));
+                }
+                sig.push(')');
+                self.intern(q, sig, DagOp::Join { keys: keys.clone() }, vec![l, r], ops)
+            }
+            LogicalPlan::Aggregate { input, group_by, aggs } => {
+                let child = self.cons(q, input)?;
+                let ops = self.subtree_ops[&child.0] + 1;
+                // Group exprs and aggregate (func, arg) included; output
+                // names excluded (they differ per query without changing
+                // the computation).
+                let mut sig = format!("agg({child};by=");
+                for (e, _) in group_by {
+                    sig.push_str(&format!("{e},"));
+                }
+                sig.push_str(";aggs=");
+                for a in aggs {
+                    sig.push_str(&format!("{}({}),", a.func, a.arg));
+                }
+                sig.push(')');
+                self.intern(
+                    q,
+                    sig,
+                    DagOp::Aggregate { group_by: group_by.clone(), aggs: aggs.clone() },
+                    vec![child],
+                    ops,
+                )
+            }
+        }
+    }
+
+    /// Intern a select node. Predicates are excluded from signatures (that
+    /// is what makes differing selects sharable), which creates one wrinkle:
+    /// a single query may contain two *different* selects over the same
+    /// child (a self-join with different filters). Such occurrences must not
+    /// merge — their branches would overlap on the query. Each (child)
+    /// signature therefore carries an occurrence index, and a query's select
+    /// takes the first occurrence that has no conflicting predicate for it.
+    fn intern_select(
+        &mut self,
+        q: QueryId,
+        child: NodeId,
+        predicate: &ishare_expr::Expr,
+        subtree_ops: usize,
+    ) -> Result<NodeId> {
+        for attempt in 0.. {
+            let sig = format!("select({child})#{attempt}");
+            let salted = self.salt(q, sig, subtree_ops);
+            if let Some(&id) = self.by_signature.get(&salted) {
+                let conflict = self
+                    .select_preds
+                    .get(&id.0)
+                    .map(|ps| ps.iter().any(|(pq, pp)| *pq == q && pp != predicate))
+                    .unwrap_or(false);
+                if conflict {
+                    continue;
+                }
+                self.dag.nodes[id.0 as usize].queries.insert(q);
+                let preds = self.select_preds.entry(id.0).or_default();
+                if !preds.iter().any(|(pq, pp)| *pq == q && pp == predicate) {
+                    preds.push((q, predicate.clone()));
+                }
+                return Ok(id);
+            }
+            let id = self.dag.add_node(
+                DagOp::Select { branches: vec![] },
+                vec![child],
+                QuerySet::single(q),
+            )?;
+            self.by_signature.insert(salted, id);
+            self.subtree_ops.insert(id.0, subtree_ops);
+            self.select_preds.entry(id.0).or_default().push((q, predicate.clone()));
+            return Ok(id);
+        }
+        unreachable!("occurrence loop always returns")
+    }
+
+    fn salt(&self, q: QueryId, sig: String, subtree_ops: usize) -> String {
+        if !self.config.enable_sharing || subtree_ops < self.config.min_shared_ops {
+            format!("{sig}@{q}")
+        } else {
+            sig
+        }
+    }
+
+    fn intern(
+        &mut self,
+        q: QueryId,
+        sig: String,
+        op: DagOp,
+        children: Vec<NodeId>,
+        subtree_ops: usize,
+    ) -> Result<NodeId> {
+        let sig = self.salt(q, sig, subtree_ops);
+        if let Some(&id) = self.by_signature.get(&sig) {
+            self.dag.nodes[id.0 as usize].queries.insert(q);
+            return Ok(id);
+        }
+        let id = self.dag.add_node(op, children, QuerySet::single(q))?;
+        self.by_signature.insert(sig, id);
+        self.subtree_ops.insert(id.0, subtree_ops);
+        Ok(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::normalize::normalize;
+    use ishare_common::DataType;
+    use ishare_expr::Expr;
+    use ishare_plan::{PlanBuilder, SharedPlan};
+    use ishare_storage::{Field, Schema, TableStats};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.add_table(
+            "t",
+            Schema::new(vec![
+                Field::new("k", DataType::Int),
+                Field::new("v", DataType::Int),
+            ]),
+            TableStats::unknown(100.0, 2),
+        )
+        .unwrap();
+        c.add_table(
+            "u",
+            Schema::new(vec![
+                Field::new("uk", DataType::Int),
+                Field::new("w", DataType::Int),
+            ]),
+            TableStats::unknown(50.0, 2),
+        )
+        .unwrap();
+        c
+    }
+
+    fn agg_query(c: &Catalog, pred: Option<Expr>) -> LogicalPlan {
+        let mut b = PlanBuilder::scan(c, "t").unwrap();
+        if let Some(p) = pred {
+            b = b.select(move |_| Ok(p)).unwrap();
+        }
+        normalize(
+            &b.aggregate(&["k"], |x| Ok(vec![x.sum("v", "s")?]))
+                .unwrap()
+                .build(),
+        )
+    }
+
+    #[test]
+    fn identical_structure_different_predicates_share() {
+        let c = catalog();
+        let q0 = agg_query(&c, None);
+        let q1 = agg_query(&c, Some(Expr::col(1).gt(Expr::lit(5i64))));
+        let dag = build_shared_dag(
+            &[(QueryId(0), q0), (QueryId(1), q1)],
+            &c,
+            &MqoConfig::default(),
+        )
+        .unwrap();
+        // One scan, one shared select with two branches, one shared agg,
+        // plus the pass-through select normalization puts above the root.
+        assert_eq!(dag.nodes.len(), 4);
+        let sel = dag
+            .nodes
+            .iter()
+            .find(|n| matches!(n.op, DagOp::Select { .. }))
+            .unwrap();
+        if let DagOp::Select { branches } = &sel.op {
+            assert_eq!(branches.len(), 2);
+        }
+        assert_eq!(sel.queries.len(), 2);
+        // Both queries root at the same aggregate node.
+        assert_eq!(dag.query_roots[0].1, dag.query_roots[1].1);
+    }
+
+    #[test]
+    fn identical_predicates_coalesce_into_one_branch() {
+        let c = catalog();
+        let p = Expr::col(1).gt(Expr::lit(5i64));
+        let q0 = agg_query(&c, Some(p.clone()));
+        let q1 = agg_query(&c, Some(p));
+        let dag = build_shared_dag(
+            &[(QueryId(0), q0), (QueryId(1), q1)],
+            &c,
+            &MqoConfig::default(),
+        )
+        .unwrap();
+        let sel = dag
+            .nodes
+            .iter()
+            .find(|n| matches!(n.op, DagOp::Select { .. }))
+            .unwrap();
+        if let DagOp::Select { branches } = &sel.op {
+            assert_eq!(branches.len(), 1);
+            assert_eq!(branches[0].queries.len(), 2);
+        }
+    }
+
+    #[test]
+    fn different_aggregates_do_not_share() {
+        let c = catalog();
+        let q0 = agg_query(&c, None);
+        let q1 = normalize(
+            &PlanBuilder::scan(&c, "t")
+                .unwrap()
+                .aggregate(&["k"], |x| Ok(vec![x.max("v", "m")?]))
+                .unwrap()
+                .build(),
+        );
+        let dag = build_shared_dag(
+            &[(QueryId(0), q0), (QueryId(1), q1)],
+            &c,
+            &MqoConfig::default(),
+        )
+        .unwrap();
+        // Scan and select shared; two distinct aggregate nodes.
+        let aggs: Vec<_> = dag
+            .nodes
+            .iter()
+            .filter(|n| matches!(n.op, DagOp::Aggregate { .. }))
+            .collect();
+        assert_eq!(aggs.len(), 2);
+        assert_eq!(aggs[0].queries.len(), 1);
+    }
+
+    #[test]
+    fn no_sharing_config_keeps_queries_private() {
+        let c = catalog();
+        let q0 = agg_query(&c, None);
+        let q1 = agg_query(&c, None);
+        let dag = build_shared_dag(
+            &[(QueryId(0), q0), (QueryId(1), q1)],
+            &c,
+            &MqoConfig::no_sharing(),
+        )
+        .unwrap();
+        // 4 normalized ops per query (scan, select, agg, top select), all
+        // private.
+        assert_eq!(dag.nodes.len(), 8, "every node private per query");
+        for n in &dag.nodes {
+            assert_eq!(n.queries.len(), 1);
+        }
+    }
+
+    #[test]
+    fn min_shared_ops_guard() {
+        let c = catalog();
+        let q0 = agg_query(&c, None);
+        let q1 = agg_query(&c, None);
+        // Subtrees smaller than 3 ops stay private: the scan (1) and select
+        // (2) do not merge; the aggregate (3 ops) would be shareable, but
+        // its children are private per query, so its signatures differ and
+        // nothing merges at all — 4 normalized ops × 2 queries.
+        let dag = build_shared_dag(
+            &[(QueryId(0), q0), (QueryId(1), q1)],
+            &c,
+            &MqoConfig { enable_sharing: true, min_shared_ops: 3 },
+        )
+        .unwrap();
+        assert_eq!(dag.nodes.len(), 8);
+    }
+
+    #[test]
+    fn joins_share_when_keys_match() {
+        let c = catalog();
+        let mk = |pred: Option<Expr>| {
+            let mut t = PlanBuilder::scan(&c, "t").unwrap();
+            if let Some(p) = pred {
+                t = t.select(move |_| Ok(p)).unwrap();
+            }
+            normalize(
+                &t.join(PlanBuilder::scan(&c, "u").unwrap(), &[("k", "uk")])
+                    .unwrap()
+                    .aggregate(&["k"], |x| Ok(vec![x.sum("w", "sw")?]))
+                    .unwrap()
+                    .build(),
+            )
+        };
+        let dag = build_shared_dag(
+            &[
+                (QueryId(0), mk(None)),
+                (QueryId(1), mk(Some(Expr::col(1).lt(Expr::lit(3i64))))),
+            ],
+            &c,
+            &MqoConfig::default(),
+        )
+        .unwrap();
+        let join = dag
+            .nodes
+            .iter()
+            .find(|n| matches!(n.op, DagOp::Join { .. }))
+            .unwrap();
+        assert_eq!(join.queries.len(), 2, "join shared across both queries");
+        // End-to-end: the DAG converts into a valid shared plan.
+        let plan = SharedPlan::from_dag(&dag, |_| false).unwrap();
+        plan.validate(&c).unwrap();
+    }
+
+    #[test]
+    fn self_join_with_different_predicates_stays_correct() {
+        // A single query selecting the same table twice with different
+        // predicates: the two selects must NOT merge (their branches would
+        // overlap on the query), while the scan may be a shared diamond.
+        let c = catalog();
+        let left = PlanBuilder::scan(&c, "t")
+            .unwrap()
+            .select(|x| Ok(x.col("v")?.gt(Expr::lit(5i64))))
+            .unwrap();
+        let right = PlanBuilder::scan(&c, "t")
+            .unwrap()
+            .select(|x| Ok(x.col("v")?.lt(Expr::lit(2i64))))
+            .unwrap()
+            .alias("r");
+        let q = normalize(
+            &left
+                .join(right, &[("k", "r.k")])
+                .unwrap()
+                .aggregate(&["k"], |_| Ok(vec![ishare_plan::AggExpr::count_star("n")]))
+                .unwrap()
+                .build(),
+        );
+        let dag =
+            build_shared_dag(&[(QueryId(0), q)], &c, &MqoConfig::default()).unwrap();
+        // validate() checks branch partitions; this is the regression the
+        // occurrence index prevents.
+        let selects: Vec<_> = dag
+            .nodes
+            .iter()
+            .filter(|n| matches!(n.op, DagOp::Select { .. }))
+            .collect();
+        assert!(selects.len() >= 2, "the two filters stay separate nodes");
+        let scans: Vec<_> = dag
+            .nodes
+            .iter()
+            .filter(|n| matches!(n.op, DagOp::Scan { .. }))
+            .collect();
+        assert_eq!(scans.len(), 1, "the scan is a shared diamond");
+    }
+
+    #[test]
+    fn self_join_with_same_predicate_reuses_node() {
+        let c = catalog();
+        let p = Expr::col(1).gt(Expr::lit(5i64));
+        let pc = p.clone();
+        let left = PlanBuilder::scan(&c, "t").unwrap().select(move |_| Ok(p)).unwrap();
+        let right =
+            PlanBuilder::scan(&c, "t").unwrap().select(move |_| Ok(pc)).unwrap().alias("r");
+        let q = normalize(
+            &left
+                .join(right, &[("k", "r.k")])
+                .unwrap()
+                .aggregate(&["k"], |_| Ok(vec![ishare_plan::AggExpr::count_star("n")]))
+                .unwrap()
+                .build(),
+        );
+        let dag =
+            build_shared_dag(&[(QueryId(0), q)], &c, &MqoConfig::default()).unwrap();
+        // Identical subtrees collapse into a diamond: one scan, and exactly
+        // one select carrying the (shared) non-trivial predicate.
+        let scans =
+            dag.nodes.iter().filter(|n| matches!(n.op, DagOp::Scan { .. })).count();
+        assert_eq!(scans, 1);
+        let filter_selects = dag
+            .nodes
+            .iter()
+            .filter(|n| match &n.op {
+                DagOp::Select { branches } => {
+                    branches.iter().any(|b| !b.predicate.is_true_lit())
+                }
+                _ => false,
+            })
+            .count();
+        assert_eq!(filter_selects, 1, "identical filter selects form a diamond");
+    }
+
+    #[test]
+    fn shared_roots_serve_both_queries() {
+        let c = catalog();
+        let q0 = agg_query(&c, None);
+        let q1 = agg_query(&c, None);
+        let dag = build_shared_dag(
+            &[(QueryId(0), q0), (QueryId(1), q1)],
+            &c,
+            &MqoConfig::default(),
+        )
+        .unwrap();
+        let plan = SharedPlan::from_dag(&dag, |_| false).unwrap();
+        plan.validate(&c).unwrap();
+        let r0 = plan.query_root(QueryId(0)).unwrap();
+        let r1 = plan.query_root(QueryId(1)).unwrap();
+        assert_eq!(r0, r1, "identical queries share one output subplan");
+    }
+}

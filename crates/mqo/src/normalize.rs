@@ -1,0 +1,252 @@
+//! Plan canonicalization.
+//!
+//! Signature-based sharing only fires when two plans have *exactly* the same
+//! structure modulo select predicates. Queries as authored rarely do: one
+//! filters a scan, another doesn't. Normalization fixes the shapes:
+//!
+//! * adjacent selects collapse into one conjunctive select, and
+//! * every scan, join and aggregate gets exactly one select directly above
+//!   it (inserting `TRUE` pass-through selects where none exists).
+//!
+//! Both rewrites are semantics-preserving; they only make equal-modulo-
+//! predicates plans structurally identical so the string signatures match.
+
+use ishare_expr::Expr;
+use ishare_plan::LogicalPlan;
+
+/// Canonicalize a plan for signature-based sharing.
+pub fn normalize(plan: &LogicalPlan) -> LogicalPlan {
+    // First collapse select chains bottom-up, then insert canonical selects.
+    insert_selects(&collapse_selects(plan))
+}
+
+/// Collapse `Select(Select(x, p2), p1)` into `Select(x, p2 AND p1)`.
+fn collapse_selects(plan: &LogicalPlan) -> LogicalPlan {
+    match plan {
+        LogicalPlan::Scan { .. } => plan.clone(),
+        LogicalPlan::Select { input, predicate } => {
+            let inner = collapse_selects(input);
+            match inner {
+                LogicalPlan::Select { input: inner_input, predicate: inner_pred } => {
+                    LogicalPlan::Select {
+                        input: inner_input,
+                        predicate: combine(inner_pred, predicate.clone()),
+                    }
+                }
+                other => LogicalPlan::Select {
+                    input: Box::new(other),
+                    predicate: predicate.clone(),
+                },
+            }
+        }
+        LogicalPlan::Project { input, exprs } => LogicalPlan::Project {
+            input: Box::new(collapse_selects(input)),
+            exprs: exprs.clone(),
+        },
+        LogicalPlan::Aggregate { input, group_by, aggs } => LogicalPlan::Aggregate {
+            input: Box::new(collapse_selects(input)),
+            group_by: group_by.clone(),
+            aggs: aggs.clone(),
+        },
+        LogicalPlan::Join { left, right, keys } => LogicalPlan::Join {
+            left: Box::new(collapse_selects(left)),
+            right: Box::new(collapse_selects(right)),
+            keys: keys.clone(),
+        },
+    }
+}
+
+fn combine(a: Expr, b: Expr) -> Expr {
+    if a.is_true_lit() {
+        b
+    } else if b.is_true_lit() {
+        a
+    } else {
+        a.and(b)
+    }
+}
+
+/// Ensure every scan/join/aggregate has exactly one select above it.
+fn insert_selects(plan: &LogicalPlan) -> LogicalPlan {
+    let rewritten = match plan {
+        LogicalPlan::Scan { .. } => plan.clone(),
+        LogicalPlan::Select { input, predicate } => {
+            // Keep the select, normalize below it without re-inserting a
+            // duplicate select directly under this one.
+            let child = insert_selects_below(input);
+            LogicalPlan::Select { input: Box::new(child), predicate: predicate.clone() }
+        }
+        other => {
+            let child = insert_selects_below(other);
+            // Wrap with a pass-through select.
+            return LogicalPlan::Select { input: Box::new(child), predicate: Expr::true_lit() };
+        }
+    };
+    match rewritten {
+        LogicalPlan::Scan { .. } => LogicalPlan::Select {
+            input: Box::new(rewritten),
+            predicate: Expr::true_lit(),
+        },
+        other => other,
+    }
+}
+
+/// Normalize the node itself (children get canonical selects) without
+/// wrapping *this* node in a select.
+fn insert_selects_below(plan: &LogicalPlan) -> LogicalPlan {
+    match plan {
+        LogicalPlan::Scan { .. } => plan.clone(),
+        LogicalPlan::Select { input, predicate } => LogicalPlan::Select {
+            input: Box::new(insert_selects_below(input)),
+            predicate: predicate.clone(),
+        },
+        LogicalPlan::Project { input, exprs } => LogicalPlan::Project {
+            input: Box::new(insert_selects(input)),
+            exprs: exprs.clone(),
+        },
+        LogicalPlan::Aggregate { input, group_by, aggs } => LogicalPlan::Aggregate {
+            input: Box::new(insert_selects(input)),
+            group_by: group_by.clone(),
+            aggs: aggs.clone(),
+        },
+        LogicalPlan::Join { left, right, keys } => LogicalPlan::Join {
+            left: Box::new(insert_selects(left)),
+            right: Box::new(insert_selects(right)),
+            keys: keys.clone(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ishare_common::DataType;
+    use ishare_plan::PlanBuilder;
+    use ishare_storage::{Catalog, Field, Schema, TableStats};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.add_table(
+            "t",
+            Schema::new(vec![
+                Field::new("k", DataType::Int),
+                Field::new("v", DataType::Int),
+            ]),
+            TableStats::unknown(10.0, 2),
+        )
+        .unwrap();
+        c.add_table(
+            "u",
+            Schema::new(vec![
+                Field::new("uk", DataType::Int),
+                Field::new("w", DataType::Int),
+            ]),
+            TableStats::unknown(10.0, 2),
+        )
+        .unwrap();
+        c
+    }
+
+    /// Structural shape string, ignoring predicates.
+    fn shape(p: &LogicalPlan) -> String {
+        match p {
+            LogicalPlan::Scan { table } => format!("scan{}", table.0),
+            LogicalPlan::Select { input, .. } => format!("sel({})", shape(input)),
+            LogicalPlan::Project { input, .. } => format!("proj({})", shape(input)),
+            LogicalPlan::Aggregate { input, .. } => format!("agg({})", shape(input)),
+            LogicalPlan::Join { left, right, .. } => {
+                format!("join({},{})", shape(left), shape(right))
+            }
+        }
+    }
+
+    #[test]
+    fn filtered_and_unfiltered_scans_align() {
+        let c = catalog();
+        let with_filter = PlanBuilder::scan(&c, "t")
+            .unwrap()
+            .select(|x| Ok(x.col("v")?.gt(Expr::lit(1i64))))
+            .unwrap()
+            .aggregate(&["k"], |x| Ok(vec![x.sum("v", "s")?]))
+            .unwrap()
+            .build();
+        let without = PlanBuilder::scan(&c, "t")
+            .unwrap()
+            .aggregate(&["k"], |x| Ok(vec![x.sum("v", "s")?]))
+            .unwrap()
+            .build();
+        assert_eq!(shape(&normalize(&with_filter)), shape(&normalize(&without)));
+    }
+
+    #[test]
+    fn select_chains_collapse() {
+        let c = catalog();
+        let chained = PlanBuilder::scan(&c, "t")
+            .unwrap()
+            .select(|x| Ok(x.col("v")?.gt(Expr::lit(1i64))))
+            .unwrap()
+            .select(|x| Ok(x.col("k")?.lt(Expr::lit(5i64))))
+            .unwrap()
+            .build();
+        let n = normalize(&chained);
+        // Exactly one select above the scan.
+        assert_eq!(shape(&n), "sel(scan0)");
+        if let LogicalPlan::Select { predicate, .. } = &n {
+            // Conjunction of both predicates.
+            assert!(predicate.to_string().contains("AND"));
+        } else {
+            panic!("expected select");
+        }
+    }
+
+    #[test]
+    fn joins_and_aggregates_get_selects() {
+        let c = catalog();
+        let plan = PlanBuilder::scan(&c, "t")
+            .unwrap()
+            .join(PlanBuilder::scan(&c, "u").unwrap(), &[("k", "uk")])
+            .unwrap()
+            .aggregate(&["k"], |x| Ok(vec![x.sum("w", "s")?]))
+            .unwrap()
+            .build();
+        let n = normalize(&plan);
+        assert_eq!(
+            shape(&n),
+            "sel(agg(sel(join(sel(scan0),sel(scan1)))))"
+        );
+    }
+
+    #[test]
+    fn idempotent() {
+        let c = catalog();
+        let plan = PlanBuilder::scan(&c, "t")
+            .unwrap()
+            .join(PlanBuilder::scan(&c, "u").unwrap(), &[("k", "uk")])
+            .unwrap()
+            .aggregate(&["k"], |x| Ok(vec![x.sum("w", "s")?]))
+            .unwrap()
+            .project_cols(&["k", "s"])
+            .unwrap()
+            .build();
+        let once = normalize(&plan);
+        let twice = normalize(&once);
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn normalized_plan_still_typechecks() {
+        // Semantics preservation against the reference executor is covered
+        // by the cross-crate integration tests; here assert the normalized
+        // plan still validates and keeps its output schema.
+        let c = catalog();
+        let plan = PlanBuilder::scan(&c, "t")
+            .unwrap()
+            .select(|x| Ok(x.col("v")?.gt(Expr::lit(1i64))))
+            .unwrap()
+            .aggregate(&["k"], |x| Ok(vec![x.sum("v", "s")?]))
+            .unwrap()
+            .build();
+        let n = normalize(&plan);
+        assert_eq!(n.schema(&c).unwrap(), plan.schema(&c).unwrap());
+    }
+}

@@ -1,0 +1,91 @@
+//! Aggregate function specifications.
+
+use ishare_expr::Expr;
+use std::fmt;
+
+/// Supported aggregate functions.
+///
+/// `Min`/`Max` are deliberately the *non-incrementable* aggregates of the
+/// paper: deleting the current extremum forces a rescan of the group's
+/// arrived values (the Q15 discussion in Sec. 5.3), which is what makes
+/// eager maintenance of such operators wasteful.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggFunc {
+    /// Sum of a numeric expression.
+    Sum,
+    /// Count of non-NULL evaluations (use a constant argument for `COUNT(*)`).
+    Count,
+    /// Arithmetic mean (maintained as sum + count).
+    Avg,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+}
+
+impl AggFunc {
+    /// `true` for MIN/MAX, whose deletion handling is a rescan.
+    pub fn is_extremum(self) -> bool {
+        matches!(self, AggFunc::Min | AggFunc::Max)
+    }
+}
+
+impl fmt::Display for AggFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AggFunc::Sum => "sum",
+            AggFunc::Count => "count",
+            AggFunc::Avg => "avg",
+            AggFunc::Min => "min",
+            AggFunc::Max => "max",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One aggregate column: a function over an input expression, with an output
+/// column name.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct AggExpr {
+    /// The aggregate function.
+    pub func: AggFunc,
+    /// Input expression over the aggregate's input schema.
+    pub arg: Expr,
+    /// Output column name.
+    pub name: String,
+}
+
+impl AggExpr {
+    /// Convenience constructor.
+    pub fn new(func: AggFunc, arg: Expr, name: impl Into<String>) -> Self {
+        AggExpr { func, arg, name: name.into() }
+    }
+
+    /// `COUNT(*)` — counts rows regardless of values.
+    pub fn count_star(name: impl Into<String>) -> Self {
+        AggExpr { func: AggFunc::Count, arg: Expr::lit(1i64), name: name.into() }
+    }
+}
+
+impl fmt::Display for AggExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}({}) as {}", self.func, self.arg, self.name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_flags() {
+        let a = AggExpr::new(AggFunc::Sum, Expr::col(2), "s");
+        assert_eq!(a.to_string(), "sum(#2) as s");
+        assert!(AggFunc::Max.is_extremum());
+        assert!(AggFunc::Min.is_extremum());
+        assert!(!AggFunc::Sum.is_extremum());
+        let c = AggExpr::count_star("n");
+        assert_eq!(c.func, AggFunc::Count);
+        assert!(c.arg.is_true_lit() || matches!(c.arg, Expr::Literal(_)));
+    }
+}

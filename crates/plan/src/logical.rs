@@ -1,0 +1,361 @@
+//! Single-query logical plans.
+
+use crate::agg::AggExpr;
+use ishare_common::{DataType, Error, Result, TableId};
+use ishare_expr::typecheck::{check_predicate, infer_type};
+use ishare_expr::Expr;
+use ishare_storage::{Catalog, Field, Schema};
+use std::fmt;
+
+/// One query's operator tree over the algebra the paper's prototype supports
+/// (Sec. 2.3): scan, select, project, group-by aggregate, inner equi-join.
+///
+/// Select predicates and projections may differ between otherwise-identical
+/// plans without destroying sharability; everything else (join keys,
+/// aggregate specifications, tree shape) must match exactly for two subplans
+/// to be shared.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LogicalPlan {
+    /// Scan a base relation's delta log.
+    Scan {
+        /// The relation.
+        table: TableId,
+    },
+    /// Filter rows by a predicate.
+    Select {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Boolean predicate over the input schema.
+        predicate: Expr,
+    },
+    /// Compute output columns.
+    Project {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// `(expression, output name)` pairs.
+        exprs: Vec<(Expr, String)>,
+    },
+    /// Group-by aggregation. Output layout: group columns then aggregate
+    /// columns, in declaration order.
+    Aggregate {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// `(expression, output name)` group keys (may be empty for a global
+        /// aggregate).
+        group_by: Vec<(Expr, String)>,
+        /// Aggregate columns.
+        aggs: Vec<AggExpr>,
+    },
+    /// Inner equi-join. Output layout: left columns then right columns.
+    Join {
+        /// Left input.
+        left: Box<LogicalPlan>,
+        /// Right input.
+        right: Box<LogicalPlan>,
+        /// Equi-join keys: `(left expression, right expression)`, each over
+        /// its own side's schema.
+        keys: Vec<(Expr, Expr)>,
+    },
+}
+
+impl LogicalPlan {
+    /// Output schema of this plan over `catalog`, validating expression
+    /// types and column bounds along the way.
+    pub fn schema(&self, catalog: &Catalog) -> Result<Schema> {
+        match self {
+            LogicalPlan::Scan { table } => Ok(catalog.table(*table)?.schema.clone()),
+            LogicalPlan::Select { input, predicate } => {
+                let s = input.schema(catalog)?;
+                check_predicate(predicate, &s)?;
+                Ok(s)
+            }
+            LogicalPlan::Project { input, exprs } => {
+                let s = input.schema(catalog)?;
+                let mut fields = Vec::with_capacity(exprs.len());
+                for (e, name) in exprs {
+                    fields.push(Field::new(name.clone(), infer_type(e, &s)?));
+                }
+                Ok(Schema::new(fields))
+            }
+            LogicalPlan::Aggregate { input, group_by, aggs } => {
+                let s = input.schema(catalog)?;
+                let mut fields = Vec::with_capacity(group_by.len() + aggs.len());
+                for (e, name) in group_by {
+                    fields.push(Field::new(name.clone(), infer_type(e, &s)?));
+                }
+                for a in aggs {
+                    fields.push(Field::new(a.name.clone(), agg_output_type(a, &s)?));
+                }
+                Ok(Schema::new(fields))
+            }
+            LogicalPlan::Join { left, right, keys } => {
+                let ls = left.schema(catalog)?;
+                let rs = right.schema(catalog)?;
+                for (lk, rk) in keys {
+                    infer_type(lk, &ls)?;
+                    infer_type(rk, &rs)?;
+                }
+                if keys.is_empty() {
+                    return Err(Error::InvalidPlan(
+                        "join requires at least one equi-join key".into(),
+                    ));
+                }
+                Ok(ls.concat(&rs))
+            }
+        }
+    }
+
+    /// Number of operators in the tree (used by optimization-overhead
+    /// accounting and partial-decomposition candidate bounds).
+    pub fn operator_count(&self) -> usize {
+        1 + match self {
+            LogicalPlan::Scan { .. } => 0,
+            LogicalPlan::Select { input, .. } | LogicalPlan::Project { input, .. } => {
+                input.operator_count()
+            }
+            LogicalPlan::Aggregate { input, .. } => input.operator_count(),
+            LogicalPlan::Join { left, right, .. } => {
+                left.operator_count() + right.operator_count()
+            }
+        }
+    }
+
+    /// All base relations scanned by the plan (with duplicates for repeated
+    /// scans).
+    pub fn tables(&self) -> Vec<TableId> {
+        let mut out = Vec::new();
+        self.collect_tables(&mut out);
+        out
+    }
+
+    fn collect_tables(&self, out: &mut Vec<TableId>) {
+        match self {
+            LogicalPlan::Scan { table } => out.push(*table),
+            LogicalPlan::Select { input, .. }
+            | LogicalPlan::Project { input, .. }
+            | LogicalPlan::Aggregate { input, .. } => input.collect_tables(out),
+            LogicalPlan::Join { left, right, .. } => {
+                left.collect_tables(out);
+                right.collect_tables(out);
+            }
+        }
+    }
+
+    /// Pretty-print as an indented operator tree.
+    pub fn display(&self) -> PlanDisplay<'_> {
+        PlanDisplay(self)
+    }
+}
+
+/// Output type of an aggregate column.
+pub fn agg_output_type(a: &AggExpr, input: &Schema) -> Result<DataType> {
+    use crate::agg::AggFunc::*;
+    let in_ty = infer_type(&a.arg, input)?;
+    Ok(match a.func {
+        Count => DataType::Int,
+        Avg => DataType::Float,
+        Sum => match in_ty {
+            DataType::Int => DataType::Int,
+            _ => DataType::Float,
+        },
+        Min | Max => in_ty,
+    })
+}
+
+/// Indented display wrapper returned by [`LogicalPlan::display`].
+pub struct PlanDisplay<'a>(&'a LogicalPlan);
+
+impl fmt::Display for PlanDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn go(p: &LogicalPlan, f: &mut fmt::Formatter<'_>, depth: usize) -> fmt::Result {
+            for _ in 0..depth {
+                write!(f, "  ")?;
+            }
+            match p {
+                LogicalPlan::Scan { table } => writeln!(f, "Scan {table}"),
+                LogicalPlan::Select { input, predicate } => {
+                    writeln!(f, "Select {predicate}")?;
+                    go(input, f, depth + 1)
+                }
+                LogicalPlan::Project { input, exprs } => {
+                    write!(f, "Project ")?;
+                    for (i, (e, n)) in exprs.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "{e} as {n}")?;
+                    }
+                    writeln!(f)?;
+                    go(input, f, depth + 1)
+                }
+                LogicalPlan::Aggregate { input, group_by, aggs } => {
+                    write!(f, "Aggregate by [")?;
+                    for (i, (e, n)) in group_by.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "{e} as {n}")?;
+                    }
+                    write!(f, "] compute [")?;
+                    for (i, a) in aggs.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "{a}")?;
+                    }
+                    writeln!(f, "]")?;
+                    go(input, f, depth + 1)
+                }
+                LogicalPlan::Join { left, right, keys } => {
+                    write!(f, "Join on ")?;
+                    for (i, (l, r)) in keys.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, " AND ")?;
+                        }
+                        write!(f, "{l} = {r}")?;
+                    }
+                    writeln!(f)?;
+                    go(left, f, depth + 1)?;
+                    go(right, f, depth + 1)
+                }
+            }
+        }
+        go(self.0, f, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agg::AggFunc;
+    use ishare_storage::TableStats;
+
+    fn catalog() -> (Catalog, TableId, TableId) {
+        let mut c = Catalog::new();
+        let orders = c
+            .add_table(
+                "orders",
+                Schema::new(vec![
+                    Field::new("o_id", DataType::Int),
+                    Field::new("o_cust", DataType::Int),
+                    Field::new("o_total", DataType::Float),
+                ]),
+                TableStats::unknown(100.0, 3),
+            )
+            .unwrap();
+        let cust = c
+            .add_table(
+                "customer",
+                Schema::new(vec![
+                    Field::new("c_id", DataType::Int),
+                    Field::new("c_name", DataType::Str),
+                ]),
+                TableStats::unknown(10.0, 2),
+            )
+            .unwrap();
+        (c, orders, cust)
+    }
+
+    fn sample_plan(orders: TableId, cust: TableId) -> LogicalPlan {
+        // SELECT c_name, sum(o_total) FROM orders JOIN customer ON o_cust=c_id
+        // WHERE o_total > 10 GROUP BY c_name
+        LogicalPlan::Aggregate {
+            input: Box::new(LogicalPlan::Join {
+                left: Box::new(LogicalPlan::Select {
+                    input: Box::new(LogicalPlan::Scan { table: orders }),
+                    predicate: Expr::col(2).gt(Expr::lit(10.0)),
+                }),
+                right: Box::new(LogicalPlan::Scan { table: cust }),
+                keys: vec![(Expr::col(1), Expr::col(0))],
+            }),
+            group_by: vec![(Expr::col(4), "c_name".into())],
+            aggs: vec![AggExpr::new(AggFunc::Sum, Expr::col(2), "total")],
+        }
+    }
+
+    #[test]
+    fn schema_computation() {
+        let (c, orders, cust) = catalog();
+        let p = sample_plan(orders, cust);
+        let s = p.schema(&c).unwrap();
+        assert_eq!(s.arity(), 2);
+        assert_eq!(s.fields()[0].name, "c_name");
+        assert_eq!(s.fields()[0].ty, DataType::Str);
+        assert_eq!(s.fields()[1].name, "total");
+        assert_eq!(s.fields()[1].ty, DataType::Float);
+    }
+
+    #[test]
+    fn invalid_plans_rejected() {
+        let (c, orders, cust) = catalog();
+        // Predicate referencing column out of bounds.
+        let p = LogicalPlan::Select {
+            input: Box::new(LogicalPlan::Scan { table: orders }),
+            predicate: Expr::col(9).eq(Expr::lit(1i64)),
+        };
+        assert!(p.schema(&c).is_err());
+        // Non-boolean predicate.
+        let p = LogicalPlan::Select {
+            input: Box::new(LogicalPlan::Scan { table: orders }),
+            predicate: Expr::col(0),
+        };
+        assert!(p.schema(&c).is_err());
+        // Join without keys.
+        let p = LogicalPlan::Join {
+            left: Box::new(LogicalPlan::Scan { table: orders }),
+            right: Box::new(LogicalPlan::Scan { table: cust }),
+            keys: vec![],
+        };
+        assert!(p.schema(&c).is_err());
+    }
+
+    #[test]
+    fn operator_count_and_tables() {
+        let (_c, orders, cust) = catalog();
+        let p = sample_plan(orders, cust);
+        assert_eq!(p.operator_count(), 5);
+        assert_eq!(p.tables(), vec![orders, cust]);
+    }
+
+    #[test]
+    fn agg_types() {
+        let (c, orders, cust) = catalog();
+        let join_schema = LogicalPlan::Join {
+            left: Box::new(LogicalPlan::Scan { table: orders }),
+            right: Box::new(LogicalPlan::Scan { table: cust }),
+            keys: vec![(Expr::col(1), Expr::col(0))],
+        }
+        .schema(&c)
+        .unwrap();
+        assert_eq!(
+            agg_output_type(&AggExpr::new(AggFunc::Count, Expr::col(0), "n"), &join_schema)
+                .unwrap(),
+            DataType::Int
+        );
+        assert_eq!(
+            agg_output_type(&AggExpr::new(AggFunc::Sum, Expr::col(0), "s"), &join_schema)
+                .unwrap(),
+            DataType::Int
+        );
+        assert_eq!(
+            agg_output_type(&AggExpr::new(AggFunc::Min, Expr::col(4), "m"), &join_schema)
+                .unwrap(),
+            DataType::Str
+        );
+        assert_eq!(
+            agg_output_type(&AggExpr::new(AggFunc::Avg, Expr::col(2), "a"), &join_schema)
+                .unwrap(),
+            DataType::Float
+        );
+    }
+
+    #[test]
+    fn display_indents() {
+        let (_c, orders, cust) = catalog();
+        let p = sample_plan(orders, cust);
+        let s = p.display().to_string();
+        assert!(s.contains("Aggregate"));
+        assert!(s.contains("\n  Join"));
+        assert!(s.contains("\n    Select"));
+    }
+}

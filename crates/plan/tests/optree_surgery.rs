@@ -1,0 +1,89 @@
+//! Property tests for [`OpTree`] path surgery — the primitives the partial
+//! decomposition and plan regeneration lean on.
+
+use ishare_common::{QueryId, QuerySet, SubplanId, TableId};
+use ishare_expr::Expr;
+use ishare_plan::{AggExpr, AggFunc, InputSource, OpTree, SelectBranch, TreeOp};
+use proptest::prelude::*;
+
+/// Random small operator tree (unary chains + binary joins over base leaves).
+fn arb_tree() -> impl Strategy<Value = OpTree> {
+    let leaf = (0u32..4).prop_map(|t| OpTree::input(InputSource::Base(TableId(t))));
+    leaf.prop_recursive(4, 24, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|c| OpTree::node(
+                TreeOp::Select {
+                    branches: vec![SelectBranch {
+                        queries: QuerySet::single(QueryId(0)),
+                        predicate: Expr::true_lit(),
+                    }],
+                },
+                vec![c],
+            )),
+            inner.clone().prop_map(|c| OpTree::node(
+                TreeOp::Aggregate {
+                    group_by: vec![(Expr::col(0), "k".into())],
+                    aggs: vec![AggExpr::new(AggFunc::Sum, Expr::col(0), "s")],
+                },
+                vec![c],
+            )),
+            (inner.clone(), inner).prop_map(|(l, r)| OpTree::node(
+                TreeOp::Join { keys: vec![(Expr::col(0), Expr::col(0))] },
+                vec![l, r],
+            )),
+        ]
+    })
+}
+
+/// All valid paths of a tree.
+fn paths_of(t: &OpTree) -> Vec<Vec<usize>> {
+    let mut out = vec![Vec::new()];
+    fn go(t: &OpTree, prefix: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        for (i, c) in t.inputs.iter().enumerate() {
+            prefix.push(i);
+            out.push(prefix.clone());
+            go(c, prefix, out);
+            prefix.pop();
+        }
+    }
+    go(t, &mut Vec::new(), &mut out);
+    out
+}
+
+proptest! {
+    #[test]
+    fn subtree_replace_roundtrip(t in arb_tree(), pick in 0usize..64) {
+        let paths = paths_of(&t);
+        let path = &paths[pick % paths.len()];
+        // Replacing a subtree with itself is identity.
+        let same = t.replace_at(path, t.subtree_at(path).unwrap().clone()).unwrap();
+        prop_assert_eq!(&same, &t);
+        // Replacing with a marker leaf puts the marker exactly there.
+        let marker = OpTree::input(InputSource::Subplan(SubplanId(99)));
+        let replaced = t.replace_at(path, marker.clone()).unwrap();
+        prop_assert_eq!(replaced.subtree_at(path).unwrap(), &marker);
+        // Operator counts reconcile.
+        let removed = t.subtree_at(path).unwrap().operator_count();
+        prop_assert_eq!(
+            replaced.operator_count(),
+            t.operator_count() - removed + 1
+        );
+        // All other paths' ops are untouched.
+        for other in &paths {
+            if !other.starts_with(path) {
+                let a = t.subtree_at(other).unwrap();
+                let b = replaced.subtree_at(other);
+                prop_assert!(b.is_some());
+                prop_assert_eq!(&a.op, &b.unwrap().op);
+            }
+        }
+    }
+
+    #[test]
+    fn remap_is_structure_preserving(t in arb_tree()) {
+        let remapped = t.remap_subplan_inputs(&|id| SubplanId(id.0 + 7));
+        prop_assert_eq!(remapped.operator_count(), t.operator_count());
+        // Base inputs untouched; no subplan refs exist here, so trees equal.
+        prop_assert_eq!(remapped, t);
+    }
+}

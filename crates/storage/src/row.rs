@@ -1,0 +1,221 @@
+//! Rows and weighted delta rows.
+//!
+//! Incremental execution in iShare is *multiset-delta* execution: every tuple
+//! carries a signed weight. Weight `+1` is an insertion; `-1` a deletion; an
+//! update is modeled as a deletion plus an insertion (Sec. 2.3). Operators
+//! such as shared hash joins multiply weights, so weights are full `i64`s
+//! rather than a single sign bit — this is the standard generalisation used
+//! by IVM engines and keeps the delta algebra closed under composition.
+//!
+//! Every delta row additionally carries the SharedDB query bitvector
+//! ([`QuerySet`]) saying which queries the tuple is valid for.
+
+use ishare_common::{QuerySet, Value};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// An immutable tuple. Cloning is cheap (`Arc`), which matters because rows
+/// are copied into subplan materialization buffers and join state.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Row {
+    values: Arc<[Value]>,
+}
+
+impl Row {
+    /// Build from values.
+    pub fn new(values: Vec<Value>) -> Self {
+        Row { values: values.into() }
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// All values.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Value at position `i` (panics if out of bounds — expression
+    /// evaluation validates indices against schemas up front).
+    pub fn get(&self, i: usize) -> &Value {
+        &self.values[i]
+    }
+
+    /// Concatenate two rows (join output).
+    pub fn concat(&self, other: &Row) -> Row {
+        let mut v: Vec<Value> = self.values.to_vec();
+        v.extend(other.values.iter().cloned());
+        Row::new(v)
+    }
+}
+
+impl fmt::Display for Row {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl From<Vec<Value>> for Row {
+    fn from(v: Vec<Value>) -> Self {
+        Row::new(v)
+    }
+}
+
+/// A weighted, query-annotated tuple flowing through the shared engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeltaRow {
+    /// The tuple.
+    pub row: Row,
+    /// Signed multiset weight. `+1` insert, `-1` delete; operators may
+    /// produce larger magnitudes (e.g. joining two weighted deltas).
+    pub weight: i64,
+    /// Which queries this tuple is valid for (SharedDB bitvector).
+    pub mask: QuerySet,
+}
+
+impl DeltaRow {
+    /// An insertion valid for `mask`.
+    pub fn insert(row: Row, mask: QuerySet) -> Self {
+        DeltaRow { row, weight: 1, mask }
+    }
+
+    /// A deletion valid for `mask`.
+    pub fn delete(row: Row, mask: QuerySet) -> Self {
+        DeltaRow { row, weight: -1, mask }
+    }
+}
+
+/// An ordered batch of delta rows — the unit of data exchanged between
+/// operators within one incremental execution.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DeltaBatch {
+    /// The rows, in arrival order.
+    pub rows: Vec<DeltaRow>,
+}
+
+impl DeltaBatch {
+    /// Empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from rows.
+    pub fn from_rows(rows: Vec<DeltaRow>) -> Self {
+        DeltaBatch { rows }
+    }
+
+    /// Number of delta rows (not weighted).
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` iff no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Append a row.
+    pub fn push(&mut self, row: DeltaRow) {
+        self.rows.push(row);
+    }
+
+    /// Net weighted cardinality per (row, mask): the multiset this batch
+    /// denotes. Used by tests comparing incremental and batch execution.
+    pub fn consolidated(&self) -> HashMap<(Row, QuerySet), i64> {
+        consolidate(self.rows.iter().cloned())
+    }
+}
+
+impl FromIterator<DeltaRow> for DeltaBatch {
+    fn from_iter<T: IntoIterator<Item = DeltaRow>>(iter: T) -> Self {
+        DeltaBatch { rows: iter.into_iter().collect() }
+    }
+}
+
+/// Sum weights per `(row, mask)` and drop zero-weight entries.
+///
+/// Two delta streams are *equivalent* iff they consolidate to the same map;
+/// this is the correctness notion used throughout the test suites.
+pub fn consolidate(rows: impl IntoIterator<Item = DeltaRow>) -> HashMap<(Row, QuerySet), i64> {
+    let mut acc: HashMap<(Row, QuerySet), i64> = HashMap::new();
+    for r in rows {
+        *acc.entry((r.row, r.mask)).or_insert(0) += r.weight;
+    }
+    acc.retain(|_, w| *w != 0);
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ishare_common::QueryId;
+
+    fn row(vals: &[i64]) -> Row {
+        Row::new(vals.iter().map(|&v| Value::Int(v)).collect())
+    }
+
+    #[test]
+    fn row_basics() {
+        let r = row(&[1, 2]);
+        assert_eq!(r.arity(), 2);
+        assert_eq!(r.get(1), &Value::Int(2));
+        let s = r.concat(&row(&[3]));
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.to_string(), "[1, 2, 3]");
+    }
+
+    #[test]
+    fn delta_constructors() {
+        let m = QuerySet::single(QueryId(0));
+        let i = DeltaRow::insert(row(&[1]), m);
+        let d = DeltaRow::delete(row(&[1]), m);
+        assert_eq!(i.weight, 1);
+        assert_eq!(d.weight, -1);
+    }
+
+    #[test]
+    fn consolidation_cancels() {
+        let m = QuerySet::single(QueryId(0));
+        let batch = DeltaBatch::from_rows(vec![
+            DeltaRow::insert(row(&[1]), m),
+            DeltaRow::insert(row(&[1]), m),
+            DeltaRow::delete(row(&[1]), m),
+            DeltaRow::insert(row(&[2]), m),
+            DeltaRow::delete(row(&[2]), m),
+        ]);
+        let c = batch.consolidated();
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[&(row(&[1]), m)], 1);
+    }
+
+    #[test]
+    fn consolidation_respects_masks() {
+        let m0 = QuerySet::single(QueryId(0));
+        let m1 = QuerySet::single(QueryId(1));
+        let c = consolidate(vec![
+            DeltaRow::insert(row(&[1]), m0),
+            DeltaRow::insert(row(&[1]), m1),
+        ]);
+        // Same row under different masks stays distinct.
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn batch_collect() {
+        let m = QuerySet::single(QueryId(0));
+        let b: DeltaBatch = (0..3).map(|i| DeltaRow::insert(row(&[i]), m)).collect();
+        assert_eq!(b.len(), 3);
+        assert!(!b.is_empty());
+        assert!(DeltaBatch::new().is_empty());
+    }
+}

@@ -1,0 +1,141 @@
+//! Positional row schemas.
+
+use ishare_common::{DataType, Error, Result};
+use std::fmt;
+use std::sync::Arc;
+
+/// A named, typed column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    /// Column name (unique within a base relation; qualified as
+    /// `table.column` after joins).
+    pub name: String,
+    /// Column type.
+    pub ty: DataType,
+}
+
+impl Field {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, ty: DataType) -> Self {
+        Field { name: name.into(), ty }
+    }
+}
+
+/// An ordered list of fields describing a row layout.
+///
+/// Schemas are shared (`Arc` internals) because every operator in a shared
+/// plan references its input/output layouts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    fields: Arc<[Field]>,
+}
+
+impl Schema {
+    /// Build from fields.
+    pub fn new(fields: Vec<Field>) -> Self {
+        Schema { fields: fields.into() }
+    }
+
+    /// The empty schema.
+    pub fn empty() -> Self {
+        Schema::new(Vec::new())
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// All fields.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Field at position `i`.
+    pub fn field(&self, i: usize) -> Result<&Field> {
+        self.fields.get(i).ok_or(Error::ColumnOutOfBounds { index: i, arity: self.arity() })
+    }
+
+    /// Position of the column named `name`.
+    pub fn index_of(&self, name: &str) -> Result<usize> {
+        self.fields
+            .iter()
+            .position(|f| f.name == name)
+            .ok_or_else(|| Error::NotFound(format!("column `{name}`")))
+    }
+
+    /// Concatenate two schemas (join output layout: left columns then right
+    /// columns).
+    pub fn concat(&self, other: &Schema) -> Schema {
+        let mut fields: Vec<Field> = self.fields.to_vec();
+        fields.extend(other.fields.iter().cloned());
+        Schema::new(fields)
+    }
+
+    /// A schema with the subset of columns at `indices`, in that order.
+    pub fn project(&self, indices: &[usize]) -> Result<Schema> {
+        let mut fields = Vec::with_capacity(indices.len());
+        for &i in indices {
+            fields.push(self.field(i)?.clone());
+        }
+        Ok(Schema::new(fields))
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, fld) in self.fields.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}: {}", fld.name, fld.ty)?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn abc() -> Schema {
+        Schema::new(vec![
+            Field::new("a", DataType::Int),
+            Field::new("b", DataType::Str),
+            Field::new("c", DataType::Float),
+        ])
+    }
+
+    #[test]
+    fn lookup() {
+        let s = abc();
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.index_of("b").unwrap(), 1);
+        assert!(matches!(s.index_of("z"), Err(Error::NotFound(_))));
+        assert_eq!(s.field(2).unwrap().name, "c");
+        assert!(matches!(s.field(3), Err(Error::ColumnOutOfBounds { index: 3, arity: 3 })));
+    }
+
+    #[test]
+    fn concat_and_project() {
+        let s = abc();
+        let t = Schema::new(vec![Field::new("d", DataType::Bool)]);
+        let u = s.concat(&t);
+        assert_eq!(u.arity(), 4);
+        assert_eq!(u.index_of("d").unwrap(), 3);
+        let p = u.project(&[3, 0]).unwrap();
+        assert_eq!(p.fields()[0].name, "d");
+        assert_eq!(p.fields()[1].name, "a");
+        assert!(u.project(&[9]).is_err());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(
+            abc().to_string(),
+            "(a: int, b: str, c: float)"
+        );
+        assert_eq!(Schema::empty().to_string(), "()");
+    }
+}

@@ -1,0 +1,444 @@
+//! The paced execution driver.
+
+use ishare_common::{
+    CostWeights, Error, QueryId, Result, SubplanId, TableId, WorkCounter, WorkUnits,
+};
+use ishare_exec::{query_result, QueryResult, SubplanExecutor};
+use ishare_plan::{InputSource, SharedPlan};
+use ishare_storage::{Catalog, DeltaBuffer, DeltaRow, Row};
+use std::collections::{BTreeMap, HashMap};
+use std::time::{Duration, Instant};
+
+/// Measured outcome of one paced run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Measured total work: Σ work of all incremental executions.
+    pub total_work: WorkUnits,
+    /// Wall-clock spent inside executions (the paper's "total execution
+    /// time" — single-threaded here, so it is also CPU time).
+    pub total_wall: Duration,
+    /// Per query: measured final work (Σ work of the final executions of
+    /// the query's subplans).
+    pub final_work: BTreeMap<QueryId, f64>,
+    /// Per query: wall-clock latency (Σ wall of the final executions of the
+    /// query's subplans).
+    pub latency: BTreeMap<QueryId, Duration>,
+    /// Final materialized result per query.
+    pub results: BTreeMap<QueryId, QueryResult>,
+    /// Number of incremental executions performed.
+    pub executions: usize,
+}
+
+/// One scheduled incremental execution: subplan `sp` runs when `num/den` of
+/// the trigger's data has arrived.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Tick {
+    num: u32,
+    den: u32,
+    topo_rank: usize,
+    sp: SubplanId,
+    is_final: bool,
+}
+
+impl Tick {
+    fn frac_cmp(&self, other: &Tick) -> std::cmp::Ordering {
+        // i/k vs j/m  ⇔  i·m vs j·k (exact, no float).
+        let a = self.num as u64 * other.den as u64;
+        let b = other.num as u64 * self.den as u64;
+        a.cmp(&b)
+    }
+}
+
+/// Execute `plan` at `paces` over insert-only `data` (each base relation's
+/// full trigger of rows in arrival order). See [`execute_planned_deltas`]
+/// for streams containing deletes/updates.
+pub fn execute_planned(
+    plan: &SharedPlan,
+    paces: &[u32],
+    catalog: &Catalog,
+    data: &HashMap<TableId, Vec<Row>>,
+    weights: CostWeights,
+) -> Result<RunResult> {
+    let feeds: HashMap<TableId, Vec<(Row, i64)>> = data
+        .iter()
+        .map(|(t, rows)| (*t, rows.iter().map(|r| (r.clone(), 1i64)).collect()))
+        .collect();
+    execute_planned_deltas(plan, paces, catalog, &feeds, weights)
+}
+
+/// Execute `plan` at `paces` over weighted delta feeds, with deltas arriving
+/// uniformly.
+///
+/// Each base relation's feed is a sequence of `(row, weight)` deltas in
+/// arrival order: weight `+1` inserts, `-1` deletes, and an update is a
+/// delete followed by an insert (the engine semantics of Sec. 2.3). Subplans
+/// at pace `k` run at arrival fractions `1/k … k/k`; subplans sharing a tick
+/// run children-first (Sec. 5.1: "the child subplans are executed earlier
+/// than their parent subplans").
+pub fn execute_planned_deltas(
+    plan: &SharedPlan,
+    paces: &[u32],
+    catalog: &Catalog,
+    data: &HashMap<TableId, Vec<(Row, i64)>>,
+    weights: CostWeights,
+) -> Result<RunResult> {
+    if paces.len() != plan.len() {
+        return Err(Error::InvalidConfig(format!(
+            "{} paces for {} subplans",
+            paces.len(),
+            plan.len()
+        )));
+    }
+    let schemas = plan.schemas(catalog)?;
+    let topo = plan.topo_order()?;
+    let topo_rank: HashMap<SubplanId, usize> =
+        topo.iter().enumerate().map(|(i, id)| (*id, i)).collect();
+    let all_queries = plan.queries();
+
+    // Buffers: one per base table, one per subplan output.
+    let mut base_buffers: HashMap<TableId, DeltaBuffer> = HashMap::new();
+    let mut base_fed: HashMap<TableId, usize> = HashMap::new();
+    let mut sp_buffers: Vec<DeltaBuffer> = (0..plan.len()).map(|_| DeltaBuffer::new()).collect();
+
+    // Executors + consumer registrations per leaf.
+    let mut executors: Vec<SubplanExecutor> = Vec::with_capacity(plan.len());
+    let mut leaf_consumers: Vec<Vec<(Vec<usize>, InputSource, ishare_storage::ConsumerId)>> =
+        Vec::with_capacity(plan.len());
+    for sp in &plan.subplans {
+        let ex = SubplanExecutor::new(sp, catalog, &schemas, weights)?;
+        let mut regs = Vec::new();
+        for (path, src) in ex.leaf_paths() {
+            let consumer = match src {
+                InputSource::Base(t) => {
+                    catalog.table(t)?; // existence check
+                    base_buffers.entry(t).or_default().register_consumer()
+                }
+                InputSource::Subplan(c) => sp_buffers[c.index()].register_consumer(),
+            };
+            regs.push((path, src, consumer));
+        }
+        executors.push(ex);
+        leaf_consumers.push(regs);
+    }
+    for t in base_buffers.keys() {
+        base_fed.insert(*t, 0);
+    }
+
+    // Build the global tick schedule.
+    let mut ticks: Vec<Tick> = Vec::new();
+    for sp in &plan.subplans {
+        let k = paces[sp.id.index()];
+        for i in 1..=k {
+            ticks.push(Tick {
+                num: i,
+                den: k,
+                topo_rank: topo_rank[&sp.id],
+                sp: sp.id,
+                is_final: i == k,
+            });
+        }
+    }
+    ticks.sort_by(|a, b| a.frac_cmp(b).then(a.topo_rank.cmp(&b.topo_rank)));
+
+    // Run.
+    let mut total_work = WorkUnits::ZERO;
+    let mut total_wall = Duration::ZERO;
+    let mut final_sp_work: Vec<f64> = vec![0.0; plan.len()];
+    let mut final_sp_wall: Vec<Duration> = vec![Duration::ZERO; plan.len()];
+    let mut executions = 0usize;
+
+    let tick_list = ticks;
+    for tick in &tick_list {
+        // 1. Feed base buffers up to this tick's arrival fraction.
+        let tables: Vec<TableId> = base_fed.keys().copied().collect();
+        for t in tables {
+            let rows = data.get(&t).map(|v| v.as_slice()).unwrap_or(&[]);
+            let n = rows.len() as u64;
+            let arrived = ((tick.num as u64 * n) / tick.den as u64) as usize;
+            let fed = base_fed[&t];
+            if arrived > fed {
+                let buf = base_buffers.get_mut(&t).expect("registered table");
+                for (row, weight) in &rows[fed..arrived] {
+                    buf.push(DeltaRow { row: row.clone(), weight: *weight, mask: all_queries });
+                }
+                base_fed.insert(t, arrived);
+            }
+        }
+        // 2. Execute the subplan.
+        let i = tick.sp.index();
+        let counter = WorkCounter::new();
+        let started = Instant::now();
+        let mut inputs = HashMap::new();
+        for (path, src, consumer) in &leaf_consumers[i] {
+            let batch = match src {
+                InputSource::Base(t) => base_buffers
+                    .get_mut(t)
+                    .expect("registered table")
+                    .pull(*consumer)?,
+                InputSource::Subplan(c) => sp_buffers[c.index()].pull(*consumer)?,
+            };
+            inputs.insert(path.clone(), batch);
+        }
+        let out = executors[i].execute(&mut inputs, &counter)?;
+        counter.charge(weights.materialize, out.len());
+        sp_buffers[i].append(&out);
+        let wall = started.elapsed();
+        let work = counter.total();
+        total_work += work;
+        total_wall += wall;
+        executions += 1;
+        if tick.is_final {
+            final_sp_work[i] = work.get();
+            final_sp_wall[i] = wall;
+        }
+    }
+
+    // Aggregate per-query measurements and extract results.
+    let mut final_work = BTreeMap::new();
+    let mut latency = BTreeMap::new();
+    let mut results = BTreeMap::new();
+    for q in all_queries.iter() {
+        let subplans = plan.subplans_of_query(q);
+        final_work.insert(q, subplans.iter().map(|id| final_sp_work[id.index()]).sum());
+        latency.insert(
+            q,
+            subplans.iter().map(|id| final_sp_wall[id.index()]).sum(),
+        );
+        let root = plan
+            .query_root(q)
+            .ok_or_else(|| Error::InvalidPlan(format!("query {q} has no output subplan")))?;
+        results.insert(q, query_result(sp_buffers[root.index()].all_rows(), q));
+    }
+
+    Ok(RunResult {
+        total_work,
+        total_wall,
+        final_work,
+        latency,
+        results,
+        executions,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ishare_common::{DataType, QuerySet, Value};
+    use ishare_exec::batch_ref::run_logical;
+    use ishare_expr::Expr;
+    use ishare_plan::{AggExpr, AggFunc, DagOp, PlanBuilder, SelectBranch, SharedDag};
+    use ishare_storage::{ColumnStats, Field, Schema, TableStats};
+
+    fn qs(ids: &[u16]) -> QuerySet {
+        QuerySet::from_iter(ids.iter().map(|&i| QueryId(i)))
+    }
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.add_table(
+            "t",
+            Schema::new(vec![
+                Field::new("k", DataType::Int),
+                Field::new("v", DataType::Int),
+            ]),
+            TableStats {
+                row_count: 200.0,
+                columns: vec![ColumnStats::ndv(10.0), ColumnStats::ndv(100.0)],
+            },
+        )
+        .unwrap();
+        c
+    }
+
+    fn data(c: &Catalog, n: i64) -> HashMap<TableId, Vec<Row>> {
+        let t = c.table_by_name("t").unwrap().id;
+        let rows = (0..n)
+            .map(|i| Row::new(vec![Value::Int(i % 10), Value::Int(i * 7 % 100)]))
+            .collect();
+        [(t, rows)].into_iter().collect()
+    }
+
+    /// Fig. 2-style shared plan over two queries with different predicates.
+    fn shared_plan(c: &Catalog) -> SharedPlan {
+        let t = c.table_by_name("t").unwrap().id;
+        let mut d = SharedDag::new();
+        let scan = d.add_node(DagOp::Scan { table: t }, vec![], qs(&[0, 1])).unwrap();
+        let sel = d
+            .add_node(
+                DagOp::Select {
+                    branches: vec![
+                        SelectBranch { queries: qs(&[0]), predicate: Expr::true_lit() },
+                        SelectBranch {
+                            queries: qs(&[1]),
+                            predicate: Expr::col(1).lt(Expr::lit(50i64)),
+                        },
+                    ],
+                },
+                vec![scan],
+                qs(&[0, 1]),
+            )
+            .unwrap();
+        let agg = d
+            .add_node(
+                DagOp::Aggregate {
+                    group_by: vec![(Expr::col(0), "k".into())],
+                    aggs: vec![AggExpr::new(AggFunc::Sum, Expr::col(1), "s")],
+                },
+                vec![sel],
+                qs(&[0, 1]),
+            )
+            .unwrap();
+        let p0 = d
+            .add_node(
+                DagOp::Project {
+                    exprs: vec![(Expr::col(0), "k".into()), (Expr::col(1), "s".into())],
+                },
+                vec![agg],
+                qs(&[0]),
+            )
+            .unwrap();
+        let p1 = d
+            .add_node(
+                DagOp::Project { exprs: vec![(Expr::col(1), "s".into())] },
+                vec![agg],
+                qs(&[1]),
+            )
+            .unwrap();
+        d.set_query_root(QueryId(0), p0).unwrap();
+        d.set_query_root(QueryId(1), p1).unwrap();
+        SharedPlan::from_dag(&d, |_| false).unwrap()
+    }
+
+    /// The reference results computed per query by the naive executor.
+    fn reference(c: &Catalog, data: &HashMap<TableId, Vec<Row>>) -> Vec<HashMap<Row, i64>> {
+        let q0 = PlanBuilder::scan(c, "t")
+            .unwrap()
+            .aggregate(&["k"], |x| Ok(vec![x.sum("v", "s")?]))
+            .unwrap()
+            .project_cols(&["k", "s"])
+            .unwrap()
+            .build();
+        let q1 = PlanBuilder::scan(c, "t")
+            .unwrap()
+            .select(|x| Ok(x.col("v")?.lt(Expr::lit(50i64))))
+            .unwrap()
+            .aggregate(&["k"], |x| Ok(vec![x.sum("v", "s")?]))
+            .unwrap()
+            .project(|x| Ok(vec![(x.col("s")?, "s".into())]))
+            .unwrap()
+            .build();
+        vec![run_logical(&q0, c, data).unwrap(), run_logical(&q1, c, data).unwrap()]
+    }
+
+    #[test]
+    fn batch_run_matches_reference() {
+        let c = catalog();
+        let plan = shared_plan(&c);
+        let d = data(&c, 200);
+        let run = execute_planned(&plan, &[1, 1, 1], &c, &d, CostWeights::default()).unwrap();
+        let expected = reference(&c, &d);
+        assert_eq!(run.results[&QueryId(0)], expected[0]);
+        assert_eq!(run.results[&QueryId(1)], expected[1]);
+        assert_eq!(run.executions, 3);
+        assert!(run.total_work.get() > 0.0);
+    }
+
+    #[test]
+    fn any_pace_configuration_same_results() {
+        let c = catalog();
+        let plan = shared_plan(&c);
+        let d = data(&c, 200);
+        let expected = reference(&c, &d);
+        for paces in [[1u32, 1, 1], [5, 1, 1], [10, 10, 10], [7, 3, 2]] {
+            let run =
+                execute_planned(&plan, &paces, &c, &d, CostWeights::default()).unwrap();
+            assert_eq!(run.results[&QueryId(0)], expected[0], "paces {paces:?}");
+            assert_eq!(run.results[&QueryId(1)], expected[1], "paces {paces:?}");
+        }
+    }
+
+    #[test]
+    fn eager_costs_more_total_less_final() {
+        let c = catalog();
+        let plan = shared_plan(&c);
+        let d = data(&c, 200);
+        let lazy = execute_planned(&plan, &[1, 1, 1], &c, &d, CostWeights::default()).unwrap();
+        let eager =
+            execute_planned(&plan, &[20, 20, 20], &c, &d, CostWeights::default()).unwrap();
+        assert!(eager.total_work.get() > lazy.total_work.get());
+        for q in [QueryId(0), QueryId(1)] {
+            assert!(
+                eager.final_work[&q] < lazy.final_work[&q],
+                "query {q}: eager {} vs lazy {}",
+                eager.final_work[&q],
+                lazy.final_work[&q]
+            );
+        }
+        assert_eq!(eager.executions, 60);
+    }
+
+    #[test]
+    fn pace_mismatch_rejected() {
+        let c = catalog();
+        let plan = shared_plan(&c);
+        let d = data(&c, 10);
+        assert!(execute_planned(&plan, &[1, 1], &c, &d, CostWeights::default()).is_err());
+    }
+
+    #[test]
+    fn missing_table_data_is_empty_results() {
+        let c = catalog();
+        let plan = shared_plan(&c);
+        let run = execute_planned(
+            &plan,
+            &[2, 1, 1],
+            &c,
+            &HashMap::new(),
+            CostWeights::default(),
+        )
+        .unwrap();
+        assert!(run.results[&QueryId(0)].is_empty());
+        assert!(run.results[&QueryId(1)].is_empty());
+    }
+
+    #[test]
+    fn delta_feeds_with_updates_net_out() {
+        // Insert (k=1, v=10), then update it to v=30 mid-stream: the final
+        // aggregate must reflect only the updated value, at any pace.
+        let c = catalog();
+        let plan = shared_plan(&c);
+        let t = c.table_by_name("t").unwrap().id;
+        let feed: Vec<(Row, i64)> = vec![
+            (Row::new(vec![Value::Int(1), Value::Int(10)]), 1),
+            (Row::new(vec![Value::Int(2), Value::Int(5)]), 1),
+            (Row::new(vec![Value::Int(1), Value::Int(10)]), -1), // update: delete…
+            (Row::new(vec![Value::Int(1), Value::Int(30)]), 1),  // …plus insert
+        ];
+        let feeds: HashMap<TableId, Vec<(Row, i64)>> = [(t, feed)].into_iter().collect();
+        for paces in [[1u32, 1, 1], [4, 2, 1]] {
+            let run = execute_planned_deltas(&plan, &paces, &c, &feeds, CostWeights::default())
+                .unwrap();
+            // Q0 = sum(v) by k over all rows: k=1 → 30, k=2 → 5.
+            let r0 = &run.results[&QueryId(0)];
+            assert_eq!(
+                r0[&Row::new(vec![Value::Int(1), Value::Int(30)])],
+                1,
+                "paces {paces:?}"
+            );
+            assert_eq!(r0[&Row::new(vec![Value::Int(2), Value::Int(5)])], 1);
+            assert_eq!(r0.len(), 2);
+        }
+    }
+
+    #[test]
+    fn uneven_data_sizes_fully_consumed() {
+        // 199 rows and pace 7: integer arrival arithmetic must still feed
+        // every row by the final tick.
+        let c = catalog();
+        let plan = shared_plan(&c);
+        let d = data(&c, 199);
+        let expected = reference(&c, &d);
+        let run = execute_planned(&plan, &[7, 7, 7], &c, &d, CostWeights::default()).unwrap();
+        assert_eq!(run.results[&QueryId(0)], expected[0]);
+    }
+}

@@ -1,0 +1,29 @@
+//! # ishare-stream
+//!
+//! The paced runtime: the piece of the paper's prototype that Spark + Kafka
+//! provided, rebuilt in-process (see DESIGN.md §1 for the substitution
+//! rationale).
+//!
+//! A workload run consists of
+//!
+//! * base relations whose rows *arrive* uniformly over one trigger
+//!   condition (the paper preloads Kafka and pulls at a fixed rate —
+//!   "we assume a fixed data arrival rate"),
+//! * a [`SharedPlan`] whose subplans execute at their configured paces — a
+//!   subplan at pace `k` starts one incremental execution whenever `1/k` of
+//!   the trigger's data has arrived, children before parents on shared
+//!   ticks, and
+//! * measurement: measured *total work* (Σ work of all incremental
+//!   executions), per-query *final work* (Σ work of the query's subplans'
+//!   final executions — the latency proxy of Sec. 2.1), wall-clock
+//!   equivalents, and the final query results.
+//!
+//! [`SharedPlan`]: ishare_plan::SharedPlan
+
+#![warn(missing_docs)]
+
+pub mod driver;
+pub mod measure;
+
+pub use driver::{execute_planned, execute_planned_deltas, RunResult};
+pub use measure::{missed_latency_stats, MissedLatencyStats};

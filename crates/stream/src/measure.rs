@@ -1,0 +1,127 @@
+//! Missed-latency statistics (the metrics of Tables 1–3).
+//!
+//! "The absolute missed latency represents the difference between the tested
+//! latency and the latency goal, which is `max(0, tested − goal)`. The
+//! relative missed latency represents the percentage of the absolute missed
+//! latency compared to the latency goal."
+
+use ishare_common::QueryId;
+use std::collections::BTreeMap;
+
+/// Mean/max missed latency over a set of queries, in both absolute units
+/// and percent of the goal (the four columns of Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MissedLatencyStats {
+    /// Mean relative missed latency (percent).
+    pub mean_pct: f64,
+    /// Mean absolute missed latency (same unit as the inputs).
+    pub mean_abs: f64,
+    /// Max relative missed latency (percent).
+    pub max_pct: f64,
+    /// Max absolute missed latency.
+    pub max_abs: f64,
+}
+
+/// Compute missed-latency statistics from per-query `(goal, tested)` pairs.
+/// Queries present in only one map are ignored.
+pub fn missed_latency_stats(
+    goals: &BTreeMap<QueryId, f64>,
+    tested: &BTreeMap<QueryId, f64>,
+) -> MissedLatencyStats {
+    let mut abs = Vec::new();
+    let mut pct = Vec::new();
+    for (q, goal) in goals {
+        let Some(&t) = tested.get(q) else { continue };
+        let missed = (t - goal).max(0.0);
+        abs.push(missed);
+        pct.push(if *goal > 0.0 { 100.0 * missed / goal } else { 0.0 });
+    }
+    if abs.is_empty() {
+        return MissedLatencyStats::default();
+    }
+    let n = abs.len() as f64;
+    MissedLatencyStats {
+        mean_pct: pct.iter().sum::<f64>() / n,
+        mean_abs: abs.iter().sum::<f64>() / n,
+        max_pct: pct.iter().copied().fold(0.0, f64::max),
+        max_abs: abs.iter().copied().fold(0.0, f64::max),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map(entries: &[(u16, f64)]) -> BTreeMap<QueryId, f64> {
+        entries.iter().map(|&(q, v)| (QueryId(q), v)).collect()
+    }
+
+    #[test]
+    fn stats_computed() {
+        let goals = map(&[(0, 10.0), (1, 20.0), (2, 5.0)]);
+        let tested = map(&[(0, 15.0), (1, 10.0), (2, 6.0)]);
+        let s = missed_latency_stats(&goals, &tested);
+        // Missed: q0 = 5 (50%), q1 = 0, q2 = 1 (20%).
+        assert!((s.mean_abs - 2.0).abs() < 1e-9);
+        assert!((s.max_abs - 5.0).abs() < 1e-9);
+        assert!((s.max_pct - 50.0).abs() < 1e-9);
+        assert!((s.mean_pct - (50.0 + 0.0 + 20.0) / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_met_is_zero() {
+        let goals = map(&[(0, 10.0)]);
+        let tested = map(&[(0, 9.0)]);
+        assert_eq!(missed_latency_stats(&goals, &tested), MissedLatencyStats::default());
+    }
+
+    #[test]
+    fn empty_and_mismatched_inputs() {
+        assert_eq!(
+            missed_latency_stats(&BTreeMap::new(), &BTreeMap::new()),
+            MissedLatencyStats::default()
+        );
+        let goals = map(&[(0, 10.0)]);
+        let tested = map(&[(9, 99.0)]);
+        assert_eq!(missed_latency_stats(&goals, &tested), MissedLatencyStats::default());
+    }
+
+    #[test]
+    fn zero_goal_does_not_divide_by_zero() {
+        let goals = map(&[(0, 0.0)]);
+        let tested = map(&[(0, 5.0)]);
+        let s = missed_latency_stats(&goals, &tested);
+        assert_eq!(s.mean_pct, 0.0);
+        assert_eq!(s.mean_abs, 5.0);
+    }
+}
+
+#[cfg(test)]
+mod extra_tests {
+    use super::*;
+
+    #[test]
+    fn single_query_stats() {
+        let goals: BTreeMap<QueryId, f64> = [(QueryId(0), 100.0)].into_iter().collect();
+        let tested: BTreeMap<QueryId, f64> = [(QueryId(0), 150.0)].into_iter().collect();
+        let s = missed_latency_stats(&goals, &tested);
+        assert_eq!(s.mean_abs, 50.0);
+        assert_eq!(s.max_abs, 50.0);
+        assert_eq!(s.mean_pct, 50.0);
+        assert_eq!(s.max_pct, 50.0);
+    }
+
+    #[test]
+    fn negative_miss_clamped() {
+        // Beating the goal is a zero miss, not a negative one.
+        let goals: BTreeMap<QueryId, f64> = [(QueryId(0), 100.0), (QueryId(1), 100.0)]
+            .into_iter()
+            .collect();
+        let tested: BTreeMap<QueryId, f64> = [(QueryId(0), 10.0), (QueryId(1), 110.0)]
+            .into_iter()
+            .collect();
+        let s = missed_latency_stats(&goals, &tested);
+        assert_eq!(s.mean_abs, 5.0, "only q1's 10 counts, averaged over 2");
+        assert_eq!(s.max_pct, 10.0);
+    }
+}

@@ -1,0 +1,92 @@
+//! TPC-H string domains (the subsets of the spec's grammar the queries
+//! actually discriminate on).
+
+/// The 25 nations with their region keys, per the TPC-H spec.
+pub const NATIONS: [(&str, u32); 25] = [
+    ("ALGERIA", 0),
+    ("ARGENTINA", 1),
+    ("BRAZIL", 1),
+    ("CANADA", 1),
+    ("EGYPT", 4),
+    ("ETHIOPIA", 0),
+    ("FRANCE", 3),
+    ("GERMANY", 3),
+    ("INDIA", 2),
+    ("INDONESIA", 2),
+    ("IRAN", 4),
+    ("IRAQ", 4),
+    ("JAPAN", 2),
+    ("JORDAN", 4),
+    ("KENYA", 0),
+    ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0),
+    ("PERU", 1),
+    ("ROMANIA", 3),
+    ("RUSSIA", 3),
+    ("SAUDI ARABIA", 4),
+    ("VIETNAM", 2),
+    ("UNITED KINGDOM", 3),
+    ("UNITED STATES", 1),
+    ("CHINA", 2),
+];
+
+/// The five regions.
+pub const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+
+/// Market segments.
+pub const SEGMENTS: [&str; 5] =
+    ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+
+/// Order priorities.
+pub const PRIORITIES: [&str; 5] =
+    ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
+
+/// Ship modes.
+pub const SHIP_MODES: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
+
+/// Ship instructions.
+pub const SHIP_INSTRUCT: [&str; 4] =
+    ["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"];
+
+/// Part type syllables (`type = t1 " " t2 " " t3`, 150 combinations).
+pub const TYPE_S1: [&str; 6] = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"];
+/// Second type syllable.
+pub const TYPE_S2: [&str; 5] = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"];
+/// Third type syllable.
+pub const TYPE_S3: [&str; 5] = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"];
+
+/// Container syllables (`container = c1 " " c2`, 40 combinations).
+pub const CONTAINER_S1: [&str; 5] = ["SM", "MED", "LG", "JUMBO", "WRAP"];
+/// Second container syllable.
+pub const CONTAINER_S2: [&str; 8] =
+    ["CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"];
+
+/// Part-name color words (p_name is a concatenation of these; Q9/Q20
+/// filter on them).
+pub const COLORS: [&str; 16] = [
+    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black", "blanched",
+    "blue", "blush", "brown", "burlywood", "chartreuse", "forest", "green", "red",
+];
+
+/// Comment filler words; a handful of rows get the marker words the queries
+/// look for (`special`, `requests`, `Customer`, `Complaints`).
+pub const COMMENT_WORDS: [&str; 12] = [
+    "carefully", "quickly", "furiously", "slyly", "blithely", "deposits", "packages",
+    "accounts", "requests", "special", "Customer", "Complaints",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn domain_sizes() {
+        assert_eq!(NATIONS.len(), 25);
+        assert_eq!(REGIONS.len(), 5);
+        assert_eq!(TYPE_S1.len() * TYPE_S2.len() * TYPE_S3.len(), 150);
+        assert_eq!(CONTAINER_S1.len() * CONTAINER_S2.len(), 40);
+        for (_, r) in NATIONS {
+            assert!((r as usize) < REGIONS.len());
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! The 22 TPC-H queries (restricted to the supported algebra) plus the
+//! paper's Fig. 2 queries Q_A and Q_B.
+//!
+//! Every rewrite away from standard TPC-H is flagged with a `REWRITE:`
+//! comment at the query and summarised in the crate docs / DESIGN.md §5.
+
+mod q01_11;
+mod q12_22;
+mod special;
+
+use ishare_common::Result;
+use ishare_plan::LogicalPlan;
+use ishare_storage::Catalog;
+
+/// A named query.
+#[derive(Debug, Clone)]
+pub struct QueryDef {
+    /// Query name (`q1` … `q22`, `qa`, `qb`).
+    pub name: String,
+    /// The logical plan.
+    pub plan: LogicalPlan,
+}
+
+/// All 22 TPC-H queries, in order.
+pub fn all_queries(catalog: &Catalog) -> Result<Vec<QueryDef>> {
+    (1..=22)
+        .map(|i| query_by_name(catalog, &format!("q{i}")))
+        .collect()
+}
+
+/// The ten "sharing-friendly" queries of Fig. 12 (Q4, Q5, Q7, Q8, Q9, Q15,
+/// Q17, Q18, Q20, Q21).
+pub fn sharing_friendly_queries(catalog: &Catalog) -> Result<Vec<QueryDef>> {
+    [4, 5, 7, 8, 9, 15, 17, 18, 20, 21]
+        .iter()
+        .map(|i| query_by_name(catalog, &format!("q{i}")))
+        .collect()
+}
+
+/// Look up a query by name (`q1`…`q22`, `qa`, `qb`).
+pub fn query_by_name(catalog: &Catalog, name: &str) -> Result<QueryDef> {
+    let plan = match name {
+        "q1" => q01_11::q1(catalog)?,
+        "q2" => q01_11::q2(catalog)?,
+        "q3" => q01_11::q3(catalog)?,
+        "q4" => q01_11::q4(catalog)?,
+        "q5" => q01_11::q5(catalog)?,
+        "q6" => q01_11::q6(catalog)?,
+        "q7" => q01_11::q7(catalog)?,
+        "q8" => q01_11::q8(catalog)?,
+        "q9" => q01_11::q9(catalog)?,
+        "q10" => q01_11::q10(catalog)?,
+        "q11" => q01_11::q11(catalog)?,
+        "q12" => q12_22::q12(catalog)?,
+        "q13" => q12_22::q13(catalog)?,
+        "q14" => q12_22::q14(catalog)?,
+        "q15" => q12_22::q15(catalog)?,
+        "q16" => q12_22::q16(catalog)?,
+        "q17" => q12_22::q17(catalog)?,
+        "q18" => q12_22::q18(catalog)?,
+        "q19" => q12_22::q19(catalog)?,
+        "q20" => q12_22::q20(catalog)?,
+        "q21" => q12_22::q21(catalog)?,
+        "q22" => q12_22::q22(catalog)?,
+        "qa" => special::qa(catalog)?,
+        "qb" => special::qb(catalog)?,
+        other => {
+            return Err(ishare_common::Error::NotFound(format!("query `{other}`")))
+        }
+    };
+    Ok(QueryDef { name: name.to_string(), plan })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datagen::generate;
+    use ishare_exec::batch_ref::run_logical;
+
+    #[test]
+    fn all_queries_typecheck() {
+        let d = generate(0.002, 11).unwrap();
+        let queries = all_queries(&d.catalog).unwrap();
+        assert_eq!(queries.len(), 22);
+        for q in &queries {
+            let schema = q.plan.schema(&d.catalog);
+            assert!(schema.is_ok(), "{}: {:?}", q.name, schema.err());
+        }
+        for name in ["qa", "qb"] {
+            let q = query_by_name(&d.catalog, name).unwrap();
+            assert!(q.plan.schema(&d.catalog).is_ok(), "{name}");
+        }
+        assert!(query_by_name(&d.catalog, "q99").is_err());
+    }
+
+    #[test]
+    fn sharing_friendly_subset() {
+        let d = generate(0.002, 11).unwrap();
+        let qs = sharing_friendly_queries(&d.catalog).unwrap();
+        assert_eq!(qs.len(), 10);
+        assert_eq!(qs[0].name, "q4");
+        assert_eq!(qs[9].name, "q21");
+    }
+
+    /// Every query must actually run under the reference executor and the
+    /// result shapes must be sane. This catches wrong column indices, bad
+    /// join keys and type errors that static checks alone miss.
+    #[test]
+    fn all_queries_execute_on_small_data() {
+        let d = generate(0.004, 3).unwrap();
+        let mut nonempty = 0;
+        for q in all_queries(&d.catalog).unwrap() {
+            let out = run_logical(&q.plan, &d.catalog, &d.data)
+                .unwrap_or_else(|e| panic!("{} failed: {e}", q.name));
+            let arity = q.plan.schema(&d.catalog).unwrap().arity();
+            for row in out.keys() {
+                assert_eq!(row.arity(), arity, "{}", q.name);
+            }
+            if !out.is_empty() {
+                nonempty += 1;
+            }
+        }
+        // Selective queries may legitimately be empty at tiny scale, but
+        // most must produce rows.
+        assert!(nonempty >= 15, "only {nonempty}/22 queries returned rows");
+    }
+
+    #[test]
+    fn fig2_queries_execute() {
+        let d = generate(0.004, 3).unwrap();
+        for name in ["qa", "qb"] {
+            let q = query_by_name(&d.catalog, name).unwrap();
+            run_logical(&q.plan, &d.catalog, &d.data)
+                .unwrap_or_else(|e| panic!("{name} failed: {e}"));
+        }
+    }
+
+    #[test]
+    fn q1_aggregates_correctly() {
+        use ishare_common::Value;
+        let d = generate(0.002, 5).unwrap();
+        let q = query_by_name(&d.catalog, "q1").unwrap();
+        let out = run_logical(&q.plan, &d.catalog, &d.data).unwrap();
+        // Group count ≤ 6 (3 returnflags × 2 linestatuses), every count
+        // positive.
+        assert!(!out.is_empty() && out.len() <= 6);
+        let schema = q.plan.schema(&d.catalog).unwrap();
+        let count_idx = schema.index_of("count_order").unwrap();
+        for row in out.keys() {
+            match row.get(count_idx) {
+                Value::Int(n) => assert!(*n > 0),
+                other => panic!("count_order = {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn q15_selects_the_max_revenue_supplier() {
+        let d = generate(0.004, 9).unwrap();
+        let q = query_by_name(&d.catalog, "q15").unwrap();
+        let out = run_logical(&q.plan, &d.catalog, &d.data).unwrap();
+        // All surviving rows carry the same (maximal) revenue.
+        let schema = q.plan.schema(&d.catalog).unwrap();
+        let rev_idx = schema.index_of("total_revenue").unwrap();
+        let revs: Vec<f64> = out
+            .keys()
+            .map(|r| r.get(rev_idx).as_f64().unwrap())
+            .collect();
+        if let Some(&first) = revs.first() {
+            for r in &revs {
+                assert!((r - first).abs() < 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,389 @@
+//! TPC-H Q12–Q22.
+
+use ishare_common::{date, Result, Value};
+use ishare_expr::{Expr, LikePattern};
+use ishare_plan::{AggExpr, AggFunc, LogicalPlan, PlanBuilder};
+use ishare_storage::Catalog;
+
+fn scan(c: &Catalog, t: &str) -> Result<PlanBuilder> {
+    PlanBuilder::scan(c, t)
+}
+
+/// Q12: shipping modes and order priority.
+pub fn q12(c: &Catalog) -> Result<LogicalPlan> {
+    let b = scan(c, "lineitem")?
+        .select(|x| {
+            Ok(x.col("l_shipmode")?
+                .in_list(vec![Value::from("MAIL"), Value::from("SHIP")])
+                .and(x.col("l_commitdate")?.lt(x.col("l_receiptdate")?))
+                .and(x.col("l_shipdate")?.lt(x.col("l_commitdate")?))
+                .and(x.col("l_receiptdate")?.ge(Expr::lit(date("1994-01-01"))))
+                .and(x.col("l_receiptdate")?.lt(Expr::lit(date("1995-01-01")))))
+        })?
+        .join(scan(c, "orders")?, &[("l_orderkey", "o_orderkey")])?;
+    let (groups, aggs) = {
+        let cols = b.cols();
+        let is_high = cols.col("o_orderpriority")?.in_list(vec![
+            Value::from("1-URGENT"),
+            Value::from("2-HIGH"),
+        ]);
+        (
+            vec![(cols.col("l_shipmode")?, "l_shipmode".to_string())],
+            vec![
+                AggExpr::new(
+                    AggFunc::Sum,
+                    is_high.clone().case(Expr::lit(1i64), Expr::lit(0i64)),
+                    "high_line_count",
+                ),
+                AggExpr::new(
+                    AggFunc::Sum,
+                    is_high.case(Expr::lit(0i64), Expr::lit(1i64)),
+                    "low_line_count",
+                ),
+            ],
+        )
+    };
+    b.aggregate_exprs(groups, aggs).map(PlanBuilder::build)
+}
+
+/// Q13: customer distribution.
+pub fn q13(c: &Catalog) -> Result<LogicalPlan> {
+    // REWRITE: the LEFT OUTER JOIN becomes an inner join (zero-order
+    // customers drop out of the c_count=0 bucket); the double-wildcard
+    // pattern '%special%requests%' reduces to its first segment.
+    scan(c, "customer")?
+        .join(
+            scan(c, "orders")?.select(|x| {
+                Ok(x.col("o_comment")?
+                    .like(LikePattern::Contains("special".into()))
+                    .not())
+            })?,
+            &[("c_custkey", "o_custkey")],
+        )?
+        .aggregate(&["c_custkey"], |_| Ok(vec![AggExpr::count_star("c_count")]))?
+        .aggregate(&["c_count"], |_| Ok(vec![AggExpr::count_star("custdist")]))
+        .map(PlanBuilder::build)
+}
+
+/// Q14: promotion effect.
+pub fn q14(c: &Catalog) -> Result<LogicalPlan> {
+    let b = scan(c, "lineitem")?
+        .select(|x| {
+            Ok(x.col("l_shipdate")?
+                .ge(Expr::lit(date("1995-09-01")))
+                .and(x.col("l_shipdate")?.lt(Expr::lit(date("1995-10-01")))))
+        })?
+        .join(scan(c, "part")?, &[("l_partkey", "p_partkey")])?;
+    let aggs = {
+        let cols = b.cols();
+        let rev = cols
+            .col("l_extendedprice")?
+            .mul(Expr::lit(1.0).sub(cols.col("l_discount")?));
+        let promo = cols
+            .col("p_type")?
+            .like(LikePattern::Prefix("PROMO".into()))
+            .case(rev.clone(), Expr::lit(0.0));
+        vec![
+            AggExpr::new(AggFunc::Sum, promo, "promo_revenue"),
+            AggExpr::new(AggFunc::Sum, rev, "total_revenue"),
+        ]
+    };
+    b.aggregate_exprs(vec![], aggs)?
+        .project(|x| {
+            Ok(vec![(
+                Expr::lit(100.0)
+                    .mul(x.col("promo_revenue")?)
+                    .div(x.col("total_revenue")?),
+                "promo_pct".into(),
+            )])
+        })
+        .map(PlanBuilder::build)
+}
+
+/// Q15: top supplier — the paper's non-incrementable max-over-sum query.
+pub fn q15(c: &Catalog) -> Result<LogicalPlan> {
+    // revenue view: per-supplier revenue over a 3-month window.
+    let revenue = scan(c, "lineitem")?
+        .select(|x| {
+            Ok(x.col("l_shipdate")?
+                .ge(Expr::lit(date("1996-01-01")))
+                .and(x.col("l_shipdate")?.lt(Expr::lit(date("1996-04-01")))))
+        })?
+        .aggregate(&["l_suppkey"], |x| {
+            let rev = x
+                .col("l_extendedprice")?
+                .mul(Expr::lit(1.0).sub(x.col("l_discount")?));
+            Ok(vec![AggExpr::new(AggFunc::Sum, rev, "total_revenue")])
+        })?;
+    // REWRITE: the scalar max subquery joins back on revenue equality —
+    // deleting the current max forces the MAX accumulator to rescan, which
+    // is exactly why this query is not amenable to eager incremental
+    // execution (Sec. 5.3).
+    let max_rev = revenue
+        .clone()
+        .aggregate(&[], |x| Ok(vec![x.max("total_revenue", "max_revenue")?]))?;
+    scan(c, "supplier")?
+        .join(revenue, &[("s_suppkey", "l_suppkey")])?
+        .join_on(max_rev, |l, r| {
+            Ok(vec![(l.col("total_revenue")?, r.col("max_revenue")?)])
+        })?
+        .project_cols(&["s_suppkey", "s_name", "total_revenue"])
+        .map(PlanBuilder::build)
+}
+
+/// Q16: parts/supplier relationship.
+pub fn q16(c: &Catalog) -> Result<LogicalPlan> {
+    // REWRITE: COUNT(DISTINCT ps_suppkey) via a two-level aggregate
+    // (exact); the NOT-EXISTS supplier-complaints exclusion is dropped.
+    scan(c, "partsupp")?
+        .join(
+            scan(c, "part")?.select(|x| {
+                Ok(x.col("p_brand")?
+                    .ne(Expr::lit("Brand#45"))
+                    .and(
+                        x.col("p_type")?
+                            .like(LikePattern::Prefix("MEDIUM POLISHED".into()))
+                            .not(),
+                    )
+                    .and(x.col("p_size")?.in_list(vec![
+                        Value::Int(49),
+                        Value::Int(14),
+                        Value::Int(23),
+                        Value::Int(45),
+                        Value::Int(19),
+                        Value::Int(3),
+                        Value::Int(36),
+                        Value::Int(9),
+                    ])))
+            })?,
+            &[("ps_partkey", "p_partkey")],
+        )?
+        .aggregate(&["p_brand", "p_type", "p_size", "ps_suppkey"], |_| {
+            Ok(vec![AggExpr::count_star("c")])
+        })?
+        .aggregate(&["p_brand", "p_type", "p_size"], |_| {
+            Ok(vec![AggExpr::count_star("supplier_cnt")])
+        })
+        .map(PlanBuilder::build)
+}
+
+/// Q17: small-quantity-order revenue.
+pub fn q17(c: &Catalog) -> Result<LogicalPlan> {
+    // REWRITE: the correlated per-part average becomes an aggregate joined
+    // back on partkey.
+    let avg_qty = scan(c, "lineitem")?
+        .aggregate(&["l_partkey"], |x| Ok(vec![x.avg("l_quantity", "avg_qty")?]))?
+        .project(|x| {
+            Ok(vec![
+                (x.col("l_partkey")?, "ap_partkey".into()),
+                (x.col("avg_qty")?, "avg_qty".into()),
+            ])
+        })?;
+    scan(c, "lineitem")?
+        .join(
+            scan(c, "part")?.select(|x| {
+                Ok(x.col("p_brand")?
+                    .eq(Expr::lit("Brand#23"))
+                    .and(x.col("p_container")?.eq(Expr::lit("MED BOX"))))
+            })?,
+            &[("l_partkey", "p_partkey")],
+        )?
+        .join(avg_qty, &[("l_partkey", "ap_partkey")])?
+        .select(|x| {
+            Ok(x.col("l_quantity")?
+                .lt(Expr::lit(0.2).mul(x.col("avg_qty")?)))
+        })?
+        .aggregate(&[], |x| Ok(vec![x.sum("l_extendedprice", "sum_price")?]))?
+        .project(|x| {
+            Ok(vec![(x.col("sum_price")?.div(Expr::lit(7.0)), "avg_yearly".into())])
+        })
+        .map(PlanBuilder::build)
+}
+
+/// Q18: large volume customers.
+pub fn q18(c: &Catalog) -> Result<LogicalPlan> {
+    // REWRITE: the IN (group-by … having) subquery becomes a filtered
+    // aggregate joined in; ORDER BY/LIMIT dropped.
+    let big_orders = scan(c, "lineitem")?
+        .aggregate_exprs(
+            vec![(Expr::Column(0), "bo_orderkey".to_string())],
+            vec![AggExpr::new(AggFunc::Sum, Expr::Column(4), "sum_qty")],
+        )?
+        .select(|x| Ok(x.col("sum_qty")?.gt(Expr::lit(300i64))))?;
+    scan(c, "customer")?
+        .join(scan(c, "orders")?, &[("c_custkey", "o_custkey")])?
+        .join(big_orders, &[("o_orderkey", "bo_orderkey")])?
+        .project_cols(&[
+            "c_name",
+            "c_custkey",
+            "o_orderkey",
+            "o_orderdate",
+            "o_totalprice",
+            "sum_qty",
+        ])
+        .map(PlanBuilder::build)
+}
+
+/// Q19: discounted revenue (disjunctive bracket predicates).
+pub fn q19(c: &Catalog) -> Result<LogicalPlan> {
+    let b = scan(c, "lineitem")?
+        .select(|x| {
+            Ok(x.col("l_shipmode")?
+                .in_list(vec![Value::from("AIR"), Value::from("REG AIR")])
+                .and(x.col("l_shipinstruct")?.eq(Expr::lit("DELIVER IN PERSON"))))
+        })?
+        .join(scan(c, "part")?, &[("l_partkey", "p_partkey")])?
+        .select(|x| {
+            let bracket = |brand: &str, containers: Vec<&str>, qlo: i64, qhi: i64, smax: i64|
+             -> Result<Expr> {
+                Ok(x.col("p_brand")?
+                    .eq(Expr::lit(brand))
+                    .and(x.col("p_container")?.in_list(
+                        containers.into_iter().map(Value::from).collect(),
+                    ))
+                    .and(x.col("l_quantity")?.ge(Expr::lit(qlo)))
+                    .and(x.col("l_quantity")?.le(Expr::lit(qhi)))
+                    .and(x.col("p_size")?.ge(Expr::lit(1i64)))
+                    .and(x.col("p_size")?.le(Expr::lit(smax))))
+            };
+            Ok(bracket("Brand#12", vec!["SM CASE", "SM BOX", "SM PACK", "SM PKG"], 1, 11, 5)?
+                .or(bracket(
+                    "Brand#23",
+                    vec!["MED BAG", "MED BOX", "MED PKG", "MED PACK"],
+                    10,
+                    20,
+                    10,
+                )?)
+                .or(bracket(
+                    "Brand#34",
+                    vec!["LG CASE", "LG BOX", "LG PACK", "LG PKG"],
+                    20,
+                    30,
+                    15,
+                )?))
+        })?;
+    let aggs = {
+        let cols = b.cols();
+        let rev = cols
+            .col("l_extendedprice")?
+            .mul(Expr::lit(1.0).sub(cols.col("l_discount")?));
+        vec![AggExpr::new(AggFunc::Sum, rev, "revenue")]
+    };
+    b.aggregate_exprs(vec![], aggs).map(PlanBuilder::build)
+}
+
+/// Q20: potential part promotion.
+pub fn q20(c: &Catalog) -> Result<LogicalPlan> {
+    // REWRITE: nested IN/scalar subqueries become aggregates joined in;
+    // DISTINCT suppkeys via a two-level aggregate.
+    let shipped = scan(c, "lineitem")?
+        .select(|x| {
+            Ok(x.col("l_shipdate")?
+                .ge(Expr::lit(date("1994-01-01")))
+                .and(x.col("l_shipdate")?.lt(Expr::lit(date("1995-01-01")))))
+        })?
+        .aggregate(&["l_partkey", "l_suppkey"], |x| {
+            Ok(vec![x.sum("l_quantity", "shipped_qty")?])
+        })?;
+    let qualified_supps = scan(c, "partsupp")?
+        .join(
+            scan(c, "part")?
+                .select(|x| Ok(x.col("p_name")?.like(LikePattern::Prefix("forest".into()))))?,
+            &[("ps_partkey", "p_partkey")],
+        )?
+        .join(
+            shipped,
+            &[("ps_partkey", "l_partkey"), ("ps_suppkey", "l_suppkey")],
+        )?
+        .select(|x| {
+            Ok(x.col("ps_availqty")?
+                .gt(Expr::lit(0.5).mul(x.col("shipped_qty")?)))
+        })?
+        .aggregate(&["ps_suppkey"], |_| Ok(vec![AggExpr::count_star("n_parts")]))?;
+    scan(c, "supplier")?
+        .join(qualified_supps, &[("s_suppkey", "ps_suppkey")])?
+        .join(
+            scan(c, "nation")?.select(|x| Ok(x.col("n_name")?.eq(Expr::lit("CANADA"))))?,
+            &[("s_nationkey", "n_nationkey")],
+        )?
+        .project_cols(&["s_name"])
+        .map(PlanBuilder::build)
+}
+
+/// Q21: suppliers who kept orders waiting.
+pub fn q21(c: &Catalog) -> Result<LogicalPlan> {
+    // REWRITE: the EXISTS(other supplier) clause becomes a
+    // distinct-supplier count per order (two-level aggregate) filtered to
+    // multi-supplier orders; the NOT EXISTS(other late supplier) clause is
+    // dropped (anti-joins are outside the supported algebra).
+    let multi_supp = scan(c, "lineitem")?
+        .aggregate_exprs(
+            vec![
+                (Expr::Column(0), "m_orderkey".to_string()),
+                (Expr::Column(2), "m_suppkey".to_string()),
+            ],
+            vec![AggExpr::count_star("c")],
+        )?
+        .aggregate(&["m_orderkey"], |_| Ok(vec![AggExpr::count_star("n_supps")]))?
+        .select(|x| Ok(x.col("n_supps")?.gt(Expr::lit(1i64))))?;
+    scan(c, "lineitem")?
+        .select(|x| Ok(x.col("l_receiptdate")?.gt(x.col("l_commitdate")?)))?
+        .join(
+            scan(c, "orders")?
+                .select(|x| Ok(x.col("o_orderstatus")?.eq(Expr::lit("F"))))?,
+            &[("l_orderkey", "o_orderkey")],
+        )?
+        .join(scan(c, "supplier")?, &[("l_suppkey", "s_suppkey")])?
+        .join(multi_supp, &[("o_orderkey", "m_orderkey")])?
+        .join(
+            scan(c, "nation")?
+                .select(|x| Ok(x.col("n_name")?.eq(Expr::lit("SAUDI ARABIA"))))?,
+            &[("s_nationkey", "n_nationkey")],
+        )?
+        .aggregate(&["s_name"], |_| Ok(vec![AggExpr::count_star("numwait")]))
+        .map(PlanBuilder::build)
+}
+
+/// Q22: global sales opportunity.
+pub fn q22(c: &Catalog) -> Result<LogicalPlan> {
+    // REWRITE: the average-balance scalar subquery joins through a constant
+    // key; the NOT EXISTS(orders) anti-join is dropped.
+    let codes = vec![
+        Value::from("13"),
+        Value::from("31"),
+        Value::from("23"),
+        Value::from("29"),
+        Value::from("30"),
+        Value::from("18"),
+        Value::from("17"),
+    ];
+    let codes2 = codes.clone();
+    let eligible = scan(c, "customer")?.select(move |x| {
+        Ok(x.col("c_phone")?
+            .substr(1, 2)
+            .in_list(codes)
+            .and(x.col("c_acctbal")?.gt(Expr::lit(0.0))))
+    })?;
+    let avg_bal = scan(c, "customer")?
+        .select(move |x| {
+            Ok(x.col("c_phone")?
+                .substr(1, 2)
+                .in_list(codes2)
+                .and(x.col("c_acctbal")?.gt(Expr::lit(0.0))))
+        })?
+        .aggregate(&[], |x| Ok(vec![x.avg("c_acctbal", "avg_bal")?]))?;
+    let b = eligible
+        .join_on(avg_bal, |_, _| Ok(vec![(Expr::lit(1i64), Expr::lit(1i64))]))?
+        .select(|x| Ok(x.col("c_acctbal")?.gt(x.col("avg_bal")?)))?;
+    let (groups, aggs) = {
+        let cols = b.cols();
+        (
+            vec![(cols.col("c_phone")?.substr(1, 2), "cntrycode".to_string())],
+            vec![
+                AggExpr::count_star("numcust"),
+                cols.sum("c_acctbal", "totacctbal")?,
+            ],
+        )
+    };
+    b.aggregate_exprs(groups, aggs).map(PlanBuilder::build)
+}

@@ -1,0 +1,94 @@
+//! The paper's Fig. 2 example queries Q_A and Q_B.
+//!
+//! Both nest the same `SUM(l_quantity) GROUP BY l_partkey` aggregate over
+//! lineitem and join it with `part` — Q_A over all parts, Q_B only over
+//! `Brand#23 / size 15` parts — so an MQO optimizer shares the aggregate
+//! and the join behind a marking select (σ*_B), which is exactly the shared
+//! plan the paper's introduction analyses.
+
+use ishare_common::Result;
+use ishare_expr::Expr;
+use ishare_plan::{LogicalPlan, PlanBuilder};
+use ishare_storage::Catalog;
+
+fn agg_l(c: &Catalog) -> Result<PlanBuilder> {
+    PlanBuilder::scan(c, "lineitem")?
+        .aggregate(&["l_partkey"], |x| Ok(vec![x.sum("l_quantity", "sum_quantity")?]))
+}
+
+/// Q_A: total summed quantity across all parts.
+///
+/// ```sql
+/// SELECT SUM(agg_l.sum_quantity) AS total_sum_quantity
+/// FROM part p,
+///      (SELECT SUM(l_quantity) AS sum_quantity
+///       FROM lineitem GROUP BY l_partkey) agg_l
+/// WHERE p_partkey = l_partkey
+/// ```
+pub fn qa(c: &Catalog) -> Result<LogicalPlan> {
+    PlanBuilder::scan(c, "part")?
+        .join(agg_l(c)?, &[("p_partkey", "l_partkey")])?
+        .aggregate(&[], |x| Ok(vec![x.sum("sum_quantity", "total_sum_quantity")?]))
+        .map(PlanBuilder::build)
+}
+
+/// Q_B: partsupp rows whose availability is below the average summed
+/// quantity of Brand#23 / size-15 parts.
+///
+/// ```sql
+/// SELECT ps_partkey
+/// FROM partsupp ps,
+///      (SELECT AVG(agg_l.sum_quantity) AS avg_quantity
+///       FROM part p,
+///            (SELECT SUM(l_quantity) AS sum_quantity
+///             FROM lineitem GROUP BY l_partkey) agg_l
+///       WHERE p_partkey = l_partkey
+///         AND p_brand = 'Brand#23' AND p_size = 15)
+/// WHERE ps_availqty < avg_quantity
+/// ```
+pub fn qb(c: &Catalog) -> Result<LogicalPlan> {
+    let avg_quantity = PlanBuilder::scan(c, "part")?
+        .select(|x| {
+            Ok(x.col("p_brand")?
+                .eq(Expr::lit("Brand#23"))
+                .and(x.col("p_size")?.eq(Expr::lit(15i64))))
+        })?
+        .join(agg_l(c)?, &[("p_partkey", "l_partkey")])?
+        .aggregate(&[], |x| Ok(vec![x.avg("sum_quantity", "avg_quantity")?]))?;
+    PlanBuilder::scan(c, "partsupp")?
+        .join_on(avg_quantity, |_, _| Ok(vec![(Expr::lit(1i64), Expr::lit(1i64))]))?
+        .select(|x| Ok(x.col("ps_availqty")?.lt(x.col("avg_quantity")?)))?
+        .project_cols(&["ps_partkey"])
+        .map(PlanBuilder::build)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datagen::generate;
+
+    #[test]
+    fn qa_qb_share_the_aggregate_join() {
+        // Cheap structural check without depending on ishare-mqo: the two
+        // plans contain an identical agg-over-lineitem subtree.
+        let d = generate(0.002, 1).unwrap();
+        let a = qa(&d.catalog).unwrap();
+        let b = qb(&d.catalog).unwrap();
+        fn find_agg(p: &LogicalPlan) -> Option<&LogicalPlan> {
+            match p {
+                LogicalPlan::Aggregate { group_by, .. } if !group_by.is_empty() => Some(p),
+                LogicalPlan::Select { input, .. } | LogicalPlan::Project { input, .. } => {
+                    find_agg(input)
+                }
+                LogicalPlan::Aggregate { input, .. } => find_agg(input),
+                LogicalPlan::Join { left, right, .. } => {
+                    find_agg(right).or_else(|| find_agg(left))
+                }
+                LogicalPlan::Scan { .. } => None,
+            }
+        }
+        let agg_a = find_agg(&a).expect("qa contains the partkey aggregate");
+        let agg_b = find_agg(&b).expect("qb contains the partkey aggregate");
+        assert_eq!(agg_a, agg_b, "identical shared subtree");
+    }
+}

@@ -1,0 +1,225 @@
+//! Predicate-variant generation for the decomposition experiment
+//! (Sec. 5.4).
+//!
+//! "We take the 10 TPC-H queries in Figure 12, modify their predicates to
+//! generate new 10 TPC-H queries, and combine the original and new queries
+//! to create a new query set. … For 50% of the equality predicates, we use a
+//! different value, and for a range-based predicate, we generate a new
+//! predicate with an overlap up to 50%."
+//!
+//! The variant keeps the plan *structure* identical (so the MQO optimizer
+//! still shares the subplans) while making predicates overlap only
+//! partially — exactly the situation where naive sharing forces overly
+//! eager execution on the union of the data.
+
+use ishare_common::Value;
+use ishare_expr::{BinaryOp, Expr};
+use ishare_plan::LogicalPlan;
+
+/// Produce a structurally identical plan with modified predicates. `seed`
+/// offsets which predicates change, so different seeds give different
+/// variants.
+pub fn variant_plan(plan: &LogicalPlan, seed: u64) -> LogicalPlan {
+    let mut counter = seed;
+    rewrite_plan(plan, &mut counter)
+}
+
+fn rewrite_plan(plan: &LogicalPlan, counter: &mut u64) -> LogicalPlan {
+    match plan {
+        LogicalPlan::Scan { .. } => plan.clone(),
+        LogicalPlan::Select { input, predicate } => LogicalPlan::Select {
+            input: Box::new(rewrite_plan(input, counter)),
+            predicate: rewrite_pred(predicate, counter),
+        },
+        LogicalPlan::Project { input, exprs } => LogicalPlan::Project {
+            input: Box::new(rewrite_plan(input, counter)),
+            exprs: exprs.clone(),
+        },
+        LogicalPlan::Aggregate { input, group_by, aggs } => LogicalPlan::Aggregate {
+            input: Box::new(rewrite_plan(input, counter)),
+            group_by: group_by.clone(),
+            aggs: aggs.clone(),
+        },
+        LogicalPlan::Join { left, right, keys } => LogicalPlan::Join {
+            left: Box::new(rewrite_plan(left, counter)),
+            right: Box::new(rewrite_plan(right, counter)),
+            keys: keys.clone(),
+        },
+    }
+}
+
+fn rewrite_pred(e: &Expr, counter: &mut u64) -> Expr {
+    match e {
+        Expr::Binary { op, left, right } if op.is_logical() => Expr::Binary {
+            op: *op,
+            left: Box::new(rewrite_pred(left, counter)),
+            right: Box::new(rewrite_pred(right, counter)),
+        },
+        Expr::Not(inner) => Expr::Not(Box::new(rewrite_pred(inner, counter))),
+        // Equality: change every other one to a different value.
+        Expr::Binary { op: BinaryOp::Eq, left, right } => {
+            if let Expr::Literal(v) = right.as_ref() {
+                *counter += 1;
+                if (*counter).is_multiple_of(2) {
+                    return Expr::Binary {
+                        op: BinaryOp::Eq,
+                        left: left.clone(),
+                        right: Box::new(Expr::Literal(alternate_value(v))),
+                    };
+                }
+            }
+            e.clone()
+        }
+        // Ranges: shift the bound so old and new overlap partially.
+        Expr::Binary { op, left, right }
+            if matches!(op, BinaryOp::Lt | BinaryOp::Le | BinaryOp::Gt | BinaryOp::Ge) =>
+        {
+            if let Expr::Literal(v) = right.as_ref() {
+                if let Some(shifted) = shift_bound(v) {
+                    *counter += 1;
+                    if (*counter).is_multiple_of(2) {
+                        return Expr::Binary {
+                            op: *op,
+                            left: left.clone(),
+                            right: Box::new(Expr::Literal(shifted)),
+                        };
+                    }
+                }
+            }
+            e.clone()
+        }
+        Expr::InList { expr, list } => {
+            *counter += 1;
+            if (*counter).is_multiple_of(2) && !list.is_empty() {
+                // Rotate the membership list by replacing its last element.
+                let mut list = list.clone();
+                let last = list.len() - 1;
+                list[last] = alternate_value(&list[last]);
+                Expr::InList { expr: expr.clone(), list }
+            } else {
+                e.clone()
+            }
+        }
+        other => other.clone(),
+    }
+}
+
+/// A different value from (approximately) the same domain.
+fn alternate_value(v: &Value) -> Value {
+    match v {
+        Value::Int(i) => Value::Int(i + 1),
+        Value::Float(f) => Value::Float(f * 1.2 + 0.01),
+        Value::Date(d) => Value::Date(d + 30),
+        Value::Bool(b) => Value::Bool(!b),
+        Value::Str(s) => Value::str(alternate_string(s)),
+        Value::Null => Value::Null,
+    }
+}
+
+/// Known TPC-H categorical rotations; unknown strings stay put (keeping the
+/// plan semantically valid matters more than mutating every predicate).
+fn alternate_string(s: &str) -> String {
+    const ROTATIONS: [(&str, &str); 14] = [
+        ("BUILDING", "MACHINERY"),
+        ("AUTOMOBILE", "FURNITURE"),
+        ("EUROPE", "ASIA"),
+        ("ASIA", "AMERICA"),
+        ("AMERICA", "AFRICA"),
+        ("GERMANY", "FRANCE"),
+        ("FRANCE", "RUSSIA"),
+        ("CANADA", "BRAZIL"),
+        ("BRAZIL", "PERU"),
+        ("SAUDI ARABIA", "IRAN"),
+        ("Brand#23", "Brand#34"),
+        ("Brand#45", "Brand#12"),
+        ("MED BOX", "LG BOX"),
+        ("ECONOMY ANODIZED STEEL", "STANDARD ANODIZED TIN"),
+    ];
+    for (from, to) in ROTATIONS {
+        if s == from {
+            return to.to_string();
+        }
+    }
+    s.to_string()
+}
+
+/// Shift a numeric bound by ~50% of a plausible local scale, producing a
+/// partially overlapping range.
+fn shift_bound(v: &Value) -> Option<Value> {
+    match v {
+        Value::Int(i) => Some(Value::Int(i + (i.abs() / 2).max(2))),
+        Value::Float(f) => Some(Value::Float(f * 1.5 + 0.005)),
+        Value::Date(d) => Some(Value::Date(d + 90)), // ~a quarter later
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datagen::generate;
+    use crate::queries::all_queries;
+
+    /// Shape string ignoring predicates.
+    fn shape(p: &LogicalPlan) -> String {
+        match p {
+            LogicalPlan::Scan { table } => format!("s{}", table.0),
+            LogicalPlan::Select { input, .. } => format!("F({})", shape(input)),
+            LogicalPlan::Project { input, exprs } => {
+                format!("P{}({})", exprs.len(), shape(input))
+            }
+            LogicalPlan::Aggregate { input, group_by, aggs } => {
+                format!("A{}x{}({})", group_by.len(), aggs.len(), shape(input))
+            }
+            LogicalPlan::Join { left, right, keys } => {
+                format!("J{}({},{})", keys.len(), shape(left), shape(right))
+            }
+        }
+    }
+
+    #[test]
+    fn variants_keep_structure_change_predicates() {
+        let d = generate(0.002, 1).unwrap();
+        let mut changed = 0;
+        for q in all_queries(&d.catalog).unwrap() {
+            let v = variant_plan(&q.plan, 0);
+            assert_eq!(shape(&q.plan), shape(&v), "{} structure", q.name);
+            assert!(v.schema(&d.catalog).is_ok(), "{} still typechecks", q.name);
+            if v != q.plan {
+                changed += 1;
+            }
+        }
+        assert!(changed >= 15, "only {changed}/22 variants differ");
+    }
+
+    #[test]
+    fn different_seeds_give_different_variants() {
+        let d = generate(0.002, 1).unwrap();
+        let q5 = crate::queries::query_by_name(&d.catalog, "q5").unwrap();
+        let v0 = variant_plan(&q5.plan, 0);
+        let v1 = variant_plan(&q5.plan, 1);
+        assert_ne!(v0, v1);
+    }
+
+    #[test]
+    fn alternates_stay_in_domain() {
+        assert_eq!(alternate_string("BUILDING"), "MACHINERY");
+        assert_eq!(alternate_string("unknown"), "unknown");
+        assert_eq!(alternate_value(&Value::Int(10)), Value::Int(11));
+        assert_eq!(shift_bound(&Value::Int(10)), Some(Value::Int(15)));
+        assert_eq!(shift_bound(&Value::str("x")), None);
+        match alternate_value(&Value::Date(100)) {
+            Value::Date(d) => assert_eq!(d, 130),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn variant_of_variant_differs_again() {
+        let d = generate(0.002, 1).unwrap();
+        let q3 = crate::queries::query_by_name(&d.catalog, "q3").unwrap();
+        let v = variant_plan(&q3.plan, 0);
+        let vv = variant_plan(&v, 0);
+        assert_eq!(shape(&v), shape(&vv));
+    }
+}

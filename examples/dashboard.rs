@@ -1,0 +1,77 @@
+//! Recurring-dashboard scenario (the paper's introduction): several daily
+//! reports over the same TPC-H stream, due at different times.
+//!
+//! ```text
+//! cargo run --release --example dashboard
+//! ```
+//!
+//! The 6am data load feeds four dashboards: two due right away (tight
+//! constraints) and two due mid-morning (loose constraints). The example
+//! compares all four planning approaches on measured work and per-dashboard
+//! final work, showing iShare meeting every deadline at the lowest cost.
+
+use ishare::core::{plan_workload, Approach, FinalWorkConstraint, PlanningOptions};
+use ishare::stream::execute_planned;
+use ishare::tpch::{generate, query_by_name};
+use ishare_common::{CostWeights, QueryId};
+use std::collections::BTreeMap;
+
+fn main() -> ishare::Result<()> {
+    let data = generate(0.003, 7)?;
+
+    // Four dashboards over the shared TPC-H stream. q3 and q5 share scans
+    // and joins of customer/orders/lineitem; q1 and q6 share the lineitem
+    // scan.
+    let dashboards = [
+        ("revenue by nation (due 10am)", "q5", 1.0),
+        ("shipping priorities (due 7am)", "q3", 0.2),
+        ("pricing summary (due 10am)", "q1", 1.0),
+        ("promo forecast (due 7am)", "q6", 0.2),
+    ];
+    let queries: Vec<(QueryId, ishare::plan::LogicalPlan)> = dashboards
+        .iter()
+        .enumerate()
+        .map(|(i, (_, name, _))| {
+            Ok((QueryId(i as u16), query_by_name(&data.catalog, name)?.plan))
+        })
+        .collect::<ishare::Result<_>>()?;
+    let constraints: BTreeMap<QueryId, FinalWorkConstraint> = dashboards
+        .iter()
+        .enumerate()
+        .map(|(i, (_, _, frac))| (QueryId(i as u16), FinalWorkConstraint::Relative(*frac)))
+        .collect();
+
+    let opts = PlanningOptions { max_pace: 50, ..Default::default() };
+    for approach in [
+        Approach::NoShareUniform,
+        Approach::NoShareNonuniform,
+        Approach::ShareUniform,
+        Approach::IShare,
+    ] {
+        let planned = plan_workload(approach, &queries, &constraints, &data.catalog, &opts)?;
+        let run = execute_planned(
+            &planned.plan,
+            planned.paces.as_slice(),
+            &data.catalog,
+            &data.data,
+            CostWeights::default(),
+        )?;
+        println!(
+            "\n{} — total work {:.0}, wall {:?}, {} subplans, paces {}",
+            approach.label(),
+            run.total_work.get(),
+            run.total_wall,
+            planned.plan.len(),
+            planned.paces,
+        );
+        for (i, (label, name, frac)) in dashboards.iter().enumerate() {
+            let q = QueryId(i as u16);
+            println!(
+                "  {label:<32} [{name}, rel {frac}] final work {:>10.0}  ({} result rows)",
+                run.final_work[&q],
+                run.results[&q].len()
+            );
+        }
+    }
+    Ok(())
+}

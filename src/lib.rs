@@ -1,0 +1,34 @@
+//! # iShare — Resource-efficient Shared Query Execution via Exploiting Time Slackness
+//!
+//! A from-scratch Rust reproduction of the SIGMOD 2021 paper by Tang, Shang,
+//! Ma, Elmore and Krishnan. This facade crate re-exports the public API of
+//! the workspace; see `README.md` for a tour and `DESIGN.md` for the paper →
+//! code map.
+//!
+//! The short version: given a set of *scheduled queries* over a continuously
+//! loaded dataset, each with its own latency goal (a *final work
+//! constraint*), iShare
+//!
+//! 1. merges the queries into a shared plan (multi-query optimization,
+//!    [`mqo`]),
+//! 2. splits the shared plan into *subplans* and assigns each its own
+//!    execution *pace* via an incrementability-driven greedy search with
+//!    memoized cost estimation ([`core::pace_search`]), and
+//! 3. selectively *decomposes* (un-shares) subplans whose eager shared
+//!    execution costs more than it saves ([`core::decompose`]),
+//!
+//! then executes the result with a shared incremental execution engine
+//! ([`exec`]) driven by an arrival simulator ([`stream`]).
+
+pub use ishare_common as common;
+pub use ishare_core as core;
+pub use ishare_cost as cost;
+pub use ishare_exec as exec;
+pub use ishare_expr as expr;
+pub use ishare_mqo as mqo;
+pub use ishare_plan as plan;
+pub use ishare_storage as storage;
+pub use ishare_stream as stream;
+pub use ishare_tpch as tpch;
+
+pub use ishare_common::{Error, QueryId, QuerySet, Result, Value, WorkUnits};
