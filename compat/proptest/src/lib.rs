@@ -1,0 +1,601 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build container has no crates.io registry access, so the workspace
+//! vendors the slice of proptest's API its tests use: the `proptest!` macro,
+//! `Strategy` with `prop_map`/`prop_recursive`/`boxed`, range and tuple and
+//! collection strategies, `prop_oneof!`, `Just`, and the `prop_assert*` /
+//! `prop_assume!` macros.
+//!
+//! Differences from real proptest, deliberately accepted:
+//! - **No shrinking.** A failing case reports the panic message only.
+//! - **Deterministic seeding** derived from the test's module path and name,
+//!   so failures reproduce exactly across runs and machines.
+//! - String strategies support only the tiny regex subset used here
+//!   (character classes with ranges and `{m,n}` repetition).
+
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+use std::sync::Arc;
+
+pub mod test_runner;
+
+use test_runner::TestRng;
+
+/// Per-test configuration (case count only).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Why a single test case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed — the case is skipped, not failed.
+    Reject,
+    /// A `prop_assert*!` failed with this message.
+    Fail(String),
+}
+
+/// A generator of random values of one type.
+pub trait Strategy {
+    /// The type of value this strategy generates.
+    type Value;
+
+    /// Generate one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { source: self, f }
+    }
+
+    /// Build a recursive strategy: `f` receives a strategy for the current
+    /// depth and returns one generating values one level deeper. `depth`
+    /// levels are stacked; the size/branch hints are accepted for API
+    /// compatibility but unused (depth alone bounds generated sizes here).
+    fn prop_recursive<F, S2>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        f: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S2,
+        S2: Strategy<Value = Self::Value> + 'static,
+    {
+        let mut cur = self.boxed();
+        for _ in 0..depth {
+            let deeper = f(cur.clone()).boxed();
+            cur = Union::new(vec![cur, deeper]).boxed();
+        }
+        cur
+    }
+
+    /// Type-erase this strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Arc::new(move |rng| self.new_value(rng)))
+    }
+}
+
+/// A cloneable, type-erased [`Strategy`].
+pub struct BoxedStrategy<T>(Arc<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Arc::clone(&self.0))
+    }
+}
+
+impl<T> std::fmt::Debug for BoxedStrategy<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("BoxedStrategy")
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// `prop_map` adapter.
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn new_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.source.new_value(rng))
+    }
+}
+
+/// Uniform choice between several strategies of one value type.
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Union over the given arms (must be non-empty).
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.arms.len());
+        self.arms[i].new_value(rng)
+    }
+}
+
+macro_rules! int_range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                (lo as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                self.start + (rng.unit_f64() as $t) * (self.end - self.start)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                lo + (rng.unit_f64() as $t) * (hi - lo)
+            }
+        }
+    )*};
+}
+
+float_range_strategies!(f32, f64);
+
+macro_rules! tuple_strategies {
+    ($(($($s:ident $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.new_value(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategies! {
+    (A 0)
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+    (A 0, B 1, C 2, D 3, E 4)
+    (A 0, B 1, C 2, D 3, E 4, F 5)
+}
+
+/// String strategy from a regex-like pattern (`&'static str` literals).
+///
+/// Supported subset: literal characters, `[a-z0-9_]`-style classes with
+/// ranges, and `{m}` / `{m,n}` repetition of the preceding atom.
+impl Strategy for &'static str {
+    type Value = String;
+    fn new_value(&self, rng: &mut TestRng) -> String {
+        sample_pattern(self, rng)
+    }
+}
+
+fn sample_pattern(pat: &str, rng: &mut TestRng) -> String {
+    let mut chars = pat.chars().peekable();
+    let mut out = String::new();
+    while let Some(c) = chars.next() {
+        let set: Vec<char> = if c == '[' {
+            let mut set = Vec::new();
+            while let Some(c2) = chars.next() {
+                if c2 == ']' {
+                    break;
+                }
+                if chars.peek() == Some(&'-') {
+                    chars.next();
+                    let hi = chars
+                        .next()
+                        .unwrap_or_else(|| panic!("unterminated class range in {pat:?}"));
+                    for x in c2..=hi {
+                        set.push(x);
+                    }
+                } else {
+                    set.push(c2);
+                }
+            }
+            set
+        } else {
+            vec![c]
+        };
+        assert!(!set.is_empty(), "empty character class in {pat:?}");
+        let (lo, hi) = if chars.peek() == Some(&'{') {
+            chars.next();
+            let mut nums = vec![String::new()];
+            for c2 in chars.by_ref() {
+                match c2 {
+                    '}' => break,
+                    ',' => nums.push(String::new()),
+                    d => nums.last_mut().unwrap().push(d),
+                }
+            }
+            let lo: usize = nums[0].parse().expect("bad repetition count");
+            let hi = nums.get(1).map_or(lo, |s| s.parse().expect("bad repetition count"));
+            (lo, hi)
+        } else {
+            (1, 1)
+        };
+        let n = lo + rng.below(hi - lo + 1);
+        for _ in 0..n {
+            out.push(set[rng.below(set.len())]);
+        }
+    }
+    out
+}
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Size specification for generated collections.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        /// Exclusive upper bound.
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange { lo: r.start, hi: r.end }
+        }
+    }
+
+    /// Strategy producing `Vec`s of the element strategy's values.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// A `Vec` with a length drawn from `size` and elements from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.lo + rng.below(self.size.hi - self.size.lo);
+            (0..n).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+/// Boolean strategies (`proptest::bool`).
+pub mod bool {
+    use super::{Strategy, TestRng};
+
+    /// Boolean strategy that is `true` with a fixed probability.
+    #[derive(Debug, Clone, Copy)]
+    pub struct WeightedBool(f64);
+
+    /// Fair coin.
+    pub const ANY: WeightedBool = WeightedBool(0.5);
+
+    /// `true` with probability `p`.
+    pub fn weighted(p: f64) -> WeightedBool {
+        assert!((0.0..=1.0).contains(&p), "weighted({p}) out of range");
+        WeightedBool(p)
+    }
+
+    impl Strategy for WeightedBool {
+        type Value = bool;
+        fn new_value(&self, rng: &mut TestRng) -> bool {
+            rng.unit_f64() < self.0
+        }
+    }
+}
+
+/// Option strategies (`proptest::option`).
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    /// Strategy producing `Option`s of the inner strategy's values.
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S>(S);
+
+    /// `Some` roughly three times out of four, `None` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.unit_f64() < 0.75 {
+                Some(self.0.new_value(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// Everything a property test file needs.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+    pub use crate::{BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError};
+}
+
+/// Uniform choice among strategies: `prop_oneof![a, b, c]`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($arm)),+])
+    };
+}
+
+/// Fail the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fail the current case unless the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (left, right) = (&$a, &$b);
+        if !(*left == *right) {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($a),
+                stringify!($b),
+                left,
+                right
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$a, &$b);
+        if !(*left == *right) {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}\n {}",
+                stringify!($a),
+                stringify!($b),
+                left,
+                right,
+                format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+/// Skip the current case (counted as neither pass nor failure) unless
+/// `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Define property tests: each `fn name(arg in strategy, …) { body }` becomes
+/// a `#[test]` running `ProptestConfig::cases` random cases (no shrinking).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!{ ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::TestRng::deterministic(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            let strategies = ($($strat,)+);
+            for case in 0..config.cases {
+                let ($($arg,)+) = $crate::Strategy::new_value(&strategies, &mut rng);
+                let outcome = (|| -> ::core::result::Result<(), $crate::TestCaseError> {
+                    $body
+                    ::core::result::Result::Ok(())
+                })();
+                match outcome {
+                    ::core::result::Result::Ok(()) => {}
+                    ::core::result::Result::Err($crate::TestCaseError::Reject) => {}
+                    ::core::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "property `{}` failed at case {}/{}:\n{}\n\
+                             (offline proptest stub: no shrinking; seed is \
+                             deterministic per test name)",
+                            stringify!($name), case, config.cases, msg
+                        )
+                    }
+                }
+            }
+        }
+        $crate::__proptest_fns!{ ($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Tree {
+        Leaf(i64),
+        Node(Vec<Tree>),
+    }
+
+    fn depth(t: &Tree) -> usize {
+        match t {
+            Tree::Leaf(_) => 1,
+            Tree::Node(cs) => 1 + cs.iter().map(depth).max().unwrap_or(0),
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_collections(
+            x in 0i64..10,
+            v in crate::collection::vec(0u16..64, 0..20),
+            s in "[a-z]{0,6}",
+            o in crate::option::of(0i64..100),
+            b in crate::bool::weighted(0.25),
+        ) {
+            prop_assert!((0..10).contains(&x));
+            prop_assert!(v.len() < 20);
+            prop_assert!(v.iter().all(|e| *e < 64));
+            prop_assert!(s.len() <= 6 && s.chars().all(|c| c.is_ascii_lowercase()));
+            if let Some(i) = o {
+                prop_assert!((0..100).contains(&i));
+            }
+            let _ = b;
+        }
+
+        #[test]
+        fn recursion_depth_is_bounded(
+            t in Just(Tree::Leaf(0)).prop_recursive(3, 24, 2, |inner| {
+                prop_oneof![
+                    (0i64..5).prop_map(Tree::Leaf),
+                    crate::collection::vec(inner, 1..3).prop_map(Tree::Node),
+                ]
+            })
+        ) {
+            prop_assert!(depth(&t) <= 4, "depth {} tree {:?}", depth(&t), t);
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(n in 0u32..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert!(n % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::test_runner::TestRng::deterministic("x");
+        let mut b = crate::test_runner::TestRng::deterministic("x");
+        let s = crate::collection::vec(0i64..1000, 0..30);
+        use crate::Strategy;
+        for _ in 0..50 {
+            assert_eq!(s.new_value(&mut a), s.new_value(&mut b));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property `always_fails` failed")]
+    fn failure_panics() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(1))]
+            fn always_fails(x in 0i64..10) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        always_fails();
+    }
+}

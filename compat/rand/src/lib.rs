@@ -1,0 +1,183 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build container has no crates.io registry access, so the workspace
+//! vendors the *tiny* slice of `rand`'s API it actually uses: `StdRng`
+//! seeded from a `u64`, `gen_range` over integer/float ranges, and
+//! `gen_bool`. The generator is SplitMix64 — statistically fine for
+//! workload/data generation, deterministic for a given seed, but **not** the
+//! ChaCha12 stream of the real `StdRng`, so seeds produce different (still
+//! reproducible) datasets than upstream `rand` would.
+
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Minimal core RNG interface: a source of uniform `u64`s.
+pub trait RngCore {
+    /// Next uniform 64-bit value.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seeding interface (only the `u64` convenience constructor).
+pub trait SeedableRng: Sized {
+    /// Construct deterministically from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types a range can be sampled from.
+pub trait SampleRange<T> {
+    /// Draw one uniform value from the range. Panics if the range is empty.
+    fn sample_one(self, rng: &mut dyn RngCore) -> T;
+}
+
+/// Scalar types uniform ranges can produce. The `SampleRange` impls are
+/// generic over this trait (like real rand's `SampleUniform`) so that type
+/// inference can flow from the use site into the range literal.
+pub trait SampleUniform: Sized {
+    /// Uniform value in `[lo, hi)` or `[lo, hi]` when `inclusive`.
+    fn sample_range(lo: &Self, hi: &Self, inclusive: bool, rng: &mut dyn RngCore) -> Self;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_one(self, rng: &mut dyn RngCore) -> T {
+        T::sample_range(&self.start, &self.end, false, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_one(self, rng: &mut dyn RngCore) -> T {
+        T::sample_range(self.start(), self.end(), true, rng)
+    }
+}
+
+/// High-level convenience methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform value in `range` (half-open or inclusive).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_one(self)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool probability {p} out of range");
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+fn unit_f64(bits: u64) -> f64 {
+    // 53 uniform mantissa bits in [0, 1).
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+macro_rules! int_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range(lo: &Self, hi: &Self, inclusive: bool, rng: &mut dyn RngCore) -> Self {
+                let (lo, hi) = (*lo as i128, *hi as i128);
+                let span = if inclusive {
+                    assert!(lo <= hi, "empty gen_range");
+                    (hi - lo) as u128 + 1
+                } else {
+                    assert!(lo < hi, "empty gen_range");
+                    (hi - lo) as u128
+                };
+                (lo + ((rng.next_u64() as u128) % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range(lo: &Self, hi: &Self, inclusive: bool, rng: &mut dyn RngCore) -> Self {
+                let (lo, hi) = (*lo, *hi);
+                if inclusive {
+                    assert!(lo <= hi, "empty gen_range");
+                } else {
+                    assert!(lo < hi, "empty gen_range");
+                }
+                lo + (unit_f64(rng.next_u64()) as $t) * (hi - lo)
+            }
+        }
+    )*};
+}
+
+float_uniform!(f32, f64);
+
+/// Named RNG types.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic SplitMix64 generator (stand-in for `rand::rngs::StdRng`).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u64..1_000_000), b.gen_range(0u64..1_000_000));
+        }
+    }
+
+    #[test]
+    fn ranges_respected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&v));
+            let w = rng.gen_range(1..=7usize);
+            assert!((1..=7).contains(&w));
+            let f = rng.gen_range(0.0..=0.10);
+            assert!((0.0..=0.10).contains(&f));
+            let g = rng.gen_range(-999.99f64..9999.99);
+            assert!((-999.99..9999.99).contains(&g));
+        }
+    }
+
+    #[test]
+    fn gen_bool_rates() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "got {hits}");
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+}

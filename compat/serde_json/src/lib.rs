@@ -1,0 +1,533 @@
+//! Offline stand-in for the `serde_json` crate.
+//!
+//! The build container has no crates.io registry access, so the workspace
+//! vendors the slice of serde_json's API it uses: the [`Value`] tree, the
+//! [`json!`] macro for object/array literals with interpolated Rust
+//! expressions, and [`to_string_pretty`]. There is no parser and no serde
+//! trait integration.
+//!
+//! Known limitation of the `json!` stub: an interpolated expression may not
+//! contain a comma outside brackets/parens/braces (e.g. a `::<HashMap<K, V>>`
+//! turbofish) — the muncher would split the expression at that comma.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+
+/// A JSON value. Objects preserve insertion order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// JSON number.
+    Number(Number),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object, in insertion order.
+    Object(Vec<(String, Value)>),
+}
+
+/// A JSON number: integer representations are kept exact.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// Non-negative integer.
+    UInt(u64),
+    /// Negative integer.
+    Int(i64),
+    /// Floating point.
+    Float(f64),
+}
+
+impl Value {
+    /// The value as an `f64` if it is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(Number::UInt(v)) => Some(*v as f64),
+            Value::Number(Number::Int(v)) => Some(*v as f64),
+            Value::Number(Number::Float(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64` if it is an integer in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(Number::UInt(v)) => i64::try_from(*v).ok(),
+            Value::Number(Number::Int(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool if it is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value's elements if it is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// True if the value is a number.
+    pub fn is_number(&self) -> bool {
+        matches!(self, Value::Number(_))
+    }
+
+    /// Object field lookup, `None` for missing keys or non-objects.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+const NULL: Value = Value::Null;
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, i: usize) -> &Value {
+        match self {
+            Value::Array(a) => a.get(i).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<Value> for &str {
+    fn eq(&self, other: &Value) -> bool {
+        other.as_str() == Some(*self)
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+/// Serialization error (never produced by this stub; kept for API shape).
+#[derive(Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde_json stub error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::String(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::String(v)
+    }
+}
+
+impl From<&String> for Value {
+    fn from(v: &String) -> Self {
+        Value::String(v.clone())
+    }
+}
+
+macro_rules! from_unsigned {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Self { Value::Number(Number::UInt(v as u64)) }
+        }
+    )*};
+}
+
+macro_rules! from_signed {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Self {
+                if v < 0 {
+                    Value::Number(Number::Int(v as i64))
+                } else {
+                    Value::Number(Number::UInt(v as u64))
+                }
+            }
+        }
+    )*};
+}
+
+from_unsigned!(u8, u16, u32, u64, usize);
+from_signed!(i8, i16, i32, i64, isize);
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Number(Number::Float(v))
+    }
+}
+
+impl From<f32> for Value {
+    fn from(v: f32) -> Self {
+        Value::Number(Number::Float(v as f64))
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Self {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Value> + Clone, const N: usize> From<[T; N]> for Value {
+    fn from(v: [T; N]) -> Self {
+        Value::Array(v.iter().cloned().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Value> + Clone> From<&[T]> for Value {
+    fn from(v: &[T]) -> Self {
+        Value::Array(v.iter().cloned().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(v: Option<T>) -> Self {
+        v.map_or(Value::Null, Into::into)
+    }
+}
+
+/// Conversion to [`Value`] **by reference** — what `json!` interpolation
+/// uses, so interpolated bindings stay usable afterwards (matching real
+/// serde_json, which serializes interpolated expressions by reference).
+pub trait ToJson {
+    /// Convert to a [`Value`] without consuming `self`.
+    fn to_json(&self) -> Value;
+}
+
+/// Entry point used by the `json!` macro's expression arm.
+pub fn to_value<T: ToJson + ?Sized>(v: &T) -> Value {
+    v.to_json()
+}
+
+impl ToJson for Value {
+    fn to_json(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl ToJson for str {
+    fn to_json(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+macro_rules! to_json_via_from {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Value { Value::from(self.clone()) }
+        }
+    )*};
+}
+
+to_json_via_from!(bool, String, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson, const N: usize> ToJson for [T; N] {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Value {
+        self.as_ref().map_or(Value::Null, ToJson::to_json)
+    }
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn to_json(&self) -> Value {
+        (**self).to_json()
+    }
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Number::UInt(v) => write!(f, "{v}"),
+            Number::Int(v) => write!(f, "{v}"),
+            Number::Float(v) => {
+                if !v.is_finite() {
+                    // Real serde_json refuses non-finite floats; a JSON file
+                    // with nulls beats a panic in a bench harness.
+                    write!(f, "null")
+                } else if v.fract() == 0.0 && v.abs() < 1e15 {
+                    write!(f, "{v:.1}")
+                } else {
+                    write!(f, "{v}")
+                }
+            }
+        }
+    }
+}
+
+fn write_value(out: &mut String, v: &Value, indent: usize, pretty: bool) {
+    let pad = |out: &mut String, n: usize| {
+        if pretty {
+            out.push('\n');
+            out.push_str(&"  ".repeat(n));
+        }
+    };
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => out.push_str(&n.to_string()),
+        Value::String(s) => escape_into(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                pad(out, indent + 1);
+                write_value(out, item, indent + 1, pretty);
+            }
+            pad(out, indent);
+            out.push(']');
+        }
+        Value::Object(fields) => {
+            if fields.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, val)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                pad(out, indent + 1);
+                escape_into(out, k);
+                out.push(':');
+                if pretty {
+                    out.push(' ');
+                }
+                write_value(out, val, indent + 1, pretty);
+            }
+            pad(out, indent);
+            out.push('}');
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = String::new();
+        write_value(&mut s, self, 0, false);
+        f.write_str(&s)
+    }
+}
+
+/// Serialize compactly.
+pub fn to_string(value: &Value) -> Result<String, Error> {
+    Ok(value.to_string())
+}
+
+/// Serialize with two-space indentation.
+pub fn to_string_pretty(value: &Value) -> Result<String, Error> {
+    let mut s = String::new();
+    write_value(&mut s, value, 0, true);
+    Ok(s)
+}
+
+/// Build a [`Value`] from a JSON-shaped literal with interpolated Rust
+/// expressions, e.g. `json!({ "k": 1 + 1, "nested": { "xs": vec![1, 2] } })`.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($tt:tt)* ]) => {{
+        #[allow(clippy::vec_init_then_push)]
+        let array = {
+            let mut array: Vec<$crate::Value> = Vec::new();
+            $crate::__json_array!(array () $($tt)*);
+            array
+        };
+        $crate::Value::Array(array)
+    }};
+    ({ $($tt:tt)* }) => {{
+        #[allow(clippy::vec_init_then_push)]
+        let object = {
+            let mut object: Vec<(String, $crate::Value)> = Vec::new();
+            $crate::__json_object!(object $($tt)*);
+            object
+        };
+        $crate::Value::Object(object)
+    }};
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __json_object {
+    ($obj:ident) => {};
+    ($obj:ident $key:literal : $($rest:tt)*) => {
+        $crate::__json_object_value!($obj $key () $($rest)*)
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __json_object_value {
+    ($obj:ident $key:literal ($($val:tt)+)) => {
+        $obj.push(($key.to_string(), $crate::json!($($val)+)));
+    };
+    ($obj:ident $key:literal ($($val:tt)+) , $($rest:tt)*) => {
+        $obj.push(($key.to_string(), $crate::json!($($val)+)));
+        $crate::__json_object!($obj $($rest)*)
+    };
+    ($obj:ident $key:literal ($($val:tt)*) $t:tt $($rest:tt)*) => {
+        $crate::__json_object_value!($obj $key ($($val)* $t) $($rest)*)
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __json_array {
+    ($arr:ident ()) => {};
+    ($arr:ident ($($val:tt)+)) => {
+        $arr.push($crate::json!($($val)+));
+    };
+    ($arr:ident ($($val:tt)+) , $($rest:tt)*) => {
+        $arr.push($crate::json!($($val)+));
+        $crate::__json_array!($arr () $($rest)*)
+    };
+    ($arr:ident ($($val:tt)*) $t:tt $($rest:tt)*) => {
+        $crate::__json_array!($arr ($($val)* $t) $($rest)*)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_shapes_from_bench_harness() {
+        let rows: Vec<Vec<String>> = vec![vec!["a".into(), "b".into()]];
+        let fracs = [1.0f64, 0.5, 0.2];
+        let nested = json!({
+            "approach": "ishare",
+            "est_total_work": 12.5,
+            "missed_work": {
+                "mean_pct": 1.0,
+                "max_pct": 2.25,
+            },
+            "fracs": fracs,
+            "rows": rows,
+            "feasible": true,
+            "subplans": 7usize,
+            "runs": (0..2).map(|i| json!({ "i": i })).collect::<Vec<_>>(),
+        });
+        let s = to_string(&nested).unwrap();
+        assert_eq!(
+            s,
+            "{\"approach\":\"ishare\",\"est_total_work\":12.5,\
+             \"missed_work\":{\"mean_pct\":1.0,\"max_pct\":2.25},\
+             \"fracs\":[1.0,0.5,0.2],\"rows\":[[\"a\",\"b\"]],\
+             \"feasible\":true,\"subplans\":7,\
+             \"runs\":[{\"i\":0},{\"i\":1}]}"
+        );
+    }
+
+    #[test]
+    fn pretty_roundtrips_structure() {
+        let v = json!({ "a": 1, "b": [1, 2], "c": { "d": "x\"y" } });
+        let s = to_string_pretty(&v).unwrap();
+        assert!(s.contains("\"a\": 1"));
+        assert!(s.contains("\\\""));
+        assert!(s.starts_with("{\n"));
+    }
+
+    #[test]
+    fn value_interpolation_is_identity() {
+        let inner = json!({ "x": 1 });
+        let outer = json!({ "run": inner.clone(), "opt": Option::<i64>::None });
+        assert_eq!(outer, Value::Object(vec![("run".into(), inner), ("opt".into(), Value::Null)]));
+    }
+
+    #[test]
+    fn negative_and_float_formatting() {
+        assert_eq!(json!(-3i64).to_string(), "-3");
+        assert_eq!(json!(2.0f64).to_string(), "2.0");
+        assert_eq!(json!(2.5f64).to_string(), "2.5");
+        assert_eq!(json!(f64::NAN).to_string(), "null");
+    }
+}

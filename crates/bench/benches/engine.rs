@@ -44,10 +44,7 @@ fn agg_subplan(shared_masks: bool) -> Subplan {
     } else {
         vec![
             SelectBranch { queries: QuerySet(0b01), predicate: Expr::true_lit() },
-            SelectBranch {
-                queries: QuerySet(0b10),
-                predicate: Expr::col(1).lt(Expr::lit(500i64)),
-            },
+            SelectBranch { queries: QuerySet(0b10), predicate: Expr::col(1).lt(Expr::lit(500i64)) },
         ]
     };
     Subplan {
@@ -95,13 +92,9 @@ fn bench_aggregate(c: &mut Criterion) {
                 let input = rows(n, 64, QuerySet(0b11));
                 b.iter(|| {
                     let sp = agg_subplan(shared);
-                    let mut ex = SubplanExecutor::new(
-                        &sp,
-                        &cat,
-                        &HashMap::new(),
-                        CostWeights::default(),
-                    )
-                    .unwrap();
+                    let mut ex =
+                        SubplanExecutor::new(&sp, &cat, &HashMap::new(), CostWeights::default())
+                            .unwrap();
                     let leaves = ex.leaf_paths();
                     let counter = WorkCounter::new();
                     let mut inputs = HashMap::new();
@@ -156,10 +149,8 @@ fn bench_incremental_vs_batch(c: &mut Criterion) {
                     let lo = i * input.len() / pace;
                     let hi = (i + 1) * input.len() / pace;
                     let mut inputs = HashMap::new();
-                    inputs.insert(
-                        leaves[0].0.clone(),
-                        DeltaBatch::from_rows(input[lo..hi].to_vec()),
-                    );
+                    inputs
+                        .insert(leaves[0].0.clone(), DeltaBatch::from_rows(input[lo..hi].to_vec()));
                     ex.execute(&mut inputs, &counter).unwrap();
                 }
                 counter.total()

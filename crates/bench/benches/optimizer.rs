@@ -101,8 +101,7 @@ fn bench_pace_search(c: &mut Criterion) {
                 })
                 .collect();
             b.iter(|| {
-                let mut est =
-                    PlanEstimator::new(&plan, &cat, CostWeights::default()).unwrap();
+                let mut est = PlanEstimator::new(&plan, &cat, CostWeights::default()).unwrap();
                 find_pace_configuration(&mut est, &cons, 30).unwrap()
             })
         });
@@ -152,9 +151,8 @@ fn bench_split_search(c: &mut Criterion) {
         input.delete_frac = 0.2;
         let mut inputs = HashMap::new();
         inputs.insert(vec![0, 0], input);
-        let cons: BTreeMap<QueryId, f64> = (0..nq)
-            .map(|i| (QueryId(i as u16), 3_000.0 + 2_000.0 * i as f64))
-            .collect();
+        let cons: BTreeMap<QueryId, f64> =
+            (0..nq).map(|i| (QueryId(i as u16), 3_000.0 + 2_000.0 * i as f64)).collect();
         g.bench_with_input(BenchmarkId::new("clustering", nq), &nq, |b, _| {
             let problem = LocalProblem {
                 subplan: &sp,

@@ -26,8 +26,7 @@ fn bench_end_to_end(c: &mut Criterion) {
             cons.insert(QueryId(0), FinalWorkConstraint::Relative(1.0));
             cons.insert(QueryId(1), FinalWorkConstraint::Relative(frac));
             let opts = PlanningOptions { max_pace: 30, ..Default::default() };
-            let planned =
-                plan_workload(approach, &queries, &cons, &data.catalog, &opts).unwrap();
+            let planned = plan_workload(approach, &queries, &cons, &data.catalog, &opts).unwrap();
             g.bench_with_input(
                 BenchmarkId::new(format!("{}_{}", approach.label(), label), frac),
                 &frac,
@@ -59,14 +58,11 @@ fn bench_planning(c: &mut Criterion) {
         Approach::IShareNoUnshare,
         Approach::IShare,
     ] {
-        let cons: BTreeMap<QueryId, FinalWorkConstraint> = (0..2)
-            .map(|i| (QueryId(i as u16), FinalWorkConstraint::Relative(0.2)))
-            .collect();
+        let cons: BTreeMap<QueryId, FinalWorkConstraint> =
+            (0..2).map(|i| (QueryId(i as u16), FinalWorkConstraint::Relative(0.2))).collect();
         g.bench_function(approach.label(), |b| {
             let opts = PlanningOptions { max_pace: 30, ..Default::default() };
-            b.iter(|| {
-                plan_workload(approach, &queries, &cons, &data.catalog, &opts).unwrap()
-            })
+            b.iter(|| plan_workload(approach, &queries, &cons, &data.catalog, &opts).unwrap())
         });
     }
     g.finish();

@@ -7,7 +7,7 @@
 //!
 //! Experiments: fig9, fig10, fig11, fig12, table1 (runs fig9+11+12),
 //! fig13 (with table2), fig14 (with table3), fig15, fig16, fig17a,
-//! fig17b, fig17c, all.
+//! fig17b, fig17c, scaling (parallel-driver thread sweep), all.
 //!
 //! Options: `--sf <f64>`, `--seed <u64>`, `--max-pace <u32>`,
 //! `--random-sets <n>`, `--dnf-secs <n>`.
@@ -21,24 +21,19 @@ fn main() {
     let mut i = 0;
     fn value<T: std::str::FromStr>(args: &[String], i: &mut usize, flag: &str) -> T {
         *i += 1;
-        args.get(*i)
-            .and_then(|v| v.parse().ok())
-            .unwrap_or_else(|| {
-                eprintln!("{flag} expects a value (got {:?})", args.get(*i));
-                std::process::exit(2);
-            })
+        args.get(*i).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+            eprintln!("{flag} expects a value (got {:?})", args.get(*i));
+            std::process::exit(2);
+        })
     }
     while i < args.len() {
         match args[i].as_str() {
             "--sf" => params.sf = value(&args, &mut i, "--sf <f64>"),
             "--seed" => params.seed = value(&args, &mut i, "--seed <u64>"),
             "--max-pace" => params.max_pace = value(&args, &mut i, "--max-pace <u32>"),
-            "--random-sets" => {
-                params.random_sets = value(&args, &mut i, "--random-sets <n>")
-            }
+            "--random-sets" => params.random_sets = value(&args, &mut i, "--random-sets <n>"),
             "--dnf-secs" => {
-                params.dnf =
-                    std::time::Duration::from_secs(value(&args, &mut i, "--dnf-secs <n>"))
+                params.dnf = std::time::Duration::from_secs(value(&args, &mut i, "--dnf-secs <n>"))
             }
             other if !other.starts_with("--") => exp = other.to_string(),
             other => {
@@ -71,6 +66,7 @@ fn main() {
             "fig17a" => experiments::fig17(params, 'a'),
             "fig17b" => experiments::fig17(params, 'b'),
             "fig17c" => experiments::fig17(params, 'c'),
+            "scaling" => experiments::parallel_scaling(params),
             other => {
                 eprintln!("unknown experiment `{other}`");
                 std::process::exit(2);
@@ -84,8 +80,8 @@ fn main() {
 
     if exp == "all" {
         for name in [
-            "fig10", "table1", "fig13", "fig14", "fig15", "fig16", "fig17a", "fig17b",
-            "fig17c",
+            "fig10", "table1", "fig13", "fig14", "fig15", "fig16", "fig17a", "fig17b", "fig17c",
+            "scaling",
         ] {
             run(name, &params);
         }

@@ -1,7 +1,8 @@
 //! The paper's experiments (Sec. 5), one function per table/figure.
 
 use crate::harness::{
-    print_table, run_approach, run_to_json, save_json, ApproachRun, Env, Workload,
+    print_table, run_approach, run_approach_threaded, run_to_json, save_json, ApproachRun, Env,
+    Workload,
 };
 use ishare_common::{CostWeights, QueryId, Result};
 use ishare_core::decompose::{
@@ -37,13 +38,7 @@ pub struct Params {
 
 impl Default for Params {
     fn default() -> Self {
-        Params {
-            sf: 0.005,
-            seed: 42,
-            max_pace: 100,
-            random_sets: 3,
-            dnf: Duration::from_secs(60),
-        }
+        Params { sf: 0.005, seed: 42, max_pace: 100, random_sets: 3, dnf: Duration::from_secs(60) }
     }
 }
 
@@ -61,17 +56,11 @@ fn opts(p: &Params) -> PlanningOptions {
 }
 
 fn named_all22(env: &Env) -> Result<Vec<(String, LogicalPlan)>> {
-    Ok(all_queries(&env.data.catalog)?
-        .into_iter()
-        .map(|q| (q.name, q.plan))
-        .collect())
+    Ok(all_queries(&env.data.catalog)?.into_iter().map(|q| (q.name, q.plan)).collect())
 }
 
 fn named_ten(env: &Env) -> Result<Vec<(String, LogicalPlan)>> {
-    Ok(sharing_friendly_queries(&env.data.catalog)?
-        .into_iter()
-        .map(|q| (q.name, q.plan))
-        .collect())
+    Ok(sharing_friendly_queries(&env.data.catalog)?.into_iter().map(|q| (q.name, q.plan)).collect())
 }
 
 /// Fig. 14's 20-query set: the ten sharing-friendly queries plus their
@@ -232,8 +221,7 @@ fn uniform_sweep(
     let mut per_approach: Vec<(Approach, Vec<ApproachRun>)> =
         MAIN_APPROACHES.iter().map(|a| (*a, Vec::new())).collect();
     for &frac in &REL_FRACS {
-        let workload =
-            Workload::uniform(format!("uniform-{frac}"), queries.clone(), frac);
+        let workload = Workload::uniform(format!("uniform-{frac}"), queries.clone(), frac);
         for (a, runs) in per_approach.iter_mut() {
             runs.push(run_approach(&mut env, &workload, *a, &opts(p))?);
         }
@@ -272,12 +260,7 @@ fn uniform_sweep(
 pub fn fig11(p: &Params) -> Result<Vec<(Approach, Vec<ApproachRun>)>> {
     let env = Env::new(p.sf, p.seed)?;
     let queries = named_all22(&env)?;
-    uniform_sweep(
-        p,
-        "Fig. 11 — uniform relative constraints (22 queries)",
-        "fig11",
-        queries,
-    )
+    uniform_sweep(p, "Fig. 11 — uniform relative constraints (22 queries)", "fig11", queries)
 }
 
 /// Fig. 12: uniform relative constraints over the 10 sharing-friendly
@@ -305,10 +288,8 @@ pub fn table1(p: &Params) -> Result<()> {
         uniform_runs.extend(uniform10[i].1.clone());
         let r_wall = merge_missed(&runs_r.iter().map(|r| r.missed_wall).collect::<Vec<_>>());
         let r_work = merge_missed(&runs_r.iter().map(|r| r.missed_work).collect::<Vec<_>>());
-        let u_wall =
-            merge_missed(&uniform_runs.iter().map(|r| r.missed_wall).collect::<Vec<_>>());
-        let u_work =
-            merge_missed(&uniform_runs.iter().map(|r| r.missed_work).collect::<Vec<_>>());
+        let u_wall = merge_missed(&uniform_runs.iter().map(|r| r.missed_wall).collect::<Vec<_>>());
+        let u_work = merge_missed(&uniform_runs.iter().map(|r| r.missed_work).collect::<Vec<_>>());
         rows.push({
             let mut v = vec![format!("{} [random]", a.label())];
             v.extend(missed_row("", &r_wall, &r_work).into_iter().skip(1));
@@ -401,8 +382,7 @@ pub fn fig14_table3(p: &Params) -> Result<()> {
     let mut json = Vec::new();
     let mut missed_by_approach: BTreeMap<&str, Vec<ApproachRun>> = BTreeMap::new();
     for &frac in &REL_FRACS {
-        let workload =
-            Workload::uniform(format!("variants-{frac}"), queries.clone(), frac);
+        let workload = Workload::uniform(format!("variants-{frac}"), queries.clone(), frac);
         for a in approaches {
             let o = PlanningOptions { brute_deadline: p.dnf, ..opts(p) };
             let run = run_approach(&mut env, &workload, a, &o)?;
@@ -437,11 +417,8 @@ pub fn fig14_table3(p: &Params) -> Result<()> {
 pub fn fig15(p: &Params) -> Result<()> {
     let env = Env::new(p.sf, p.seed)?;
     let queries = named_all22(&env)?;
-    let planner_queries: Vec<(QueryId, LogicalPlan)> = queries
-        .iter()
-        .enumerate()
-        .map(|(i, (_, q))| (QueryId(i as u16), q.clone()))
-        .collect();
+    let planner_queries: Vec<(QueryId, LogicalPlan)> =
+        queries.iter().enumerate().map(|(i, (_, q))| (QueryId(i as u16), q.clone())).collect();
     let cons: BTreeMap<QueryId, FinalWorkConstraint> = (0..queries.len())
         .map(|i| (QueryId(i as u16), FinalWorkConstraint::Relative(0.01)))
         .collect();
@@ -453,12 +430,7 @@ pub fn fig15(p: &Params) -> Result<()> {
         }
         let mut cells = vec![format!("{max_pace}")];
         for use_memo in [true, false] {
-            let o = PlanningOptions {
-                max_pace,
-                use_memo,
-                partial: false,
-                ..Default::default()
-            };
+            let o = PlanningOptions { max_pace, use_memo, partial: false, ..Default::default() };
             let catalog = env.data.catalog.clone();
             let qs = planner_queries.clone();
             let cs = cons.clone();
@@ -481,10 +453,7 @@ pub fn fig15(p: &Params) -> Result<()> {
         rows.push(cells);
     }
     print_table(
-        &format!(
-            "Fig. 15 — optimization time vs max pace (22 queries, rel 0.01, DNF {:?})",
-            p.dnf
-        ),
+        &format!("Fig. 15 — optimization time vs max pace (22 queries, rel 0.01, DNF {:?})", p.dnf),
         &["max pace", "iShare (w/ memo)", "iShare (w/o memo)"],
         &rows,
     );
@@ -497,9 +466,7 @@ pub fn fig15(p: &Params) -> Result<()> {
 pub fn fig16(p: &Params) -> Result<()> {
     use ishare_common::{QuerySet, SubplanId, TableId};
     use ishare_expr::Expr;
-    use ishare_plan::{
-        AggExpr, AggFunc, InputSource, OpTree, SelectBranch, Subplan, TreeOp,
-    };
+    use ishare_plan::{AggExpr, AggFunc, InputSource, OpTree, SelectBranch, Subplan, TreeOp};
     use ishare_storage::ColumnStats;
     let mut rows = Vec::new();
     let mut json = Vec::new();
@@ -592,11 +559,7 @@ pub fn fig17(p: &Params, which: char) -> Result<()> {
     let mut env = Env::new(p.sf, p.seed)?;
     let (title, fixed, swept) = match which {
         'a' => ("Fig. 17a — PairA (Q5 fixed 1.0, Q8 swept): both incrementable", "q5", "q8"),
-        'b' => (
-            "Fig. 17b — PairB (Q15 fixed 1.0, Q7 swept): one non-incrementable",
-            "q15",
-            "q7",
-        ),
+        'b' => ("Fig. 17b — PairB (Q15 fixed 1.0, Q7 swept): one non-incrementable", "q15", "q7"),
         _ => ("Fig. 17c — PairC (QA fixed 1.0, QB swept): both less incrementable", "qa", "qb"),
     };
     let qf = query_by_name(&env.data.catalog, fixed)?;
@@ -627,5 +590,75 @@ pub fn fig17(p: &Params, which: char) -> Result<()> {
         &rows,
     );
     save_json(&format!("fig17{which}"), &serde_json::json!({ "points": json }));
+    Ok(())
+}
+
+/// Parallel-driver scaling: the ten sharing-friendly TPC-H queries planned
+/// without sharing (ten independent subplan chains — well over the six
+/// independent subplans needed to keep four workers busy), executed at
+/// worker counts 1/2/4. Work numbers must be bit-identical across thread
+/// counts; only the end-to-end wall clock may change.
+pub fn parallel_scaling(p: &Params) -> Result<()> {
+    let mut env = Env::new(p.sf, p.seed)?;
+    let queries = named_ten(&env)?;
+    let workload = Workload::uniform("parallel-scaling", queries, 0.2);
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    let mut baseline: Option<(ApproachRun, f64)> = None;
+    const REPS: usize = 3;
+    for threads in [1usize, 2, 4] {
+        // Repeat and keep the fastest wall clock — single-run timings are
+        // noisy on shared machines, and the work numbers are identical by
+        // construction anyway.
+        let mut best: Option<ApproachRun> = None;
+        let mut elapsed_reps = Vec::with_capacity(REPS);
+        for _ in 0..REPS {
+            let run = run_approach_threaded(
+                &mut env,
+                &workload,
+                Approach::NoShareNonuniform,
+                &opts(p),
+                threads,
+            )?;
+            elapsed_reps.push(run.elapsed.as_secs_f64());
+            if best.as_ref().map(|b| run.elapsed < b.elapsed).unwrap_or(true) {
+                best = Some(run);
+            }
+        }
+        let run = best.expect("at least one rep");
+        let min_elapsed = run.elapsed.as_secs_f64();
+        if let Some((base, _)) = &baseline {
+            assert_eq!(
+                base.measured_total.to_bits(),
+                run.measured_total.to_bits(),
+                "parallel driver must be bit-identical to sequential"
+            );
+        }
+        let speedup = baseline.as_ref().map(|(_, base_s)| base_s / min_elapsed).unwrap_or(1.0);
+        rows.push(vec![
+            format!("{threads}"),
+            format!("{:.0}", run.measured_total),
+            format!("{}", run.subplans),
+            format!("{min_elapsed:.3}"),
+            format!("{speedup:.2}x"),
+        ]);
+        json.push(serde_json::json!({
+            "threads": threads,
+            "elapsed_secs_min": min_elapsed,
+            "elapsed_secs_reps": elapsed_reps.clone(),
+            "speedup_vs_1": speedup,
+            "run": run_to_json(&run),
+        }));
+        if baseline.is_none() {
+            baseline = Some((run, min_elapsed));
+        }
+    }
+    print_table(
+        &format!("Parallel scaling — NoShare-Nonuniform, 10 queries ({cores} cores available)"),
+        &["threads", "measured work", "subplans", "min elapsed s", "speedup"],
+        &rows,
+    );
+    save_json("parallel_scaling", &serde_json::json!({ "available_cores": cores, "points": json }));
     Ok(())
 }

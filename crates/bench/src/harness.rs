@@ -4,7 +4,9 @@
 use ishare_common::{CostWeights, QueryId, Result};
 use ishare_core::{plan_workload, Approach, FinalWorkConstraint, PlanningOptions};
 use ishare_plan::LogicalPlan;
-use ishare_stream::{execute_planned, missed_latency_stats, MissedLatencyStats};
+use ishare_stream::{
+    execute_planned, execute_planned_parallel, missed_latency_stats, MissedLatencyStats,
+};
 use ishare_tpch::{generate, TpchData};
 use std::collections::BTreeMap;
 use std::time::Duration;
@@ -39,9 +41,7 @@ impl Env {
 
     /// Measured batch baseline of one named query (cached).
     pub fn batch_baseline(&mut self, name: &str, plan: &LogicalPlan) -> Result<(f64, f64)> {
-        if let (Some(&w), Some(&s)) =
-            (self.batch_final_work.get(name), self.batch_wall.get(name))
-        {
+        if let (Some(&w), Some(&s)) = (self.batch_final_work.get(name), self.batch_wall.get(name)) {
             return Ok((w, s));
         }
         let queries = vec![(QueryId(0), plan.clone())];
@@ -127,26 +127,55 @@ pub struct ApproachRun {
     pub subplans: usize,
     /// Did the optimizer believe all constraints met?
     pub feasible: bool,
+    /// End-to-end wall clock of the run (setup + feeding + execution).
+    pub elapsed: Duration,
+    /// Worker threads used (1 = the sequential reference driver).
+    pub threads: usize,
 }
 
 /// Plan and execute one workload under one approach, measuring against the
 /// paper's latency goals (`goal(q) = relative constraint × measured batch
-/// latency of q`, Sec. 5.1).
+/// latency of q`, Sec. 5.1). Runs on the sequential reference driver.
 pub fn run_approach(
     env: &mut Env,
     workload: &Workload,
     approach: Approach,
     opts: &PlanningOptions,
 ) -> Result<ApproachRun> {
+    run_approach_threaded(env, workload, approach, opts, 1)
+}
+
+/// [`run_approach`] with an explicit worker-thread count: `threads == 1`
+/// uses the sequential driver, `threads > 1` the parallel driver (which is
+/// bit-identical in every work number, so approach comparisons are
+/// unaffected by the knob).
+pub fn run_approach_threaded(
+    env: &mut Env,
+    workload: &Workload,
+    approach: Approach,
+    opts: &PlanningOptions,
+    threads: usize,
+) -> Result<ApproachRun> {
     let (queries, cons) = workload.planner_inputs();
     let planned = plan_workload(approach, &queries, &cons, &env.data.catalog, opts)?;
-    let run = execute_planned(
-        &planned.plan,
-        planned.paces.as_slice(),
-        &env.data.catalog,
-        &env.data.data,
-        CostWeights::default(),
-    )?;
+    let run = if threads == 1 {
+        execute_planned(
+            &planned.plan,
+            planned.paces.as_slice(),
+            &env.data.catalog,
+            &env.data.data,
+            CostWeights::default(),
+        )?
+    } else {
+        execute_planned_parallel(
+            &planned.plan,
+            planned.paces.as_slice(),
+            &env.data.catalog,
+            &env.data.data,
+            CostWeights::default(),
+            threads,
+        )?
+    };
 
     // Latency goals from measured batch baselines.
     let mut goals_work = BTreeMap::new();
@@ -173,6 +202,8 @@ pub fn run_approach(
         missed_wall: missed_latency_stats(&goals_wall, &tested_wall),
         subplans: planned.plan.len(),
         feasible: planned.feasible,
+        elapsed: run.elapsed,
+        threads,
     })
 }
 
@@ -194,10 +225,7 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
         }
         s
     };
-    println!(
-        "{}",
-        fmt_row(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>())
-    );
+    println!("{}", fmt_row(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>()));
     for row in rows {
         println!("{}", fmt_row(row));
     }
@@ -238,6 +266,8 @@ pub fn run_to_json(r: &ApproachRun) -> serde_json::Value {
         },
         "subplans": r.subplans,
         "feasible": r.feasible,
+        "elapsed_secs": r.elapsed.as_secs_f64(),
+        "threads": r.threads,
     })
 }
 
@@ -271,11 +301,8 @@ mod tests {
         let mut env = Env::new(0.002, 4).unwrap();
         let q6 = query_by_name(&env.data.catalog, "q6").unwrap();
         let qa = query_by_name(&env.data.catalog, "qa").unwrap();
-        let w = Workload::uniform(
-            "pair",
-            vec![("q6".into(), q6.plan), ("qa".into(), qa.plan)],
-            0.5,
-        );
+        let w =
+            Workload::uniform("pair", vec![("q6".into(), q6.plan), ("qa".into(), qa.plan)], 0.5);
         let opts = PlanningOptions { max_pace: 10, ..Default::default() };
         let run = run_approach(&mut env, &w, Approach::IShare, &opts).unwrap();
         assert!(run.measured_total > 0.0);

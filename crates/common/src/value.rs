@@ -172,9 +172,8 @@ impl Ord for Value {
             // mix with integer literals in predicates).
             (a, b) if a.type_rank() == 2 && b.type_rank() == 2 => {
                 let (x, y) = (a.as_f64().unwrap(), b.as_f64().unwrap());
-                x.partial_cmp(&y).unwrap_or_else(|| {
-                    Self::norm_f64_bits(x).cmp(&Self::norm_f64_bits(y))
-                })
+                x.partial_cmp(&y)
+                    .unwrap_or_else(|| Self::norm_f64_bits(x).cmp(&Self::norm_f64_bits(y)))
             }
             (a, b) => a.type_rank().cmp(&b.type_rank()),
         }

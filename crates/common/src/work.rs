@@ -184,8 +184,16 @@ mod tests {
     fn default_weights_positive() {
         let w = CostWeights::default();
         for v in [
-            w.scan, w.filter, w.project, w.join_probe, w.join_insert, w.join_emit,
-            w.agg_update, w.agg_emit, w.minmax_rescan, w.materialize,
+            w.scan,
+            w.filter,
+            w.project,
+            w.join_probe,
+            w.join_insert,
+            w.join_emit,
+            w.agg_update,
+            w.agg_emit,
+            w.minmax_rescan,
+            w.materialize,
         ] {
             assert!(v > 0.0);
         }

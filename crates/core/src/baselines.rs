@@ -149,13 +149,9 @@ pub fn plan_workload(
         Approach::NoShareUniform => {
             plan_grouped(queries, constraints, catalog, opts, weights, false, GroupBy::Query)
         }
-        Approach::NoShareNonuniform => plan_nonuniform_noshare(
-            queries,
-            constraints,
-            catalog,
-            opts,
-            weights,
-        ),
+        Approach::NoShareNonuniform => {
+            plan_nonuniform_noshare(queries, constraints, catalog, opts, weights)
+        }
         Approach::ShareUniform => {
             plan_grouped(queries, constraints, catalog, opts, weights, true, GroupBy::Component)
         }
@@ -183,8 +179,7 @@ fn plan_oneshot(
     let paces = crate::pace::PaceConfiguration::new(vec![2; plan.len()])?;
     let mut est = PlanEstimator::new(&plan, catalog, weights)?;
     let report = est.estimate(paces.as_slice())?;
-    let feasible =
-        resolved.iter().all(|(q, l)| report.final_of(*q).get() <= *l + 1e-9);
+    let feasible = resolved.iter().all(|(q, l)| report.final_of(*q).get() <= *l + 1e-9);
     Ok(PlannedExecution {
         plan,
         paces,
@@ -304,10 +299,7 @@ mod tests {
         let mut c = Catalog::new();
         c.add_table(
             "t",
-            Schema::new(vec![
-                Field::new("k", DataType::Int),
-                Field::new("v", DataType::Int),
-            ]),
+            Schema::new(vec![Field::new("k", DataType::Int), Field::new("v", DataType::Int)]),
             TableStats {
                 row_count: 20_000.0,
                 columns: vec![
@@ -343,8 +335,10 @@ mod tests {
     }
 
     fn rel(frac: f64) -> BTreeMap<QueryId, FinalWorkConstraint> {
-        [(QueryId(0), FinalWorkConstraint::Relative(frac)),
-         (QueryId(1), FinalWorkConstraint::Relative(frac))]
+        [
+            (QueryId(0), FinalWorkConstraint::Relative(frac)),
+            (QueryId(1), FinalWorkConstraint::Relative(frac)),
+        ]
         .into_iter()
         .collect()
     }
@@ -401,8 +395,7 @@ mod tests {
         for frac in [1.0, 0.5, 0.2] {
             let cons = rel(frac);
             let opts = PlanningOptions { max_pace: 50, ..Default::default() };
-            let su =
-                plan_workload(Approach::ShareUniform, &qs, &cons, &c, &opts).unwrap();
+            let su = plan_workload(Approach::ShareUniform, &qs, &cons, &c, &opts).unwrap();
             let is = plan_workload(Approach::IShare, &qs, &cons, &c, &opts).unwrap();
             assert!(
                 is.report.total_work.get() <= su.report.total_work.get() * 1.01,
@@ -420,12 +413,8 @@ mod tests {
         let cons = rel(0.5);
         let opts = PlanningOptions { max_pace: 20, ..Default::default() };
         let uni = plan_workload(Approach::NoShareUniform, &qs, &cons, &c, &opts).unwrap();
-        let non =
-            plan_workload(Approach::NoShareNonuniform, &qs, &cons, &c, &opts).unwrap();
-        assert!(
-            non.plan.len() > uni.plan.len(),
-            "blocking-operator cuts create more subplans"
-        );
+        let non = plan_workload(Approach::NoShareNonuniform, &qs, &cons, &c, &opts).unwrap();
+        assert!(non.plan.len() > uni.plan.len(), "blocking-operator cuts create more subplans");
         assert!(non.feasible && uni.feasible);
         // Note: nonuniform is NOT asserted cheaper here — cutting at
         // aggregates adds materialization buffers, which costs more at loose
@@ -450,10 +439,9 @@ mod tests {
         assert!(planned.paces.as_slice().iter().all(|&p| p == 2));
         assert!(planned.plan.subplans.iter().all(|sp| sp.queries.len() == 1));
         // OneShot ignores constraints; with a tight one it is infeasible.
-        let tight = plan_workload(
-            Approach::OneShot, &qs, &rel(0.01), &c, &PlanningOptions::default(),
-        )
-        .unwrap();
+        let tight =
+            plan_workload(Approach::OneShot, &qs, &rel(0.01), &c, &PlanningOptions::default())
+                .unwrap();
         assert!(!tight.feasible);
     }
 }

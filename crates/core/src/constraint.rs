@@ -48,8 +48,7 @@ pub fn batch_final_works(
     let mut out = BTreeMap::new();
     for (q, plan) in queries {
         let normalized = ishare_mqo::normalize(plan);
-        let dag =
-            build_shared_dag(&[(*q, normalized)], catalog, &MqoConfig::no_sharing())?;
+        let dag = build_shared_dag(&[(*q, normalized)], catalog, &MqoConfig::no_sharing())?;
         let shared = SharedPlan::from_dag(&dag, |_| false)?;
         let mut est = PlanEstimator::new(&shared, catalog, weights)?;
         let report = est.estimate(&vec![1; shared.len()])?;
@@ -67,20 +66,14 @@ pub fn resolve_constraints(
 ) -> Result<ConstraintMap> {
     // Queries without an explicit constraint default to Relative(1.0), so a
     // missing entry also needs the batch baseline.
-    let needs_batch = queries.iter().any(|(q, _)| {
-        !matches!(constraints.get(q), Some(FinalWorkConstraint::Absolute(_)))
-    });
-    let batch = if needs_batch {
-        batch_final_works(queries, catalog, weights)?
-    } else {
-        BTreeMap::new()
-    };
+    let needs_batch = queries
+        .iter()
+        .any(|(q, _)| !matches!(constraints.get(q), Some(FinalWorkConstraint::Absolute(_))));
+    let batch =
+        if needs_batch { batch_final_works(queries, catalog, weights)? } else { BTreeMap::new() };
     let mut out = ConstraintMap::new();
     for (q, _) in queries {
-        let c = constraints
-            .get(q)
-            .copied()
-            .unwrap_or(FinalWorkConstraint::Relative(1.0));
+        let c = constraints.get(q).copied().unwrap_or(FinalWorkConstraint::Relative(1.0));
         let base = batch.get(q).copied().unwrap_or(0.0);
         out.insert(*q, c.resolve(base));
     }
@@ -98,10 +91,7 @@ mod tests {
         let mut c = Catalog::new();
         c.add_table(
             "t",
-            Schema::new(vec![
-                Field::new("k", DataType::Int),
-                Field::new("v", DataType::Int),
-            ]),
+            Schema::new(vec![Field::new("k", DataType::Int), Field::new("v", DataType::Int)]),
             TableStats {
                 row_count: 1000.0,
                 columns: vec![ColumnStats::ndv(20.0), ColumnStats::ndv(500.0)],
@@ -140,8 +130,7 @@ mod tests {
         let mut cons = BTreeMap::new();
         cons.insert(QueryId(0), FinalWorkConstraint::Relative(0.5));
         cons.insert(QueryId(1), FinalWorkConstraint::Absolute(7.0));
-        let resolved =
-            resolve_constraints(&qs, &cons, &c, CostWeights::default()).unwrap();
+        let resolved = resolve_constraints(&qs, &cons, &c, CostWeights::default()).unwrap();
         let batch = batch_final_works(&qs, &c, CostWeights::default()).unwrap();
         assert!((resolved[&QueryId(0)] - 0.5 * batch[&QueryId(0)]).abs() < 1e-9);
         assert_eq!(resolved[&QueryId(1)], 7.0);

@@ -24,10 +24,7 @@ pub enum BruteOutcome {
 }
 
 /// Enumerate all splits of the subplan's query set within `deadline`.
-pub fn brute_force_split(
-    problem: &LocalProblem<'_>,
-    deadline: Duration,
-) -> Result<BruteOutcome> {
+pub fn brute_force_split(problem: &LocalProblem<'_>, deadline: Duration) -> Result<BruteOutcome> {
     let queries: Vec<QueryId> = problem.subplan.queries.iter().collect();
     let n = queries.len();
     let start = Instant::now();
@@ -57,8 +54,7 @@ pub fn brute_force_split(
         evaluated += 1;
         let better = best.as_ref().is_none_or(|b| total < b.local_total);
         if better {
-            with_paces
-                .sort_by_key(|(s, _)| s.min_query().map(|q| q.0).unwrap_or(u16::MAX));
+            with_paces.sort_by_key(|(s, _)| s.min_query().map(|q| q.0).unwrap_or(u16::MAX));
             best = Some(Split { partitions: with_paces, local_total: total });
         }
         // Next restricted growth string.

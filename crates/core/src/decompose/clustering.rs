@@ -75,10 +75,7 @@ pub fn cluster_split(problem: &LocalProblem<'_>) -> Result<Split> {
 
     parts.sort_by_key(|(s, _)| s.min_query().map(|q| q.0).unwrap_or(u16::MAX));
     let local_total = parts.iter().map(|(_, e)| e.wpt).sum();
-    Ok(Split {
-        partitions: parts.into_iter().map(|(s, e)| (s, e.pace)).collect(),
-        local_total,
-    })
+    Ok(Split { partitions: parts.into_iter().map(|(s, e)| (s, e.pace)).collect(), local_total })
 }
 
 #[cfg(test)]
@@ -150,9 +147,7 @@ mod tests {
         // while the others stay lazy.
         use ishare_common::{SubplanId, TableId};
         use ishare_expr::Expr;
-        use ishare_plan::{
-            AggExpr, AggFunc, InputSource, OpTree, SelectBranch, Subplan, TreeOp,
-        };
+        use ishare_plan::{AggExpr, AggFunc, InputSource, OpTree, SelectBranch, Subplan, TreeOp};
         let q = |ids: &[u16]| QuerySet::from_iter(ids.iter().map(|&i| QueryId(i)));
         let tree = OpTree::node(
             TreeOp::Aggregate {
@@ -195,15 +190,9 @@ mod tests {
             max_pace: 100,
         };
         let split = cluster_split(&prob).unwrap();
-        assert!(
-            !split.is_trivial(),
-            "expected un-sharing, got {:?}",
-            split.partitions
-        );
-        let q1_pace =
-            split.partitions.iter().find(|(s, _)| s.contains(QueryId(1))).unwrap().1;
-        let q0_pace =
-            split.partitions.iter().find(|(s, _)| s.contains(QueryId(0))).unwrap().1;
+        assert!(!split.is_trivial(), "expected un-sharing, got {:?}", split.partitions);
+        let q1_pace = split.partitions.iter().find(|(s, _)| s.contains(QueryId(1))).unwrap().1;
+        let q0_pace = split.partitions.iter().find(|(s, _)| s.contains(QueryId(0))).unwrap().1;
         assert!(q1_pace > q0_pace, "tight query eager ({q1_pace}), loose lazy ({q0_pace})");
         // And the split beats the fully shared evaluation locally.
         let mut memo = HashMap::new();

@@ -184,11 +184,8 @@ pub fn local_constraints_for_subplan(
         let restricted = subplan.restrict(QuerySet::single(q))?;
         let sim = simulate_subplan(&restricted, 1, inputs, &weights)?;
         let total_batch = batch_finals.get(&q).copied().unwrap_or(0.0);
-        let fraction = if total_batch > 0.0 {
-            (sim.private_total / total_batch).clamp(0.0, 1.0)
-        } else {
-            1.0
-        };
+        let fraction =
+            if total_batch > 0.0 { (sim.private_total / total_batch).clamp(0.0, 1.0) } else { 1.0 };
         let l = global_constraints.get(&q).copied().unwrap_or(f64::INFINITY);
         out.insert(q, l * fraction);
     }
@@ -284,8 +281,7 @@ pub(crate) mod tests {
         // Find the batch final work first, then demand a quarter of it.
         let batch = simulate_subplan(&sp, 1, &inputs, &CostWeights::default()).unwrap();
         let limit = batch.private_final * 0.25;
-        let cons: BTreeMap<QueryId, f64> =
-            sp.queries.iter().map(|q| (q, limit)).collect();
+        let cons: BTreeMap<QueryId, f64> = sp.queries.iter().map(|q| (q, limit)).collect();
         let prob = LocalProblem {
             subplan: &sp,
             inputs: &inputs,
@@ -311,8 +307,7 @@ pub(crate) mod tests {
         // q1 is highly selective (v > 50 keeps little data): its restricted
         // subplan meets the same absolute limit at a lazier pace.
         let limit = batch.private_final * 0.25;
-        let cons: BTreeMap<QueryId, f64> =
-            sp.queries.iter().map(|q| (q, limit)).collect();
+        let cons: BTreeMap<QueryId, f64> = sp.queries.iter().map(|q| (q, limit)).collect();
         let prob = LocalProblem {
             subplan: &sp,
             inputs: &inputs,
@@ -331,8 +326,7 @@ pub(crate) mod tests {
     fn infeasible_partitions_cap_at_max_pace() {
         let sp = shared_agg_subplan();
         let inputs = inputs_for(&sp, 10_000.0);
-        let cons: BTreeMap<QueryId, f64> =
-            sp.queries.iter().map(|q| (q, 0.0001)).collect();
+        let cons: BTreeMap<QueryId, f64> = sp.queries.iter().map(|q| (q, 0.0001)).collect();
         let prob = LocalProblem {
             subplan: &sp,
             inputs: &inputs,
@@ -366,24 +360,17 @@ pub(crate) mod tests {
     fn local_constraints_scale_by_fraction() {
         let sp = shared_agg_subplan();
         let inputs = inputs_for(&sp, 1000.0);
-        let global: BTreeMap<QueryId, f64> =
-            sp.queries.iter().map(|q| (q, 100.0)).collect();
+        let global: BTreeMap<QueryId, f64> = sp.queries.iter().map(|q| (q, 100.0)).collect();
         // Pretend each query's separate batch work is 4× this subplan's.
         let mut batch = BTreeMap::new();
         for q in sp.queries.iter() {
             let restricted = sp.restrict(QuerySet::single(q)).unwrap();
-            let sim =
-                simulate_subplan(&restricted, 1, &inputs, &CostWeights::default()).unwrap();
+            let sim = simulate_subplan(&restricted, 1, &inputs, &CostWeights::default()).unwrap();
             batch.insert(q, sim.private_total * 4.0);
         }
-        let local = local_constraints_for_subplan(
-            &sp,
-            &inputs,
-            &global,
-            &batch,
-            CostWeights::default(),
-        )
-        .unwrap();
+        let local =
+            local_constraints_for_subplan(&sp, &inputs, &global, &batch, CostWeights::default())
+                .unwrap();
         for q in sp.queries.iter() {
             assert!((local[&q] - 25.0).abs() < 1e-6, "25% of L(q)=100");
         }

@@ -138,9 +138,8 @@ pub fn try_decompose_subplan(
 
     // Partial decompositions: split only a root-anchored subtree.
     if opts.partial {
-        for included in partial::subtree_candidates(target_sp)
-            .into_iter()
-            .take(opts.max_partial_candidates)
+        for included in
+            partial::subtree_candidates(target_sp).into_iter().take(opts.max_partial_candidates)
         {
             let plan2 = partial::apply_split_to_plan(plan, target, &included)?;
             if plan2.validate(catalog).is_err() {
@@ -187,13 +186,8 @@ fn evaluate_candidate(
     opts: &DecomposeOptions,
 ) -> Result<Option<Adopted>> {
     let target_sp = plan.subplan(target)?;
-    let local_cons = local_constraints_for_subplan(
-        target_sp,
-        inputs,
-        constraints,
-        batch_finals,
-        weights,
-    )?;
+    let local_cons =
+        local_constraints_for_subplan(target_sp, inputs, constraints, batch_finals, weights)?;
     let problem = LocalProblem {
         subplan: target_sp,
         inputs,
@@ -236,10 +230,7 @@ mod tests {
         let mut c = Catalog::new();
         c.add_table(
             "t",
-            Schema::new(vec![
-                Field::new("k", DataType::Int),
-                Field::new("v", DataType::Int),
-            ]),
+            Schema::new(vec![Field::new("k", DataType::Int), Field::new("v", DataType::Int)]),
             TableStats {
                 row_count: 30_000.0,
                 columns: vec![
@@ -257,10 +248,7 @@ mod tests {
     /// outer MAX sits on the inner aggregate's churny output, so forcing
     /// the shared subplan eager (for the tight query) costs rescans over
     /// the union of both queries' data.
-    fn setup(
-        c: &Catalog,
-        tight_frac: f64,
-    ) -> (SharedPlan, ConstraintMap, BTreeMap<QueryId, f64>) {
+    fn setup(c: &Catalog, tight_frac: f64) -> (SharedPlan, ConstraintMap, BTreeMap<QueryId, f64>) {
         let broad = normalize(
             &PlanBuilder::scan(c, "t")
                 .unwrap()
@@ -371,11 +359,7 @@ mod tests {
         let (plan, cons, batch) = setup(&c, 0.1);
         let mut est = PlanEstimator::new(&plan, &c, CostWeights::default()).unwrap();
         let outcome = find_pace_configuration(&mut est, &cons, 20).unwrap();
-        let private = plan
-            .subplans
-            .iter()
-            .find(|sp| sp.queries.len() == 1)
-            .map(|sp| sp.id);
+        let private = plan.subplans.iter().find(|sp| sp.queries.len() == 1).map(|sp| sp.id);
         if let Some(target) = private {
             let adopted = try_decompose_subplan(
                 &plan,

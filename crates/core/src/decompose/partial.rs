@@ -63,12 +63,7 @@ pub fn subtree_candidates(subplan: &Subplan) -> Vec<IncludedSet> {
 /// nodes whose parent is included).
 fn cut_points(subplan: &Subplan, included: &IncludedSet) -> Vec<Vec<usize>> {
     let mut out = Vec::new();
-    fn go(
-        t: &OpTree,
-        path: &mut Vec<usize>,
-        included: &IncludedSet,
-        out: &mut Vec<Vec<usize>>,
-    ) {
+    fn go(t: &OpTree, path: &mut Vec<usize>, included: &IncludedSet, out: &mut Vec<Vec<usize>>) {
         for (i, c) in t.inputs.iter().enumerate() {
             path.push(i);
             if included.contains(path.as_slice()) {
@@ -95,14 +90,8 @@ pub fn split_at(
     next_id: u32,
 ) -> Result<(Subplan, Vec<Subplan>)> {
     let mut bottoms = Vec::new();
-    let top_root = rebuild(
-        &subplan.root,
-        &mut Vec::new(),
-        included,
-        subplan.queries,
-        next_id,
-        &mut bottoms,
-    )?;
+    let top_root =
+        rebuild(&subplan.root, &mut Vec::new(), included, subplan.queries, next_id, &mut bottoms)?;
     let top = Subplan {
         id: subplan.id,
         root: top_root,
@@ -130,12 +119,7 @@ fn rebuild(
             c.clone()
         } else {
             let id = SubplanId(next_id + bottoms.len() as u32);
-            bottoms.push(Subplan {
-                id,
-                root: c.clone(),
-                queries,
-                output_queries: QuerySet::EMPTY,
-            });
+            bottoms.push(Subplan { id, root: c.clone(), queries, output_queries: QuerySet::EMPTY });
             OpTree::input(InputSource::Subplan(id))
         };
         inputs.push(rebuilt);
@@ -175,10 +159,7 @@ mod tests {
     fn deep_subplan() -> Subplan {
         let left = OpTree::node(
             TreeOp::Select {
-                branches: vec![SelectBranch {
-                    queries: qs(&[0, 1]),
-                    predicate: Expr::true_lit(),
-                }],
+                branches: vec![SelectBranch { queries: qs(&[0, 1]), predicate: Expr::true_lit() }],
             },
             vec![OpTree::input(InputSource::Base(TableId(0)))],
         );
@@ -261,9 +242,6 @@ mod tests {
         let (top, bottoms) = split_at(&sp, &included, 5).unwrap();
         assert_eq!(bottoms.len(), 1, "only agg2 is cut");
         // The select's base input stays a leaf of the top.
-        assert!(top
-            .root
-            .referenced_tables()
-            .contains(&TableId(0)));
+        assert!(top.root.referenced_tables().contains(&TableId(0)));
     }
 }

@@ -106,20 +106,21 @@ pub fn regenerate(
 
     // Rewire child references to proto indices. A reader's queries always
     // sit inside exactly one piece of a split child.
-    let resolve = |reader_queries: QuerySet, old_child: SubplanId, protos: &[Proto]| -> Result<usize> {
-        let mut found = None;
-        for (i, p) in protos.iter().enumerate() {
-            if p.old == old_child && reader_queries.is_subset_of(p.subplan.queries) {
-                found = Some(i);
-                break;
+    let resolve =
+        |reader_queries: QuerySet, old_child: SubplanId, protos: &[Proto]| -> Result<usize> {
+            let mut found = None;
+            for (i, p) in protos.iter().enumerate() {
+                if p.old == old_child && reader_queries.is_subset_of(p.subplan.queries) {
+                    found = Some(i);
+                    break;
+                }
             }
-        }
-        found.ok_or_else(|| {
-            Error::InvalidPlan(format!(
-                "no piece of {old_child} covers reader queries {reader_queries}"
-            ))
-        })
-    };
+            found.ok_or_else(|| {
+                Error::InvalidPlan(format!(
+                    "no piece of {old_child} covers reader queries {reader_queries}"
+                ))
+            })
+        };
     for i in 0..protos.len() {
         let reader_queries = protos[i].subplan.queries;
         let refs = protos[i].subplan.root.referenced_subplans();
@@ -174,11 +175,8 @@ pub fn regenerate(
                 output_queries: QuerySet::EMPTY,
             }
             .restrict(y_queries)?;
-            let new_root = inline_input(
-                &protos[yi].subplan.root,
-                SubplanId(xi as u32),
-                &x_restricted.root,
-            );
+            let new_root =
+                inline_input(&protos[yi].subplan.root, SubplanId(xi as u32), &x_restricted.root);
             protos[yi].subplan.root = new_root;
             let derived: Vec<SubplanId> = protos[xi].derived.clone();
             for d in derived {
@@ -233,11 +231,7 @@ fn inline_input(tree: &OpTree, victim: SubplanId, replacement: &OpTree) -> OpTre
         TreeOp::Input(InputSource::Subplan(id)) if *id == victim => replacement.clone(),
         _ => OpTree {
             op: tree.op.clone(),
-            inputs: tree
-                .inputs
-                .iter()
-                .map(|i| inline_input(i, victim, replacement))
-                .collect(),
+            inputs: tree.inputs.iter().map(|i| inline_input(i, victim, replacement)).collect(),
         },
     }
 }
@@ -247,7 +241,10 @@ fn inline_input(tree: &OpTree, victim: SubplanId, replacement: &OpTree) -> OpTre
 /// paces are clamped down to their children's so the engine requirement
 /// holds. The result is eagerer than or equal to the donor configuration —
 /// the right starting point for lazy-ward relaxation.
-pub fn initial_paces(reg: &Regenerated, old_paces: &PaceConfiguration) -> Result<PaceConfiguration> {
+pub fn initial_paces(
+    reg: &Regenerated,
+    old_paces: &PaceConfiguration,
+) -> Result<PaceConfiguration> {
     let mut paces = Vec::with_capacity(reg.plan.len());
     for derived in &reg.derived_from {
         let p = derived
@@ -288,10 +285,7 @@ mod tests {
         let mut c = Catalog::new();
         c.add_table(
             "t",
-            Schema::new(vec![
-                Field::new("k", DataType::Int),
-                Field::new("v", DataType::Int),
-            ]),
+            Schema::new(vec![Field::new("k", DataType::Int), Field::new("v", DataType::Int)]),
             TableStats {
                 row_count: 1000.0,
                 columns: vec![ColumnStats::ndv(20.0), ColumnStats::ndv(100.0)],
@@ -391,8 +385,7 @@ mod tests {
         // sp0 is the shared agg (queries {0,1,2}); split into {0,1} | {2}.
         let target = SubplanId(0);
         assert_eq!(plan.subplan(target).unwrap().queries, qs(&[0, 1, 2]));
-        let reg =
-            regenerate(&plan, target, &[qs(&[0, 1]), qs(&[2])], &c).unwrap();
+        let reg = regenerate(&plan, target, &[qs(&[0, 1]), qs(&[2])], &c).unwrap();
         reg.plan.validate(&c).unwrap();
         // Every query still has exactly one output subplan.
         for q in [0, 1, 2] {
@@ -409,13 +402,11 @@ mod tests {
         // remaining subplan has queries {0,2} while reading a {2}-piece or
         // {0,1}-piece it is not a subset of — validate() proves that, so
         // just assert the old shape is gone.
-        assert!(
-            reg.plan.subplans.iter().all(|sp| sp.queries != qs(&[0, 2])
-                || sp
-                    .children()
-                    .iter()
-                    .all(|ch| sp.queries.is_subset_of(reg.plan.subplan(*ch).unwrap().queries))),
-        );
+        assert!(reg.plan.subplans.iter().all(|sp| sp.queries != qs(&[0, 2])
+            || sp
+                .children()
+                .iter()
+                .all(|ch| sp.queries.is_subset_of(reg.plan.subplan(*ch).unwrap().queries))),);
         // derived_from aligns with the new plan.
         assert_eq!(reg.derived_from.len(), reg.plan.len());
     }
@@ -448,13 +439,7 @@ mod tests {
         // Single partition.
         assert!(regenerate(&plan, target, &[qs(&[0, 1, 2])], &c).is_err());
         // Empty partition.
-        assert!(regenerate(
-            &plan,
-            target,
-            &[qs(&[0, 1, 2]), QuerySet::EMPTY],
-            &c
-        )
-        .is_err());
+        assert!(regenerate(&plan, target, &[qs(&[0, 1, 2]), QuerySet::EMPTY], &c).is_err());
     }
 
     #[test]

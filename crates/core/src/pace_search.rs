@@ -103,9 +103,8 @@ fn search_upward(
             if g.iter().any(|id| paces.pace(*id) >= max_pace) {
                 continue;
             }
-            let serves_unmet = g
-                .iter()
-                .any(|id| plan.subplans[id.index()].queries.intersects(unmet));
+            let serves_unmet =
+                g.iter().any(|id| plan.subplans[id.index()].queries.intersects(unmet));
             if !serves_unmet {
                 continue;
             }
@@ -161,16 +160,15 @@ pub fn relax_pace_configuration(
     // increasing first (the regenerated plan's costs differ slightly from
     // the donor configuration's).
     if !is_feasible(&report, constraints) {
-        let repaired = grouped_search_from(est, constraints, max_pace, paces.clone(), report.clone())?;
+        let repaired =
+            grouped_search_from(est, constraints, max_pace, paces.clone(), report.clone())?;
         paces = repaired.paces;
         report = repaired.report;
         steps += repaired.steps;
     }
 
-    let missed_budget: Vec<(ishare_common::QueryId, f64)> = constraints
-        .iter()
-        .map(|(q, l)| (*q, (report.final_of(*q).get() - l).max(0.0)))
-        .collect();
+    let missed_budget: Vec<(ishare_common::QueryId, f64)> =
+        constraints.iter().map(|(q, l)| (*q, (report.final_of(*q).get() - l).max(0.0))).collect();
 
     loop {
         let mut best: Option<(f64, f64, PaceConfiguration, CostReport)> = None;
@@ -234,8 +232,7 @@ fn grouped_search_from(
     _report: CostReport,
 ) -> Result<SearchOutcome> {
     let plan = est.plan().clone();
-    let groups: Vec<Vec<SubplanId>> =
-        (0..plan.len()).map(|i| vec![SubplanId(i as u32)]).collect();
+    let groups: Vec<Vec<SubplanId>> = (0..plan.len()).map(|i| vec![SubplanId(i as u32)]).collect();
     search_upward(est, &plan, &groups, constraints, max_pace, paces)
 }
 
@@ -259,10 +256,7 @@ mod tests {
         let mut c = Catalog::new();
         c.add_table(
             "t",
-            Schema::new(vec![
-                Field::new("k", DataType::Int),
-                Field::new("v", DataType::Int),
-            ]),
+            Schema::new(vec![Field::new("k", DataType::Int), Field::new("v", DataType::Int)]),
             TableStats {
                 row_count: 20_000.0,
                 columns: vec![ColumnStats::ndv(100.0), ColumnStats::ndv(5000.0)],
@@ -318,16 +312,10 @@ mod tests {
         SharedPlan::from_dag(&d, |_| false).unwrap()
     }
 
-    fn constraints_rel(
-        est: &mut PlanEstimator,
-        fracs: &[(u16, f64)],
-    ) -> ConstraintMap {
+    fn constraints_rel(est: &mut PlanEstimator, fracs: &[(u16, f64)]) -> ConstraintMap {
         // Resolve relative constraints against this plan's own batch run.
         let batch = est.estimate(&vec![1; est.plan().len()]).unwrap();
-        fracs
-            .iter()
-            .map(|&(q, f)| (QueryId(q), batch.final_of(QueryId(q)).get() * f))
-            .collect()
+        fracs.iter().map(|&(q, f)| (QueryId(q), batch.final_of(QueryId(q)).get() * f)).collect()
     }
 
     #[test]
@@ -368,11 +356,7 @@ mod tests {
         let out = find_pace_configuration(&mut est, &cons, 100).unwrap();
         assert!(out.feasible);
         let q1_root = plan.query_root(QueryId(1)).unwrap();
-        assert_eq!(
-            out.paces.pace(q1_root),
-            1,
-            "nothing should eagerly run q1's private subplan"
-        );
+        assert_eq!(out.paces.pace(q1_root), 1, "nothing should eagerly run q1's private subplan");
     }
 
     #[test]
@@ -438,8 +422,7 @@ mod tests {
         let plan = shared_plan(&c);
         let mut est = PlanEstimator::new(&plan, &c, CostWeights::default()).unwrap();
         // Absurd absolute constraints: unreachable even at max pace.
-        let cons: ConstraintMap =
-            [(QueryId(0), 0.001), (QueryId(1), 0.001)].into_iter().collect();
+        let cons: ConstraintMap = [(QueryId(0), 0.001), (QueryId(1), 0.001)].into_iter().collect();
         let out = find_pace_configuration(&mut est, &cons, 8).unwrap();
         assert!(!out.feasible);
         // Search still terminates with sane paces.

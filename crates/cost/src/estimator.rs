@@ -10,9 +10,7 @@
 
 use crate::simulate::{simulate_subplan, SubplanSim};
 use crate::stats::StreamEstimate;
-use ishare_common::{
-    CostWeights, Error, QueryId, Result, SubplanId, TableId, WorkUnits,
-};
+use ishare_common::{CostWeights, Error, QueryId, Result, SubplanId, TableId, WorkUnits};
 use ishare_plan::{InputSource, SharedPlan};
 use ishare_storage::Catalog;
 use std::collections::{BTreeMap, HashMap};
@@ -177,10 +175,7 @@ impl PlanEstimator {
     ) -> Result<CostReport> {
         let n = self.plan.subplans.len();
         if paces.len() != n {
-            return Err(Error::InvalidConfig(format!(
-                "{} paces for {n} subplans",
-                paces.len()
-            )));
+            return Err(Error::InvalidConfig(format!("{} paces for {n} subplans", paces.len())));
         }
         if let Some(&bad) = paces.iter().find(|&&p| p == 0) {
             return Err(Error::InvalidConfig(format!("pace {bad} must be >= 1")));
@@ -205,16 +200,13 @@ impl PlanEstimator {
                         .get(t)
                         .ok_or_else(|| Error::NotFound(format!("base stream {t}")))?
                         .clone(),
-                    InputSource::Subplan(c) => outputs[c.index()]
-                        .clone()
-                        .ok_or_else(|| {
-                            Error::InvalidPlan(format!("child {c} output missing for {id}"))
-                        })?,
+                    InputSource::Subplan(c) => outputs[c.index()].clone().ok_or_else(|| {
+                        Error::InvalidPlan(format!("child {c} output missing for {id}"))
+                    })?,
                 };
                 inputs.insert(path.clone(), est);
             }
-            let key: Vec<u32> =
-                self.descendants[i].iter().map(|d| paces[d.index()]).collect();
+            let key: Vec<u32> = self.descendants[i].iter().map(|d| paces[d.index()]).collect();
             let sim: std::sync::Arc<SubplanSim> = if use_memo {
                 if let Some(hit) = self.memo[i].get(&key) {
                     self.counters.memo_hits += 1;
@@ -253,10 +245,8 @@ impl PlanEstimator {
                     WorkUnits(report.subplan_final[sp.id.index()]);
             }
         }
-        report.subplan_output = outputs
-            .into_iter()
-            .map(|o| o.expect("all subplans simulated"))
-            .collect();
+        report.subplan_output =
+            outputs.into_iter().map(|o| o.expect("all subplans simulated")).collect();
         Ok(report)
     }
 }
@@ -301,10 +291,7 @@ mod tests {
         let mut c = Catalog::new();
         c.add_table(
             "t",
-            Schema::new(vec![
-                Field::new("k", DataType::Int),
-                Field::new("v", DataType::Int),
-            ]),
+            Schema::new(vec![Field::new("k", DataType::Int), Field::new("v", DataType::Int)]),
             TableStats {
                 row_count: 10_000.0,
                 columns: vec![ColumnStats::ndv(50.0), ColumnStats::ndv(1000.0)],
@@ -313,10 +300,7 @@ mod tests {
         .unwrap();
         c.add_table(
             "u",
-            Schema::new(vec![
-                Field::new("uk", DataType::Int),
-                Field::new("w", DataType::Int),
-            ]),
+            Schema::new(vec![Field::new("uk", DataType::Int), Field::new("w", DataType::Int)]),
             TableStats {
                 row_count: 1_000.0,
                 columns: vec![ColumnStats::ndv(50.0), ColumnStats::ndv(100.0)],
@@ -462,10 +446,7 @@ mod tests {
             // estimator itself; it costs any configuration.
             let a = est.estimate(&paces).unwrap();
             let b = est.estimate_unmemoized(&paces).unwrap();
-            assert!(
-                (a.total_work.get() - b.total_work.get()).abs() < 1e-6,
-                "trial {trial}"
-            );
+            assert!((a.total_work.get() - b.total_work.get()).abs() < 1e-6, "trial {trial}");
             for (q, w) in &a.final_work {
                 assert!((w.get() - b.final_work[q].get()).abs() < 1e-6);
             }

@@ -123,10 +123,7 @@ mod tests {
     use super::*;
 
     fn cols() -> Vec<ColumnStats> {
-        vec![
-            ColumnStats::with_range(100.0, Value::Int(0), Value::Int(99)),
-            ColumnStats::ndv(10.0),
-        ]
+        vec![ColumnStats::with_range(100.0, Value::Int(0), Value::Int(99)), ColumnStats::ndv(10.0)]
     }
 
     #[test]

@@ -79,11 +79,8 @@ pub fn simulate_subplan(
             private_final = work;
         }
     }
-    let delete_frac = if out_rows.total > 0.0 {
-        (out_deletes / out_rows.total).clamp(0.0, 0.95)
-    } else {
-        0.0
-    };
+    let delete_frac =
+        if out_rows.total > 0.0 { (out_deletes / out_rows.total).clamp(0.0, 0.95) } else { 0.0 };
     Ok(SubplanSim {
         private_total,
         private_final,
@@ -153,7 +150,11 @@ fn static_pass(
                     _ => ColumnStats::ndv(child.rows.total.max(1.0)),
                 })
                 .collect();
-            NodeStatic { rows: child.rows.clone(), cols, ..NodeStatic::new(CardVec::default(), vec![]) }
+            NodeStatic {
+                rows: child.rows.clone(),
+                cols,
+                ..NodeStatic::new(CardVec::default(), vec![])
+            }
         }
         TreeOp::Join { keys } => {
             let l = rec_static(subplan, t, 0, path, leaf_inputs, statics)?;
@@ -180,11 +181,8 @@ fn static_pass(
                 .iter()
                 .map(|(e, _)| match e {
                     ishare_expr::Expr::Column(i) => {
-                        let mut c = child
-                            .cols
-                            .get(*i)
-                            .cloned()
-                            .unwrap_or_else(|| ColumnStats::ndv(domain));
+                        let mut c =
+                            child.cols.get(*i).cloned().unwrap_or_else(|| ColumnStats::ndv(domain));
                         c.ndv = c.ndv.min(domain);
                         c
                     }
@@ -226,11 +224,7 @@ fn scale_ndvs(cols: &mut [ColumnStats], rows: f64) {
 
 /// Per-query select output: `n_q × s_branch(q)`; total via the independence
 /// union over branches.
-fn select_rows(
-    input: &CardVec,
-    branches: &[ishare_plan::SelectBranch],
-    sels: &[f64],
-) -> CardVec {
+fn select_rows(input: &CardVec, branches: &[ishare_plan::SelectBranch], sels: &[f64]) -> CardVec {
     let mut per_query = BTreeMap::new();
     for (b, &s) in branches.iter().zip(sels) {
         for q in b.queries.iter() {
@@ -250,7 +244,11 @@ fn select_rows(
     CardVec { total, per_query }
 }
 
-fn join_key_ndv(l: &NodeStatic, r: &NodeStatic, keys: &[(ishare_expr::Expr, ishare_expr::Expr)]) -> f64 {
+fn join_key_ndv(
+    l: &NodeStatic,
+    r: &NodeStatic,
+    keys: &[(ishare_expr::Expr, ishare_expr::Expr)],
+) -> f64 {
     let side_ndv = |info: &NodeStatic, exprs: Vec<&ishare_expr::Expr>| -> f64 {
         let mut nd = 1.0f64;
         for e in exprs {
@@ -357,9 +355,8 @@ fn dyn_pass(
             Ok(StepFlow { rows: narrowed, deletes })
         }
         TreeOp::Select { branches } => {
-            let child = rec_dyn(
-                subplan, t, 0, path, pace, leaf_inputs, statics, states, weights, work,
-            )?;
+            let child =
+                rec_dyn(subplan, t, 0, path, pace, leaf_inputs, statics, states, weights, work)?;
             for b in branches {
                 *work += weights.filter * child.rows.union_of(b.queries);
             }
@@ -368,19 +365,16 @@ fn dyn_pass(
             Ok(StepFlow { rows, deletes })
         }
         TreeOp::Project { exprs } => {
-            let child = rec_dyn(
-                subplan, t, 0, path, pace, leaf_inputs, statics, states, weights, work,
-            )?;
+            let child =
+                rec_dyn(subplan, t, 0, path, pace, leaf_inputs, statics, states, weights, work)?;
             *work += weights.project * child.rows.total * exprs.len() as f64;
             Ok(child)
         }
         TreeOp::Join { .. } => {
-            let l = rec_dyn(
-                subplan, t, 0, path, pace, leaf_inputs, statics, states, weights, work,
-            )?;
-            let r = rec_dyn(
-                subplan, t, 1, path, pace, leaf_inputs, statics, states, weights, work,
-            )?;
+            let l =
+                rec_dyn(subplan, t, 0, path, pace, leaf_inputs, statics, states, weights, work)?;
+            let r =
+                rec_dyn(subplan, t, 1, path, pace, leaf_inputs, statics, states, weights, work)?;
             let st = states.entry(path.clone()).or_default();
             let key_ndv = my_static.key_ndv;
             // ΔL ⋈ R_old + L_new ⋈ ΔR.
@@ -415,9 +409,8 @@ fn dyn_pass(
             Ok(StepFlow { rows, deletes })
         }
         TreeOp::Aggregate { aggs, .. } => {
-            let child = rec_dyn(
-                subplan, t, 0, path, pace, leaf_inputs, statics, states, weights, work,
-            )?;
+            let child =
+                rec_dyn(subplan, t, 0, path, pace, leaf_inputs, statics, states, weights, work)?;
             let st = states.entry(path.clone()).or_default();
             let domain = my_static.group_domain;
             let n = child.rows.total;
@@ -433,12 +426,7 @@ fn dyn_pass(
             // churn. A query whose cardinality is below the stream's total
             // contributes one extra class boundary.
             let class_factor = (1.0
-                + child
-                    .rows
-                    .per_query
-                    .values()
-                    .filter(|&&nq| nq < 0.95 * n)
-                    .count() as f64)
+                + child.rows.per_query.values().filter(|&&nq| nq < 0.95 * n).count() as f64)
                 .min(child.rows.per_query.len().max(1) as f64);
             // Per-query churn.
             let mut per_query = BTreeMap::new();
@@ -494,7 +482,17 @@ fn rec_dyn(
     work: &mut f64,
 ) -> Result<StepFlow> {
     path.push(child);
-    let r = dyn_pass(subplan, &t.inputs[child], path, pace, leaf_inputs, statics, states, weights, work);
+    let r = dyn_pass(
+        subplan,
+        &t.inputs[child],
+        path,
+        pace,
+        leaf_inputs,
+        statics,
+        states,
+        weights,
+        work,
+    );
     path.pop();
     r
 }
@@ -575,10 +573,7 @@ mod tests {
             eager.private_total,
             lazy.private_total
         );
-        assert!(
-            eager.private_final < lazy.private_final,
-            "final work shrinks with pace"
-        );
+        assert!(eager.private_final < lazy.private_final, "final work shrinks with pace");
         // Churn inflates the eager output cardinality.
         assert!(eager.output.rows.total > lazy.output.rows.total);
         assert!(eager.output.delete_frac > 0.0);
@@ -605,12 +600,8 @@ mod tests {
                 OpTree::input(InputSource::Base(TableId(1))),
             ],
         );
-        let sp = Subplan {
-            id: SubplanId(0),
-            root: tree,
-            queries: qs(&[0]),
-            output_queries: qs(&[0]),
-        };
+        let sp =
+            Subplan { id: SubplanId(0), root: tree, queries: qs(&[0]), output_queries: qs(&[0]) };
         let mut inputs = HashMap::new();
         inputs.insert(vec![0], base_input(100.0, qs(&[0]), &[10.0, 10.0]));
         inputs.insert(vec![1], base_input(100.0, qs(&[0]), &[10.0, 10.0]));
@@ -618,7 +609,9 @@ mod tests {
         let one = simulate_subplan(&sp, 1, &inputs, &w).unwrap();
         let four = simulate_subplan(&sp, 4, &inputs, &w).unwrap();
         // Join output cardinality is pace-independent (no churn):
-        assert!((one.output.rows.total - four.output.rows.total).abs() / one.output.rows.total < 1e-6);
+        assert!(
+            (one.output.rows.total - four.output.rows.total).abs() / one.output.rows.total < 1e-6
+        );
         // 100×100/10 = 1000 joined rows.
         assert!((one.output.rows.total - 1000.0).abs() < 1e-6);
         // But the final step of the eager run is cheaper.
@@ -636,12 +629,8 @@ mod tests {
             },
             vec![OpTree::input(InputSource::Base(TableId(0)))],
         );
-        let sp = Subplan {
-            id: SubplanId(0),
-            root: tree,
-            queries: qs(&[0]),
-            output_queries: qs(&[0]),
-        };
+        let sp =
+            Subplan { id: SubplanId(0), root: tree, queries: qs(&[0]), output_queries: qs(&[0]) };
         let mut churny = base_input(1000.0, qs(&[0]), &[100.0, 1000.0]);
         churny.delete_frac = 0.4;
         let mut inputs = HashMap::new();

@@ -19,10 +19,7 @@ pub struct CardVec {
 impl CardVec {
     /// A stream where every row is valid for every query in `queries`.
     pub fn uniform(total: f64, queries: QuerySet) -> CardVec {
-        CardVec {
-            total,
-            per_query: queries.iter().map(|q| (q.0, total)).collect(),
-        }
+        CardVec { total, per_query: queries.iter().map(|q| (q.0, total)).collect() }
     }
 
     /// Zero cardinalities for the given queries.

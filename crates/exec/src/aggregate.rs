@@ -77,18 +77,12 @@ impl Accumulator {
             AggFunc::Sum => Accumulator::Sum { int, sum_i: 0, sum_f: 0.0, nonnull: 0 },
             AggFunc::Count => Accumulator::Count { count: 0 },
             AggFunc::Avg => Accumulator::Avg { sum: 0.0, count: 0 },
-            AggFunc::Min => Accumulator::MinMax {
-                min: true,
-                values: HashMap::new(),
-                cached: None,
-                arrived: 0,
-            },
-            AggFunc::Max => Accumulator::MinMax {
-                min: false,
-                values: HashMap::new(),
-                cached: None,
-                arrived: 0,
-            },
+            AggFunc::Min => {
+                Accumulator::MinMax { min: true, values: HashMap::new(), cached: None, arrived: 0 }
+            }
+            AggFunc::Max => {
+                Accumulator::MinMax { min: false, values: HashMap::new(), cached: None, arrived: 0 }
+            }
         }
     }
 
@@ -242,7 +236,12 @@ impl AggState {
         weights: &CostWeights,
         counter: &WorkCounter,
     ) -> Result<DeltaBatch> {
-        let mut touched: HashSet<Vec<Value>> = HashSet::new();
+        // First-touch order, not HashSet order: flush order must be a pure
+        // function of the input stream so executions are reproducible and
+        // thread-count independent (the parallel driver's bit-identical
+        // work-unit guarantee relies on it).
+        let mut touched: Vec<Vec<Value>> = Vec::new();
+        let mut touched_set: HashSet<Vec<Value>> = HashSet::new();
         for dr in &input.rows {
             counter.charge(weights.agg_update, aggs.len().max(1));
             let mut key = Vec::with_capacity(group_by.len());
@@ -250,7 +249,9 @@ impl AggState {
                 key.push(eval(e, dr.row.values())?);
             }
             let group = self.groups.entry(key.clone()).or_default();
-            touched.insert(key);
+            if touched_set.insert(key.clone()) {
+                touched.push(key);
+            }
             refine_classes(group, dr.mask, aggs, agg_int);
             for class in &mut group.classes {
                 if class.mask.is_subset_of(dr.mask) {
@@ -287,12 +288,21 @@ impl AggState {
                 })
                 .collect();
 
-            let mut diff: HashMap<(QuerySet, Row), i64> = HashMap::new();
+            // Order-preserving diff (retractions first, then inserts):
+            // groups emit a handful of rows, so linear search beats hashing
+            // and keeps emission order deterministic.
+            let mut diff: Vec<((QuerySet, Row), i64)> = Vec::new();
+            let mut bump =
+                |pair: (QuerySet, Row), delta: i64| match diff.iter_mut().find(|(p, _)| *p == pair)
+                {
+                    Some((_, w)) => *w += delta,
+                    None => diff.push((pair, delta)),
+                };
             for (m, r) in &group.emitted {
-                *diff.entry((*m, r.clone())).or_insert(0) -= 1;
+                bump((*m, r.clone()), -1);
             }
             for (m, r) in &new_pairs {
-                *diff.entry((*m, r.clone())).or_insert(0) += 1;
+                bump((*m, r.clone()), 1);
             }
             for ((mask, row), w) in diff {
                 if w != 0 {
@@ -367,8 +377,7 @@ mod tests {
     fn run(st: &mut AggState, rows: Vec<DeltaRow>) -> DeltaBatch {
         let (g, a, i) = sum_spec();
         let c = WorkCounter::new();
-        st.execute(DeltaBatch::from_rows(rows), &g, &a, &i, &CostWeights::default(), &c)
-            .unwrap()
+        st.execute(DeltaBatch::from_rows(rows), &g, &a, &i, &CostWeights::default(), &c).unwrap()
     }
 
     #[test]

@@ -125,9 +125,9 @@ fn eval_plan(
             }
             let mut out = Vec::with_capacity(groups.len());
             for key in order {
-                let accs = groups.get(&key).ok_or_else(|| {
-                    Error::InvalidPlan("aggregate group vanished".into())
-                })?;
+                let accs = groups
+                    .get(&key)
+                    .ok_or_else(|| Error::InvalidPlan("aggregate group vanished".into()))?;
                 let mut vals = key.clone();
                 vals.extend(accs.iter().map(|a| a.value()));
                 out.push(Row::new(vals));
@@ -224,10 +224,7 @@ mod tests {
         let plan = LogicalPlan::Aggregate {
             input: Box::new(PlanBuilder::scan(&c, "orders").unwrap().build()),
             group_by: vec![],
-            aggs: vec![
-                AggExpr::count_star("n"),
-                AggExpr::new(AggFunc::Max, Expr::col(1), "mx"),
-            ],
+            aggs: vec![AggExpr::count_star("n"), AggExpr::new(AggFunc::Max, Expr::col(1), "mx")],
         };
         let out = run_logical(&plan, &c, &data).unwrap();
         assert_eq!(out.len(), 1);

@@ -11,9 +11,7 @@
 use crate::aggregate::AggState;
 use crate::join::JoinState;
 use crate::operators::{apply_project, apply_select, narrow_input};
-use ishare_common::{
-    CostWeights, DataType, Error, QuerySet, Result, SubplanId, WorkCounter,
-};
+use ishare_common::{CostWeights, DataType, Error, QuerySet, Result, SubplanId, WorkCounter};
 use ishare_plan::{InputSource, OpTree, Subplan, TreeOp};
 use ishare_storage::{Catalog, DeltaBatch, Schema};
 use std::collections::HashMap;
@@ -211,19 +209,13 @@ mod tests {
         let mut c = Catalog::new();
         c.add_table(
             "t",
-            Schema::new(vec![
-                Field::new("k", DataType::Int),
-                Field::new("v", DataType::Int),
-            ]),
+            Schema::new(vec![Field::new("k", DataType::Int), Field::new("v", DataType::Int)]),
             TableStats::unknown(100.0, 2),
         )
         .unwrap();
         c.add_table(
             "u",
-            Schema::new(vec![
-                Field::new("k", DataType::Int),
-                Field::new("w", DataType::Int),
-            ]),
+            Schema::new(vec![Field::new("k", DataType::Int), Field::new("w", DataType::Int)]),
             TableStats::unknown(100.0, 2),
         )
         .unwrap();
@@ -258,12 +250,7 @@ mod tests {
                 ],
             )],
         );
-        Subplan {
-            id: SubplanId(0),
-            root: tree,
-            queries: qs(&[0, 1]),
-            output_queries: qs(&[0, 1]),
-        }
+        Subplan { id: SubplanId(0), root: tree, queries: qs(&[0, 1]), output_queries: qs(&[0, 1]) }
     }
 
     fn t_row(k: i64, v: i64) -> DeltaRow {
@@ -274,30 +261,21 @@ mod tests {
     fn end_to_end_one_batch() {
         let c = catalog();
         let sp = sample_subplan(&c);
-        let mut ex = SubplanExecutor::new(&sp, &c, &HashMap::new(), CostWeights::default())
-            .unwrap();
+        let mut ex =
+            SubplanExecutor::new(&sp, &c, &HashMap::new(), CostWeights::default()).unwrap();
         let leaves = ex.leaf_paths();
         assert_eq!(leaves.len(), 2);
         let counter = WorkCounter::new();
         let mut inputs = HashMap::new();
         // t rows: (1, v=1) fails q1's filter; (1, v=5) passes both.
-        inputs.insert(
-            leaves[0].0.clone(),
-            DeltaBatch::from_rows(vec![t_row(1, 1), t_row(1, 5)]),
-        );
+        inputs.insert(leaves[0].0.clone(), DeltaBatch::from_rows(vec![t_row(1, 1), t_row(1, 5)]));
         inputs.insert(leaves[1].0.clone(), DeltaBatch::from_rows(vec![t_row(1, 100)]));
         let out = ex.execute(&mut inputs, &counter).unwrap();
         let cons = consolidate(out.rows);
         // q0 joined both t rows with u's row: sum = 200 (two matches × 100).
         // q1 joined only (1,5): sum = 100.
-        assert_eq!(
-            cons[&(Row::new(vec![Value::Int(1), Value::Int(200)]), qs(&[0]))],
-            1
-        );
-        assert_eq!(
-            cons[&(Row::new(vec![Value::Int(1), Value::Int(100)]), qs(&[1]))],
-            1
-        );
+        assert_eq!(cons[&(Row::new(vec![Value::Int(1), Value::Int(200)]), qs(&[0]))], 1);
+        assert_eq!(cons[&(Row::new(vec![Value::Int(1), Value::Int(100)]), qs(&[1]))], 1);
         assert!(counter.total().get() > 0.0);
     }
 
@@ -378,8 +356,8 @@ mod tests {
     fn missing_inputs_are_empty() {
         let c = catalog();
         let sp = sample_subplan(&c);
-        let mut ex = SubplanExecutor::new(&sp, &c, &HashMap::new(), CostWeights::default())
-            .unwrap();
+        let mut ex =
+            SubplanExecutor::new(&sp, &c, &HashMap::new(), CostWeights::default()).unwrap();
         let counter = WorkCounter::new();
         let out = ex.execute(&mut HashMap::new(), &counter).unwrap();
         assert!(out.is_empty());

@@ -16,10 +16,13 @@ use ishare_common::{CostWeights, Error, Result, Value, WorkCounter};
 use ishare_expr::eval::eval;
 use ishare_expr::Expr;
 use ishare_storage::{DeltaBatch, DeltaRow, Row};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 type Key = Vec<Value>;
-type SideMap = HashMap<Key, HashMap<(Row, ishare_common::QuerySet), i64>>;
+// The inner map is ordered so that probe emission order is a pure function
+// of the stored state, not of hasher seeds — executions must be
+// reproducible for the parallel driver's bit-identical guarantee.
+type SideMap = HashMap<Key, BTreeMap<(Row, ishare_common::QuerySet), i64>>;
 
 /// Persistent state of one join operator across incremental executions.
 #[derive(Debug, Default)]
@@ -112,12 +115,7 @@ fn key_rows<'a>(
     Ok(out)
 }
 
-fn insert_side(
-    side: &mut SideMap,
-    entries: &mut usize,
-    key: &Key,
-    dr: &DeltaRow,
-) -> Result<()> {
+fn insert_side(side: &mut SideMap, entries: &mut usize, key: &Key, dr: &DeltaRow) -> Result<()> {
     let slot = side.entry(key.clone()).or_default();
     let e = slot.entry((dr.row.clone(), dr.mask)).or_insert(0);
     let was_zero = *e == 0;
@@ -160,11 +158,8 @@ fn emit(
         return;
     }
     counter.charge(weights.join_emit, 1);
-    let row = if delta_is_right {
-        stored_row.concat(&delta.row)
-    } else {
-        delta.row.concat(stored_row)
-    };
+    let row =
+        if delta_is_right { stored_row.concat(&delta.row) } else { delta.row.concat(stored_row) };
     out.push(DeltaRow { row, weight: delta.weight * stored_weight, mask });
 }
 
@@ -190,11 +185,7 @@ mod tests {
         vec![(Expr::col(0), Expr::col(0))]
     }
 
-    fn run(
-        st: &mut JoinState,
-        l: Vec<DeltaRow>,
-        r: Vec<DeltaRow>,
-    ) -> DeltaBatch {
+    fn run(st: &mut JoinState, l: Vec<DeltaRow>, r: Vec<DeltaRow>) -> DeltaBatch {
         let c = WorkCounter::new();
         st.execute(
             DeltaBatch::from_rows(l),
@@ -272,11 +263,8 @@ mod tests {
     #[test]
     fn null_keys_never_match() {
         let mut st = JoinState::new();
-        let null_row = DeltaRow {
-            row: Row::new(vec![Value::Null, Value::Int(1)]),
-            weight: 1,
-            mask: qs(&[0]),
-        };
+        let null_row =
+            DeltaRow { row: Row::new(vec![Value::Null, Value::Int(1)]), weight: 1, mask: qs(&[0]) };
         let out = run(&mut st, vec![null_row.clone()], vec![null_row]);
         assert!(out.is_empty());
         assert_eq!(st.left_size(), 0, "NULL-keyed rows are not stored");
@@ -286,11 +274,7 @@ mod tests {
     fn weight_multiplication() {
         let mut st = JoinState::new();
         // Two identical left rows (weight 2 consolidated).
-        let out = run(
-            &mut st,
-            vec![dr(1, 10, 2, &[0])],
-            vec![dr(1, 20, 3, &[0])],
-        );
+        let out = run(&mut st, vec![dr(1, 10, 2, &[0])], vec![dr(1, 20, 3, &[0])]);
         assert_eq!(out.rows[0].weight, 6);
     }
 

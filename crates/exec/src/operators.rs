@@ -92,9 +92,7 @@ mod tests {
     }
 
     fn batch(rows: &[(i64, i64, &[u16])]) -> DeltaBatch {
-        rows.iter()
-            .map(|&(v, w, m)| DeltaRow { row: row(v), weight: w, mask: qs(m) })
-            .collect()
+        rows.iter().map(|&(v, w, m)| DeltaRow { row: row(v), weight: w, mask: qs(m) }).collect()
     }
 
     #[test]
@@ -119,8 +117,8 @@ mod tests {
             SelectBranch { queries: qs(&[0]), predicate: Expr::true_lit() },
             SelectBranch { queries: qs(&[1]), predicate: Expr::col(0).gt(Expr::lit(5i64)) },
         ];
-        let out = apply_select(batch(&[(3, 1, &[0, 1]), (9, 1, &[0, 1])]), &branches, &w, &c)
-            .unwrap();
+        let out =
+            apply_select(batch(&[(3, 1, &[0, 1]), (9, 1, &[0, 1])]), &branches, &w, &c).unwrap();
         assert_eq!(out.len(), 2);
         // Row 3 fails q1's predicate: keeps only q0's bit (marked, not dropped).
         assert_eq!(out.rows[0].mask, qs(&[0]));
@@ -173,13 +171,9 @@ mod tests {
         let w = CostWeights::default();
         let branches =
             vec![SelectBranch { queries: qs(&[0]), predicate: Expr::col(0).gt(Expr::lit(5i64)) }];
-        let out = apply_select(
-            batch(&[(9, 1, &[0]), (9, -1, &[0]), (3, -1, &[0])]),
-            &branches,
-            &w,
-            &c,
-        )
-        .unwrap();
+        let out =
+            apply_select(batch(&[(9, 1, &[0]), (9, -1, &[0]), (3, -1, &[0])]), &branches, &w, &c)
+                .unwrap();
         // 9 passes with both signs; 3 fails with both signs.
         assert_eq!(out.len(), 2);
         assert_eq!(out.rows[0].weight, 1);

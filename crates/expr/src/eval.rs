@@ -12,10 +12,9 @@ use ishare_common::{days_to_ymd, Error, Result, Value};
 /// Evaluate an expression against a positional row.
 pub fn eval(expr: &Expr, row: &[Value]) -> Result<Value> {
     match expr {
-        Expr::Column(i) => row
-            .get(*i)
-            .cloned()
-            .ok_or(Error::ColumnOutOfBounds { index: *i, arity: row.len() }),
+        Expr::Column(i) => {
+            row.get(*i).cloned().ok_or(Error::ColumnOutOfBounds { index: *i, arity: row.len() })
+        }
         Expr::Literal(v) => Ok(v.clone()),
         Expr::Binary { op, left, right } => {
             if op.is_logical() {
@@ -152,9 +151,7 @@ fn eval_arithmetic(op: BinaryOp, l: &Value, r: &Value) -> Result<Value> {
     }
     let (a, b) = match (l.as_f64(), r.as_f64()) {
         (Some(a), Some(b)) => (a, b),
-        _ => {
-            return Err(Error::TypeMismatch(format!("arithmetic {op} applied to {l} and {r}")))
-        }
+        _ => return Err(Error::TypeMismatch(format!("arithmetic {op} applied to {l} and {r}"))),
     };
     let v = match op {
         BinaryOp::Add => a + b,
@@ -187,7 +184,13 @@ mod tests {
     use ishare_common::date;
 
     fn row() -> Vec<Value> {
-        vec![Value::Int(10), Value::Float(2.5), Value::str("PROMO BRUSHED"), Value::Null, date("1995-06-17")]
+        vec![
+            Value::Int(10),
+            Value::Float(2.5),
+            Value::str("PROMO BRUSHED"),
+            Value::Null,
+            date("1995-06-17"),
+        ]
     }
 
     #[test]
@@ -245,11 +248,9 @@ mod tests {
     #[test]
     fn strings_and_funcs() {
         let r = row();
-        assert!(eval_predicate(
-            &Expr::col(2).like(LikePattern::Prefix("PROMO".into())),
-            &r
-        )
-        .unwrap());
+        assert!(
+            eval_predicate(&Expr::col(2).like(LikePattern::Prefix("PROMO".into())), &r).unwrap()
+        );
         assert_eq!(eval(&Expr::col(2).substr(1, 5), &r).unwrap(), Value::str("PROMO"));
         assert_eq!(eval(&Expr::col(2).substr(7, 100), &r).unwrap(), Value::str("BRUSHED"));
         assert_eq!(eval(&Expr::col(4).year(), &r).unwrap(), Value::Int(1995));
@@ -257,23 +258,16 @@ mod tests {
             eval(&Expr::col(0).in_list(vec![Value::Int(9), Value::Int(10)]), &r).unwrap(),
             Value::Bool(true)
         );
-        assert_eq!(
-            eval(&Expr::col(3).in_list(vec![Value::Int(9)]), &r).unwrap(),
-            Value::Null
-        );
+        assert_eq!(eval(&Expr::col(3).in_list(vec![Value::Int(9)]), &r).unwrap(), Value::Null);
     }
 
     #[test]
     fn case_expression() {
         let r = row();
-        let e = Expr::col(0)
-            .gt(Expr::lit(5i64))
-            .case(Expr::lit(1i64), Expr::lit(0i64));
+        let e = Expr::col(0).gt(Expr::lit(5i64)).case(Expr::lit(1i64), Expr::lit(0i64));
         assert_eq!(eval(&e, &r).unwrap(), Value::Int(1));
         // NULL condition takes ELSE.
-        let e = Expr::col(3)
-            .gt(Expr::lit(5i64))
-            .case(Expr::lit(1i64), Expr::lit(0i64));
+        let e = Expr::col(3).gt(Expr::lit(5i64)).case(Expr::lit(1i64), Expr::lit(0i64));
         assert_eq!(eval(&e, &r).unwrap(), Value::Int(0));
     }
 

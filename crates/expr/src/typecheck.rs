@@ -28,9 +28,7 @@ fn infer(expr: &Expr, schema: &Schema) -> Result<Option<DataType>> {
                 _ if op.is_logical() => {
                     for t in [l, r].into_iter().flatten() {
                         if t != DataType::Bool {
-                            return Err(Error::TypeMismatch(format!(
-                                "{op} applied to {t}"
-                            )));
+                            return Err(Error::TypeMismatch(format!("{op} applied to {t}")));
                         }
                     }
                     Ok(Some(DataType::Bool))
@@ -213,8 +211,10 @@ mod tests {
         assert!(infer_type(&Expr::col(0).eq(Expr::col(2)), &s).is_err());
         assert!(infer_type(&Expr::col(0).eq(Expr::col(3)), &s).is_ok(), "int vs date is numeric");
         assert!(infer_type(&Expr::col(4).and(Expr::col(0)), &s).is_err());
-        assert!(infer_type(&Expr::col(2).like(crate::expr::LikePattern::Prefix("x".into())), &s).is_ok());
-        assert!(infer_type(&Expr::col(0).like(crate::expr::LikePattern::Prefix("x".into())), &s).is_err());
+        assert!(infer_type(&Expr::col(2).like(crate::expr::LikePattern::Prefix("x".into())), &s)
+            .is_ok());
+        assert!(infer_type(&Expr::col(0).like(crate::expr::LikePattern::Prefix("x".into())), &s)
+            .is_err());
     }
 
     #[test]

@@ -50,14 +50,8 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
 }
 
 fn row() -> impl Strategy<Value = Vec<Value>> {
-    (
-        -500i64..500,
-        -50.0f64..50.0,
-        "[a-z]{0,8}",
-        0i32..20000,
-        proptest::bool::ANY,
-    )
-        .prop_map(|(i, f, s, d, b)| {
+    (-500i64..500, -50.0f64..50.0, "[a-z]{0,8}", 0i32..20000, proptest::bool::ANY).prop_map(
+        |(i, f, s, d, b)| {
             vec![
                 Value::Int(i),
                 Value::Float(f),
@@ -65,7 +59,8 @@ fn row() -> impl Strategy<Value = Vec<Value>> {
                 Value::Date(d),
                 Value::Bool(b),
             ]
-        })
+        },
+    )
 }
 
 proptest! {

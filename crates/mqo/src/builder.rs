@@ -62,10 +62,7 @@ pub fn build_shared_dag(
             if let Some(existing) = branches.iter_mut().find(|br| br.predicate == pred) {
                 existing.queries.insert(q);
             } else {
-                branches.push(SelectBranch {
-                    queries: QuerySet::single(q),
-                    predicate: pred,
-                });
+                branches.push(SelectBranch { queries: QuerySet::single(q), predicate: pred });
             }
         }
         match &mut node.op {
@@ -241,19 +238,13 @@ mod tests {
         let mut c = Catalog::new();
         c.add_table(
             "t",
-            Schema::new(vec![
-                Field::new("k", DataType::Int),
-                Field::new("v", DataType::Int),
-            ]),
+            Schema::new(vec![Field::new("k", DataType::Int), Field::new("v", DataType::Int)]),
             TableStats::unknown(100.0, 2),
         )
         .unwrap();
         c.add_table(
             "u",
-            Schema::new(vec![
-                Field::new("uk", DataType::Int),
-                Field::new("w", DataType::Int),
-            ]),
+            Schema::new(vec![Field::new("uk", DataType::Int), Field::new("w", DataType::Int)]),
             TableStats::unknown(50.0, 2),
         )
         .unwrap();
@@ -265,11 +256,7 @@ mod tests {
         if let Some(p) = pred {
             b = b.select(move |_| Ok(p)).unwrap();
         }
-        normalize(
-            &b.aggregate(&["k"], |x| Ok(vec![x.sum("v", "s")?]))
-                .unwrap()
-                .build(),
-        )
+        normalize(&b.aggregate(&["k"], |x| Ok(vec![x.sum("v", "s")?])).unwrap().build())
     }
 
     #[test]
@@ -277,20 +264,13 @@ mod tests {
         let c = catalog();
         let q0 = agg_query(&c, None);
         let q1 = agg_query(&c, Some(Expr::col(1).gt(Expr::lit(5i64))));
-        let dag = build_shared_dag(
-            &[(QueryId(0), q0), (QueryId(1), q1)],
-            &c,
-            &MqoConfig::default(),
-        )
-        .unwrap();
+        let dag =
+            build_shared_dag(&[(QueryId(0), q0), (QueryId(1), q1)], &c, &MqoConfig::default())
+                .unwrap();
         // One scan, one shared select with two branches, one shared agg,
         // plus the pass-through select normalization puts above the root.
         assert_eq!(dag.nodes.len(), 4);
-        let sel = dag
-            .nodes
-            .iter()
-            .find(|n| matches!(n.op, DagOp::Select { .. }))
-            .unwrap();
+        let sel = dag.nodes.iter().find(|n| matches!(n.op, DagOp::Select { .. })).unwrap();
         if let DagOp::Select { branches } = &sel.op {
             assert_eq!(branches.len(), 2);
         }
@@ -305,17 +285,10 @@ mod tests {
         let p = Expr::col(1).gt(Expr::lit(5i64));
         let q0 = agg_query(&c, Some(p.clone()));
         let q1 = agg_query(&c, Some(p));
-        let dag = build_shared_dag(
-            &[(QueryId(0), q0), (QueryId(1), q1)],
-            &c,
-            &MqoConfig::default(),
-        )
-        .unwrap();
-        let sel = dag
-            .nodes
-            .iter()
-            .find(|n| matches!(n.op, DagOp::Select { .. }))
-            .unwrap();
+        let dag =
+            build_shared_dag(&[(QueryId(0), q0), (QueryId(1), q1)], &c, &MqoConfig::default())
+                .unwrap();
+        let sel = dag.nodes.iter().find(|n| matches!(n.op, DagOp::Select { .. })).unwrap();
         if let DagOp::Select { branches } = &sel.op {
             assert_eq!(branches.len(), 1);
             assert_eq!(branches[0].queries.len(), 2);
@@ -333,18 +306,12 @@ mod tests {
                 .unwrap()
                 .build(),
         );
-        let dag = build_shared_dag(
-            &[(QueryId(0), q0), (QueryId(1), q1)],
-            &c,
-            &MqoConfig::default(),
-        )
-        .unwrap();
+        let dag =
+            build_shared_dag(&[(QueryId(0), q0), (QueryId(1), q1)], &c, &MqoConfig::default())
+                .unwrap();
         // Scan and select shared; two distinct aggregate nodes.
-        let aggs: Vec<_> = dag
-            .nodes
-            .iter()
-            .filter(|n| matches!(n.op, DagOp::Aggregate { .. }))
-            .collect();
+        let aggs: Vec<_> =
+            dag.nodes.iter().filter(|n| matches!(n.op, DagOp::Aggregate { .. })).collect();
         assert_eq!(aggs.len(), 2);
         assert_eq!(aggs[0].queries.len(), 1);
     }
@@ -354,12 +321,9 @@ mod tests {
         let c = catalog();
         let q0 = agg_query(&c, None);
         let q1 = agg_query(&c, None);
-        let dag = build_shared_dag(
-            &[(QueryId(0), q0), (QueryId(1), q1)],
-            &c,
-            &MqoConfig::no_sharing(),
-        )
-        .unwrap();
+        let dag =
+            build_shared_dag(&[(QueryId(0), q0), (QueryId(1), q1)], &c, &MqoConfig::no_sharing())
+                .unwrap();
         // 4 normalized ops per query (scan, select, agg, top select), all
         // private.
         assert_eq!(dag.nodes.len(), 8, "every node private per query");
@@ -403,19 +367,12 @@ mod tests {
             )
         };
         let dag = build_shared_dag(
-            &[
-                (QueryId(0), mk(None)),
-                (QueryId(1), mk(Some(Expr::col(1).lt(Expr::lit(3i64))))),
-            ],
+            &[(QueryId(0), mk(None)), (QueryId(1), mk(Some(Expr::col(1).lt(Expr::lit(3i64)))))],
             &c,
             &MqoConfig::default(),
         )
         .unwrap();
-        let join = dag
-            .nodes
-            .iter()
-            .find(|n| matches!(n.op, DagOp::Join { .. }))
-            .unwrap();
+        let join = dag.nodes.iter().find(|n| matches!(n.op, DagOp::Join { .. })).unwrap();
         assert_eq!(join.queries.len(), 2, "join shared across both queries");
         // End-to-end: the DAG converts into a valid shared plan.
         let plan = SharedPlan::from_dag(&dag, |_| false).unwrap();
@@ -445,21 +402,14 @@ mod tests {
                 .unwrap()
                 .build(),
         );
-        let dag =
-            build_shared_dag(&[(QueryId(0), q)], &c, &MqoConfig::default()).unwrap();
+        let dag = build_shared_dag(&[(QueryId(0), q)], &c, &MqoConfig::default()).unwrap();
         // validate() checks branch partitions; this is the regression the
         // occurrence index prevents.
-        let selects: Vec<_> = dag
-            .nodes
-            .iter()
-            .filter(|n| matches!(n.op, DagOp::Select { .. }))
-            .collect();
+        let selects: Vec<_> =
+            dag.nodes.iter().filter(|n| matches!(n.op, DagOp::Select { .. })).collect();
         assert!(selects.len() >= 2, "the two filters stay separate nodes");
-        let scans: Vec<_> = dag
-            .nodes
-            .iter()
-            .filter(|n| matches!(n.op, DagOp::Scan { .. }))
-            .collect();
+        let scans: Vec<_> =
+            dag.nodes.iter().filter(|n| matches!(n.op, DagOp::Scan { .. })).collect();
         assert_eq!(scans.len(), 1, "the scan is a shared diamond");
     }
 
@@ -469,8 +419,7 @@ mod tests {
         let p = Expr::col(1).gt(Expr::lit(5i64));
         let pc = p.clone();
         let left = PlanBuilder::scan(&c, "t").unwrap().select(move |_| Ok(p)).unwrap();
-        let right =
-            PlanBuilder::scan(&c, "t").unwrap().select(move |_| Ok(pc)).unwrap().alias("r");
+        let right = PlanBuilder::scan(&c, "t").unwrap().select(move |_| Ok(pc)).unwrap().alias("r");
         let q = normalize(
             &left
                 .join(right, &[("k", "r.k")])
@@ -479,20 +428,16 @@ mod tests {
                 .unwrap()
                 .build(),
         );
-        let dag =
-            build_shared_dag(&[(QueryId(0), q)], &c, &MqoConfig::default()).unwrap();
+        let dag = build_shared_dag(&[(QueryId(0), q)], &c, &MqoConfig::default()).unwrap();
         // Identical subtrees collapse into a diamond: one scan, and exactly
         // one select carrying the (shared) non-trivial predicate.
-        let scans =
-            dag.nodes.iter().filter(|n| matches!(n.op, DagOp::Scan { .. })).count();
+        let scans = dag.nodes.iter().filter(|n| matches!(n.op, DagOp::Scan { .. })).count();
         assert_eq!(scans, 1);
         let filter_selects = dag
             .nodes
             .iter()
             .filter(|n| match &n.op {
-                DagOp::Select { branches } => {
-                    branches.iter().any(|b| !b.predicate.is_true_lit())
-                }
+                DagOp::Select { branches } => branches.iter().any(|b| !b.predicate.is_true_lit()),
                 _ => false,
             })
             .count();
@@ -504,12 +449,9 @@ mod tests {
         let c = catalog();
         let q0 = agg_query(&c, None);
         let q1 = agg_query(&c, None);
-        let dag = build_shared_dag(
-            &[(QueryId(0), q0), (QueryId(1), q1)],
-            &c,
-            &MqoConfig::default(),
-        )
-        .unwrap();
+        let dag =
+            build_shared_dag(&[(QueryId(0), q0), (QueryId(1), q1)], &c, &MqoConfig::default())
+                .unwrap();
         let plan = SharedPlan::from_dag(&dag, |_| false).unwrap();
         plan.validate(&c).unwrap();
         let r0 = plan.query_root(QueryId(0)).unwrap();

@@ -62,10 +62,7 @@ mod tests {
         for name in ["t", "u"] {
             c.add_table(
                 name,
-                Schema::new(vec![
-                    Field::new("k", DataType::Int),
-                    Field::new("v", DataType::Int),
-                ]),
+                Schema::new(vec![Field::new("k", DataType::Int), Field::new("v", DataType::Int)]),
                 TableStats::unknown(10.0, 2),
             )
             .unwrap();

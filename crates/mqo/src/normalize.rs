@@ -33,16 +33,14 @@ fn collapse_selects(plan: &LogicalPlan) -> LogicalPlan {
                         predicate: combine(inner_pred, predicate.clone()),
                     }
                 }
-                other => LogicalPlan::Select {
-                    input: Box::new(other),
-                    predicate: predicate.clone(),
-                },
+                other => {
+                    LogicalPlan::Select { input: Box::new(other), predicate: predicate.clone() }
+                }
             }
         }
-        LogicalPlan::Project { input, exprs } => LogicalPlan::Project {
-            input: Box::new(collapse_selects(input)),
-            exprs: exprs.clone(),
-        },
+        LogicalPlan::Project { input, exprs } => {
+            LogicalPlan::Project { input: Box::new(collapse_selects(input)), exprs: exprs.clone() }
+        }
         LogicalPlan::Aggregate { input, group_by, aggs } => LogicalPlan::Aggregate {
             input: Box::new(collapse_selects(input)),
             group_by: group_by.clone(),
@@ -83,10 +81,9 @@ fn insert_selects(plan: &LogicalPlan) -> LogicalPlan {
         }
     };
     match rewritten {
-        LogicalPlan::Scan { .. } => LogicalPlan::Select {
-            input: Box::new(rewritten),
-            predicate: Expr::true_lit(),
-        },
+        LogicalPlan::Scan { .. } => {
+            LogicalPlan::Select { input: Box::new(rewritten), predicate: Expr::true_lit() }
+        }
         other => other,
     }
 }
@@ -100,10 +97,9 @@ fn insert_selects_below(plan: &LogicalPlan) -> LogicalPlan {
             input: Box::new(insert_selects_below(input)),
             predicate: predicate.clone(),
         },
-        LogicalPlan::Project { input, exprs } => LogicalPlan::Project {
-            input: Box::new(insert_selects(input)),
-            exprs: exprs.clone(),
-        },
+        LogicalPlan::Project { input, exprs } => {
+            LogicalPlan::Project { input: Box::new(insert_selects(input)), exprs: exprs.clone() }
+        }
         LogicalPlan::Aggregate { input, group_by, aggs } => LogicalPlan::Aggregate {
             input: Box::new(insert_selects(input)),
             group_by: group_by.clone(),
@@ -128,19 +124,13 @@ mod tests {
         let mut c = Catalog::new();
         c.add_table(
             "t",
-            Schema::new(vec![
-                Field::new("k", DataType::Int),
-                Field::new("v", DataType::Int),
-            ]),
+            Schema::new(vec![Field::new("k", DataType::Int), Field::new("v", DataType::Int)]),
             TableStats::unknown(10.0, 2),
         )
         .unwrap();
         c.add_table(
             "u",
-            Schema::new(vec![
-                Field::new("uk", DataType::Int),
-                Field::new("w", DataType::Int),
-            ]),
+            Schema::new(vec![Field::new("uk", DataType::Int), Field::new("w", DataType::Int)]),
             TableStats::unknown(10.0, 2),
         )
         .unwrap();
@@ -210,10 +200,7 @@ mod tests {
             .unwrap()
             .build();
         let n = normalize(&plan);
-        assert_eq!(
-            shape(&n),
-            "sel(agg(sel(join(sel(scan0),sel(scan1)))))"
-        );
+        assert_eq!(shape(&n), "sel(agg(sel(join(sel(scan0),sel(scan1)))))");
     }
 
     #[test]

@@ -133,10 +133,7 @@ impl PlanBuilder {
                 .map(|((_, name), f)| Field::new(name.clone(), f.ty))
                 .collect(),
         );
-        PlanBuilder {
-            plan: LogicalPlan::Project { input: Box::new(self.plan), exprs },
-            schema,
-        }
+        PlanBuilder { plan: LogicalPlan::Project { input: Box::new(self.plan), exprs }, schema }
     }
 
     /// Add a select (filter) whose predicate is built by `f` against the
@@ -150,10 +147,7 @@ impl PlanBuilder {
     }
 
     /// Add a projection; `f` returns `(expr, name)` pairs.
-    pub fn project(
-        self,
-        f: impl FnOnce(&Cols<'_>) -> Result<Vec<(Expr, String)>>,
-    ) -> Result<Self> {
+    pub fn project(self, f: impl FnOnce(&Cols<'_>) -> Result<Vec<(Expr, String)>>) -> Result<Self> {
         let exprs = f(&Cols { schema: &self.schema })?;
         let mut fields = Vec::with_capacity(exprs.len());
         for (e, name) in &exprs {
@@ -168,12 +162,7 @@ impl PlanBuilder {
 
     /// Keep only the named columns (in the given order).
     pub fn project_cols(self, names: &[&str]) -> Result<Self> {
-        self.project(|c| {
-            names
-                .iter()
-                .map(|n| Ok((c.col(n)?, n.to_string())))
-                .collect()
-        })
+        self.project(|c| names.iter().map(|n| Ok((c.col(n)?, n.to_string()))).collect())
     }
 
     /// Group by the named columns and compute the aggregates returned by `f`.

@@ -116,7 +116,12 @@ impl SharedDag {
 
     /// Append a node; returns its id. Enforces bottom-up construction
     /// (children must already exist).
-    pub fn add_node(&mut self, op: DagOp, children: Vec<NodeId>, queries: QuerySet) -> Result<NodeId> {
+    pub fn add_node(
+        &mut self,
+        op: DagOp,
+        children: Vec<NodeId>,
+        queries: QuerySet,
+    ) -> Result<NodeId> {
         let id = NodeId(self.nodes.len() as u32);
         if children.len() != op.expected_children() {
             return Err(Error::InvalidPlan(format!(
@@ -154,16 +159,12 @@ impl SharedDag {
 
     /// Look up a node.
     pub fn node(&self, id: NodeId) -> Result<&DagNode> {
-        self.nodes
-            .get(id.0 as usize)
-            .ok_or_else(|| Error::NotFound(format!("node {id}")))
+        self.nodes.get(id.0 as usize).ok_or_else(|| Error::NotFound(format!("node {id}")))
     }
 
     /// All queries participating in the DAG.
     pub fn all_queries(&self) -> QuerySet {
-        self.query_roots
-            .iter()
-            .fold(QuerySet::EMPTY, |acc, (q, _)| acc.union(QuerySet::single(*q)))
+        self.query_roots.iter().fold(QuerySet::EMPTY, |acc, (q, _)| acc.union(QuerySet::single(*q)))
     }
 
     /// Number of parents of each node (query roots do not count as parents).
@@ -311,10 +312,7 @@ mod tests {
         let mut c = Catalog::new();
         c.add_table(
             "t",
-            Schema::new(vec![
-                Field::new("k", DataType::Int),
-                Field::new("v", DataType::Float),
-            ]),
+            Schema::new(vec![Field::new("k", DataType::Int), Field::new("v", DataType::Float)]),
             TableStats::unknown(100.0, 2),
         )
         .unwrap();

@@ -114,9 +114,7 @@ impl LogicalPlan {
                 input.operator_count()
             }
             LogicalPlan::Aggregate { input, .. } => input.operator_count(),
-            LogicalPlan::Join { left, right, .. } => {
-                left.operator_count() + right.operator_count()
-            }
+            LogicalPlan::Join { left, right, .. } => left.operator_count() + right.operator_count(),
         }
     }
 
@@ -333,18 +331,15 @@ mod tests {
             DataType::Int
         );
         assert_eq!(
-            agg_output_type(&AggExpr::new(AggFunc::Sum, Expr::col(0), "s"), &join_schema)
-                .unwrap(),
+            agg_output_type(&AggExpr::new(AggFunc::Sum, Expr::col(0), "s"), &join_schema).unwrap(),
             DataType::Int
         );
         assert_eq!(
-            agg_output_type(&AggExpr::new(AggFunc::Min, Expr::col(4), "m"), &join_schema)
-                .unwrap(),
+            agg_output_type(&AggExpr::new(AggFunc::Min, Expr::col(4), "m"), &join_schema).unwrap(),
             DataType::Str
         );
         assert_eq!(
-            agg_output_type(&AggExpr::new(AggFunc::Avg, Expr::col(2), "a"), &join_schema)
-                .unwrap(),
+            agg_output_type(&AggExpr::new(AggFunc::Avg, Expr::col(2), "a"), &join_schema).unwrap(),
             DataType::Float
         );
     }

@@ -173,15 +173,10 @@ impl OpTree {
     /// Rewrite every `Input(Subplan(old))` reference through `f`.
     pub fn remap_subplan_inputs(&self, f: &impl Fn(SubplanId) -> SubplanId) -> OpTree {
         let op = match &self.op {
-            TreeOp::Input(InputSource::Subplan(id)) => {
-                TreeOp::Input(InputSource::Subplan(f(*id)))
-            }
+            TreeOp::Input(InputSource::Subplan(id)) => TreeOp::Input(InputSource::Subplan(f(*id))),
             other => other.clone(),
         };
-        OpTree {
-            op,
-            inputs: self.inputs.iter().map(|i| i.remap_subplan_inputs(f)).collect(),
-        }
+        OpTree { op, inputs: self.inputs.iter().map(|i| i.remap_subplan_inputs(f)).collect() }
     }
 
     /// Output schema of this tree, given the catalog and the schemas of
@@ -228,10 +223,8 @@ impl OpTree {
                     fields.push(Field::new(name.clone(), infer_type(e, &s)?));
                 }
                 for a in aggs {
-                    fields.push(Field::new(
-                        a.name.clone(),
-                        crate::logical::agg_output_type(a, &s)?,
-                    ));
+                    fields
+                        .push(Field::new(a.name.clone(), crate::logical::agg_output_type(a, &s)?));
                 }
                 Ok(Schema::new(fields))
             }
@@ -323,10 +316,7 @@ impl SharedPlan {
         let parent_counts = dag.parent_counts();
         let mut root_queries: HashMap<u32, QuerySet> = HashMap::new();
         for (q, n) in &dag.query_roots {
-            root_queries
-                .entry(n.0)
-                .or_insert(QuerySet::EMPTY)
-                .insert(*q);
+            root_queries.entry(n.0).or_insert(QuerySet::EMPTY).insert(*q);
         }
 
         // Decide which nodes become subplan roots.
@@ -372,9 +362,7 @@ impl SharedPlan {
 
     /// Look up a subplan.
     pub fn subplan(&self, id: SubplanId) -> Result<&Subplan> {
-        self.subplans
-            .get(id.index())
-            .ok_or_else(|| Error::NotFound(format!("subplan {id}")))
+        self.subplans.get(id.index()).ok_or_else(|| Error::NotFound(format!("subplan {id}")))
     }
 
     /// Number of subplans.
@@ -389,9 +377,7 @@ impl SharedPlan {
 
     /// All queries participating in the plan.
     pub fn queries(&self) -> QuerySet {
-        self.subplans
-            .iter()
-            .fold(QuerySet::EMPTY, |acc, sp| acc.union(sp.queries))
+        self.subplans.iter().fold(QuerySet::EMPTY, |acc, sp| acc.union(sp.queries))
     }
 
     /// Parent lists: `parents()[i]` = subplans reading subplan `i`'s buffer.
@@ -423,10 +409,8 @@ impl SharedPlan {
             }
             indegree[sp.id.index()] = cs.len();
         }
-        let mut queue: Vec<SubplanId> = (0..n)
-            .filter(|&i| indegree[i] == 0)
-            .map(|i| SubplanId(i as u32))
-            .collect();
+        let mut queue: Vec<SubplanId> =
+            (0..n).filter(|&i| indegree[i] == 0).map(|i| SubplanId(i as u32)).collect();
         let mut order = Vec::with_capacity(n);
         while let Some(id) = queue.pop() {
             order.push(id);
@@ -448,40 +432,46 @@ impl SharedPlan {
         Ok(order)
     }
 
+    /// Dependency depth of every subplan: `depths()[i]` is the longest
+    /// child chain below subplan `i` (leaves are 0). A parent is strictly
+    /// deeper than each of its children, so subplans sharing a depth never
+    /// read each other's buffers — the parallel driver relies on this to run
+    /// them concurrently within one scheduling wavefront.
+    pub fn depths(&self) -> Vec<usize> {
+        let mut memo = HashMap::new();
+        (0..self.subplans.len())
+            .map(|i| Self::depth_go(self, SubplanId(i as u32), &mut memo))
+            .collect()
+    }
+
     fn depth_of(&self, id: SubplanId) -> usize {
-        // Longest child chain below; subplan DAGs are tiny, recursion is fine.
-        fn go(plan: &SharedPlan, id: SubplanId, memo: &mut HashMap<SubplanId, usize>) -> usize {
-            if let Some(&d) = memo.get(&id) {
-                return d;
-            }
-            let d = plan.subplans[id.index()]
-                .children()
-                .iter()
-                .map(|&c| go(plan, c, memo) + 1)
-                .max()
-                .unwrap_or(0);
-            memo.insert(id, d);
-            d
+        Self::depth_go(self, id, &mut HashMap::new())
+    }
+
+    // Longest child chain below; subplan DAGs are tiny, recursion is fine.
+    fn depth_go(plan: &SharedPlan, id: SubplanId, memo: &mut HashMap<SubplanId, usize>) -> usize {
+        if let Some(&d) = memo.get(&id) {
+            return d;
         }
-        go(self, id, &mut HashMap::new())
+        let d = plan.subplans[id.index()]
+            .children()
+            .iter()
+            .map(|&c| Self::depth_go(plan, c, memo) + 1)
+            .max()
+            .unwrap_or(0);
+        memo.insert(id, d);
+        d
     }
 
     /// The subplan producing query `q`'s final results.
     pub fn query_root(&self, q: QueryId) -> Option<SubplanId> {
-        self.subplans
-            .iter()
-            .find(|sp| sp.output_queries.contains(q))
-            .map(|sp| sp.id)
+        self.subplans.iter().find(|sp| sp.output_queries.contains(q)).map(|sp| sp.id)
     }
 
     /// All subplans query `q` participates in (the set whose final
     /// executions make up the query's latency).
     pub fn subplans_of_query(&self, q: QueryId) -> Vec<SubplanId> {
-        self.subplans
-            .iter()
-            .filter(|sp| sp.queries.contains(q))
-            .map(|sp| sp.id)
-            .collect()
+        self.subplans.iter().filter(|sp| sp.queries.contains(q)).map(|sp| sp.id).collect()
     }
 
     /// Output schema of every subplan (children-first evaluation).
@@ -670,19 +660,13 @@ mod tests {
         let mut c = Catalog::new();
         c.add_table(
             "t",
-            Schema::new(vec![
-                Field::new("k", DataType::Int),
-                Field::new("v", DataType::Float),
-            ]),
+            Schema::new(vec![Field::new("k", DataType::Int), Field::new("v", DataType::Float)]),
             TableStats::unknown(100.0, 2),
         )
         .unwrap();
         c.add_table(
             "u",
-            Schema::new(vec![
-                Field::new("k", DataType::Int),
-                Field::new("w", DataType::Float),
-            ]),
+            Schema::new(vec![Field::new("k", DataType::Int), Field::new("w", DataType::Float)]),
             TableStats::unknown(50.0, 2),
         )
         .unwrap();
@@ -783,8 +767,7 @@ mod tests {
     fn extra_cut_at_aggregates() {
         let c = catalog();
         let dag = fig2_dag(&c);
-        let plan =
-            SharedPlan::from_dag(&dag, |n| matches!(n.op, DagOp::Aggregate { .. })).unwrap();
+        let plan = SharedPlan::from_dag(&dag, |n| matches!(n.op, DagOp::Aggregate { .. })).unwrap();
         plan.validate(&c).unwrap();
         // The second aggregate (Q1's root) is already a cut; the first
         // aggregate is cut anyway (multi-parent). Same subplan count but the
@@ -844,9 +827,8 @@ mod tests {
         assert_eq!(shared.subtree_at(&[0]).unwrap().op.label(), "select");
         assert_eq!(shared.subtree_at(&[0, 0]).unwrap().op.label(), "input");
         assert!(shared.subtree_at(&[0, 0, 0]).is_none());
-        let replaced = shared
-            .replace_at(&[0, 0], OpTree::input(InputSource::Subplan(SubplanId(9))))
-            .unwrap();
+        let replaced =
+            shared.replace_at(&[0, 0], OpTree::input(InputSource::Subplan(SubplanId(9)))).unwrap();
         assert_eq!(replaced.referenced_subplans(), vec![SubplanId(9)]);
         assert!(shared.replace_at(&[5], OpTree::input(InputSource::Base(TableId(0)))).is_err());
         let remapped = replaced.remap_subplan_inputs(&|_| SubplanId(2));
@@ -861,9 +843,7 @@ mod tests {
         plan.subplans[0].queries = qs(&[0]);
         // Also fix branches to keep the select-partition check from firing
         // first.
-        if let TreeOp::Select { branches } =
-            &mut plan.subplans[0].root.inputs[0].op
-        {
+        if let TreeOp::Select { branches } = &mut plan.subplans[0].root.inputs[0].op {
             branches.retain(|b| b.queries == qs(&[0]));
         }
         assert!(plan.validate(&c).is_err());

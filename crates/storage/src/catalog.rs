@@ -107,17 +107,13 @@ impl Catalog {
 
     /// Look up by id.
     pub fn table(&self, id: TableId) -> Result<&TableDef> {
-        self.tables
-            .get(id.0 as usize)
-            .ok_or_else(|| Error::NotFound(format!("table {id}")))
+        self.tables.get(id.0 as usize).ok_or_else(|| Error::NotFound(format!("table {id}")))
     }
 
     /// Look up by name.
     pub fn table_by_name(&self, name: &str) -> Result<&TableDef> {
-        let id = self
-            .by_name
-            .get(name)
-            .ok_or_else(|| Error::NotFound(format!("table `{name}`")))?;
+        let id =
+            self.by_name.get(name).ok_or_else(|| Error::NotFound(format!("table `{name}`")))?;
         self.table(*id)
     }
 

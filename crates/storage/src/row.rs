@@ -202,10 +202,7 @@ mod tests {
     fn consolidation_respects_masks() {
         let m0 = QuerySet::single(QueryId(0));
         let m1 = QuerySet::single(QueryId(1));
-        let c = consolidate(vec![
-            DeltaRow::insert(row(&[1]), m0),
-            DeltaRow::insert(row(&[1]), m1),
-        ]);
+        let c = consolidate(vec![DeltaRow::insert(row(&[1]), m0), DeltaRow::insert(row(&[1]), m1)]);
         // Same row under different masks stays distinct.
         assert_eq!(c.len(), 2);
     }

@@ -132,10 +132,7 @@ mod tests {
 
     #[test]
     fn display() {
-        assert_eq!(
-            abc().to_string(),
-            "(a: int, b: str, c: float)"
-        );
+        assert_eq!(abc().to_string(), "(a: int, b: str, c: float)");
         assert_eq!(Schema::empty().to_string(), "()");
     }
 }

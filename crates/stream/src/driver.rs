@@ -1,11 +1,17 @@
-//! The paced execution driver.
+//! The paced execution driver (sequential reference implementation).
+//!
+//! [`execute_planned`] / [`execute_planned_deltas`] run every scheduled tick
+//! on the calling thread, in global schedule order. This path is the
+//! correctness oracle: the parallel driver in [`crate::parallel`] must
+//! produce bit-identical work totals and results for any thread count.
 
+use crate::schedule::{build_schedule, Tick};
 use ishare_common::{
-    CostWeights, Error, QueryId, Result, SubplanId, TableId, WorkCounter, WorkUnits,
+    CostWeights, Error, QueryId, QuerySet, Result, TableId, WorkCounter, WorkUnits,
 };
 use ishare_exec::{query_result, QueryResult, SubplanExecutor};
 use ishare_plan::{InputSource, SharedPlan};
-use ishare_storage::{Catalog, DeltaBuffer, DeltaRow, Row};
+use ishare_storage::{Catalog, ConsumerId, DeltaBuffer, DeltaRow, Row};
 use std::collections::{BTreeMap, HashMap};
 use std::time::{Duration, Instant};
 
@@ -14,8 +20,9 @@ use std::time::{Duration, Instant};
 pub struct RunResult {
     /// Measured total work: Σ work of all incremental executions.
     pub total_work: WorkUnits,
-    /// Wall-clock spent inside executions (the paper's "total execution
-    /// time" — single-threaded here, so it is also CPU time).
+    /// Wall-clock spent inside executions, summed over all of them (the
+    /// paper's "total execution time"; equals CPU time on the sequential
+    /// driver, and aggregate across-worker CPU time on the parallel one).
     pub total_wall: Duration,
     /// Per query: measured final work (Σ work of the final executions of
     /// the query's subplans).
@@ -27,26 +34,105 @@ pub struct RunResult {
     pub results: BTreeMap<QueryId, QueryResult>,
     /// Number of incremental executions performed.
     pub executions: usize,
+    /// End-to-end wall clock of the whole run — setup, feeding, execution,
+    /// and result extraction. Unlike `total_wall` this does not double-count
+    /// concurrent work, so it is the number to compare across thread counts.
+    pub elapsed: Duration,
 }
 
-/// One scheduled incremental execution: subplan `sp` runs when `num/den` of
-/// the trigger's data has arrived.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct Tick {
+/// Everything a driver needs to run a schedule: buffers, executors, and the
+/// consumer registrations wiring them together.
+pub(crate) struct EngineState {
+    pub(crate) base_buffers: HashMap<TableId, DeltaBuffer>,
+    /// `base_fed[t]` = rows of table `t`'s feed already pushed.
+    pub(crate) base_fed: HashMap<TableId, usize>,
+    pub(crate) sp_buffers: Vec<DeltaBuffer>,
+    pub(crate) executors: Vec<SubplanExecutor>,
+    /// Per subplan: `(leaf path, source, consumer)` for each leaf input.
+    pub(crate) leaf_consumers: Vec<Vec<(Vec<usize>, InputSource, ConsumerId)>>,
+}
+
+/// Build executors, buffers, and consumer registrations for `plan`.
+pub(crate) fn setup_engine(
+    plan: &SharedPlan,
+    catalog: &Catalog,
+    weights: CostWeights,
+) -> Result<EngineState> {
+    let schemas = plan.schemas(catalog)?;
+    let mut base_buffers: HashMap<TableId, DeltaBuffer> = HashMap::new();
+    let mut sp_buffers: Vec<DeltaBuffer> = (0..plan.len()).map(|_| DeltaBuffer::new()).collect();
+    let mut executors: Vec<SubplanExecutor> = Vec::with_capacity(plan.len());
+    let mut leaf_consumers: Vec<Vec<(Vec<usize>, InputSource, ConsumerId)>> =
+        Vec::with_capacity(plan.len());
+    for sp in &plan.subplans {
+        let ex = SubplanExecutor::new(sp, catalog, &schemas, weights)?;
+        let mut regs = Vec::new();
+        for (path, src) in ex.leaf_paths() {
+            let consumer = match src {
+                InputSource::Base(t) => {
+                    catalog.table(t)?; // existence check
+                    base_buffers.entry(t).or_default().register_consumer()
+                }
+                InputSource::Subplan(c) => sp_buffers[c.index()].register_consumer(),
+            };
+            regs.push((path, src, consumer));
+        }
+        executors.push(ex);
+        leaf_consumers.push(regs);
+    }
+    let base_fed = base_buffers.keys().map(|t| (*t, 0)).collect();
+    Ok(EngineState { base_buffers, base_fed, sp_buffers, executors, leaf_consumers })
+}
+
+/// Push every base feed forward to arrival fraction `num/den`, handing each
+/// new delta row to `push`. Tables are independent buffers, so the iteration
+/// order over them does not affect any downstream state.
+pub(crate) fn feed_fraction(
+    data: &HashMap<TableId, Vec<(Row, i64)>>,
     num: u32,
     den: u32,
-    topo_rank: usize,
-    sp: SubplanId,
-    is_final: bool,
+    all_queries: QuerySet,
+    base_fed: &mut HashMap<TableId, usize>,
+    mut push: impl FnMut(TableId, DeltaRow),
+) {
+    let tables: Vec<TableId> = base_fed.keys().copied().collect();
+    for t in tables {
+        let rows = data.get(&t).map(|v| v.as_slice()).unwrap_or(&[]);
+        let n = rows.len() as u64;
+        let arrived = ((num as u64 * n) / den as u64) as usize;
+        let fed = base_fed[&t];
+        if arrived > fed {
+            for (row, weight) in &rows[fed..arrived] {
+                push(t, DeltaRow { row: row.clone(), weight: *weight, mask: all_queries });
+            }
+            base_fed.insert(t, arrived);
+        }
+    }
 }
 
-impl Tick {
-    fn frac_cmp(&self, other: &Tick) -> std::cmp::Ordering {
-        // i/k vs j/m  ⇔  i·m vs j·k (exact, no float).
-        let a = self.num as u64 * other.den as u64;
-        let b = other.num as u64 * self.den as u64;
-        a.cmp(&b)
+/// Fold per-subplan final-tick measurements and root buffers into the
+/// per-query views of a [`RunResult`].
+#[allow(clippy::type_complexity)]
+pub(crate) fn per_query_views(
+    plan: &SharedPlan,
+    all_queries: QuerySet,
+    final_sp_work: &[f64],
+    final_sp_wall: &[Duration],
+    sp_buffers: &[DeltaBuffer],
+) -> Result<(BTreeMap<QueryId, f64>, BTreeMap<QueryId, Duration>, BTreeMap<QueryId, QueryResult>)> {
+    let mut final_work = BTreeMap::new();
+    let mut latency = BTreeMap::new();
+    let mut results = BTreeMap::new();
+    for q in all_queries.iter() {
+        let subplans = plan.subplans_of_query(q);
+        final_work.insert(q, subplans.iter().map(|id| final_sp_work[id.index()]).sum());
+        latency.insert(q, subplans.iter().map(|id| final_sp_wall[id.index()]).sum());
+        let root = plan
+            .query_root(q)
+            .ok_or_else(|| Error::InvalidPlan(format!("query {q} has no output subplan")))?;
+        results.insert(q, query_result(sp_buffers[root.index()].all_rows(), q));
     }
+    Ok((final_work, latency, results))
 }
 
 /// Execute `plan` at `paces` over insert-only `data` (each base relation's
@@ -59,11 +145,13 @@ pub fn execute_planned(
     data: &HashMap<TableId, Vec<Row>>,
     weights: CostWeights,
 ) -> Result<RunResult> {
-    let feeds: HashMap<TableId, Vec<(Row, i64)>> = data
-        .iter()
-        .map(|(t, rows)| (*t, rows.iter().map(|r| (r.clone(), 1i64)).collect()))
-        .collect();
+    let feeds = insert_feeds(data);
     execute_planned_deltas(plan, paces, catalog, &feeds, weights)
+}
+
+/// Wrap insert-only rows as weight-`+1` delta feeds.
+pub(crate) fn insert_feeds(data: &HashMap<TableId, Vec<Row>>) -> HashMap<TableId, Vec<(Row, i64)>> {
+    data.iter().map(|(t, rows)| (*t, rows.iter().map(|r| (r.clone(), 1i64)).collect())).collect()
 }
 
 /// Execute `plan` at `paces` over weighted delta feeds, with deltas arriving
@@ -82,63 +170,16 @@ pub fn execute_planned_deltas(
     data: &HashMap<TableId, Vec<(Row, i64)>>,
     weights: CostWeights,
 ) -> Result<RunResult> {
-    if paces.len() != plan.len() {
-        return Err(Error::InvalidConfig(format!(
-            "{} paces for {} subplans",
-            paces.len(),
-            plan.len()
-        )));
-    }
-    let schemas = plan.schemas(catalog)?;
-    let topo = plan.topo_order()?;
-    let topo_rank: HashMap<SubplanId, usize> =
-        topo.iter().enumerate().map(|(i, id)| (*id, i)).collect();
+    let run_started = Instant::now();
+    let tick_list = build_schedule(plan, paces)?;
     let all_queries = plan.queries();
-
-    // Buffers: one per base table, one per subplan output.
-    let mut base_buffers: HashMap<TableId, DeltaBuffer> = HashMap::new();
-    let mut base_fed: HashMap<TableId, usize> = HashMap::new();
-    let mut sp_buffers: Vec<DeltaBuffer> = (0..plan.len()).map(|_| DeltaBuffer::new()).collect();
-
-    // Executors + consumer registrations per leaf.
-    let mut executors: Vec<SubplanExecutor> = Vec::with_capacity(plan.len());
-    let mut leaf_consumers: Vec<Vec<(Vec<usize>, InputSource, ishare_storage::ConsumerId)>> =
-        Vec::with_capacity(plan.len());
-    for sp in &plan.subplans {
-        let ex = SubplanExecutor::new(sp, catalog, &schemas, weights)?;
-        let mut regs = Vec::new();
-        for (path, src) in ex.leaf_paths() {
-            let consumer = match src {
-                InputSource::Base(t) => {
-                    catalog.table(t)?; // existence check
-                    base_buffers.entry(t).or_default().register_consumer()
-                }
-                InputSource::Subplan(c) => sp_buffers[c.index()].register_consumer(),
-            };
-            regs.push((path, src, consumer));
-        }
-        executors.push(ex);
-        leaf_consumers.push(regs);
-    }
-    for t in base_buffers.keys() {
-        base_fed.insert(*t, 0);
-    }
-
-    // Build the global tick schedule.
-    let mut ticks: Vec<Tick> = Vec::new();
-    for sp in &plan.subplans {
-        let k = paces[sp.id.index()];
-        for i in 1..=k {
-            ticks.push(Tick {
-                num: i,
-                den: k,
-                topo_rank: topo_rank[&sp.id],
-                sp: sp.id,
-                is_final: i == k,
-            });
-        }
-    }
-    ticks.sort_by(|a, b| a.frac_cmp(b).then(a.topo_rank.cmp(&b.topo_rank)));
+    let EngineState {
+        mut base_buffers,
+        mut base_fed,
+        mut sp_buffers,
+        mut executors,
+        leaf_consumers,
+    } = setup_engine(plan, catalog, weights)?;
 
     // Run.
     let mut total_work = WorkUnits::ZERO;
@@ -147,43 +188,21 @@ pub fn execute_planned_deltas(
     let mut final_sp_wall: Vec<Duration> = vec![Duration::ZERO; plan.len()];
     let mut executions = 0usize;
 
-    let tick_list = ticks;
     for tick in &tick_list {
         // 1. Feed base buffers up to this tick's arrival fraction.
-        let tables: Vec<TableId> = base_fed.keys().copied().collect();
-        for t in tables {
-            let rows = data.get(&t).map(|v| v.as_slice()).unwrap_or(&[]);
-            let n = rows.len() as u64;
-            let arrived = ((tick.num as u64 * n) / tick.den as u64) as usize;
-            let fed = base_fed[&t];
-            if arrived > fed {
-                let buf = base_buffers.get_mut(&t).expect("registered table");
-                for (row, weight) in &rows[fed..arrived] {
-                    buf.push(DeltaRow { row: row.clone(), weight: *weight, mask: all_queries });
-                }
-                base_fed.insert(t, arrived);
-            }
-        }
+        feed_fraction(data, tick.num, tick.den, all_queries, &mut base_fed, |t, dr| {
+            base_buffers.get_mut(&t).expect("registered table").push(dr)
+        });
         // 2. Execute the subplan.
         let i = tick.sp.index();
-        let counter = WorkCounter::new();
-        let started = Instant::now();
-        let mut inputs = HashMap::new();
-        for (path, src, consumer) in &leaf_consumers[i] {
-            let batch = match src {
-                InputSource::Base(t) => base_buffers
-                    .get_mut(t)
-                    .expect("registered table")
-                    .pull(*consumer)?,
-                InputSource::Subplan(c) => sp_buffers[c.index()].pull(*consumer)?,
-            };
-            inputs.insert(path.clone(), batch);
-        }
-        let out = executors[i].execute(&mut inputs, &counter)?;
-        counter.charge(weights.materialize, out.len());
-        sp_buffers[i].append(&out);
-        let wall = started.elapsed();
-        let work = counter.total();
+        let (work, wall) = run_tick(
+            tick,
+            &mut base_buffers,
+            &mut sp_buffers,
+            &mut executors,
+            &leaf_consumers,
+            &weights,
+        )?;
         total_work += work;
         total_wall += wall;
         executions += 1;
@@ -193,23 +212,8 @@ pub fn execute_planned_deltas(
         }
     }
 
-    // Aggregate per-query measurements and extract results.
-    let mut final_work = BTreeMap::new();
-    let mut latency = BTreeMap::new();
-    let mut results = BTreeMap::new();
-    for q in all_queries.iter() {
-        let subplans = plan.subplans_of_query(q);
-        final_work.insert(q, subplans.iter().map(|id| final_sp_work[id.index()]).sum());
-        latency.insert(
-            q,
-            subplans.iter().map(|id| final_sp_wall[id.index()]).sum(),
-        );
-        let root = plan
-            .query_root(q)
-            .ok_or_else(|| Error::InvalidPlan(format!("query {q} has no output subplan")))?;
-        results.insert(q, query_result(sp_buffers[root.index()].all_rows(), q));
-    }
-
+    let (final_work, latency, results) =
+        per_query_views(plan, all_queries, &final_sp_work, &final_sp_wall, &sp_buffers)?;
     Ok(RunResult {
         total_work,
         total_wall,
@@ -217,7 +221,37 @@ pub fn execute_planned_deltas(
         latency,
         results,
         executions,
+        elapsed: run_started.elapsed(),
     })
+}
+
+/// One incremental execution: pull every leaf delta, run the subplan,
+/// materialize the output. Returns the tick's (work, wall).
+fn run_tick(
+    tick: &Tick,
+    base_buffers: &mut HashMap<TableId, DeltaBuffer>,
+    sp_buffers: &mut [DeltaBuffer],
+    executors: &mut [SubplanExecutor],
+    leaf_consumers: &[Vec<(Vec<usize>, InputSource, ConsumerId)>],
+    weights: &CostWeights,
+) -> Result<(WorkUnits, Duration)> {
+    let i = tick.sp.index();
+    let counter = WorkCounter::new();
+    let started = Instant::now();
+    let mut inputs = HashMap::new();
+    for (path, src, consumer) in &leaf_consumers[i] {
+        let batch = match src {
+            InputSource::Base(t) => {
+                base_buffers.get_mut(t).expect("registered table").pull(*consumer)?
+            }
+            InputSource::Subplan(c) => sp_buffers[c.index()].pull(*consumer)?,
+        };
+        inputs.insert(path.clone(), batch);
+    }
+    let out = executors[i].execute(&mut inputs, &counter)?;
+    counter.charge(weights.materialize, out.len());
+    sp_buffers[i].append(&out);
+    Ok((counter.total(), started.elapsed()))
 }
 
 #[cfg(test)]
@@ -237,10 +271,7 @@ mod tests {
         let mut c = Catalog::new();
         c.add_table(
             "t",
-            Schema::new(vec![
-                Field::new("k", DataType::Int),
-                Field::new("v", DataType::Int),
-            ]),
+            Schema::new(vec![Field::new("k", DataType::Int), Field::new("v", DataType::Int)]),
             TableStats {
                 row_count: 200.0,
                 columns: vec![ColumnStats::ndv(10.0), ColumnStats::ndv(100.0)],
@@ -252,9 +283,8 @@ mod tests {
 
     fn data(c: &Catalog, n: i64) -> HashMap<TableId, Vec<Row>> {
         let t = c.table_by_name("t").unwrap().id;
-        let rows = (0..n)
-            .map(|i| Row::new(vec![Value::Int(i % 10), Value::Int(i * 7 % 100)]))
-            .collect();
+        let rows =
+            (0..n).map(|i| Row::new(vec![Value::Int(i % 10), Value::Int(i * 7 % 100)])).collect();
         [(t, rows)].into_iter().collect()
     }
 
@@ -341,6 +371,7 @@ mod tests {
         assert_eq!(run.results[&QueryId(1)], expected[1]);
         assert_eq!(run.executions, 3);
         assert!(run.total_work.get() > 0.0);
+        assert!(run.elapsed >= run.total_wall);
     }
 
     #[test]
@@ -350,8 +381,7 @@ mod tests {
         let d = data(&c, 200);
         let expected = reference(&c, &d);
         for paces in [[1u32, 1, 1], [5, 1, 1], [10, 10, 10], [7, 3, 2]] {
-            let run =
-                execute_planned(&plan, &paces, &c, &d, CostWeights::default()).unwrap();
+            let run = execute_planned(&plan, &paces, &c, &d, CostWeights::default()).unwrap();
             assert_eq!(run.results[&QueryId(0)], expected[0], "paces {paces:?}");
             assert_eq!(run.results[&QueryId(1)], expected[1], "paces {paces:?}");
         }
@@ -363,8 +393,7 @@ mod tests {
         let plan = shared_plan(&c);
         let d = data(&c, 200);
         let lazy = execute_planned(&plan, &[1, 1, 1], &c, &d, CostWeights::default()).unwrap();
-        let eager =
-            execute_planned(&plan, &[20, 20, 20], &c, &d, CostWeights::default()).unwrap();
+        let eager = execute_planned(&plan, &[20, 20, 20], &c, &d, CostWeights::default()).unwrap();
         assert!(eager.total_work.get() > lazy.total_work.get());
         for q in [QueryId(0), QueryId(1)] {
             assert!(
@@ -389,14 +418,8 @@ mod tests {
     fn missing_table_data_is_empty_results() {
         let c = catalog();
         let plan = shared_plan(&c);
-        let run = execute_planned(
-            &plan,
-            &[2, 1, 1],
-            &c,
-            &HashMap::new(),
-            CostWeights::default(),
-        )
-        .unwrap();
+        let run = execute_planned(&plan, &[2, 1, 1], &c, &HashMap::new(), CostWeights::default())
+            .unwrap();
         assert!(run.results[&QueryId(0)].is_empty());
         assert!(run.results[&QueryId(1)].is_empty());
     }
@@ -416,15 +439,11 @@ mod tests {
         ];
         let feeds: HashMap<TableId, Vec<(Row, i64)>> = [(t, feed)].into_iter().collect();
         for paces in [[1u32, 1, 1], [4, 2, 1]] {
-            let run = execute_planned_deltas(&plan, &paces, &c, &feeds, CostWeights::default())
-                .unwrap();
+            let run =
+                execute_planned_deltas(&plan, &paces, &c, &feeds, CostWeights::default()).unwrap();
             // Q0 = sum(v) by k over all rows: k=1 → 30, k=2 → 5.
             let r0 = &run.results[&QueryId(0)];
-            assert_eq!(
-                r0[&Row::new(vec![Value::Int(1), Value::Int(30)])],
-                1,
-                "paces {paces:?}"
-            );
+            assert_eq!(r0[&Row::new(vec![Value::Int(1), Value::Int(30)])], 1, "paces {paces:?}");
             assert_eq!(r0[&Row::new(vec![Value::Int(2), Value::Int(5)])], 1);
             assert_eq!(r0.len(), 2);
         }

@@ -18,12 +18,22 @@
 //!   final executions — the latency proxy of Sec. 2.1), wall-clock
 //!   equivalents, and the final query results.
 //!
+//! Two drivers share that contract: the sequential reference driver
+//! ([`execute_planned`] / [`execute_planned_deltas`]) and the multi-threaded
+//! driver ([`execute_planned_parallel`] /
+//! [`execute_planned_deltas_parallel`]), which runs independent subplans of
+//! a scheduling wavefront concurrently while staying bit-identical to the
+//! sequential driver in every measured work number (see [`parallel`]).
+//!
 //! [`SharedPlan`]: ishare_plan::SharedPlan
 
 #![warn(missing_docs)]
 
 pub mod driver;
 pub mod measure;
+pub mod parallel;
+pub mod schedule;
 
 pub use driver::{execute_planned, execute_planned_deltas, RunResult};
 pub use measure::{missed_latency_stats, MissedLatencyStats};
+pub use parallel::{execute_planned_deltas_parallel, execute_planned_parallel};

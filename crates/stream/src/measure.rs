@@ -114,12 +114,10 @@ mod extra_tests {
     #[test]
     fn negative_miss_clamped() {
         // Beating the goal is a zero miss, not a negative one.
-        let goals: BTreeMap<QueryId, f64> = [(QueryId(0), 100.0), (QueryId(1), 100.0)]
-            .into_iter()
-            .collect();
-        let tested: BTreeMap<QueryId, f64> = [(QueryId(0), 10.0), (QueryId(1), 110.0)]
-            .into_iter()
-            .collect();
+        let goals: BTreeMap<QueryId, f64> =
+            [(QueryId(0), 100.0), (QueryId(1), 100.0)].into_iter().collect();
+        let tested: BTreeMap<QueryId, f64> =
+            [(QueryId(0), 10.0), (QueryId(1), 110.0)].into_iter().collect();
         let s = missed_latency_stats(&goals, &tested);
         assert_eq!(s.mean_abs, 5.0, "only q1's 10 counts, averaged over 2");
         assert_eq!(s.max_pct, 10.0);

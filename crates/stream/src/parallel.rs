@@ -1,0 +1,365 @@
+//! Multi-threaded paced execution driver.
+//!
+//! The sequential driver has a lot of *time slackness* of its own: within
+//! one arrival fraction, subplans that do not read each other's buffers are
+//! fully independent, yet run one after another. This driver exploits that
+//! by grouping the global tick schedule into wavefronts (equal arrival
+//! fraction) and, inside each wavefront, into dependency-depth levels
+//! ([`crate::schedule`]); ticks within one level execute concurrently on a
+//! fixed-size worker pool of scoped threads.
+//!
+//! # Determinism
+//!
+//! The parallel driver is *bit-identical* to the sequential driver for any
+//! thread count:
+//!
+//! - Ticks only run concurrently when their subplans share a dependency
+//!   depth, and a parent is strictly deeper than each of its children — so
+//!   no concurrently running tick ever reads a buffer another one writes.
+//!   Each tick therefore consumes exactly the deltas it would have seen
+//!   sequentially, and produces exactly the same output batch.
+//! - Each tick's work is tallied on a tick-local [`WorkCounter`]; the
+//!   per-tick `(work, wall)` records are folded into run totals in global
+//!   schedule order *after* the threads join, so floating-point summation
+//!   order — and hence every `f64` in the [`RunResult`] — matches the
+//!   sequential driver exactly. Only the wall-clock fields vary run to run.
+//! - Errors are reported for the earliest failing tick in schedule order,
+//!   regardless of which worker hit one first.
+//!
+//! Base relations are fed once per wavefront rather than once per tick;
+//! ticks in a wavefront share one arrival fraction, so the extra feeds the
+//! sequential driver performs within a front are no-ops anyway.
+
+use crate::driver::{
+    feed_fraction, insert_feeds, per_query_views, setup_engine, EngineState, RunResult,
+};
+use crate::schedule::{build_schedule, depth_levels, wavefronts, Tick};
+use ishare_common::{CostWeights, Error, Result, TableId, WorkCounter, WorkUnits};
+use ishare_exec::SubplanExecutor;
+use ishare_plan::{InputSource, SharedPlan};
+use ishare_storage::{Catalog, ConsumerId, DeltaBuffer, Row};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Parallel [`crate::execute_planned`]: insert-only rows, `threads` workers.
+pub fn execute_planned_parallel(
+    plan: &SharedPlan,
+    paces: &[u32],
+    catalog: &Catalog,
+    data: &HashMap<TableId, Vec<Row>>,
+    weights: CostWeights,
+    threads: usize,
+) -> Result<RunResult> {
+    let feeds = insert_feeds(data);
+    execute_planned_deltas_parallel(plan, paces, catalog, &feeds, weights, threads)
+}
+
+/// Parallel [`crate::execute_planned_deltas`]: weighted delta feeds,
+/// `threads` workers. Produces work totals and results bit-identical to the
+/// sequential driver for any `threads ≥ 1`; `threads == 0` is rejected.
+pub fn execute_planned_deltas_parallel(
+    plan: &SharedPlan,
+    paces: &[u32],
+    catalog: &Catalog,
+    data: &HashMap<TableId, Vec<(Row, i64)>>,
+    weights: CostWeights,
+    threads: usize,
+) -> Result<RunResult> {
+    if threads == 0 {
+        return Err(Error::InvalidConfig("thread count must be at least 1".into()));
+    }
+    let run_started = Instant::now();
+    let schedule = build_schedule(plan, paces)?;
+    let all_queries = plan.queries();
+    let depths = plan.depths();
+    let EngineState { base_buffers, mut base_fed, sp_buffers, executors, leaf_consumers } =
+        setup_engine(plan, catalog, weights)?;
+    // Shared-state wrappers. Plain `Mutex` (not `RwLock`): every buffer
+    // access — even a read — advances a consumer cursor via `pull(&mut)`.
+    let mut base_buffers: HashMap<TableId, Mutex<DeltaBuffer>> =
+        base_buffers.into_iter().map(|(t, b)| (t, Mutex::new(b))).collect();
+    let sp_buffers: Vec<Mutex<DeltaBuffer>> = sp_buffers.into_iter().map(Mutex::new).collect();
+    let executors: Vec<Mutex<SubplanExecutor>> = executors.into_iter().map(Mutex::new).collect();
+
+    // Per-tick measurements, indexed by global schedule position and folded
+    // in that order below — the linchpin of the bit-identical guarantee.
+    let mut recs: Vec<Option<(WorkUnits, Duration)>> = vec![None; schedule.len()];
+
+    for front in wavefronts(&schedule) {
+        // Feed every base to this front's arrival fraction (single-threaded
+        // between levels, hence `get_mut` instead of locking).
+        let head = schedule[front.start];
+        feed_fraction(data, head.num, head.den, all_queries, &mut base_fed, |t, dr| {
+            base_buffers
+                .get_mut(&t)
+                .expect("registered table")
+                .get_mut()
+                .expect("buffer lock poisoned")
+                .push(dr)
+        });
+        for level in depth_levels(&schedule[front.clone()], &depths) {
+            let ticks: Vec<usize> = level.map(|o| front.start + o).collect();
+            if threads == 1 || ticks.len() == 1 {
+                for &g in &ticks {
+                    recs[g] = Some(run_tick(
+                        &schedule[g],
+                        &base_buffers,
+                        &sp_buffers,
+                        &executors,
+                        &leaf_consumers,
+                        &weights,
+                    )?);
+                }
+            } else {
+                // Work-stealing over the level: workers grab the next tick
+                // index until the level is drained.
+                let next = AtomicUsize::new(0);
+                let workers = threads.min(ticks.len());
+                let mut outcomes: Vec<(usize, Result<(WorkUnits, Duration)>)> =
+                    std::thread::scope(|s| {
+                        let handles: Vec<_> = (0..workers)
+                            .map(|_| {
+                                s.spawn(|| {
+                                    let mut done = Vec::new();
+                                    loop {
+                                        let j = next.fetch_add(1, Ordering::Relaxed);
+                                        let Some(&g) = ticks.get(j) else { break };
+                                        done.push((
+                                            g,
+                                            run_tick(
+                                                &schedule[g],
+                                                &base_buffers,
+                                                &sp_buffers,
+                                                &executors,
+                                                &leaf_consumers,
+                                                &weights,
+                                            ),
+                                        ));
+                                    }
+                                    done
+                                })
+                            })
+                            .collect();
+                        handles
+                            .into_iter()
+                            .flat_map(|h| h.join().expect("worker thread panicked"))
+                            .collect()
+                    });
+                // Surface the earliest failing tick in schedule order, as
+                // the sequential driver would.
+                outcomes.sort_by_key(|(g, _)| *g);
+                for (g, outcome) in outcomes {
+                    recs[g] = Some(outcome?);
+                }
+            }
+        }
+    }
+
+    // Fold per-tick records in global schedule order.
+    let mut total_work = WorkUnits::ZERO;
+    let mut total_wall = Duration::ZERO;
+    let mut final_sp_work: Vec<f64> = vec![0.0; plan.len()];
+    let mut final_sp_wall: Vec<Duration> = vec![Duration::ZERO; plan.len()];
+    let mut executions = 0usize;
+    for (tick, rec) in schedule.iter().zip(&recs) {
+        let (work, wall) = rec.expect("every scheduled tick ran");
+        total_work += work;
+        total_wall += wall;
+        executions += 1;
+        if tick.is_final {
+            final_sp_work[tick.sp.index()] = work.get();
+            final_sp_wall[tick.sp.index()] = wall;
+        }
+    }
+
+    let sp_buffers: Vec<DeltaBuffer> =
+        sp_buffers.into_iter().map(|m| m.into_inner().expect("buffer lock poisoned")).collect();
+    let (final_work, latency, results) =
+        per_query_views(plan, all_queries, &final_sp_work, &final_sp_wall, &sp_buffers)?;
+    Ok(RunResult {
+        total_work,
+        total_wall,
+        final_work,
+        latency,
+        results,
+        executions,
+        elapsed: run_started.elapsed(),
+    })
+}
+
+/// One incremental execution against the lock-wrapped engine state. Locks
+/// are taken one at a time and never nested, so workers cannot deadlock;
+/// within a level no two ticks touch the same executor or write the same
+/// buffer, so contention is limited to sibling pulls of a shared child.
+fn run_tick(
+    tick: &Tick,
+    base_buffers: &HashMap<TableId, Mutex<DeltaBuffer>>,
+    sp_buffers: &[Mutex<DeltaBuffer>],
+    executors: &[Mutex<SubplanExecutor>],
+    leaf_consumers: &[Vec<(Vec<usize>, InputSource, ConsumerId)>],
+    weights: &CostWeights,
+) -> Result<(WorkUnits, Duration)> {
+    let i = tick.sp.index();
+    let counter = WorkCounter::new();
+    let started = Instant::now();
+    let mut inputs = HashMap::new();
+    for (path, src, consumer) in &leaf_consumers[i] {
+        let batch = match src {
+            InputSource::Base(t) => base_buffers
+                .get(t)
+                .expect("registered table")
+                .lock()
+                .expect("buffer lock poisoned")
+                .pull(*consumer)?,
+            InputSource::Subplan(c) => {
+                sp_buffers[c.index()].lock().expect("buffer lock poisoned").pull(*consumer)?
+            }
+        };
+        inputs.insert(path.clone(), batch);
+    }
+    let out =
+        executors[i].lock().expect("executor lock poisoned").execute(&mut inputs, &counter)?;
+    counter.charge(weights.materialize, out.len());
+    sp_buffers[i].lock().expect("buffer lock poisoned").append(&out);
+    Ok((counter.total(), started.elapsed()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::execute_planned_deltas;
+    use ishare_common::{DataType, QueryId, QuerySet, Value};
+    use ishare_expr::Expr;
+    use ishare_plan::{AggExpr, AggFunc, DagOp, SelectBranch, SharedDag};
+    use ishare_storage::{ColumnStats, Field, Schema, TableStats};
+
+    fn qs(ids: &[u16]) -> QuerySet {
+        QuerySet::from_iter(ids.iter().map(|&i| QueryId(i)))
+    }
+
+    /// Catalog with one table and a plan fanning out to `n` independent
+    /// aggregate subplans (one per query) over a shared scan+select trunk.
+    #[allow(clippy::type_complexity)]
+    fn fan_out(n: u16) -> (Catalog, SharedPlan, HashMap<TableId, Vec<(Row, i64)>>) {
+        let mut c = Catalog::new();
+        c.add_table(
+            "t",
+            Schema::new(vec![Field::new("k", DataType::Int), Field::new("v", DataType::Int)]),
+            TableStats {
+                row_count: 120.0,
+                columns: vec![ColumnStats::ndv(12.0), ColumnStats::ndv(100.0)],
+            },
+        )
+        .unwrap();
+        let t = c.table_by_name("t").unwrap().id;
+        let all: Vec<u16> = (0..n).collect();
+        let mut d = SharedDag::new();
+        let scan = d.add_node(DagOp::Scan { table: t }, vec![], qs(&all)).unwrap();
+        for q in 0..n {
+            let sel = d
+                .add_node(
+                    DagOp::Select {
+                        branches: vec![SelectBranch {
+                            queries: qs(&[q]),
+                            predicate: Expr::col(0).lt(Expr::lit(2 + q as i64)),
+                        }],
+                    },
+                    vec![scan],
+                    qs(&[q]),
+                )
+                .unwrap();
+            let agg = d
+                .add_node(
+                    DagOp::Aggregate {
+                        group_by: vec![(Expr::col(0), "k".into())],
+                        aggs: vec![AggExpr::new(AggFunc::Sum, Expr::col(1), "s")],
+                    },
+                    vec![sel],
+                    qs(&[q]),
+                )
+                .unwrap();
+            d.set_query_root(QueryId(q), agg).unwrap();
+        }
+        let plan = SharedPlan::from_dag(&d, |_| false).unwrap();
+        let feed: Vec<(Row, i64)> = (0..120)
+            .map(|i| (Row::new(vec![Value::Int(i % 12), Value::Int(i * 13 % 100)]), 1))
+            .collect();
+        let data = [(t, feed)].into_iter().collect();
+        (c, plan, data)
+    }
+
+    fn assert_bit_identical(a: &RunResult, b: &RunResult, label: &str) {
+        assert_eq!(a.results, b.results, "{label}: results differ");
+        assert_eq!(
+            a.total_work.get().to_bits(),
+            b.total_work.get().to_bits(),
+            "{label}: total_work differs"
+        );
+        assert_eq!(a.final_work, b.final_work, "{label}: final_work differs");
+        for (q, w) in &a.final_work {
+            assert_eq!(
+                w.to_bits(),
+                b.final_work[q].to_bits(),
+                "{label}: final_work bits differ for {q}"
+            );
+        }
+        assert_eq!(a.executions, b.executions, "{label}: executions differ");
+    }
+
+    #[test]
+    fn matches_sequential_across_thread_counts() {
+        let (c, plan, data) = fan_out(6);
+        for paces_seed in [1u32, 3, 5] {
+            let paces: Vec<u32> =
+                (0..plan.len()).map(|i| 1 + (i as u32 + paces_seed) % 5).collect();
+            let seq =
+                execute_planned_deltas(&plan, &paces, &c, &data, CostWeights::default()).unwrap();
+            for threads in [1, 2, 4] {
+                let par = execute_planned_deltas_parallel(
+                    &plan,
+                    &paces,
+                    &c,
+                    &data,
+                    CostWeights::default(),
+                    threads,
+                )
+                .unwrap();
+                assert_bit_identical(&seq, &par, &format!("threads={threads}"));
+            }
+        }
+    }
+
+    #[test]
+    fn deletes_match_sequential() {
+        let (c, plan, mut data) = fan_out(4);
+        // Retract a third of the rows mid-stream.
+        let feed = data.values_mut().next().unwrap();
+        let dels: Vec<(Row, i64)> = feed.iter().step_by(3).map(|(r, _)| (r.clone(), -1)).collect();
+        feed.extend(dels);
+        let paces: Vec<u32> = (0..plan.len()).map(|i| 1 + i as u32 % 4).collect();
+        let seq = execute_planned_deltas(&plan, &paces, &c, &data, CostWeights::default()).unwrap();
+        for threads in [2, 4] {
+            let par = execute_planned_deltas_parallel(
+                &plan,
+                &paces,
+                &c,
+                &data,
+                CostWeights::default(),
+                threads,
+            )
+            .unwrap();
+            assert_bit_identical(&seq, &par, &format!("deletes threads={threads}"));
+        }
+    }
+
+    #[test]
+    fn zero_threads_rejected() {
+        let (c, plan, data) = fan_out(2);
+        let paces = vec![1u32; plan.len()];
+        let err =
+            execute_planned_deltas_parallel(&plan, &paces, &c, &data, CostWeights::default(), 0);
+        assert!(matches!(err, Err(Error::InvalidConfig(_))));
+    }
+}

@@ -1,0 +1,311 @@
+//! Tick scheduling: which subplan runs at which arrival fraction.
+//!
+//! A subplan at pace `k` runs when `1/k, 2/k, …, k/k` of the trigger's data
+//! has arrived (paper Sec. 2.2). The global schedule merges every subplan's
+//! ticks, ordered by arrival fraction and children-first within a shared
+//! fraction (Sec. 5.1: "the child subplans are executed earlier than their
+//! parent subplans").
+//!
+//! On top of the flat schedule this module exposes the two groupings the
+//! parallel driver needs: [`wavefronts`] (maximal runs of equal fraction —
+//! base relations need feeding only once per front) and [`depth_levels`]
+//! (ticks whose subplans share a dependency depth never read each other's
+//! buffers, so one level may execute concurrently).
+
+use ishare_common::{Error, Result, SubplanId};
+use ishare_plan::SharedPlan;
+use std::cmp::Ordering;
+use std::collections::HashMap;
+use std::ops::Range;
+
+/// One scheduled incremental execution: subplan `sp` runs when `num/den` of
+/// the trigger's data has arrived.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tick {
+    /// Numerator of the arrival fraction.
+    pub num: u32,
+    /// Denominator of the arrival fraction (the subplan's pace).
+    pub den: u32,
+    /// Rank in the plan's children-first topological order.
+    pub topo_rank: usize,
+    /// The subplan to execute.
+    pub sp: SubplanId,
+    /// `true` for the subplan's last tick (`num == den`).
+    pub is_final: bool,
+}
+
+impl Tick {
+    /// Compare arrival fractions exactly: `i/k` vs `j/m` ⇔ `i·m` vs `j·k`.
+    /// Cross-multiplication in `u64` is exact and cannot overflow for `u32`
+    /// numerators and denominators.
+    pub fn frac_cmp(&self, other: &Tick) -> Ordering {
+        let a = self.num as u64 * other.den as u64;
+        let b = other.num as u64 * self.den as u64;
+        a.cmp(&b)
+    }
+}
+
+/// Build the global tick schedule for `plan` at `paces`: every subplan's
+/// ticks merged, sorted by arrival fraction with ties broken children-first
+/// (topological rank). Errors when `paces` and the plan disagree on the
+/// number of subplans.
+pub fn build_schedule(plan: &SharedPlan, paces: &[u32]) -> Result<Vec<Tick>> {
+    if paces.len() != plan.len() {
+        return Err(Error::InvalidConfig(format!(
+            "{} paces for {} subplans",
+            paces.len(),
+            plan.len()
+        )));
+    }
+    let topo = plan.topo_order()?;
+    let topo_rank: HashMap<SubplanId, usize> =
+        topo.iter().enumerate().map(|(i, id)| (*id, i)).collect();
+    let mut ticks: Vec<Tick> = Vec::new();
+    for sp in &plan.subplans {
+        let k = paces[sp.id.index()];
+        for i in 1..=k {
+            ticks.push(Tick {
+                num: i,
+                den: k,
+                topo_rank: topo_rank[&sp.id],
+                sp: sp.id,
+                is_final: i == k,
+            });
+        }
+    }
+    ticks.sort_by(|a, b| a.frac_cmp(b).then(a.topo_rank.cmp(&b.topo_rank)));
+    Ok(ticks)
+}
+
+/// Split a schedule into wavefronts: maximal runs of ticks sharing one
+/// arrival fraction, returned as index ranges into the schedule. Every tick
+/// in a wavefront observes the same base-relation prefix.
+pub fn wavefronts(ticks: &[Tick]) -> Vec<Range<usize>> {
+    let mut fronts = Vec::new();
+    let mut start = 0;
+    for i in 1..=ticks.len() {
+        if i == ticks.len() || ticks[i].frac_cmp(&ticks[start]) != Ordering::Equal {
+            fronts.push(start..i);
+            start = i;
+        }
+    }
+    fronts
+}
+
+/// Split one wavefront into depth levels: maximal runs of ticks whose
+/// subplans share a dependency depth (`SharedPlan::depths`), as index ranges
+/// into the front. A parent subplan is strictly deeper than each of its
+/// children, so the ticks within one level are mutually independent; levels
+/// must still run in order.
+///
+/// Relies on the front being sorted by topological rank, which orders
+/// subplans by `(depth, id)` — equal depths are therefore contiguous.
+pub fn depth_levels(front: &[Tick], depths: &[usize]) -> Vec<Range<usize>> {
+    debug_assert!(
+        front.windows(2).all(|w| depths[w[0].sp.index()] <= depths[w[1].sp.index()]),
+        "wavefront not sorted by depth"
+    );
+    let mut levels = Vec::new();
+    let mut start = 0;
+    for i in 1..=front.len() {
+        if i == front.len() || depths[front[i].sp.index()] != depths[front[start].sp.index()] {
+            levels.push(start..i);
+            start = i;
+        }
+    }
+    levels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ishare_common::{DataType, QueryId, QuerySet};
+    use ishare_expr::Expr;
+    use ishare_plan::{AggExpr, AggFunc, DagOp, SelectBranch, SharedDag};
+    use ishare_storage::{Catalog, ColumnStats, Field, Schema, TableStats};
+
+    fn tick(num: u32, den: u32) -> Tick {
+        Tick { num, den, topo_rank: 0, sp: SubplanId(0), is_final: num == den }
+    }
+
+    #[test]
+    fn frac_cmp_equal_at_different_denominators() {
+        assert_eq!(tick(1, 2).frac_cmp(&tick(2, 4)), Ordering::Equal);
+        assert_eq!(tick(3, 6).frac_cmp(&tick(1, 2)), Ordering::Equal);
+        assert_eq!(tick(2, 2).frac_cmp(&tick(7, 7)), Ordering::Equal);
+        assert_eq!(tick(5, 10).frac_cmp(&tick(50, 100)), Ordering::Equal);
+    }
+
+    #[test]
+    fn frac_cmp_orders_fractions() {
+        let fracs = [(1, 5), (1, 3), (2, 5), (1, 2), (2, 3), (3, 4), (1, 1)];
+        for (i, &(an, ad)) in fracs.iter().enumerate() {
+            for (j, &(bn, bd)) in fracs.iter().enumerate() {
+                let got = tick(an, ad).frac_cmp(&tick(bn, bd));
+                assert_eq!(got, i.cmp(&j), "{an}/{ad} vs {bn}/{bd}");
+            }
+        }
+    }
+
+    #[test]
+    fn frac_cmp_max_pace_values_do_not_overflow() {
+        let m = u32::MAX;
+        // (MAX-1)/MAX < 1/1 == MAX/MAX; cross products reach (2^32-1)^2 < 2^64.
+        assert_eq!(tick(m - 1, m).frac_cmp(&tick(1, 1)), Ordering::Less);
+        assert_eq!(tick(m, m).frac_cmp(&tick(1, 1)), Ordering::Equal);
+        assert_eq!(tick(1, 1).frac_cmp(&tick(m - 1, m)), Ordering::Greater);
+        // Adjacent ticks at the largest possible pace stay distinguishable.
+        assert_eq!(tick(1, m).frac_cmp(&tick(2, m)), Ordering::Less);
+        assert_eq!(tick(1, m).frac_cmp(&tick(1, m - 1)), Ordering::Less);
+        assert_eq!(tick(m - 1, m).frac_cmp(&tick(m - 2, m - 1)), Ordering::Greater);
+    }
+
+    fn qs(ids: &[u16]) -> QuerySet {
+        QuerySet::from_iter(ids.iter().map(|&i| QueryId(i)))
+    }
+
+    /// The driver's Fig. 2-style fixture: scan→select→aggregate shared by
+    /// two queries, with one project subplan per query on top.
+    fn fixture() -> (Catalog, SharedPlan) {
+        let mut c = Catalog::new();
+        c.add_table(
+            "t",
+            Schema::new(vec![Field::new("k", DataType::Int), Field::new("v", DataType::Int)]),
+            TableStats {
+                row_count: 200.0,
+                columns: vec![ColumnStats::ndv(10.0), ColumnStats::ndv(100.0)],
+            },
+        )
+        .unwrap();
+        let t = c.table_by_name("t").unwrap().id;
+        let mut d = SharedDag::new();
+        let scan = d.add_node(DagOp::Scan { table: t }, vec![], qs(&[0, 1])).unwrap();
+        let sel = d
+            .add_node(
+                DagOp::Select {
+                    branches: vec![
+                        SelectBranch { queries: qs(&[0]), predicate: Expr::true_lit() },
+                        SelectBranch {
+                            queries: qs(&[1]),
+                            predicate: Expr::col(1).lt(Expr::lit(50i64)),
+                        },
+                    ],
+                },
+                vec![scan],
+                qs(&[0, 1]),
+            )
+            .unwrap();
+        let agg = d
+            .add_node(
+                DagOp::Aggregate {
+                    group_by: vec![(Expr::col(0), "k".into())],
+                    aggs: vec![AggExpr::new(AggFunc::Sum, Expr::col(1), "s")],
+                },
+                vec![sel],
+                qs(&[0, 1]),
+            )
+            .unwrap();
+        let p0 = d
+            .add_node(
+                DagOp::Project {
+                    exprs: vec![(Expr::col(0), "k".into()), (Expr::col(1), "s".into())],
+                },
+                vec![agg],
+                qs(&[0]),
+            )
+            .unwrap();
+        let p1 = d
+            .add_node(
+                DagOp::Project { exprs: vec![(Expr::col(1), "s".into())] },
+                vec![agg],
+                qs(&[1]),
+            )
+            .unwrap();
+        d.set_query_root(QueryId(0), p0).unwrap();
+        d.set_query_root(QueryId(1), p1).unwrap();
+        let plan = ishare_plan::SharedPlan::from_dag(&d, |_| false).unwrap();
+        (c, plan)
+    }
+
+    #[test]
+    fn pace_count_mismatch_rejected() {
+        let (_c, plan) = fixture();
+        assert!(build_schedule(&plan, &[1, 1]).is_err());
+    }
+
+    #[test]
+    fn children_run_before_parents_on_shared_ticks() {
+        let (_c, plan) = fixture();
+        let paces = vec![2u32; plan.len()];
+        let ticks = build_schedule(&plan, &paces).unwrap();
+        assert_eq!(ticks.len(), 2 * plan.len());
+        for front in wavefronts(&ticks) {
+            let front = &ticks[front];
+            // Every subplan ticks exactly once per shared fraction here.
+            assert_eq!(front.len(), plan.len());
+            let pos: HashMap<SubplanId, usize> =
+                front.iter().enumerate().map(|(i, t)| (t.sp, i)).collect();
+            for sp in &plan.subplans {
+                for child in sp.children() {
+                    assert!(
+                        pos[&child] < pos[&sp.id],
+                        "child {child} must run before parent {} in a shared tick",
+                        sp.id
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wavefronts_partition_by_fraction() {
+        let (_c, plan) = fixture();
+        let mut paces = vec![1u32; plan.len()];
+        paces[0] = 4;
+        paces[1] = 2;
+        let ticks = build_schedule(&plan, &paces).unwrap();
+        let fronts = wavefronts(&ticks);
+        // Fractions: 1/4 | 1/2 = 2/4 | 3/4 | 1/1 group (4/4, 2/2, 1/1 …).
+        let sizes: Vec<usize> = fronts.iter().map(|r| r.len()).collect();
+        assert_eq!(sizes, vec![1, 2, 1, plan.len()]);
+        // The ranges tile the schedule in order.
+        let mut covered = 0;
+        for f in &fronts {
+            assert_eq!(f.start, covered);
+            covered = f.end;
+            let head = ticks[f.start];
+            for t in &ticks[f.clone()] {
+                assert_eq!(t.frac_cmp(&head), Ordering::Equal);
+            }
+        }
+        assert_eq!(covered, ticks.len());
+    }
+
+    #[test]
+    fn depth_levels_group_independent_subplans() {
+        let (_c, plan) = fixture();
+        let depths = plan.depths();
+        let ticks = build_schedule(&plan, &vec![1u32; plan.len()]).unwrap();
+        let fronts = wavefronts(&ticks);
+        assert_eq!(fronts.len(), 1);
+        let front = &ticks[fronts[0].clone()];
+        let levels = depth_levels(front, &depths);
+        // The fixture has one trunk subplan and two project subplans reading
+        // it: two levels, the second holding both independent projects.
+        assert_eq!(levels.len(), 2);
+        assert_eq!(front[levels[0].clone()].len(), 1);
+        assert_eq!(front[levels[1].clone()].len(), 2);
+        for level in &levels {
+            let d0 = depths[front[level.start].sp.index()];
+            for t in &front[level.clone()] {
+                assert_eq!(depths[t.sp.index()], d0);
+            }
+        }
+        // Levels never split a parent/child pair into the same level.
+        for sp in &plan.subplans {
+            for child in sp.children() {
+                assert_ne!(depths[sp.id.index()], depths[child.index()]);
+            }
+        }
+    }
+}

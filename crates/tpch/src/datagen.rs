@@ -66,10 +66,7 @@ pub fn generate(scale_factor: f64, seed: u64) -> Result<TpchData> {
         &mut catalog,
         &mut data,
         "region",
-        vec![
-            Field::new("r_regionkey", DataType::Int),
-            Field::new("r_name", DataType::Str),
-        ],
+        vec![Field::new("r_regionkey", DataType::Int), Field::new("r_name", DataType::Str)],
         region_rows,
     )?;
 
@@ -78,11 +75,7 @@ pub fn generate(scale_factor: f64, seed: u64) -> Result<TpchData> {
         .iter()
         .enumerate()
         .map(|(i, (name, region))| {
-            Row::new(vec![
-                Value::Int(i as i64),
-                intern.v(name),
-                Value::Int(*region as i64),
-            ])
+            Row::new(vec![Value::Int(i as i64), intern.v(name), Value::Int(*region as i64)])
         })
         .collect();
     add_table(
@@ -106,7 +99,11 @@ pub fn generate(scale_factor: f64, seed: u64) -> Result<TpchData> {
                 Value::str(format!("Supplier#{:09}", i + 1)),
                 Value::Int(rng.gen_range(0..25) as i64),
                 Value::Float(round2(rng.gen_range(-999.99..9999.99))),
-                Value::str(format!("{:02}-{}", rng.gen_range(10..35), rng.gen_range(100_000_000u64..999_999_999))),
+                Value::str(format!(
+                    "{:02}-{}",
+                    rng.gen_range(10..35),
+                    rng.gen_range(100_000_000u64..999_999_999)
+                )),
                 comment,
             ])
         })
@@ -135,7 +132,11 @@ pub fn generate(scale_factor: f64, seed: u64) -> Result<TpchData> {
                 Value::Int(rng.gen_range(0..25) as i64),
                 Value::Float(round2(rng.gen_range(-999.99..9999.99))),
                 intern.v(SEGMENTS[rng.gen_range(0..SEGMENTS.len())]),
-                Value::str(format!("{:02}-{}", rng.gen_range(10..35), rng.gen_range(100_000_000u64..999_999_999))),
+                Value::str(format!(
+                    "{:02}-{}",
+                    rng.gen_range(10..35),
+                    rng.gen_range(100_000_000u64..999_999_999)
+                )),
             ])
         })
         .collect();
@@ -168,11 +169,7 @@ pub fn generate(scale_factor: f64, seed: u64) -> Result<TpchData> {
                 Value::Int(i as i64 + 1),
                 Value::str(format!("{col1} {col2}")),
                 Value::str(format!("Manufacturer#{}", rng.gen_range(1..=5))),
-                Value::str(format!(
-                    "Brand#{}{}",
-                    rng.gen_range(1..=5),
-                    rng.gen_range(1..=5)
-                )),
+                Value::str(format!("Brand#{}{}", rng.gen_range(1..=5), rng.gen_range(1..=5))),
                 Value::str(format!("{t1} {t2} {t3}")),
                 Value::Int(rng.gen_range(1..=50) as i64),
                 Value::str(format!("{c1} {c2}")),
@@ -245,9 +242,7 @@ pub fn generate(scale_factor: f64, seed: u64) -> Result<TpchData> {
             let shipdate = orderdate + rng.gen_range(1..=121);
             let commitdate = orderdate + rng.gen_range(30..=90);
             let receiptdate = shipdate + rng.gen_range(1..=30);
-            let returnflag = if receiptdate
-                <= date("1995-06-17").as_i64().expect("date") as i32
-            {
+            let returnflag = if receiptdate <= date("1995-06-17").as_i64().expect("date") as i32 {
                 if rng.gen_bool(0.5) {
                     "R"
                 } else {
@@ -398,10 +393,8 @@ pub fn compute_stats(schema: &Schema, rows: &[Row]) -> TableStats {
                 _ => v,
             });
         }
-        let keep_range = matches!(
-            schema.fields()[c].ty,
-            DataType::Int | DataType::Float | DataType::Date
-        );
+        let keep_range =
+            matches!(schema.fields()[c].ty, DataType::Int | DataType::Float | DataType::Date);
         columns.push(ColumnStats {
             ndv: distinct.len().max(1) as f64,
             min: if keep_range { min.cloned() } else { None },
@@ -496,10 +489,7 @@ mod tests {
 /// after a trigger's data has been seen, re-deriving exact statistics from
 /// it makes the next trigger's pace search work from measured reality
 /// instead of stale estimates.
-pub fn calibrate(
-    catalog: &Catalog,
-    observed: &HashMap<TableId, Vec<Row>>,
-) -> Result<Catalog> {
+pub fn calibrate(catalog: &Catalog, observed: &HashMap<TableId, Vec<Row>>) -> Result<Catalog> {
     let mut out = Catalog::new();
     for def in catalog.tables() {
         let stats = match observed.get(&def.id) {
@@ -521,19 +511,12 @@ mod calibrate_tests {
         // A catalog registered with wildly wrong stats gets corrected from
         // the observed rows; unobserved tables keep their priors.
         let mut stale = Catalog::new();
-        let schema = Schema::new(vec![
-            Field::new("k", DataType::Int),
-            Field::new("v", DataType::Int),
-        ]);
-        let t = stale
-            .add_table("t", schema.clone(), TableStats::unknown(1_000_000.0, 2))
-            .unwrap();
-        let _u = stale
-            .add_table("u", schema.clone(), TableStats::unknown(7.0, 2))
-            .unwrap();
-        let rows: Vec<Row> = (0..100)
-            .map(|i| Row::new(vec![Value::Int(i % 10), Value::Int(i)]))
-            .collect();
+        let schema =
+            Schema::new(vec![Field::new("k", DataType::Int), Field::new("v", DataType::Int)]);
+        let t = stale.add_table("t", schema.clone(), TableStats::unknown(1_000_000.0, 2)).unwrap();
+        let _u = stale.add_table("u", schema.clone(), TableStats::unknown(7.0, 2)).unwrap();
+        let rows: Vec<Row> =
+            (0..100).map(|i| Row::new(vec![Value::Int(i % 10), Value::Int(i)])).collect();
         let observed: HashMap<TableId, Vec<Row>> = [(t, rows)].into_iter().collect();
         let fresh = calibrate(&stale, &observed).unwrap();
         let t_stats = &fresh.table_by_name("t").unwrap().stats;

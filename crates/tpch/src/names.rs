@@ -34,12 +34,10 @@ pub const NATIONS: [(&str, u32); 25] = [
 pub const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
 
 /// Market segments.
-pub const SEGMENTS: [&str; 5] =
-    ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+pub const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
 
 /// Order priorities.
-pub const PRIORITIES: [&str; 5] =
-    ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
+pub const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
 
 /// Ship modes.
 pub const SHIP_MODES: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
@@ -58,21 +56,44 @@ pub const TYPE_S3: [&str; 5] = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"];
 /// Container syllables (`container = c1 " " c2`, 40 combinations).
 pub const CONTAINER_S1: [&str; 5] = ["SM", "MED", "LG", "JUMBO", "WRAP"];
 /// Second container syllable.
-pub const CONTAINER_S2: [&str; 8] =
-    ["CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"];
+pub const CONTAINER_S2: [&str; 8] = ["CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"];
 
 /// Part-name color words (p_name is a concatenation of these; Q9/Q20
 /// filter on them).
 pub const COLORS: [&str; 16] = [
-    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black", "blanched",
-    "blue", "blush", "brown", "burlywood", "chartreuse", "forest", "green", "red",
+    "almond",
+    "antique",
+    "aquamarine",
+    "azure",
+    "beige",
+    "bisque",
+    "black",
+    "blanched",
+    "blue",
+    "blush",
+    "brown",
+    "burlywood",
+    "chartreuse",
+    "forest",
+    "green",
+    "red",
 ];
 
 /// Comment filler words; a handful of rows get the marker words the queries
 /// look for (`special`, `requests`, `Customer`, `Complaints`).
 pub const COMMENT_WORDS: [&str; 12] = [
-    "carefully", "quickly", "furiously", "slyly", "blithely", "deposits", "packages",
-    "accounts", "requests", "special", "Customer", "Complaints",
+    "carefully",
+    "quickly",
+    "furiously",
+    "slyly",
+    "blithely",
+    "deposits",
+    "packages",
+    "accounts",
+    "requests",
+    "special",
+    "Customer",
+    "Complaints",
 ];
 
 #[cfg(test)]

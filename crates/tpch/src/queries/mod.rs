@@ -23,9 +23,7 @@ pub struct QueryDef {
 
 /// All 22 TPC-H queries, in order.
 pub fn all_queries(catalog: &Catalog) -> Result<Vec<QueryDef>> {
-    (1..=22)
-        .map(|i| query_by_name(catalog, &format!("q{i}")))
-        .collect()
+    (1..=22).map(|i| query_by_name(catalog, &format!("q{i}"))).collect()
 }
 
 /// The ten "sharing-friendly" queries of Fig. 12 (Q4, Q5, Q7, Q8, Q9, Q15,
@@ -64,9 +62,7 @@ pub fn query_by_name(catalog: &Catalog, name: &str) -> Result<QueryDef> {
         "q22" => q12_22::q22(catalog)?,
         "qa" => special::qa(catalog)?,
         "qb" => special::qb(catalog)?,
-        other => {
-            return Err(ishare_common::Error::NotFound(format!("query `{other}`")))
-        }
+        other => return Err(ishare_common::Error::NotFound(format!("query `{other}`"))),
     };
     Ok(QueryDef { name: name.to_string(), plan })
 }
@@ -162,10 +158,7 @@ mod tests {
         // All surviving rows carry the same (maximal) revenue.
         let schema = q.plan.schema(&d.catalog).unwrap();
         let rev_idx = schema.index_of("total_revenue").unwrap();
-        let revs: Vec<f64> = out
-            .keys()
-            .map(|r| r.get(rev_idx).as_f64().unwrap())
-            .collect();
+        let revs: Vec<f64> = out.keys().map(|r| r.get(rev_idx).as_f64().unwrap()).collect();
         if let Some(&first) = revs.first() {
             for r in &revs {
                 assert!((r - first).abs() < 1e-9);

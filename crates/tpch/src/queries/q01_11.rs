@@ -19,8 +19,7 @@ pub fn q1(c: &Catalog) -> Result<LogicalPlan> {
             let disc = x.col("l_discount")?;
             let tax = x.col("l_tax")?;
             let disc_price = price.clone().mul(Expr::lit(1.0).sub(disc.clone()));
-            let charge =
-                disc_price.clone().mul(Expr::lit(1.0).add(tax));
+            let charge = disc_price.clone().mul(Expr::lit(1.0).add(tax));
             Ok(vec![
                 x.sum("l_quantity", "sum_qty")?,
                 x.sum("l_extendedprice", "sum_base_price")?,
@@ -79,9 +78,7 @@ pub fn q3(c: &Catalog) -> Result<LogicalPlan> {
             &[("o_custkey", "c_custkey")],
         )?
         .aggregate(&["l_orderkey", "o_orderdate", "o_shippriority"], |x| {
-            let rev = x
-                .col("l_extendedprice")?
-                .mul(Expr::lit(1.0).sub(x.col("l_discount")?));
+            let rev = x.col("l_extendedprice")?.mul(Expr::lit(1.0).sub(x.col("l_discount")?));
             Ok(vec![AggExpr::new(AggFunc::Sum, rev, "revenue")])
         })
         .map(PlanBuilder::build)
@@ -128,9 +125,7 @@ pub fn q5(c: &Catalog) -> Result<LogicalPlan> {
             &[("n_regionkey", "r_regionkey")],
         )?
         .aggregate(&["n_name"], |x| {
-            let rev = x
-                .col("l_extendedprice")?
-                .mul(Expr::lit(1.0).sub(x.col("l_discount")?));
+            let rev = x.col("l_extendedprice")?.mul(Expr::lit(1.0).sub(x.col("l_discount")?));
             Ok(vec![AggExpr::new(AggFunc::Sum, rev, "revenue")])
         })
         .map(PlanBuilder::build)
@@ -185,9 +180,7 @@ pub fn q7(c: &Catalog) -> Result<LogicalPlan> {
         })?;
     let (groups, aggs) = {
         let cols = b.cols();
-        let volume = cols
-            .col("l_extendedprice")?
-            .mul(Expr::lit(1.0).sub(cols.col("l_discount")?));
+        let volume = cols.col("l_extendedprice")?.mul(Expr::lit(1.0).sub(cols.col("l_discount")?));
         (
             vec![
                 (cols.col("n1.n_name")?, "supp_nation".to_string()),
@@ -228,13 +221,9 @@ pub fn q8(c: &Catalog) -> Result<LogicalPlan> {
         .join(n2, &[("s_nationkey", "n2.n_nationkey")])?;
     let (groups, aggs) = {
         let cols = b.cols();
-        let volume = cols
-            .col("l_extendedprice")?
-            .mul(Expr::lit(1.0).sub(cols.col("l_discount")?));
-        let brazil = cols
-            .col("n2.n_name")?
-            .eq(Expr::lit("BRAZIL"))
-            .case(volume.clone(), Expr::lit(0.0));
+        let volume = cols.col("l_extendedprice")?.mul(Expr::lit(1.0).sub(cols.col("l_discount")?));
+        let brazil =
+            cols.col("n2.n_name")?.eq(Expr::lit("BRAZIL")).case(volume.clone(), Expr::lit(0.0));
         (
             vec![(cols.col("o_orderdate")?.year(), "o_year".to_string())],
             vec![
@@ -247,10 +236,7 @@ pub fn q8(c: &Catalog) -> Result<LogicalPlan> {
         .project(|x| {
             Ok(vec![
                 (x.col("o_year")?, "o_year".into()),
-                (
-                    x.col("brazil_volume")?.div(x.col("total_volume")?),
-                    "mkt_share".into(),
-                ),
+                (x.col("brazil_volume")?.div(x.col("total_volume")?), "mkt_share".into()),
             ])
         })
         .map(PlanBuilder::build)
@@ -266,10 +252,7 @@ pub fn q9(c: &Catalog) -> Result<LogicalPlan> {
                 .select(|x| Ok(x.col("p_name")?.like(LikePattern::Contains("green".into()))))?,
             &[("l_partkey", "p_partkey")],
         )?
-        .join(
-            scan(c, "partsupp")?,
-            &[("l_suppkey", "ps_suppkey"), ("l_partkey", "ps_partkey")],
-        )?
+        .join(scan(c, "partsupp")?, &[("l_suppkey", "ps_suppkey"), ("l_partkey", "ps_partkey")])?
         .join(scan(c, "nation")?, &[("s_nationkey", "n_nationkey")])?;
     let (groups, amount) = {
         let cols = b.cols();
@@ -303,9 +286,7 @@ pub fn q10(c: &Catalog) -> Result<LogicalPlan> {
         .join(scan(c, "customer")?, &[("o_custkey", "c_custkey")])?
         .join(scan(c, "nation")?, &[("c_nationkey", "n_nationkey")])?
         .aggregate(&["c_custkey", "c_name", "c_acctbal", "c_phone", "n_name"], |x| {
-            let rev = x
-                .col("l_extendedprice")?
-                .mul(Expr::lit(1.0).sub(x.col("l_discount")?));
+            let rev = x.col("l_extendedprice")?.mul(Expr::lit(1.0).sub(x.col("l_discount")?));
             Ok(vec![AggExpr::new(AggFunc::Sum, rev, "revenue")])
         })
         .map(PlanBuilder::build)
@@ -315,9 +296,8 @@ pub fn q10(c: &Catalog) -> Result<LogicalPlan> {
 pub fn q11(c: &Catalog) -> Result<LogicalPlan> {
     // REWRITE: the HAVING-threshold scalar subquery becomes a global
     // aggregate cross-joined through a constant key.
-    let base = scan(c, "partsupp")?
-        .join(scan(c, "supplier")?, &[("ps_suppkey", "s_suppkey")])?
-        .join(
+    let base =
+        scan(c, "partsupp")?.join(scan(c, "supplier")?, &[("ps_suppkey", "s_suppkey")])?.join(
             scan(c, "nation")?.select(|x| Ok(x.col("n_name")?.eq(Expr::lit("GERMANY"))))?,
             &[("s_nationkey", "n_nationkey")],
         )?;
@@ -329,14 +309,11 @@ pub fn q11(c: &Catalog) -> Result<LogicalPlan> {
         vec![(partkey, "ps_partkey".to_string())],
         vec![AggExpr::new(AggFunc::Sum, value.clone(), "value")],
     )?;
-    let total = base
-        .aggregate_exprs(vec![], vec![AggExpr::new(AggFunc::Sum, value, "total_value")])?;
+    let total =
+        base.aggregate_exprs(vec![], vec![AggExpr::new(AggFunc::Sum, value, "total_value")])?;
     per_part
         .join_on(total, |_, _| Ok(vec![(Expr::lit(1i64), Expr::lit(1i64))]))?
-        .select(|x| {
-            Ok(x.col("value")?
-                .gt(x.col("total_value")?.mul(Expr::lit(0.0001))))
-        })?
+        .select(|x| Ok(x.col("value")?.gt(x.col("total_value")?.mul(Expr::lit(0.0001)))))?
         .project_cols(&["ps_partkey", "value"])
         .map(PlanBuilder::build)
 }

@@ -23,10 +23,9 @@ pub fn q12(c: &Catalog) -> Result<LogicalPlan> {
         .join(scan(c, "orders")?, &[("l_orderkey", "o_orderkey")])?;
     let (groups, aggs) = {
         let cols = b.cols();
-        let is_high = cols.col("o_orderpriority")?.in_list(vec![
-            Value::from("1-URGENT"),
-            Value::from("2-HIGH"),
-        ]);
+        let is_high = cols
+            .col("o_orderpriority")?
+            .in_list(vec![Value::from("1-URGENT"), Value::from("2-HIGH")]);
         (
             vec![(cols.col("l_shipmode")?, "l_shipmode".to_string())],
             vec![
@@ -54,9 +53,7 @@ pub fn q13(c: &Catalog) -> Result<LogicalPlan> {
     scan(c, "customer")?
         .join(
             scan(c, "orders")?.select(|x| {
-                Ok(x.col("o_comment")?
-                    .like(LikePattern::Contains("special".into()))
-                    .not())
+                Ok(x.col("o_comment")?.like(LikePattern::Contains("special".into())).not())
             })?,
             &[("c_custkey", "o_custkey")],
         )?
@@ -76,9 +73,7 @@ pub fn q14(c: &Catalog) -> Result<LogicalPlan> {
         .join(scan(c, "part")?, &[("l_partkey", "p_partkey")])?;
     let aggs = {
         let cols = b.cols();
-        let rev = cols
-            .col("l_extendedprice")?
-            .mul(Expr::lit(1.0).sub(cols.col("l_discount")?));
+        let rev = cols.col("l_extendedprice")?.mul(Expr::lit(1.0).sub(cols.col("l_discount")?));
         let promo = cols
             .col("p_type")?
             .like(LikePattern::Prefix("PROMO".into()))
@@ -91,9 +86,7 @@ pub fn q14(c: &Catalog) -> Result<LogicalPlan> {
     b.aggregate_exprs(vec![], aggs)?
         .project(|x| {
             Ok(vec![(
-                Expr::lit(100.0)
-                    .mul(x.col("promo_revenue")?)
-                    .div(x.col("total_revenue")?),
+                Expr::lit(100.0).mul(x.col("promo_revenue")?).div(x.col("total_revenue")?),
                 "promo_pct".into(),
             )])
         })
@@ -110,23 +103,18 @@ pub fn q15(c: &Catalog) -> Result<LogicalPlan> {
                 .and(x.col("l_shipdate")?.lt(Expr::lit(date("1996-04-01")))))
         })?
         .aggregate(&["l_suppkey"], |x| {
-            let rev = x
-                .col("l_extendedprice")?
-                .mul(Expr::lit(1.0).sub(x.col("l_discount")?));
+            let rev = x.col("l_extendedprice")?.mul(Expr::lit(1.0).sub(x.col("l_discount")?));
             Ok(vec![AggExpr::new(AggFunc::Sum, rev, "total_revenue")])
         })?;
     // REWRITE: the scalar max subquery joins back on revenue equality —
     // deleting the current max forces the MAX accumulator to rescan, which
     // is exactly why this query is not amenable to eager incremental
     // execution (Sec. 5.3).
-    let max_rev = revenue
-        .clone()
-        .aggregate(&[], |x| Ok(vec![x.max("total_revenue", "max_revenue")?]))?;
+    let max_rev =
+        revenue.clone().aggregate(&[], |x| Ok(vec![x.max("total_revenue", "max_revenue")?]))?;
     scan(c, "supplier")?
         .join(revenue, &[("s_suppkey", "l_suppkey")])?
-        .join_on(max_rev, |l, r| {
-            Ok(vec![(l.col("total_revenue")?, r.col("max_revenue")?)])
-        })?
+        .join_on(max_rev, |l, r| Ok(vec![(l.col("total_revenue")?, r.col("max_revenue")?)]))?
         .project_cols(&["s_suppkey", "s_name", "total_revenue"])
         .map(PlanBuilder::build)
 }
@@ -140,11 +128,7 @@ pub fn q16(c: &Catalog) -> Result<LogicalPlan> {
             scan(c, "part")?.select(|x| {
                 Ok(x.col("p_brand")?
                     .ne(Expr::lit("Brand#45"))
-                    .and(
-                        x.col("p_type")?
-                            .like(LikePattern::Prefix("MEDIUM POLISHED".into()))
-                            .not(),
-                    )
+                    .and(x.col("p_type")?.like(LikePattern::Prefix("MEDIUM POLISHED".into())).not())
                     .and(x.col("p_size")?.in_list(vec![
                         Value::Int(49),
                         Value::Int(14),
@@ -189,14 +173,9 @@ pub fn q17(c: &Catalog) -> Result<LogicalPlan> {
             &[("l_partkey", "p_partkey")],
         )?
         .join(avg_qty, &[("l_partkey", "ap_partkey")])?
-        .select(|x| {
-            Ok(x.col("l_quantity")?
-                .lt(Expr::lit(0.2).mul(x.col("avg_qty")?)))
-        })?
+        .select(|x| Ok(x.col("l_quantity")?.lt(Expr::lit(0.2).mul(x.col("avg_qty")?))))?
         .aggregate(&[], |x| Ok(vec![x.sum("l_extendedprice", "sum_price")?]))?
-        .project(|x| {
-            Ok(vec![(x.col("sum_price")?.div(Expr::lit(7.0)), "avg_yearly".into())])
-        })
+        .project(|x| Ok(vec![(x.col("sum_price")?.div(Expr::lit(7.0)), "avg_yearly".into())]))
         .map(PlanBuilder::build)
 }
 
@@ -234,13 +213,18 @@ pub fn q19(c: &Catalog) -> Result<LogicalPlan> {
         })?
         .join(scan(c, "part")?, &[("l_partkey", "p_partkey")])?
         .select(|x| {
-            let bracket = |brand: &str, containers: Vec<&str>, qlo: i64, qhi: i64, smax: i64|
+            let bracket = |brand: &str,
+                           containers: Vec<&str>,
+                           qlo: i64,
+                           qhi: i64,
+                           smax: i64|
              -> Result<Expr> {
                 Ok(x.col("p_brand")?
                     .eq(Expr::lit(brand))
-                    .and(x.col("p_container")?.in_list(
-                        containers.into_iter().map(Value::from).collect(),
-                    ))
+                    .and(
+                        x.col("p_container")?
+                            .in_list(containers.into_iter().map(Value::from).collect()),
+                    )
                     .and(x.col("l_quantity")?.ge(Expr::lit(qlo)))
                     .and(x.col("l_quantity")?.le(Expr::lit(qhi)))
                     .and(x.col("p_size")?.ge(Expr::lit(1i64)))
@@ -264,9 +248,7 @@ pub fn q19(c: &Catalog) -> Result<LogicalPlan> {
         })?;
     let aggs = {
         let cols = b.cols();
-        let rev = cols
-            .col("l_extendedprice")?
-            .mul(Expr::lit(1.0).sub(cols.col("l_discount")?));
+        let rev = cols.col("l_extendedprice")?.mul(Expr::lit(1.0).sub(cols.col("l_discount")?));
         vec![AggExpr::new(AggFunc::Sum, rev, "revenue")]
     };
     b.aggregate_exprs(vec![], aggs).map(PlanBuilder::build)
@@ -291,14 +273,8 @@ pub fn q20(c: &Catalog) -> Result<LogicalPlan> {
                 .select(|x| Ok(x.col("p_name")?.like(LikePattern::Prefix("forest".into()))))?,
             &[("ps_partkey", "p_partkey")],
         )?
-        .join(
-            shipped,
-            &[("ps_partkey", "l_partkey"), ("ps_suppkey", "l_suppkey")],
-        )?
-        .select(|x| {
-            Ok(x.col("ps_availqty")?
-                .gt(Expr::lit(0.5).mul(x.col("shipped_qty")?)))
-        })?
+        .join(shipped, &[("ps_partkey", "l_partkey"), ("ps_suppkey", "l_suppkey")])?
+        .select(|x| Ok(x.col("ps_availqty")?.gt(Expr::lit(0.5).mul(x.col("shipped_qty")?))))?
         .aggregate(&["ps_suppkey"], |_| Ok(vec![AggExpr::count_star("n_parts")]))?;
     scan(c, "supplier")?
         .join(qualified_supps, &[("s_suppkey", "ps_suppkey")])?
@@ -329,15 +305,13 @@ pub fn q21(c: &Catalog) -> Result<LogicalPlan> {
     scan(c, "lineitem")?
         .select(|x| Ok(x.col("l_receiptdate")?.gt(x.col("l_commitdate")?)))?
         .join(
-            scan(c, "orders")?
-                .select(|x| Ok(x.col("o_orderstatus")?.eq(Expr::lit("F"))))?,
+            scan(c, "orders")?.select(|x| Ok(x.col("o_orderstatus")?.eq(Expr::lit("F"))))?,
             &[("l_orderkey", "o_orderkey")],
         )?
         .join(scan(c, "supplier")?, &[("l_suppkey", "s_suppkey")])?
         .join(multi_supp, &[("o_orderkey", "m_orderkey")])?
         .join(
-            scan(c, "nation")?
-                .select(|x| Ok(x.col("n_name")?.eq(Expr::lit("SAUDI ARABIA"))))?,
+            scan(c, "nation")?.select(|x| Ok(x.col("n_name")?.eq(Expr::lit("SAUDI ARABIA"))))?,
             &[("s_nationkey", "n_nationkey")],
         )?
         .aggregate(&["s_name"], |_| Ok(vec![AggExpr::count_star("numwait")]))
@@ -379,10 +353,7 @@ pub fn q22(c: &Catalog) -> Result<LogicalPlan> {
         let cols = b.cols();
         (
             vec![(cols.col("c_phone")?.substr(1, 2), "cntrycode".to_string())],
-            vec![
-                AggExpr::count_star("numcust"),
-                cols.sum("c_acctbal", "totacctbal")?,
-            ],
+            vec![AggExpr::count_star("numcust"), cols.sum("c_acctbal", "totacctbal")?],
         )
     };
     b.aggregate_exprs(groups, aggs).map(PlanBuilder::build)

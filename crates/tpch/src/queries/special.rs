@@ -81,9 +81,7 @@ mod tests {
                     find_agg(input)
                 }
                 LogicalPlan::Aggregate { input, .. } => find_agg(input),
-                LogicalPlan::Join { left, right, .. } => {
-                    find_agg(right).or_else(|| find_agg(left))
-                }
+                LogicalPlan::Join { left, right, .. } => find_agg(right).or_else(|| find_agg(left)),
                 LogicalPlan::Scan { .. } => None,
             }
         }

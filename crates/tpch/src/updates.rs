@@ -84,7 +84,7 @@ pub fn net_rows(feed: &DeltaFeed) -> Vec<Row> {
 
 fn bump(v: &Value, rng: &mut StdRng) -> Value {
     match v {
-        Value::Int(i) => Value::Int((i + rng.gen_range(1..=5)).min(50).max(1)),
+        Value::Int(i) => Value::Int((i + rng.gen_range(1..=5)).clamp(1, 50)),
         Value::Float(f) => Value::Float((f * rng.gen_range(1.01..1.25) * 100.0).round() / 100.0),
         other => other.clone(),
     }
@@ -116,10 +116,7 @@ mod tests {
         let feeds = with_updates(&d, 0.3, 9).unwrap();
         for name in ["part", "customer", "supplier", "nation", "region", "partsupp"] {
             let id = d.catalog.table_by_name(name).unwrap().id;
-            assert!(
-                feeds[&id].iter().all(|(_, w)| *w == 1),
-                "{name} must be insert-only"
-            );
+            assert!(feeds[&id].iter().all(|(_, w)| *w == 1), "{name} must be insert-only");
         }
     }
 
@@ -137,7 +134,8 @@ mod tests {
         let d = generate(0.002, 6).unwrap();
         let feeds = with_updates(&d, 0.25, 10).unwrap();
         let li = d.catalog.table_by_name("lineitem").unwrap().id;
-        let qty = d.catalog.table_by_name("lineitem").unwrap().schema.index_of("l_quantity").unwrap();
+        let qty =
+            d.catalog.table_by_name("lineitem").unwrap().schema.index_of("l_quantity").unwrap();
         // Every delete is immediately followed by its replacement insert
         // differing only in the measure column.
         let feed = &feeds[&li];

@@ -31,9 +31,7 @@ fn main() -> ishare::Result<()> {
     let queries: Vec<(QueryId, ishare::plan::LogicalPlan)> = dashboards
         .iter()
         .enumerate()
-        .map(|(i, (_, name, _))| {
-            Ok((QueryId(i as u16), query_by_name(&data.catalog, name)?.plan))
-        })
+        .map(|(i, (_, name, _))| Ok((QueryId(i as u16), query_by_name(&data.catalog, name)?.plan)))
         .collect::<ishare::Result<_>>()?;
     let constraints: BTreeMap<QueryId, FinalWorkConstraint> = dashboards
         .iter()

@@ -30,10 +30,7 @@ fn main() -> ishare::Result<()> {
         .map(|(i, n)| Ok((QueryId(i as u16), query_by_name(&data.catalog, n)?.plan)))
         .collect::<ishare::Result<_>>()?;
 
-    println!(
-        "{:<10} {:>18} {:>18} {:>9}",
-        "rel", "Share-Uniform work", "iShare work", "saving"
-    );
+    println!("{:<10} {:>18} {:>18} {:>9}", "rel", "Share-Uniform work", "iShare work", "saving");
     for frac in [1.0, 0.5, 0.2, 0.1, 0.05] {
         let constraints: BTreeMap<QueryId, FinalWorkConstraint> = (0..names.len())
             .map(|i| (QueryId(i as u16), FinalWorkConstraint::Relative(frac)))
@@ -41,8 +38,7 @@ fn main() -> ishare::Result<()> {
         let opts = PlanningOptions { max_pace: 60, ..Default::default() };
         let mut totals = Vec::new();
         for approach in [Approach::ShareUniform, Approach::IShare] {
-            let planned =
-                plan_workload(approach, &queries, &constraints, &data.catalog, &opts)?;
+            let planned = plan_workload(approach, &queries, &constraints, &data.catalog, &opts)?;
             let run = execute_planned(
                 &planned.plan,
                 planned.paces.as_slice(),

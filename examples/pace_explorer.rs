@@ -32,9 +32,7 @@ fn main() -> ishare::Result<()> {
     let queries: Vec<(QueryId, ishare::plan::LogicalPlan)> = names
         .iter()
         .enumerate()
-        .map(|(i, n)| {
-            Ok((QueryId(i as u16), normalize(&query_by_name(&data.catalog, n)?.plan)))
-        })
+        .map(|(i, n)| Ok((QueryId(i as u16), normalize(&query_by_name(&data.catalog, n)?.plan))))
         .collect::<ishare::Result<_>>()?;
 
     // Build the shared plan and show its structure.
@@ -43,9 +41,8 @@ fn main() -> ishare::Result<()> {
     println!("shared plan ({} subplans):\n{plan}", plan.len());
 
     // Resolve 0.2-relative constraints and walk the greedy search.
-    let constraints: BTreeMap<QueryId, FinalWorkConstraint> = (0..names.len())
-        .map(|i| (QueryId(i as u16), FinalWorkConstraint::Relative(0.2)))
-        .collect();
+    let constraints: BTreeMap<QueryId, FinalWorkConstraint> =
+        (0..names.len()).map(|i| (QueryId(i as u16), FinalWorkConstraint::Relative(0.2))).collect();
     let resolved =
         resolve_constraints(&queries, &constraints, &data.catalog, CostWeights::default())?;
     let mut est = PlanEstimator::new(&plan, &data.catalog, CostWeights::default())?;
@@ -97,8 +94,7 @@ fn main() -> ishare::Result<()> {
             continue;
         }
         let cand_report = est.estimate(cand.as_slice())?;
-        let inc =
-            ishare::core::incrementability(&cand_report, &base_report, &resolved);
+        let inc = ishare::core::incrementability(&cand_report, &base_report, &resolved);
         println!("  {}: InC = {inc:.4}", sp.id);
     }
     Ok(())

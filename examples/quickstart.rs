@@ -2,23 +2,34 @@
 //! end-to-end.
 //!
 //! ```text
-//! cargo run --release --example quickstart
+//! cargo run --release --example quickstart [-- --threads N]
 //! ```
 //!
 //! Builds a tiny catalog, registers two queries over the same stream — a
 //! broad daily report that can wait (relative constraint 1.0) and a narrow
 //! alert that cannot (0.1) — lets iShare plan them, and executes the plan
-//! against simulated arrivals, comparing against Share-Uniform.
+//! against simulated arrivals, comparing against Share-Uniform. With
+//! `--threads N > 1` the run uses the multi-threaded driver, whose work
+//! numbers are bit-identical to the sequential one.
 
 use ishare::core::{plan_workload, Approach, FinalWorkConstraint, PlanningOptions};
 use ishare::plan::PlanBuilder;
-use ishare::stream::execute_planned;
+use ishare::stream::{execute_planned, execute_planned_parallel};
 use ishare_common::{CostWeights, DataType, QueryId, Value};
 use ishare_expr::Expr;
 use ishare_storage::{Catalog, Field, Row, Schema, TableStats};
 use std::collections::BTreeMap;
 
 fn main() -> ishare::Result<()> {
+    // 0. Worker threads (1 = sequential reference driver).
+    let args: Vec<String> = std::env::args().collect();
+    let threads = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(1);
+
     // 1. A catalog with one streamed relation: orders(customer, amount).
     let mut catalog = Catalog::new();
     let n_rows = 20_000usize;
@@ -32,11 +43,7 @@ fn main() -> ishare::Result<()> {
             row_count: n_rows as f64,
             columns: vec![
                 ishare_storage::ColumnStats::ndv(500.0),
-                ishare_storage::ColumnStats::with_range(
-                    1000.0,
-                    Value::Int(0),
-                    Value::Int(999),
-                ),
+                ishare_storage::ColumnStats::with_range(1000.0, Value::Int(0), Value::Int(999)),
             ],
         },
     )?;
@@ -60,33 +67,44 @@ fn main() -> ishare::Result<()> {
 
     // 4. Simulated arrivals: one trigger condition's worth of rows.
     let rows: Vec<Row> = (0..n_rows)
-        .map(|i| {
-            Row::new(vec![
-                Value::Int((i % 500) as i64),
-                Value::Int(((i * 37) % 1000) as i64),
-            ])
-        })
+        .map(|i| Row::new(vec![Value::Int((i % 500) as i64), Value::Int(((i * 37) % 1000) as i64)]))
         .collect();
     let data = [(orders, rows)].into_iter().collect();
 
     // 5. Plan and execute under iShare and Share-Uniform.
     let opts = PlanningOptions { max_pace: 50, ..Default::default() };
-    println!("{:<16} {:>14} {:>14} {:>14}", "approach", "total work", "report final", "alert final");
+    println!("worker threads: {threads}");
+    println!(
+        "{:<16} {:>14} {:>14} {:>14} {:>10}",
+        "approach", "total work", "report final", "alert final", "elapsed"
+    );
     for approach in [Approach::ShareUniform, Approach::IShare] {
         let planned = plan_workload(approach, &queries, &constraints, &catalog, &opts)?;
-        let run = execute_planned(
-            &planned.plan,
-            planned.paces.as_slice(),
-            &catalog,
-            &data,
-            CostWeights::default(),
-        )?;
+        let run = if threads == 1 {
+            execute_planned(
+                &planned.plan,
+                planned.paces.as_slice(),
+                &catalog,
+                &data,
+                CostWeights::default(),
+            )?
+        } else {
+            execute_planned_parallel(
+                &planned.plan,
+                planned.paces.as_slice(),
+                &catalog,
+                &data,
+                CostWeights::default(),
+                threads,
+            )?
+        };
         println!(
-            "{:<16} {:>14.0} {:>14.0} {:>14.0}   (paces {})",
+            "{:<16} {:>14.0} {:>14.0} {:>14.0} {:>9.3}s   (paces {})",
             approach.label(),
             run.total_work.get(),
             run.final_work[&QueryId(0)],
             run.final_work[&QueryId(1)],
+            run.elapsed.as_secs_f64(),
             planned.paces
         );
     }

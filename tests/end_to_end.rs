@@ -6,8 +6,8 @@
 //! identical to naive single-query batch evaluation.
 
 use ishare::core::{plan_workload, Approach, FinalWorkConstraint, PlanningOptions};
-use ishare::exec::batch_ref::run_logical;
 use ishare::exec::approx_result_eq;
+use ishare::exec::batch_ref::run_logical;
 use ishare::stream::execute_planned;
 use ishare::tpch::{generate, query_by_name};
 use ishare_common::{CostWeights, QueryId};
@@ -20,16 +20,12 @@ fn small_workload(
     names
         .iter()
         .enumerate()
-        .map(|(i, n)| {
-            (QueryId(i as u16), query_by_name(&data.catalog, n).unwrap().plan)
-        })
+        .map(|(i, n)| (QueryId(i as u16), query_by_name(&data.catalog, n).unwrap().plan))
         .collect()
 }
 
 fn rel_constraints(n: usize, frac: f64) -> BTreeMap<QueryId, FinalWorkConstraint> {
-    (0..n)
-        .map(|i| (QueryId(i as u16), FinalWorkConstraint::Relative(frac)))
-        .collect()
+    (0..n).map(|i| (QueryId(i as u16), FinalWorkConstraint::Relative(frac))).collect()
 }
 
 /// Execute one planned workload and assert results equal the reference.
@@ -100,22 +96,12 @@ fn tight_constraints_reduce_measured_final_work() {
     let queries = small_workload(&data, &["qa", "qb"]);
     let opts = PlanningOptions { max_pace: 20, ..Default::default() };
 
-    let loose = plan_workload(
-        Approach::IShare,
-        &queries,
-        &rel_constraints(2, 1.0),
-        &data.catalog,
-        &opts,
-    )
-    .unwrap();
-    let tight = plan_workload(
-        Approach::IShare,
-        &queries,
-        &rel_constraints(2, 0.2),
-        &data.catalog,
-        &opts,
-    )
-    .unwrap();
+    let loose =
+        plan_workload(Approach::IShare, &queries, &rel_constraints(2, 1.0), &data.catalog, &opts)
+            .unwrap();
+    let tight =
+        plan_workload(Approach::IShare, &queries, &rel_constraints(2, 0.2), &data.catalog, &opts)
+            .unwrap();
 
     let run_loose = execute_planned(
         &loose.plan,
@@ -157,8 +143,7 @@ fn ishare_total_work_not_worse_than_share_uniform_measured() {
     cons.insert(QueryId(1), FinalWorkConstraint::Relative(0.1));
     let opts = PlanningOptions { max_pace: 20, ..Default::default() };
 
-    let su =
-        plan_workload(Approach::ShareUniform, &queries, &cons, &data.catalog, &opts).unwrap();
+    let su = plan_workload(Approach::ShareUniform, &queries, &cons, &data.catalog, &opts).unwrap();
     let is = plan_workload(Approach::IShare, &queries, &cons, &data.catalog, &opts).unwrap();
     let run_su = execute_planned(
         &su.plan,
@@ -184,7 +169,6 @@ fn ishare_total_work_not_worse_than_share_uniform_measured() {
     );
 }
 
-
 #[test]
 fn all_22_tpch_queries_match_reference_under_ishare() {
     // The flagship correctness check: the entire TPC-H workload, shared and
@@ -192,15 +176,11 @@ fn all_22_tpch_queries_match_reference_under_ishare() {
     // result.
     let data = generate(0.002, 99).unwrap();
     let defs = ishare::tpch::all_queries(&data.catalog).unwrap();
-    let queries: Vec<(QueryId, ishare::plan::LogicalPlan)> = defs
-        .iter()
-        .enumerate()
-        .map(|(i, d)| (QueryId(i as u16), d.plan.clone()))
-        .collect();
+    let queries: Vec<(QueryId, ishare::plan::LogicalPlan)> =
+        defs.iter().enumerate().map(|(i, d)| (QueryId(i as u16), d.plan.clone())).collect();
     let cons = rel_constraints(queries.len(), 0.5);
     let opts = PlanningOptions { max_pace: 8, partial: false, ..Default::default() };
-    let planned =
-        plan_workload(Approach::IShare, &queries, &cons, &data.catalog, &opts).unwrap();
+    let planned = plan_workload(Approach::IShare, &queries, &cons, &data.catalog, &opts).unwrap();
     planned.paces.respects_plan(&planned.plan).unwrap();
     let run = execute_planned(
         &planned.plan,
@@ -232,14 +212,12 @@ fn update_streams_match_reference_over_net_rows() {
 
     let data = generate(0.002, 55).unwrap();
     let feeds = with_updates(&data, 0.25, 7).unwrap();
-    let net: HashMap<_, _> =
-        feeds.iter().map(|(t, f)| (*t, net_rows(f))).collect();
+    let net: HashMap<_, _> = feeds.iter().map(|(t, f)| (*t, net_rows(f))).collect();
 
     let queries = small_workload(&data, &["q1", "q3", "qa"]);
     let cons = rel_constraints(queries.len(), 0.3);
     let opts = PlanningOptions { max_pace: 10, ..Default::default() };
-    let planned =
-        plan_workload(Approach::IShare, &queries, &cons, &data.catalog, &opts).unwrap();
+    let planned = plan_workload(Approach::IShare, &queries, &cons, &data.catalog, &opts).unwrap();
     let run = execute_planned_deltas(
         &planned.plan,
         planned.paces.as_slice(),

@@ -11,19 +11,13 @@ use ishare::stream::execute_planned;
 use ishare::tpch::{generate, query_by_name};
 use ishare_common::{CostWeights, QueryId};
 
-fn setup(
-    names: &[&str],
-    seed: u64,
-) -> (ishare::tpch::TpchData, SharedPlan) {
+fn setup(names: &[&str], seed: u64) -> (ishare::tpch::TpchData, SharedPlan) {
     let data = generate(0.002, seed).unwrap();
     let queries: Vec<(QueryId, ishare::plan::LogicalPlan)> = names
         .iter()
         .enumerate()
         .map(|(i, n)| {
-            (
-                QueryId(i as u16),
-                normalize(&query_by_name(&data.catalog, n).unwrap().plan),
-            )
+            (QueryId(i as u16), normalize(&query_by_name(&data.catalog, n).unwrap().plan))
         })
         .collect();
     let dag = build_shared_dag(&queries, &data.catalog, &MqoConfig::default()).unwrap();
@@ -38,16 +32,11 @@ fn estimates_track_measurements_within_a_small_factor() {
     for pace in [1u32, 4, 10] {
         let paces = vec![pace; plan.len()];
         let estimated = est.estimate(&paces).unwrap().total_work.get();
-        let measured = execute_planned(
-            &plan,
-            &paces,
-            &data.catalog,
-            &data.data,
-            CostWeights::default(),
-        )
-        .unwrap()
-        .total_work
-        .get();
+        let measured =
+            execute_planned(&plan, &paces, &data.catalog, &data.data, CostWeights::default())
+                .unwrap()
+                .total_work
+                .get();
         let ratio = estimated / measured;
         assert!(
             (0.4..2.5).contains(&ratio),
@@ -70,14 +59,8 @@ fn estimates_preserve_the_pace_ordering() {
     for pace in [1u32, 5, 20] {
         let paces = vec![pace; plan.len()];
         let rep = est.estimate(&paces).unwrap();
-        let run = execute_planned(
-            &plan,
-            &paces,
-            &data.catalog,
-            &data.data,
-            CostWeights::default(),
-        )
-        .unwrap();
+        let run = execute_planned(&plan, &paces, &data.catalog, &data.data, CostWeights::default())
+            .unwrap();
         let est_total = rep.total_work.get();
         let meas_total = run.total_work.get();
         let est_final: f64 = rep.final_work.values().map(|w| w.get()).sum();

@@ -46,10 +46,7 @@ fn sharing_wins_when_constraints_are_loose() {
             .unwrap();
             measured.insert(a.label(), run.total_work.get());
         }
-        assert!(
-            measured["iShare"] < measured["NoShare-Uniform"],
-            "frac {frac}: {measured:?}"
-        );
+        assert!(measured["iShare"] < measured["NoShare-Uniform"], "frac {frac}: {measured:?}");
         assert!(
             measured["Share-Uniform"] < measured["NoShare-Uniform"],
             "frac {frac}: {measured:?}"
@@ -84,17 +81,11 @@ fn single_pace_sharing_loses_when_constraints_tighten() {
         .unwrap();
         measured.insert(a.label(), run.total_work.get());
     }
-    assert!(
-        measured["NoShare-Uniform"] < measured["Share-Uniform"],
-        "{measured:?}"
-    );
+    assert!(measured["NoShare-Uniform"] < measured["Share-Uniform"], "{measured:?}");
     // The paper's claim for this regime is "similar performance to NoShare
     // approaches"; iShare must at least not be meaningfully worse than the
     // single-pace shared plan.
-    assert!(
-        measured["iShare"] <= measured["Share-Uniform"] * 1.05,
-        "{measured:?}"
-    );
+    assert!(measured["iShare"] <= measured["Share-Uniform"] * 1.05, "{measured:?}");
 }
 
 #[test]
@@ -113,10 +104,7 @@ fn decomposition_pass_changes_the_plan_under_pressure() {
     let t = catalog
         .add_table(
             "t",
-            Schema::new(vec![
-                Field::new("k", DataType::Int),
-                Field::new("v", DataType::Int),
-            ]),
+            Schema::new(vec![Field::new("k", DataType::Int), Field::new("v", DataType::Int)]),
             TableStats {
                 row_count: n_rows as f64,
                 columns: vec![
@@ -159,10 +147,7 @@ fn decomposition_pass_changes_the_plan_under_pressure() {
         with.report.total_work.get(),
         without.report.total_work.get()
     );
-    assert!(
-        with.plan != without.plan,
-        "expected the decomposition pass to adopt a new plan"
-    );
+    assert!(with.plan != without.plan, "expected the decomposition pass to adopt a new plan");
 
     // Measured confirmation on real rows, including result equality.
     let rows: Vec<Row> = (0..n_rows as i64)
@@ -177,14 +162,9 @@ fn decomposition_pass_changes_the_plan_under_pressure() {
         CostWeights::default(),
     )
     .unwrap();
-    let run_with = execute_planned(
-        &with.plan,
-        with.paces.as_slice(),
-        &catalog,
-        &data,
-        CostWeights::default(),
-    )
-    .unwrap();
+    let run_with =
+        execute_planned(&with.plan, with.paces.as_slice(), &catalog, &data, CostWeights::default())
+            .unwrap();
     assert!(
         run_with.total_work.get() < run_without.total_work.get(),
         "measured: decomposed {} vs shared {}",
@@ -214,10 +194,9 @@ fn q15_tight_constraint_planned_and_met_by_both_noshare_variants() {
     let loose: BTreeMap<QueryId, FinalWorkConstraint> =
         [(QueryId(0), FinalWorkConstraint::Relative(1.0))].into_iter().collect();
     let batch_opts = PlanningOptions { max_pace: 1, ..Default::default() };
-    let batch = plan_workload(
-        Approach::NoShareUniform, &queries, &loose, &data.catalog, &batch_opts,
-    )
-    .unwrap();
+    let batch =
+        plan_workload(Approach::NoShareUniform, &queries, &loose, &data.catalog, &batch_opts)
+            .unwrap();
     let batch_run = execute_planned(
         &batch.plan,
         batch.paces.as_slice(),
@@ -231,11 +210,10 @@ fn q15_tight_constraint_planned_and_met_by_both_noshare_variants() {
     let cons: BTreeMap<QueryId, FinalWorkConstraint> =
         [(QueryId(0), FinalWorkConstraint::Relative(0.1))].into_iter().collect();
     let opts = PlanningOptions { max_pace: 100, ..Default::default() };
-    let uni = plan_workload(Approach::NoShareUniform, &queries, &cons, &data.catalog, &opts)
-        .unwrap();
+    let uni =
+        plan_workload(Approach::NoShareUniform, &queries, &cons, &data.catalog, &opts).unwrap();
     let non =
-        plan_workload(Approach::NoShareNonuniform, &queries, &cons, &data.catalog, &opts)
-            .unwrap();
+        plan_workload(Approach::NoShareNonuniform, &queries, &cons, &data.catalog, &opts).unwrap();
     assert!(non.plan.len() > uni.plan.len(), "blocking cuts add subplans");
     for planned in [&uni, &non] {
         let run = execute_planned(
@@ -262,16 +240,12 @@ fn absolute_constraints_respected_by_estimates() {
     let loose: BTreeMap<QueryId, FinalWorkConstraint> =
         [(QueryId(0), FinalWorkConstraint::Relative(1.0))].into_iter().collect();
     let opts = PlanningOptions { max_pace: 50, ..Default::default() };
-    let base = plan_workload(Approach::IShare, &queries, &loose, &data.catalog, &opts)
-        .unwrap();
+    let base = plan_workload(Approach::IShare, &queries, &loose, &data.catalog, &opts).unwrap();
     let batch_final = base.batch_finals[&QueryId(0)];
     // Now demand an absolute bound at 30% of it.
     let abs: BTreeMap<QueryId, FinalWorkConstraint> =
-        [(QueryId(0), FinalWorkConstraint::Absolute(batch_final * 0.3))]
-            .into_iter()
-            .collect();
-    let planned =
-        plan_workload(Approach::IShare, &queries, &abs, &data.catalog, &opts).unwrap();
+        [(QueryId(0), FinalWorkConstraint::Absolute(batch_final * 0.3))].into_iter().collect();
+    let planned = plan_workload(Approach::IShare, &queries, &abs, &data.catalog, &opts).unwrap();
     assert!(planned.feasible);
     assert!(
         planned.report.final_of(QueryId(0)).get() <= batch_final * 0.3 + 1e-6,
@@ -288,8 +262,7 @@ fn infeasible_workload_still_plans_and_runs() {
     let cons: BTreeMap<QueryId, FinalWorkConstraint> =
         [(QueryId(0), FinalWorkConstraint::Absolute(1.0))].into_iter().collect();
     let opts = PlanningOptions { max_pace: 10, ..Default::default() };
-    let planned =
-        plan_workload(Approach::IShare, &queries, &cons, &data.catalog, &opts).unwrap();
+    let planned = plan_workload(Approach::IShare, &queries, &cons, &data.catalog, &opts).unwrap();
     assert!(!planned.feasible);
     let run = execute_planned(
         &planned.plan,
@@ -299,15 +272,7 @@ fn infeasible_workload_still_plans_and_runs() {
         CostWeights::default(),
     )
     .unwrap();
-    let expected = ishare::exec::batch_ref::run_logical(
-        &queries[0].1,
-        &data.catalog,
-        &data.data,
-    )
-    .unwrap();
-    assert!(ishare::exec::approx_result_eq(
-        &run.results[&QueryId(0)],
-        &expected,
-        1e-9
-    ));
+    let expected =
+        ishare::exec::batch_ref::run_logical(&queries[0].1, &data.catalog, &data.data).unwrap();
+    assert!(ishare::exec::approx_result_eq(&run.results[&QueryId(0)], &expected, 1e-9));
 }

@@ -7,7 +7,9 @@
 //! a pure performance knob.
 
 use ishare::exec::SubplanExecutor;
-use ishare_common::{CostWeights, DataType, QueryId, QuerySet, SubplanId, TableId, Value, WorkCounter};
+use ishare_common::{
+    CostWeights, DataType, QueryId, QuerySet, SubplanId, TableId, Value, WorkCounter,
+};
 use ishare_expr::Expr;
 use ishare_plan::{AggExpr, AggFunc, InputSource, OpTree, SelectBranch, Subplan, TreeOp};
 use ishare_storage::{consolidate, Catalog, DeltaBatch, DeltaRow, Field, Row, Schema, TableStats};
@@ -82,10 +84,7 @@ fn rich_subplan() -> Subplan {
                 OpTree::node(
                     TreeOp::Select {
                         branches: vec![
-                            SelectBranch {
-                                queries: QuerySet(0b01),
-                                predicate: Expr::true_lit(),
-                            },
+                            SelectBranch { queries: QuerySet(0b01), predicate: Expr::true_lit() },
                             SelectBranch {
                                 queries: QuerySet(0b10),
                                 predicate: Expr::col(1).gt(Expr::lit(3i64)),
@@ -109,8 +108,7 @@ fn run_chunked(
     u_cuts: &[usize],
 ) -> HashMap<(Row, QuerySet), i64> {
     let c = catalog2();
-    let mut ex =
-        SubplanExecutor::new(sp, &c, &HashMap::new(), CostWeights::default()).unwrap();
+    let mut ex = SubplanExecutor::new(sp, &c, &HashMap::new(), CostWeights::default()).unwrap();
     let leaves = ex.leaf_paths();
     let counter = WorkCounter::new();
     let steps = t_cuts.len().max(u_cuts.len());
@@ -123,14 +121,8 @@ fn run_chunked(
     };
     for i in 0..steps.max(1) {
         let mut inputs = HashMap::new();
-        inputs.insert(
-            leaves[0].0.clone(),
-            DeltaBatch::from_rows(slice(t_rows, t_cuts, i)),
-        );
-        inputs.insert(
-            leaves[1].0.clone(),
-            DeltaBatch::from_rows(slice(u_rows, u_cuts, i)),
-        );
+        inputs.insert(leaves[0].0.clone(), DeltaBatch::from_rows(slice(t_rows, t_cuts, i)));
+        inputs.insert(leaves[1].0.clone(), DeltaBatch::from_rows(slice(u_rows, u_cuts, i)));
         acc.extend(ex.execute(&mut inputs, &counter).unwrap().rows);
     }
     consolidate(acc)
