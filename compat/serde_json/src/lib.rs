@@ -3,8 +3,9 @@
 //! The build container has no crates.io registry access, so the workspace
 //! vendors the slice of serde_json's API it uses: the [`Value`] tree, the
 //! [`json!`] macro for object/array literals with interpolated Rust
-//! expressions, and [`to_string_pretty`]. There is no parser and no serde
-//! trait integration.
+//! expressions, [`to_string_pretty`], and a [`from_str`] parser (used by the
+//! observability tooling to validate emitted trace/metrics artifacts). There
+//! is no serde trait integration.
 //!
 //! Known limitation of the `json!` stub: an interpolated expression may not
 //! contain a comma outside brackets/parens/braces (e.g. a `::<HashMap<K, V>>`
@@ -409,6 +410,233 @@ pub fn to_string_pretty(value: &Value) -> Result<String, Error> {
     Ok(s)
 }
 
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Self { bytes: s.as_bytes(), pos: 0 }
+    }
+
+    fn err(&self, msg: &str) -> Error {
+        Error(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn expect_literal(&mut self, lit: &str, v: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected '{lit}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        match self.peek().ok_or_else(|| self.err("unexpected end of input"))? {
+            b'n' => self.expect_literal("null", Value::Null),
+            b't' => self.expect_literal("true", Value::Bool(true)),
+            b'f' => self.expect_literal("false", Value::Bool(false)),
+            b'"' => Ok(Value::String(self.string()?)),
+            b'[' => self.array(),
+            b'{' => self.object(),
+            b'-' | b'0'..=b'9' => self.number(),
+            c => Err(self.err(&format!("unexpected character '{}'", c as char))),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            fields.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            while matches!(self.peek(), Some(c) if c != b'"' && c != b'\\') {
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| self.err("invalid utf-8"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000c}'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let cp = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: require a following \uXXXX low half.
+                                self.expect(b'\\')?;
+                                self.expect(b'u')?;
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                            } else {
+                                hi
+                            };
+                            out.push(
+                                char::from_u32(cp)
+                                    .ok_or_else(|| self.err("invalid unicode escape"))?,
+                            );
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                _ => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, Error> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(self.err("truncated \\u escape"));
+        }
+        let s = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| self.err("invalid utf-8 in \\u escape"))?;
+        let v = u32::from_str_radix(s, 16).map_err(|_| self.err("invalid hex in \\u escape"))?;
+        self.pos += 4;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                b'+' | b'-' if is_float => self.pos += 1,
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid utf-8 in number"))?;
+        // Mirror the writer: integers without '.'/exponent stay exact
+        // (UInt/Int), anything else — including integral-valued floats, which
+        // the writer prints as "2.0" — round-trips as Float.
+        let n = if is_float {
+            Number::Float(text.parse::<f64>().map_err(|_| self.err("invalid number"))?)
+        } else if text.starts_with('-') {
+            match text.parse::<i64>() {
+                Ok(v) => Number::Int(v),
+                Err(_) => {
+                    Number::Float(text.parse::<f64>().map_err(|_| self.err("invalid number"))?)
+                }
+            }
+        } else {
+            match text.parse::<u64>() {
+                Ok(v) => Number::UInt(v),
+                Err(_) => {
+                    Number::Float(text.parse::<f64>().map_err(|_| self.err("invalid number"))?)
+                }
+            }
+        };
+        Ok(Value::Number(n))
+    }
+}
+
+/// Parse a JSON document into a [`Value`]. Trailing whitespace is allowed,
+/// trailing garbage is an error.
+pub fn from_str(s: &str) -> Result<Value, Error> {
+    let mut p = Parser::new(s);
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after JSON value"));
+    }
+    Ok(v)
+}
+
 /// Build a [`Value`] from a JSON-shaped literal with interpolated Rust
 /// expressions, e.g. `json!({ "k": 1 + 1, "nested": { "xs": vec![1, 2] } })`.
 #[macro_export]
@@ -417,6 +645,7 @@ macro_rules! json {
     ([ $($tt:tt)* ]) => {{
         #[allow(clippy::vec_init_then_push)]
         let array = {
+            #[allow(unused_mut)]
             let mut array: Vec<$crate::Value> = Vec::new();
             $crate::__json_array!(array () $($tt)*);
             array
@@ -426,6 +655,7 @@ macro_rules! json {
     ({ $($tt:tt)* }) => {{
         #[allow(clippy::vec_init_then_push)]
         let object = {
+            #[allow(unused_mut)]
             let mut object: Vec<(String, $crate::Value)> = Vec::new();
             $crate::__json_object!(object $($tt)*);
             object
@@ -521,6 +751,59 @@ mod tests {
         let inner = json!({ "x": 1 });
         let outer = json!({ "run": inner.clone(), "opt": Option::<i64>::None });
         assert_eq!(outer, Value::Object(vec![("run".into(), inner), ("opt".into(), Value::Null)]));
+    }
+
+    #[test]
+    fn parse_roundtrips_compact_and_pretty() {
+        let v = json!({
+            "name": "tick.work",
+            "count": 42,
+            "neg": -7,
+            "mean": 2.0,
+            "buckets": [0.5, 1.0, 2.5],
+            "empty_obj": {},
+            "empty_arr": [],
+            "flag": true,
+            "missing": null,
+            "escaped": "a\"b\\c\nd\te",
+        });
+        assert_eq!(from_str(&to_string(&v).unwrap()).unwrap(), v);
+        assert_eq!(from_str(&to_string_pretty(&v).unwrap()).unwrap(), v);
+    }
+
+    #[test]
+    fn parse_preserves_number_variants() {
+        assert_eq!(from_str("42").unwrap(), Value::Number(Number::UInt(42)));
+        assert_eq!(from_str("-42").unwrap(), Value::Number(Number::Int(-42)));
+        assert_eq!(from_str("42.0").unwrap(), Value::Number(Number::Float(42.0)));
+        assert_eq!(from_str("1e3").unwrap(), Value::Number(Number::Float(1000.0)));
+        assert_eq!(from_str("2.5e-2").unwrap(), Value::Number(Number::Float(0.025)));
+        // u64 overflow falls back to float rather than erroring.
+        assert!(matches!(
+            from_str("99999999999999999999").unwrap(),
+            Value::Number(Number::Float(_))
+        ));
+    }
+
+    #[test]
+    fn parse_unicode_escapes() {
+        assert_eq!(from_str(r#""A\u00e9""#).unwrap(), Value::String("Aé".into()));
+        // Surrogate pair encoding U+1F600.
+        assert_eq!(from_str(r#""\ud83d\ude00""#).unwrap(), Value::String("\u{1F600}".into()));
+        // Raw multi-byte utf-8 passes through untouched.
+        assert_eq!(from_str("\"héllo\"").unwrap(), Value::String("héllo".into()));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        assert!(from_str("").is_err());
+        assert!(from_str("{").is_err());
+        assert!(from_str("[1,]").is_err());
+        assert!(from_str("{\"a\":1,}").is_err());
+        assert!(from_str("1 2").is_err());
+        assert!(from_str("\"unterminated").is_err());
+        assert!(from_str("nul").is_err());
+        assert!(from_str(r#""\ud83d""#).is_err());
     }
 
     #[test]

@@ -10,7 +10,10 @@
 //! fig17b, fig17c, scaling (parallel-driver thread sweep), all.
 //!
 //! Options: `--sf <f64>`, `--seed <u64>`, `--max-pace <u32>`,
-//! `--random-sets <n>`, `--dnf-secs <n>`.
+//! `--random-sets <n>`, `--dnf-secs <n>`, `--trace-out <path>`,
+//! `--metrics-out <path>` (the latter two apply to `scaling`: the widest
+//! thread-count run is re-executed with observability enabled and its
+//! Chrome trace / metrics snapshot written as JSON).
 
 use ishare_bench::experiments::{self, Params};
 
@@ -34,6 +37,14 @@ fn main() {
             "--random-sets" => params.random_sets = value(&args, &mut i, "--random-sets <n>"),
             "--dnf-secs" => {
                 params.dnf = std::time::Duration::from_secs(value(&args, &mut i, "--dnf-secs <n>"))
+            }
+            "--trace-out" => {
+                params.trace_out =
+                    Some(value::<std::path::PathBuf>(&args, &mut i, "--trace-out <path>"))
+            }
+            "--metrics-out" => {
+                params.metrics_out =
+                    Some(value::<std::path::PathBuf>(&args, &mut i, "--metrics-out <path>"))
             }
             other if !other.starts_with("--") => exp = other.to_string(),
             other => {

@@ -1,8 +1,8 @@
 //! The paper's experiments (Sec. 5), one function per table/figure.
 
 use crate::harness::{
-    print_table, run_approach, run_approach_threaded, run_to_json, save_json, ApproachRun, Env,
-    Workload,
+    print_table, run_approach, run_approach_obs, run_to_json, save_json, write_json_file,
+    ApproachRun, Env, Workload,
 };
 use ishare_common::{CostWeights, QueryId, Result};
 use ishare_core::decompose::{
@@ -34,11 +34,25 @@ pub struct Params {
     /// DNF cutoff for the w/o-memo and brute-force runs (the paper used 30
     /// minutes; scaled down).
     pub dnf: Duration,
+    /// Write a Chrome `trace_event` JSON of the scaling experiment's widest
+    /// run here (`--trace-out`).
+    pub trace_out: Option<std::path::PathBuf>,
+    /// Write the same run's metrics/work-breakdown JSON here
+    /// (`--metrics-out`).
+    pub metrics_out: Option<std::path::PathBuf>,
 }
 
 impl Default for Params {
     fn default() -> Self {
-        Params { sf: 0.005, seed: 42, max_pace: 100, random_sets: 3, dnf: Duration::from_secs(60) }
+        Params {
+            sf: 0.005,
+            seed: 42,
+            max_pace: 100,
+            random_sets: 3,
+            dnf: Duration::from_secs(60),
+            trace_out: None,
+            metrics_out: None,
+        }
     }
 }
 
@@ -606,21 +620,33 @@ pub fn parallel_scaling(p: &Params) -> Result<()> {
     let mut rows = Vec::new();
     let mut json = Vec::new();
     let mut baseline: Option<(ApproachRun, f64)> = None;
+    // Observability artifacts come from the widest run (most workers, most
+    // interesting trace); instrumentation is passive, so enabling it does
+    // not disturb the bit-identity assertion below.
+    let want_obs = p.trace_out.is_some() || p.metrics_out.is_some();
+    let mut obs_report = None;
     const REPS: usize = 3;
-    for threads in [1usize, 2, 4] {
+    const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+    for threads in THREAD_COUNTS {
         // Repeat and keep the fastest wall clock — single-run timings are
         // noisy on shared machines, and the work numbers are identical by
         // construction anyway.
+        let obs = (want_obs && threads == THREAD_COUNTS[THREAD_COUNTS.len() - 1])
+            .then(ishare_stream::ObsConfig::default);
         let mut best: Option<ApproachRun> = None;
         let mut elapsed_reps = Vec::with_capacity(REPS);
         for _ in 0..REPS {
-            let run = run_approach_threaded(
+            let (run, report) = run_approach_obs(
                 &mut env,
                 &workload,
                 Approach::NoShareNonuniform,
                 &opts(p),
                 threads,
+                obs,
             )?;
+            if report.is_some() {
+                obs_report = report;
+            }
             elapsed_reps.push(run.elapsed.as_secs_f64());
             if best.as_ref().map(|b| run.elapsed < b.elapsed).unwrap_or(true) {
                 best = Some(run);
@@ -660,5 +686,13 @@ pub fn parallel_scaling(p: &Params) -> Result<()> {
         &rows,
     );
     save_json("parallel_scaling", &serde_json::json!({ "available_cores": cores, "points": json }));
+    if let Some(report) = obs_report {
+        if let Some(path) = &p.trace_out {
+            write_json_file(path, &report.chrome_trace())?;
+        }
+        if let Some(path) = &p.metrics_out {
+            write_json_file(path, &report.metrics_json())?;
+        }
+    }
     Ok(())
 }

@@ -5,7 +5,8 @@ use ishare_common::{CostWeights, QueryId, Result};
 use ishare_core::{plan_workload, Approach, FinalWorkConstraint, PlanningOptions};
 use ishare_plan::LogicalPlan;
 use ishare_stream::{
-    execute_planned, execute_planned_parallel, missed_latency_stats, MissedLatencyStats,
+    execute_planned_obs, execute_planned_parallel_obs, missed_latency_stats, MissedLatencyStats,
+    ObsConfig, ObsReport,
 };
 use ishare_tpch::{generate, TpchData};
 use std::collections::BTreeMap;
@@ -50,12 +51,13 @@ impl Env {
         let opts = PlanningOptions { max_pace: 1, ..Default::default() };
         let planned =
             plan_workload(Approach::NoShareUniform, &queries, &cons, &self.data.catalog, &opts)?;
-        let run = execute_planned(
+        let run = execute_planned_obs(
             &planned.plan,
             planned.paces.as_slice(),
             &self.data.catalog,
             &self.data.data,
             CostWeights::default(),
+            None,
         )?;
         let w = run.final_work[&QueryId(0)];
         let s = run.latency[&QueryId(0)].as_secs_f64();
@@ -156,24 +158,41 @@ pub fn run_approach_threaded(
     opts: &PlanningOptions,
     threads: usize,
 ) -> Result<ApproachRun> {
+    Ok(run_approach_obs(env, workload, approach, opts, threads, None)?.0)
+}
+
+/// [`run_approach_threaded`] with opt-in observability: when `obs` is set,
+/// the driver also returns an [`ObsReport`] (per-operator × per-subplan work
+/// breakdown, metrics, tick/wavefront span trace) without perturbing any
+/// measured work number.
+pub fn run_approach_obs(
+    env: &mut Env,
+    workload: &Workload,
+    approach: Approach,
+    opts: &PlanningOptions,
+    threads: usize,
+    obs: Option<ObsConfig>,
+) -> Result<(ApproachRun, Option<ObsReport>)> {
     let (queries, cons) = workload.planner_inputs();
     let planned = plan_workload(approach, &queries, &cons, &env.data.catalog, opts)?;
-    let run = if threads == 1 {
-        execute_planned(
+    let mut run = if threads == 1 {
+        execute_planned_obs(
             &planned.plan,
             planned.paces.as_slice(),
             &env.data.catalog,
             &env.data.data,
             CostWeights::default(),
+            obs,
         )?
     } else {
-        execute_planned_parallel(
+        execute_planned_parallel_obs(
             &planned.plan,
             planned.paces.as_slice(),
             &env.data.catalog,
             &env.data.data,
             CostWeights::default(),
             threads,
+            obs,
         )?
     };
 
@@ -192,19 +211,41 @@ pub fn run_approach_threaded(
         tested_wall.insert(q, run.latency[&q].as_secs_f64());
     }
 
-    Ok(ApproachRun {
-        approach,
-        est_total: planned.report.total_work.get(),
-        measured_total: run.total_work.get(),
-        total_wall: run.total_wall,
-        opt_time: planned.opt_time,
-        missed_work: missed_latency_stats(&goals_work, &tested_work),
-        missed_wall: missed_latency_stats(&goals_wall, &tested_wall),
-        subplans: planned.plan.len(),
-        feasible: planned.feasible,
-        elapsed: run.elapsed,
-        threads,
-    })
+    let report = run.obs.take();
+    Ok((
+        ApproachRun {
+            approach,
+            est_total: planned.report.total_work.get(),
+            measured_total: run.total_work.get(),
+            total_wall: run.total_wall,
+            opt_time: planned.opt_time,
+            missed_work: missed_latency_stats(&goals_work, &tested_work),
+            missed_wall: missed_latency_stats(&goals_wall, &tested_wall),
+            subplans: planned.plan.len(),
+            feasible: planned.feasible,
+            elapsed: run.elapsed,
+            threads,
+        },
+        report,
+    ))
+}
+
+/// Write a JSON value to an explicit path (used by `--trace-out` /
+/// `--metrics-out`), creating parent directories as needed.
+pub fn write_json_file(path: &std::path::Path, value: &serde_json::Value) -> Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).map_err(|e| {
+                ishare_common::Error::InvalidConfig(format!("mkdir {parent:?}: {e}"))
+            })?;
+        }
+    }
+    let s = serde_json::to_string_pretty(value)
+        .map_err(|e| ishare_common::Error::InvalidConfig(format!("serialize: {e}")))?;
+    std::fs::write(path, s)
+        .map_err(|e| ishare_common::Error::InvalidConfig(format!("write {path:?}: {e}")))?;
+    println!("[saved {}]", path.display());
+    Ok(())
 }
 
 /// Print an aligned table.

@@ -24,4 +24,4 @@ pub use error::{Error, Result};
 pub use ids::{NodeId, SubplanId, TableId};
 pub use queryset::{QueryId, QuerySet};
 pub use value::{date, days_to_ymd, ymd_to_days, DataType, Value};
-pub use work::{CostWeights, WorkCounter, WorkUnits};
+pub use work::{CostWeights, OpKind, WorkBreakdown, WorkCounter, WorkUnits};

@@ -99,6 +99,24 @@ pub struct CostWeights {
     pub materialize: f64,
 }
 
+impl CostWeights {
+    /// The weight charged per occurrence of `kind`.
+    pub fn of(&self, kind: OpKind) -> f64 {
+        match kind {
+            OpKind::Scan => self.scan,
+            OpKind::Filter => self.filter,
+            OpKind::Project => self.project,
+            OpKind::JoinProbe => self.join_probe,
+            OpKind::JoinInsert => self.join_insert,
+            OpKind::JoinEmit => self.join_emit,
+            OpKind::AggUpdate => self.agg_update,
+            OpKind::AggEmit => self.agg_emit,
+            OpKind::MinmaxRescan => self.minmax_rescan,
+            OpKind::Materialize => self.materialize,
+        }
+    }
+}
+
 impl Default for CostWeights {
     fn default() -> Self {
         CostWeights {
@@ -116,13 +134,135 @@ impl Default for CostWeights {
     }
 }
 
+/// The kind of operator action a work charge is attributed to. Mirrors the
+/// fields of [`CostWeights`] one-to-one, so that every charge the engine
+/// makes lands in exactly one breakdown bucket and the per-kind totals
+/// provably account for all of [`WorkCounter::total`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// Reading tuples from a buffer / base delta log ([`CostWeights::scan`]).
+    Scan,
+    /// Select-branch predicate evaluations ([`CostWeights::filter`]).
+    Filter,
+    /// Projection expression evaluations ([`CostWeights::project`]).
+    Project,
+    /// Join hash probes ([`CostWeights::join_probe`]).
+    JoinProbe,
+    /// Join state insertions ([`CostWeights::join_insert`]).
+    JoinInsert,
+    /// Joined output emissions ([`CostWeights::join_emit`]).
+    JoinEmit,
+    /// Aggregate accumulator updates ([`CostWeights::agg_update`]).
+    AggUpdate,
+    /// Aggregate output emissions ([`CostWeights::agg_emit`]).
+    AggEmit,
+    /// MIN/MAX rescans after extremum deletes ([`CostWeights::minmax_rescan`]).
+    MinmaxRescan,
+    /// Materialization into subplan output buffers ([`CostWeights::materialize`]).
+    Materialize,
+}
+
+impl OpKind {
+    /// Number of distinct kinds.
+    pub const COUNT: usize = 10;
+
+    /// Every kind, in breakdown-index order.
+    pub const ALL: [OpKind; OpKind::COUNT] = [
+        OpKind::Scan,
+        OpKind::Filter,
+        OpKind::Project,
+        OpKind::JoinProbe,
+        OpKind::JoinInsert,
+        OpKind::JoinEmit,
+        OpKind::AggUpdate,
+        OpKind::AggEmit,
+        OpKind::MinmaxRescan,
+        OpKind::Materialize,
+    ];
+
+    /// Index into a [`WorkBreakdown`].
+    pub fn index(self) -> usize {
+        match self {
+            OpKind::Scan => 0,
+            OpKind::Filter => 1,
+            OpKind::Project => 2,
+            OpKind::JoinProbe => 3,
+            OpKind::JoinInsert => 4,
+            OpKind::JoinEmit => 5,
+            OpKind::AggUpdate => 6,
+            OpKind::AggEmit => 7,
+            OpKind::MinmaxRescan => 8,
+            OpKind::Materialize => 9,
+        }
+    }
+
+    /// Stable snake_case label (metric names, JSON keys).
+    pub fn label(self) -> &'static str {
+        match self {
+            OpKind::Scan => "scan",
+            OpKind::Filter => "filter",
+            OpKind::Project => "project",
+            OpKind::JoinProbe => "join_probe",
+            OpKind::JoinInsert => "join_insert",
+            OpKind::JoinEmit => "join_emit",
+            OpKind::AggUpdate => "agg_update",
+            OpKind::AggEmit => "agg_emit",
+            OpKind::MinmaxRescan => "minmax_rescan",
+            OpKind::Materialize => "materialize",
+        }
+    }
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Per-operator-kind work totals (work units per [`OpKind`], indexed by
+/// [`OpKind::index`]).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct WorkBreakdown(pub [f64; OpKind::COUNT]);
+
+impl WorkBreakdown {
+    /// Work attributed to one kind.
+    pub fn get(&self, kind: OpKind) -> f64 {
+        self.0[kind.index()]
+    }
+
+    /// Sum over all kinds. Equal to the matching [`WorkCounter::total`] up
+    /// to float re-association (the counter accumulates chronologically, the
+    /// breakdown per kind), so compare with a small epsilon.
+    pub fn sum(&self) -> f64 {
+        self.0.iter().sum()
+    }
+
+    /// Accumulate another breakdown in place.
+    pub fn add(&mut self, other: &WorkBreakdown) {
+        for (a, b) in self.0.iter_mut().zip(other.0.iter()) {
+            *a += b;
+        }
+    }
+}
+
+impl AddAssign for WorkBreakdown {
+    fn add_assign(&mut self, rhs: WorkBreakdown) {
+        self.add(&rhs);
+    }
+}
+
 /// A mutable work counter threaded through operator execution.
 ///
 /// Uses `Cell` so that operators holding shared references can still account
-/// work without threading `&mut` through the whole operator tree.
+/// work without threading `&mut` through the whole operator tree. Every
+/// charge is tagged with the [`OpKind`] it belongs to; the counter maintains
+/// the chronological `total` exactly as before *and* a per-kind breakdown,
+/// so observability can be layered on without perturbing the totals the
+/// engine's determinism guarantees are stated over.
 #[derive(Debug, Default)]
 pub struct WorkCounter {
     total: Cell<f64>,
+    by_kind: [Cell<f64>; OpKind::COUNT],
 }
 
 impl WorkCounter {
@@ -131,14 +271,12 @@ impl WorkCounter {
         Self::default()
     }
 
-    /// Add `n` occurrences of an action costing `weight` each.
-    pub fn charge(&self, weight: f64, n: usize) {
-        self.total.set(self.total.get() + weight * n as f64);
-    }
-
-    /// Add a raw amount of work.
-    pub fn charge_raw(&self, amount: f64) {
+    /// Add `n` occurrences of a `kind` action costing `weight` each.
+    pub fn charge(&self, kind: OpKind, weight: f64, n: usize) {
+        let amount = weight * n as f64;
         self.total.set(self.total.get() + amount);
+        let cell = &self.by_kind[kind.index()];
+        cell.set(cell.get() + amount);
     }
 
     /// Total work recorded so far.
@@ -146,11 +284,28 @@ impl WorkCounter {
         WorkUnits(self.total.get())
     }
 
+    /// Work recorded so far for one kind.
+    pub fn kind_total(&self, kind: OpKind) -> WorkUnits {
+        WorkUnits(self.by_kind[kind.index()].get())
+    }
+
+    /// Snapshot of the per-kind breakdown.
+    pub fn breakdown(&self) -> WorkBreakdown {
+        let mut out = [0.0; OpKind::COUNT];
+        for (o, c) in out.iter_mut().zip(self.by_kind.iter()) {
+            *o = c.get();
+        }
+        WorkBreakdown(out)
+    }
+
     /// Reset to zero and return the previous total (used to carve one
     /// incremental execution's work out of a long-lived counter).
     pub fn take(&self) -> WorkUnits {
         let t = self.total.get();
         self.total.set(0.0);
+        for c in &self.by_kind {
+            c.set(0.0);
+        }
         WorkUnits(t)
     }
 }
@@ -173,11 +328,49 @@ mod tests {
     #[test]
     fn counter_charges_and_takes() {
         let c = WorkCounter::new();
-        c.charge(2.0, 3);
-        c.charge_raw(0.5);
+        c.charge(OpKind::Scan, 2.0, 3);
+        c.charge(OpKind::Filter, 0.5, 1);
         assert_eq!(c.total(), WorkUnits(6.5));
+        assert_eq!(c.kind_total(OpKind::Scan), WorkUnits(6.0));
+        assert_eq!(c.kind_total(OpKind::Filter), WorkUnits(0.5));
         assert_eq!(c.take(), WorkUnits(6.5));
         assert_eq!(c.total(), WorkUnits::ZERO);
+        assert_eq!(c.breakdown(), WorkBreakdown::default());
+    }
+
+    #[test]
+    fn breakdown_sums_to_total() {
+        let c = WorkCounter::new();
+        for (i, kind) in OpKind::ALL.into_iter().enumerate() {
+            c.charge(kind, 0.5 + i as f64, i + 1);
+        }
+        let b = c.breakdown();
+        assert!((b.sum() - c.total().get()).abs() < 1e-9);
+        for kind in OpKind::ALL {
+            assert_eq!(b.get(kind), c.kind_total(kind).get());
+        }
+    }
+
+    #[test]
+    fn opkind_index_and_labels_are_consistent() {
+        for (i, kind) in OpKind::ALL.into_iter().enumerate() {
+            assert_eq!(kind.index(), i);
+            assert_eq!(kind.to_string(), kind.label());
+        }
+        let labels: std::collections::HashSet<&str> =
+            OpKind::ALL.iter().map(|k| k.label()).collect();
+        assert_eq!(labels.len(), OpKind::COUNT);
+    }
+
+    #[test]
+    fn breakdown_accumulates() {
+        let mut a = WorkBreakdown::default();
+        let mut b = WorkBreakdown::default();
+        b.0[OpKind::JoinProbe.index()] = 2.0;
+        a += b;
+        a += b;
+        assert_eq!(a.get(OpKind::JoinProbe), 4.0);
+        assert_eq!(a.sum(), 4.0);
     }
 
     #[test]

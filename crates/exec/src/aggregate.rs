@@ -19,7 +19,7 @@
 //! the paper's "if a max value is deleted, the max operator needs to rescan
 //! all arrived values" (Sec. 5.3, Q15).
 
-use ishare_common::{CostWeights, Error, QuerySet, Result, Value, WorkCounter};
+use ishare_common::{CostWeights, Error, OpKind, QuerySet, Result, Value, WorkCounter};
 use ishare_expr::eval::eval;
 use ishare_expr::Expr;
 use ishare_plan::{AggExpr, AggFunc};
@@ -149,7 +149,11 @@ impl Accumulator {
                     // The extremum was deleted: find the new one. The engine
                     // charges the rescan against all arrived values (paper
                     // Sec. 5.3) — the cost a log-backed IVM engine pays.
-                    counter.charge(weights.minmax_rescan, (*arrived).max(0) as usize);
+                    counter.charge(
+                        OpKind::MinmaxRescan,
+                        weights.minmax_rescan,
+                        (*arrived).max(0) as usize,
+                    );
                     *cached = if *min {
                         values.keys().min().cloned()
                     } else {
@@ -243,7 +247,7 @@ impl AggState {
         let mut touched: Vec<Vec<Value>> = Vec::new();
         let mut touched_set: HashSet<Vec<Value>> = HashSet::new();
         for dr in &input.rows {
-            counter.charge(weights.agg_update, aggs.len().max(1));
+            counter.charge(OpKind::AggUpdate, weights.agg_update, aggs.len().max(1));
             let mut key = Vec::with_capacity(group_by.len());
             for (e, _) in group_by {
                 key.push(eval(e, dr.row.values())?);
@@ -306,7 +310,7 @@ impl AggState {
             }
             for ((mask, row), w) in diff {
                 if w != 0 {
-                    counter.charge(weights.agg_emit, w.unsigned_abs() as usize);
+                    counter.charge(OpKind::AggEmit, weights.agg_emit, w.unsigned_abs() as usize);
                     out.push(DeltaRow { row, weight: w, mask });
                 }
             }

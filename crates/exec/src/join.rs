@@ -12,7 +12,7 @@
 //! Rows with a NULL join key never match and are not stored (SQL inner
 //! equi-join semantics).
 
-use ishare_common::{CostWeights, Error, Result, Value, WorkCounter};
+use ishare_common::{CostWeights, Error, OpKind, Result, Value, WorkCounter};
 use ishare_expr::eval::eval;
 use ishare_expr::Expr;
 use ishare_storage::{DeltaBatch, DeltaRow, Row};
@@ -64,7 +64,7 @@ impl JoinState {
         // ΔL ⋈ R_old
         let left_keyed = key_rows(&left_delta, keys.iter().map(|(l, _)| l))?;
         for (key, dr) in &left_keyed {
-            counter.charge(weights.join_probe, 1);
+            counter.charge(OpKind::JoinProbe, weights.join_probe, 1);
             if let Some(matches) = self.right.get(key) {
                 for ((rrow, rmask), rw) in matches {
                     emit(&mut out, dr, rrow, *rmask, *rw, false, weights, counter);
@@ -73,13 +73,13 @@ impl JoinState {
         }
         // Insert ΔL.
         for (key, dr) in &left_keyed {
-            counter.charge(weights.join_insert, 1);
+            counter.charge(OpKind::JoinInsert, weights.join_insert, 1);
             insert_side(&mut self.left, &mut self.left_entries, key, dr)?;
         }
         // ΔR ⋈ L_new (covers L_old⋈ΔR and ΔL⋈ΔR).
         let right_keyed = key_rows(&right_delta, keys.iter().map(|(_, r)| r))?;
         for (key, dr) in &right_keyed {
-            counter.charge(weights.join_probe, 1);
+            counter.charge(OpKind::JoinProbe, weights.join_probe, 1);
             if let Some(matches) = self.left.get(key) {
                 for ((lrow, lmask), lw) in matches {
                     emit(&mut out, dr, lrow, *lmask, *lw, true, weights, counter);
@@ -87,7 +87,7 @@ impl JoinState {
             }
         }
         for (key, dr) in &right_keyed {
-            counter.charge(weights.join_insert, 1);
+            counter.charge(OpKind::JoinInsert, weights.join_insert, 1);
             insert_side(&mut self.right, &mut self.right_entries, key, dr)?;
         }
         Ok(out)
@@ -157,7 +157,7 @@ fn emit(
     if mask.is_empty() || stored_weight == 0 {
         return;
     }
-    counter.charge(weights.join_emit, 1);
+    counter.charge(OpKind::JoinEmit, weights.join_emit, 1);
     let row =
         if delta_is_right { stored_row.concat(&delta.row) } else { delta.row.concat(stored_row) };
     out.push(DeltaRow { row, weight: delta.weight * stored_weight, mask });

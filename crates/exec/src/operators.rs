@@ -1,6 +1,6 @@
 //! Stateless operators: input narrowing, marking select, project.
 
-use ishare_common::{CostWeights, QuerySet, Result, WorkCounter};
+use ishare_common::{CostWeights, OpKind, QuerySet, Result, WorkCounter};
 use ishare_expr::eval::{eval, eval_predicate};
 use ishare_plan::SelectBranch;
 use ishare_storage::{DeltaBatch, DeltaRow, Row};
@@ -14,7 +14,7 @@ pub fn narrow_input(
     weights: &CostWeights,
     counter: &WorkCounter,
 ) -> DeltaBatch {
-    counter.charge(weights.scan, batch.len());
+    counter.charge(OpKind::Scan, weights.scan, batch.len());
     batch
         .rows
         .iter()
@@ -46,7 +46,7 @@ pub fn apply_select(
             if bits.is_empty() {
                 continue;
             }
-            counter.charge(weights.filter, 1);
+            counter.charge(OpKind::Filter, weights.filter, 1);
             if b.predicate.is_true_lit() || eval_predicate(&b.predicate, r.row.values())? {
                 mask = mask.union(bits);
             }
@@ -67,7 +67,7 @@ pub fn apply_project(
 ) -> Result<DeltaBatch> {
     let mut out = DeltaBatch::new();
     for r in batch.rows {
-        counter.charge(weights.project, exprs.len());
+        counter.charge(OpKind::Project, weights.project, exprs.len());
         let mut vals = Vec::with_capacity(exprs.len());
         for (e, _) in exprs {
             vals.push(eval(e, r.row.values())?);

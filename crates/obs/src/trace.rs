@@ -1,0 +1,290 @@
+//! Bounded in-memory trace of tick / wavefront spans, exportable as Chrome
+//! `trace_event` JSON (loadable in `chrome://tracing` and Perfetto).
+//!
+//! Spans are recorded with microsecond offsets from the start of the run.
+//! Each worker thread gets its own track (`tid`), so the parallel driver's
+//! utilization and stragglers are visible as gaps on worker lanes; wavefront
+//! spans live on a dedicated track above the workers.
+
+use serde_json::{json, Value};
+
+/// What a [`Span`] covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanKind {
+    /// One subplan tick (one incremental or final execution).
+    Tick,
+    /// One wavefront: all ticks sharing an arrival fraction.
+    Wavefront,
+}
+
+/// One recorded span. For `Tick` spans `sp` is the subplan index and
+/// `num`/`den` its arrival fraction; for `Wavefront` spans `sp` is the
+/// wavefront's ordinal and `num`/`den` the shared fraction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Span {
+    /// Tick or wavefront.
+    pub kind: SpanKind,
+    /// Subplan index (ticks) or wavefront ordinal (wavefronts).
+    pub sp: u32,
+    /// Arrival-fraction numerator.
+    pub num: u32,
+    /// Arrival-fraction denominator.
+    pub den: u32,
+    /// Dependency depth level within the wavefront (0 for wavefront spans).
+    pub depth: u32,
+    /// Worker thread index that ran the span (0 in the sequential driver).
+    pub worker: u32,
+    /// Start offset from the beginning of the run, microseconds.
+    pub start_us: u64,
+    /// Duration, microseconds.
+    pub dur_us: u64,
+    /// Work units charged during the span.
+    pub work: f64,
+    /// `true` iff this is the subplan's final (fraction 1) execution.
+    pub is_final: bool,
+}
+
+impl Span {
+    fn name(&self) -> String {
+        match self.kind {
+            SpanKind::Tick => {
+                let suffix = if self.is_final { " final" } else { "" };
+                format!("sp{} {}/{}{}", self.sp, self.num, self.den, suffix)
+            }
+            SpanKind::Wavefront => format!("front {} ({}/{})", self.sp, self.num, self.den),
+        }
+    }
+}
+
+/// Track id carrying wavefront spans; worker `w` maps to track `w + 1`.
+pub const WAVEFRONT_TID: u64 = 0;
+
+/// A bounded append-only span buffer. When full, further spans are counted
+/// in [`dropped`](TraceBuffer::dropped) but not stored, so a long run cannot
+/// grow the trace without bound.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceBuffer {
+    spans: Vec<Span>,
+    capacity: usize,
+    dropped: usize,
+}
+
+impl TraceBuffer {
+    /// Default capacity: enough for every tick of any bench workload while
+    /// bounding worst-case memory to a few MiB.
+    pub const DEFAULT_CAPACITY: usize = 1 << 16;
+
+    /// Empty buffer holding at most `capacity` spans.
+    pub fn new(capacity: usize) -> Self {
+        Self { spans: Vec::new(), capacity, dropped: 0 }
+    }
+
+    /// Record a span, dropping it (counted) if the buffer is full.
+    pub fn push(&mut self, span: Span) {
+        if self.spans.len() < self.capacity {
+            self.spans.push(span);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// Absorb another buffer's spans (used when folding per-run traces).
+    pub fn extend(&mut self, other: &TraceBuffer) {
+        for s in &other.spans {
+            self.push(*s);
+        }
+        self.dropped += other.dropped;
+    }
+
+    /// Recorded spans, in insertion order.
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// Number of spans that did not fit.
+    pub fn dropped(&self) -> usize {
+        self.dropped
+    }
+
+    /// `true` iff nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Export as a Chrome `trace_event` JSON document:
+    /// `{"traceEvents": [...], "displayTimeUnit": "ms"}`. Every span becomes
+    /// a complete (`"ph": "X"`) event with `ts`/`dur` in microseconds; each
+    /// worker gets its own `tid` named via `thread_name` metadata events, and
+    /// wavefront spans ride on [`WAVEFRONT_TID`].
+    pub fn chrome_trace(&self) -> Value {
+        let mut events: Vec<Value> = Vec::with_capacity(self.spans.len() + 8);
+        let mut workers: Vec<u32> = self
+            .spans
+            .iter()
+            .filter(|s| s.kind == SpanKind::Tick)
+            .map(|s| s.worker)
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        workers.sort_unstable();
+        if self.spans.iter().any(|s| s.kind == SpanKind::Wavefront) {
+            events.push(json!({
+                "ph": "M", "pid": 1, "tid": WAVEFRONT_TID, "name": "thread_name",
+                "args": { "name": "wavefronts" },
+            }));
+        }
+        for w in workers {
+            events.push(json!({
+                "ph": "M", "pid": 1, "tid": (w as u64) + 1, "name": "thread_name",
+                "args": { "name": format!("worker {w}") },
+            }));
+        }
+        for s in &self.spans {
+            let tid = match s.kind {
+                SpanKind::Tick => (s.worker as u64) + 1,
+                SpanKind::Wavefront => WAVEFRONT_TID,
+            };
+            let cat = match s.kind {
+                SpanKind::Tick => "tick",
+                SpanKind::Wavefront => "wavefront",
+            };
+            events.push(json!({
+                "ph": "X",
+                "pid": 1,
+                "tid": tid,
+                "ts": s.start_us,
+                "dur": s.dur_us,
+                "name": s.name(),
+                "cat": cat,
+                "args": {
+                    "sp": s.sp,
+                    "frac": format!("{}/{}", s.num, s.den),
+                    "depth": s.depth,
+                    "worker": s.worker,
+                    "work": s.work,
+                    "is_final": s.is_final,
+                },
+            }));
+        }
+        json!({ "traceEvents": events, "displayTimeUnit": "ms" })
+    }
+}
+
+impl Default for TraceBuffer {
+    fn default() -> Self {
+        Self::new(Self::DEFAULT_CAPACITY)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tick(sp: u32, worker: u32, start_us: u64, dur_us: u64) -> Span {
+        Span {
+            kind: SpanKind::Tick,
+            sp,
+            num: 1,
+            den: 2,
+            depth: 0,
+            worker,
+            start_us,
+            dur_us,
+            work: 10.0,
+            is_final: false,
+        }
+    }
+
+    #[test]
+    fn capacity_bounds_the_buffer() {
+        let mut t = TraceBuffer::new(2);
+        for i in 0..5 {
+            t.push(tick(0, 0, i * 10, 5));
+        }
+        assert_eq!(t.spans().len(), 2);
+        assert_eq!(t.dropped(), 3);
+    }
+
+    #[test]
+    fn golden_chrome_trace_for_two_subplan_run() {
+        // A tiny 2-subplan run: two wavefronts, two workers. Spans are built
+        // by hand (real drivers stamp wall-clock durations, which are not
+        // reproducible) so the exported JSON is byte-stable.
+        let mut t = TraceBuffer::new(16);
+        t.push(Span {
+            kind: SpanKind::Wavefront,
+            sp: 0,
+            num: 1,
+            den: 2,
+            depth: 0,
+            worker: 0,
+            start_us: 0,
+            dur_us: 30,
+            work: 25.0,
+            is_final: false,
+        });
+        t.push(tick(0, 0, 0, 10));
+        t.push(tick(1, 1, 0, 25));
+        t.push(Span {
+            kind: SpanKind::Wavefront,
+            sp: 1,
+            num: 2,
+            den: 2,
+            depth: 0,
+            worker: 0,
+            start_us: 30,
+            dur_us: 20,
+            work: 50.0,
+            is_final: true,
+        });
+        t.push(Span {
+            kind: SpanKind::Tick,
+            sp: 0,
+            num: 2,
+            den: 2,
+            depth: 0,
+            worker: 0,
+            start_us: 30,
+            dur_us: 18,
+            work: 50.0,
+            is_final: true,
+        });
+        let got = serde_json::to_string(&t.chrome_trace()).unwrap();
+        let want = concat!(
+            "{\"traceEvents\":[",
+            "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"thread_name\",",
+            "\"args\":{\"name\":\"wavefronts\"}},",
+            "{\"ph\":\"M\",\"pid\":1,\"tid\":1,\"name\":\"thread_name\",",
+            "\"args\":{\"name\":\"worker 0\"}},",
+            "{\"ph\":\"M\",\"pid\":1,\"tid\":2,\"name\":\"thread_name\",",
+            "\"args\":{\"name\":\"worker 1\"}},",
+            "{\"ph\":\"X\",\"pid\":1,\"tid\":0,\"ts\":0,\"dur\":30,",
+            "\"name\":\"front 0 (1/2)\",\"cat\":\"wavefront\",",
+            "\"args\":{\"sp\":0,\"frac\":\"1/2\",\"depth\":0,\"worker\":0,",
+            "\"work\":25.0,\"is_final\":false}},",
+            "{\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":0,\"dur\":10,",
+            "\"name\":\"sp0 1/2\",\"cat\":\"tick\",",
+            "\"args\":{\"sp\":0,\"frac\":\"1/2\",\"depth\":0,\"worker\":0,",
+            "\"work\":10.0,\"is_final\":false}},",
+            "{\"ph\":\"X\",\"pid\":1,\"tid\":2,\"ts\":0,\"dur\":25,",
+            "\"name\":\"sp1 1/2\",\"cat\":\"tick\",",
+            "\"args\":{\"sp\":1,\"frac\":\"1/2\",\"depth\":0,\"worker\":1,",
+            "\"work\":10.0,\"is_final\":false}},",
+            "{\"ph\":\"X\",\"pid\":1,\"tid\":0,\"ts\":30,\"dur\":20,",
+            "\"name\":\"front 1 (2/2)\",\"cat\":\"wavefront\",",
+            "\"args\":{\"sp\":1,\"frac\":\"2/2\",\"depth\":0,\"worker\":0,",
+            "\"work\":50.0,\"is_final\":true}},",
+            "{\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":30,\"dur\":18,",
+            "\"name\":\"sp0 2/2 final\",\"cat\":\"tick\",",
+            "\"args\":{\"sp\":0,\"frac\":\"2/2\",\"depth\":0,\"worker\":0,",
+            "\"work\":50.0,\"is_final\":true}}",
+            "],\"displayTimeUnit\":\"ms\"}",
+        );
+        assert_eq!(got, want);
+
+        // And the export survives the compat parser.
+        let reparsed = serde_json::from_str(&got).unwrap();
+        assert_eq!(reparsed["traceEvents"][3]["ph"], "X");
+        assert_eq!(reparsed["traceEvents"][3]["dur"].as_i64(), Some(30));
+    }
+}

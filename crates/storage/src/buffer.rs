@@ -18,11 +18,22 @@ use ishare_common::{Error, Result};
 pub struct ConsumerId(usize);
 
 /// An append-only delta buffer with independently paced consumers.
+///
+/// Offsets are *absolute* stream positions; internally the buffer may drop a
+/// prefix that every registered consumer has already read ([`compact`]), in
+/// which case `rows[i]` holds the row at absolute position `base + i`.
+///
+/// [`compact`]: DeltaBuffer::compact
 #[derive(Debug, Default)]
 pub struct DeltaBuffer {
     rows: Vec<DeltaRow>,
-    /// `offsets[c]` = index of the first row consumer `c` has NOT yet read.
+    /// Absolute position of `rows[0]`; rows before it were compacted away.
+    base: usize,
+    /// `offsets[c]` = absolute position of the first row consumer `c` has
+    /// NOT yet read.
     offsets: Vec<usize>,
+    /// Largest number of rows ever resident at once (post-compaction peak).
+    high_water: usize,
 }
 
 impl DeltaBuffer {
@@ -32,7 +43,13 @@ impl DeltaBuffer {
     }
 
     /// Register a new consumer starting at the beginning of the stream.
+    ///
+    /// Consumers must be registered before any [`compact`] call; a consumer
+    /// registered later would start at position 0, below the compacted base.
+    ///
+    /// [`compact`]: DeltaBuffer::compact
     pub fn register_consumer(&mut self) -> ConsumerId {
+        assert_eq!(self.base, 0, "cannot register a consumer after compaction");
         self.offsets.push(0);
         ConsumerId(self.offsets.len() - 1)
     }
@@ -42,35 +59,60 @@ impl DeltaBuffer {
         self.offsets.len()
     }
 
-    /// Total rows ever appended.
+    /// Total rows ever appended (compacted rows included).
     pub fn len(&self) -> usize {
+        self.base + self.rows.len()
+    }
+
+    /// Rows currently resident in memory.
+    pub fn retained_len(&self) -> usize {
         self.rows.len()
+    }
+
+    /// Rows dropped by [`compact`](DeltaBuffer::compact) so far.
+    pub fn compacted(&self) -> usize {
+        self.base
+    }
+
+    /// Largest number of rows ever resident at once. This is the buffer's
+    /// memory footprint peak: without compaction it equals [`len`], with
+    /// per-wavefront compaction it tracks the widest consumer lag.
+    ///
+    /// [`len`]: DeltaBuffer::len
+    pub fn high_water(&self) -> usize {
+        self.high_water
     }
 
     /// `true` iff nothing was ever appended.
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.len() == 0
     }
 
     /// Append one row.
     pub fn push(&mut self, row: DeltaRow) {
         self.rows.push(row);
+        self.high_water = self.high_water.max(self.rows.len());
     }
 
     /// Append a whole batch.
     pub fn append(&mut self, batch: &DeltaBatch) {
         self.rows.extend(batch.rows.iter().cloned());
+        self.high_water = self.high_water.max(self.rows.len());
     }
 
-    /// All rows appended so far (used by batch/one-shot execution and tests).
+    /// All rows appended so far (used by batch/one-shot execution, final
+    /// query views, and tests). Only callable while the full stream is still
+    /// resident — i.e. on buffers that were never compacted, such as query
+    /// root buffers (no consumers) and batch-mode buffers.
     pub fn all_rows(&self) -> &[DeltaRow] {
+        assert_eq!(self.base, 0, "all_rows() on a compacted buffer would miss dropped rows");
         &self.rows
     }
 
     /// Rows the consumer has not yet seen, *without* advancing its cursor.
     pub fn peek(&self, c: ConsumerId) -> Result<&[DeltaRow]> {
         let off = self.offset(c)?;
-        Ok(&self.rows[off..])
+        Ok(&self.rows[off - self.base..])
     }
 
     /// Rows the consumer has not yet seen, advancing its cursor to the end.
@@ -78,12 +120,12 @@ impl DeltaBuffer {
     /// incremental executions.
     pub fn pull(&mut self, c: ConsumerId) -> Result<DeltaBatch> {
         let off = self.offset(c)?;
-        let batch = DeltaBatch::from_rows(self.rows[off..].to_vec());
-        self.offsets[c.0] = self.rows.len();
+        let batch = DeltaBatch::from_rows(self.rows[off - self.base..].to_vec());
+        self.offsets[c.0] = self.len();
         Ok(batch)
     }
 
-    /// Current cursor of a consumer.
+    /// Current cursor of a consumer (absolute stream position).
     pub fn offset(&self, c: ConsumerId) -> Result<usize> {
         self.offsets
             .get(c.0)
@@ -91,15 +133,42 @@ impl DeltaBuffer {
             .ok_or_else(|| Error::NotFound(format!("buffer consumer #{}", c.0)))
     }
 
-    /// Rows pending for a consumer.
+    /// Rows pending for a consumer (its lag behind the head of the stream).
     pub fn pending(&self, c: ConsumerId) -> Result<usize> {
-        Ok(self.rows.len() - self.offset(c)?)
+        Ok(self.len() - self.offset(c)?)
+    }
+
+    /// Lag of every registered consumer, indexed by registration order.
+    pub fn lags(&self) -> Vec<usize> {
+        let len = self.len();
+        self.offsets.iter().map(|&off| len - off).collect()
+    }
+
+    /// Drop the prefix every registered consumer has already read, returning
+    /// the number of rows freed. A consumer never re-reads below its cursor,
+    /// so this cannot change what any future `pull`/`peek` observes.
+    ///
+    /// Buffers with no consumers (query roots, whose full stream backs the
+    /// final result views) are left untouched.
+    pub fn compact(&mut self) -> usize {
+        if self.offsets.is_empty() {
+            return 0;
+        }
+        let min_off = *self.offsets.iter().min().expect("non-empty offsets");
+        let drop = min_off - self.base;
+        if drop > 0 {
+            self.rows.drain(..drop);
+            self.base = min_off;
+        }
+        drop
     }
 
     /// Drop all rows and reset every cursor (used when re-running an
     /// experiment on the same plan structure).
     pub fn reset(&mut self) {
         self.rows.clear();
+        self.base = 0;
+        self.high_water = 0;
         for off in &mut self.offsets {
             *off = 0;
         }
@@ -157,6 +226,79 @@ mod tests {
         // `a` has no consumer with that id.
         assert!(a.pull(c_other).is_err());
         assert!(a.peek(c_other).is_err());
+    }
+
+    #[test]
+    fn compact_drops_only_fully_consumed_prefix() {
+        let mut b = DeltaBuffer::new();
+        let c1 = b.register_consumer();
+        let c2 = b.register_consumer();
+        for v in 0..6 {
+            b.push(dr(v));
+        }
+        b.pull(c1).unwrap(); // c1 at 6
+                             // c2 still at 0: nothing can be dropped.
+        assert_eq!(b.compact(), 0);
+        assert_eq!(b.retained_len(), 6);
+
+        let got2 = b.pull(c2).unwrap();
+        assert_eq!(got2.len(), 6);
+        assert_eq!(b.compact(), 6);
+        assert_eq!(b.retained_len(), 0);
+        assert_eq!(b.len(), 6);
+        assert_eq!(b.compacted(), 6);
+
+        // The stream continues seamlessly at absolute position 6.
+        b.push(dr(6));
+        b.push(dr(7));
+        assert_eq!(b.pending(c1).unwrap(), 2);
+        let got1 = b.pull(c1).unwrap();
+        assert_eq!(got1.len(), 2);
+        assert_eq!(got1.rows[0].row.get(0), &Value::Int(6));
+        assert_eq!(b.compact(), 0); // c2 lags again
+        assert_eq!(b.pull(c2).unwrap().len(), 2);
+        assert_eq!(b.compact(), 2);
+        assert_eq!(b.len(), 8);
+    }
+
+    #[test]
+    fn compact_is_noop_without_consumers() {
+        let mut b = DeltaBuffer::new();
+        b.push(dr(1));
+        b.push(dr(2));
+        assert_eq!(b.compact(), 0);
+        assert_eq!(b.all_rows().len(), 2);
+    }
+
+    #[test]
+    fn high_water_tracks_resident_peak() {
+        let mut b = DeltaBuffer::new();
+        let c = b.register_consumer();
+        for v in 0..4 {
+            b.push(dr(v));
+        }
+        assert_eq!(b.high_water(), 4);
+        b.pull(c).unwrap();
+        b.compact();
+        b.push(dr(4));
+        // Peak stays at 4 even though only 1 row is resident now.
+        assert_eq!(b.retained_len(), 1);
+        assert_eq!(b.high_water(), 4);
+        for v in 5..10 {
+            b.push(dr(v));
+        }
+        assert_eq!(b.high_water(), 6);
+    }
+
+    #[test]
+    fn lags_report_per_consumer_backlog() {
+        let mut b = DeltaBuffer::new();
+        let c1 = b.register_consumer();
+        let _c2 = b.register_consumer();
+        b.push(dr(1));
+        b.push(dr(2));
+        b.pull(c1).unwrap();
+        assert_eq!(b.lags(), vec![0, 2]);
     }
 
     #[test]

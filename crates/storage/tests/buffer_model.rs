@@ -38,6 +38,8 @@ proptest! {
                     );
                     // Immediately pulling again yields nothing.
                     prop_assert!(buf.pull(consumers[c]).unwrap().is_empty());
+                    // Compacting after a pull never changes what anyone sees.
+                    buf.compact();
                 }
             }
         }

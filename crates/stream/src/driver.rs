@@ -5,14 +5,17 @@
 //! correctness oracle: the parallel driver in [`crate::parallel`] must
 //! produce bit-identical work totals and results for any thread count.
 
-use crate::schedule::{build_schedule, Tick};
+use crate::schedule::{build_schedule, wavefronts, Tick};
 use ishare_common::{
-    CostWeights, Error, QueryId, QuerySet, Result, TableId, WorkCounter, WorkUnits,
+    CostWeights, Error, OpKind, QueryId, QuerySet, Result, TableId, WorkBreakdown, WorkCounter,
+    WorkUnits,
 };
 use ishare_exec::{query_result, QueryResult, SubplanExecutor};
+use ishare_obs::{ExecCounts, ObsConfig, ObsReport, Span, SpanKind, TraceBuffer};
 use ishare_plan::{InputSource, SharedPlan};
 use ishare_storage::{Catalog, ConsumerId, DeltaBuffer, DeltaRow, Row};
 use std::collections::{BTreeMap, HashMap};
+use std::ops::Range;
 use std::time::{Duration, Instant};
 
 /// Measured outcome of one paced run.
@@ -34,10 +37,17 @@ pub struct RunResult {
     pub results: BTreeMap<QueryId, QueryResult>,
     /// Number of incremental executions performed.
     pub executions: usize,
+    /// Per query: how many times its subplans executed, split into
+    /// incremental (fraction < 1) and final refreshes. A subplan shared by
+    /// several queries counts once for each.
+    pub executions_per_query: BTreeMap<QueryId, ExecCounts>,
     /// End-to-end wall clock of the whole run — setup, feeding, execution,
     /// and result extraction. Unlike `total_wall` this does not double-count
     /// concurrent work, so it is the number to compare across thread counts.
     pub elapsed: Duration,
+    /// Observability report; present iff the run was started with an
+    /// [`ObsConfig`] (the `*_obs` entry points).
+    pub obs: Option<ObsReport>,
 }
 
 /// Everything a driver needs to run a schedule: buffers, executors, and the
@@ -135,6 +145,196 @@ pub(crate) fn per_query_views(
     Ok((final_work, latency, results))
 }
 
+/// Per-tick measurement taken by either driver: the tick's work/wall plus
+/// the passive observations (per-kind breakdown, start offset from the run's
+/// beginning, worker index) used to build the [`ObsReport`].
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct TickRec {
+    pub(crate) work: WorkUnits,
+    pub(crate) wall: Duration,
+    pub(crate) breakdown: WorkBreakdown,
+    pub(crate) start: Duration,
+    pub(crate) worker: u32,
+}
+
+/// Timing of one wavefront (all ticks at one arrival fraction).
+#[derive(Debug, Clone)]
+pub(crate) struct FrontRec {
+    pub(crate) range: Range<usize>,
+    pub(crate) num: u32,
+    pub(crate) den: u32,
+    pub(crate) start: Duration,
+    pub(crate) dur: Duration,
+}
+
+/// `true` for every subplan whose output buffer may be compacted between
+/// wavefronts. Query roots are excluded: their full output stream backs the
+/// final result views ([`per_query_views`]).
+pub(crate) fn compactable_mask(plan: &SharedPlan, all_queries: QuerySet) -> Vec<bool> {
+    let mut mask = vec![true; plan.len()];
+    for q in all_queries.iter() {
+        if let Some(root) = plan.query_root(q) {
+            mask[root.index()] = false;
+        }
+    }
+    mask
+}
+
+/// What [`fold_run`] produces: the deterministic run totals (identical maths
+/// in both drivers — the linchpin of the bit-identical guarantee) plus the
+/// observability report when requested.
+pub(crate) struct FoldedRun {
+    pub(crate) total_work: WorkUnits,
+    pub(crate) total_wall: Duration,
+    pub(crate) final_sp_work: Vec<f64>,
+    pub(crate) final_sp_wall: Vec<Duration>,
+    pub(crate) executions: usize,
+    pub(crate) executions_per_query: BTreeMap<QueryId, ExecCounts>,
+    pub(crate) obs: Option<ObsReport>,
+}
+
+/// Fold per-tick records in global schedule order into run totals, per-query
+/// execution counts, and (when `obs_cfg` is set) the span trace, metrics,
+/// and per-subplan work breakdown.
+pub(crate) fn fold_run(
+    plan: &SharedPlan,
+    all_queries: QuerySet,
+    schedule: &[Tick],
+    depths: &[usize],
+    recs: &[TickRec],
+    fronts: &[FrontRec],
+    obs_cfg: Option<ObsConfig>,
+) -> FoldedRun {
+    let mut total_work = WorkUnits::ZERO;
+    let mut total_wall = Duration::ZERO;
+    let mut final_sp_work: Vec<f64> = vec![0.0; plan.len()];
+    let mut final_sp_wall: Vec<Duration> = vec![Duration::ZERO; plan.len()];
+    let mut executions = 0usize;
+    let mut sp_exec: Vec<ExecCounts> = vec![ExecCounts::default(); plan.len()];
+    for (tick, rec) in schedule.iter().zip(recs) {
+        total_work += rec.work;
+        total_wall += rec.wall;
+        executions += 1;
+        let i = tick.sp.index();
+        if tick.is_final {
+            final_sp_work[i] = rec.work.get();
+            final_sp_wall[i] = rec.wall;
+            sp_exec[i].finals += 1;
+        } else {
+            sp_exec[i].incremental += 1;
+        }
+    }
+    let mut executions_per_query = BTreeMap::new();
+    for q in all_queries.iter() {
+        let mut counts = ExecCounts::default();
+        for id in plan.subplans_of_query(q) {
+            counts.incremental += sp_exec[id.index()].incremental;
+            counts.finals += sp_exec[id.index()].finals;
+        }
+        executions_per_query.insert(q, counts);
+    }
+
+    let obs = obs_cfg.map(|cfg| {
+        let mut work_by_subplan: Vec<WorkBreakdown> = vec![WorkBreakdown::default(); plan.len()];
+        let mut trace = TraceBuffer::new(cfg.trace_capacity);
+        let mut metrics = ishare_obs::MetricsRegistry::new();
+        for (tick, rec) in schedule.iter().zip(recs) {
+            let i = tick.sp.index();
+            work_by_subplan[i] += rec.breakdown;
+            trace.push(Span {
+                kind: SpanKind::Tick,
+                sp: tick.sp.0,
+                num: tick.num,
+                den: tick.den,
+                depth: depths[i] as u32,
+                worker: rec.worker,
+                start_us: rec.start.as_micros() as u64,
+                dur_us: rec.wall.as_micros() as u64,
+                work: rec.work.get(),
+                is_final: tick.is_final,
+            });
+            metrics.histogram_record("tick.work", rec.work.get());
+            metrics.histogram_record("tick.wall_us", rec.wall.as_micros() as f64);
+        }
+        for (fi, front) in fronts.iter().enumerate() {
+            let front_work: f64 = recs[front.range.clone()].iter().map(|r| r.work.get()).sum();
+            let is_final = schedule[front.range.clone()].iter().any(|t| t.is_final);
+            trace.push(Span {
+                kind: SpanKind::Wavefront,
+                sp: fi as u32,
+                num: front.num,
+                den: front.den,
+                depth: 0,
+                worker: 0,
+                start_us: front.start.as_micros() as u64,
+                dur_us: front.dur.as_micros() as u64,
+                work: front_work,
+                is_final,
+            });
+        }
+        let mut global = WorkBreakdown::default();
+        for b in &work_by_subplan {
+            global.add(b);
+        }
+        metrics.counter_add("work.total", total_work.get());
+        for kind in OpKind::ALL {
+            let w = global.get(kind);
+            if w != 0.0 {
+                metrics.counter_add(&format!("work.{kind}"), w);
+            }
+        }
+        metrics.counter_add(
+            "executions.incremental",
+            sp_exec.iter().map(|e| e.incremental).sum::<u64>() as f64,
+        );
+        metrics
+            .counter_add("executions.final", sp_exec.iter().map(|e| e.finals).sum::<u64>() as f64);
+        ObsReport {
+            total_work: total_work.get(),
+            work_by_subplan,
+            executions_by_subplan: sp_exec.clone(),
+            metrics,
+            trace,
+        }
+    });
+
+    FoldedRun {
+        total_work,
+        total_wall,
+        final_sp_work,
+        final_sp_wall,
+        executions,
+        executions_per_query,
+        obs,
+    }
+}
+
+/// Record end-of-run buffer gauges (high-water marks, retained/compacted
+/// rows, consumer lags) into an [`ObsReport`]'s registry.
+pub(crate) fn buffer_gauges(
+    report: &mut ObsReport,
+    base_buffers: &HashMap<TableId, DeltaBuffer>,
+    sp_buffers: &[DeltaBuffer],
+) {
+    let mut tables: Vec<&TableId> = base_buffers.keys().collect();
+    tables.sort();
+    for t in tables {
+        let b = &base_buffers[t];
+        report
+            .metrics
+            .gauge_set(&format!("buffer.base.t{}.high_water", t.0), b.high_water() as f64);
+        report.metrics.gauge_set(&format!("buffer.base.t{}.len", t.0), b.len() as f64);
+    }
+    for (i, b) in sp_buffers.iter().enumerate() {
+        report.metrics.gauge_set(&format!("buffer.sp{i}.high_water"), b.high_water() as f64);
+        report.metrics.gauge_set(&format!("buffer.sp{i}.len"), b.len() as f64);
+        report.metrics.gauge_set(&format!("buffer.sp{i}.compacted"), b.compacted() as f64);
+        for (c, lag) in b.lags().into_iter().enumerate() {
+            report.metrics.gauge_set(&format!("buffer.sp{i}.lag.c{c}"), lag as f64);
+        }
+    }
+}
+
 /// Execute `plan` at `paces` over insert-only `data` (each base relation's
 /// full trigger of rows in arrival order). See [`execute_planned_deltas`]
 /// for streams containing deletes/updates.
@@ -147,6 +347,20 @@ pub fn execute_planned(
 ) -> Result<RunResult> {
     let feeds = insert_feeds(data);
     execute_planned_deltas(plan, paces, catalog, &feeds, weights)
+}
+
+/// [`execute_planned`] with opt-in observability (see
+/// [`execute_planned_deltas_obs`]).
+pub fn execute_planned_obs(
+    plan: &SharedPlan,
+    paces: &[u32],
+    catalog: &Catalog,
+    data: &HashMap<TableId, Vec<Row>>,
+    weights: CostWeights,
+    obs: Option<ObsConfig>,
+) -> Result<RunResult> {
+    let feeds = insert_feeds(data);
+    execute_planned_deltas_obs(plan, paces, catalog, &feeds, weights, obs)
 }
 
 /// Wrap insert-only rows as weight-`+1` delta feeds.
@@ -170,9 +384,27 @@ pub fn execute_planned_deltas(
     data: &HashMap<TableId, Vec<(Row, i64)>>,
     weights: CostWeights,
 ) -> Result<RunResult> {
+    execute_planned_deltas_obs(plan, paces, catalog, data, weights, None)
+}
+
+/// [`execute_planned_deltas`] with opt-in observability: when `obs` is set
+/// the returned [`RunResult::obs`] carries the per-subplan work breakdown,
+/// metrics, and tick/wavefront span trace. Instrumentation is passive (it
+/// reads counters and the wall clock only), so the run's work numbers are
+/// bit-identical with `obs` on or off.
+pub fn execute_planned_deltas_obs(
+    plan: &SharedPlan,
+    paces: &[u32],
+    catalog: &Catalog,
+    data: &HashMap<TableId, Vec<(Row, i64)>>,
+    weights: CostWeights,
+    obs: Option<ObsConfig>,
+) -> Result<RunResult> {
     let run_started = Instant::now();
     let tick_list = build_schedule(plan, paces)?;
     let all_queries = plan.queries();
+    let depths = plan.depths();
+    let compactable = compactable_mask(plan, all_queries);
     let EngineState {
         mut base_buffers,
         mut base_fed,
@@ -181,52 +413,75 @@ pub fn execute_planned_deltas(
         leaf_consumers,
     } = setup_engine(plan, catalog, weights)?;
 
-    // Run.
-    let mut total_work = WorkUnits::ZERO;
-    let mut total_wall = Duration::ZERO;
-    let mut final_sp_work: Vec<f64> = vec![0.0; plan.len()];
-    let mut final_sp_wall: Vec<Duration> = vec![Duration::ZERO; plan.len()];
-    let mut executions = 0usize;
-
-    for tick in &tick_list {
-        // 1. Feed base buffers up to this tick's arrival fraction.
-        feed_fraction(data, tick.num, tick.den, all_queries, &mut base_fed, |t, dr| {
+    // Run, one wavefront (= one arrival fraction) at a time. Ticks still
+    // execute in global schedule order; grouping by front lets the driver
+    // feed each base once per fraction and compact buffers between fronts.
+    let mut recs: Vec<TickRec> = Vec::with_capacity(tick_list.len());
+    let mut fronts: Vec<FrontRec> = Vec::new();
+    for front in wavefronts(&tick_list) {
+        let head = tick_list[front.start];
+        feed_fraction(data, head.num, head.den, all_queries, &mut base_fed, |t, dr| {
             base_buffers.get_mut(&t).expect("registered table").push(dr)
         });
-        // 2. Execute the subplan.
-        let i = tick.sp.index();
-        let (work, wall) = run_tick(
-            tick,
-            &mut base_buffers,
-            &mut sp_buffers,
-            &mut executors,
-            &leaf_consumers,
-            &weights,
-        )?;
-        total_work += work;
-        total_wall += wall;
-        executions += 1;
-        if tick.is_final {
-            final_sp_work[i] = work.get();
-            final_sp_wall[i] = wall;
+        let front_start = run_started.elapsed();
+        for tick in &tick_list[front.clone()] {
+            let start = run_started.elapsed();
+            let (work, wall, breakdown) = run_tick(
+                tick,
+                &mut base_buffers,
+                &mut sp_buffers,
+                &mut executors,
+                &leaf_consumers,
+                &weights,
+            )?;
+            recs.push(TickRec { work, wall, breakdown, start, worker: 0 });
+        }
+        fronts.push(FrontRec {
+            range: front,
+            num: head.num,
+            den: head.den,
+            start: front_start,
+            dur: run_started.elapsed() - front_start,
+        });
+        // Reclaim fully consumed prefixes. Consumers never re-read below
+        // their cursor, so this cannot change what later ticks see.
+        for b in base_buffers.values_mut() {
+            b.compact();
+        }
+        for (i, b) in sp_buffers.iter_mut().enumerate() {
+            if compactable[i] {
+                b.compact();
+            }
         }
     }
 
-    let (final_work, latency, results) =
-        per_query_views(plan, all_queries, &final_sp_work, &final_sp_wall, &sp_buffers)?;
+    let folded = fold_run(plan, all_queries, &tick_list, &depths, &recs, &fronts, obs);
+    let mut obs_report = folded.obs;
+    if let Some(report) = obs_report.as_mut() {
+        buffer_gauges(report, &base_buffers, &sp_buffers);
+    }
+    let (final_work, latency, results) = per_query_views(
+        plan,
+        all_queries,
+        &folded.final_sp_work,
+        &folded.final_sp_wall,
+        &sp_buffers,
+    )?;
     Ok(RunResult {
-        total_work,
-        total_wall,
+        total_work: folded.total_work,
+        total_wall: folded.total_wall,
         final_work,
         latency,
         results,
-        executions,
+        executions: folded.executions,
+        executions_per_query: folded.executions_per_query,
         elapsed: run_started.elapsed(),
+        obs: obs_report,
     })
 }
 
 /// One incremental execution: pull every leaf delta, run the subplan,
-/// materialize the output. Returns the tick's (work, wall).
+/// materialize the output. Returns the tick's (work, wall, breakdown).
 fn run_tick(
     tick: &Tick,
     base_buffers: &mut HashMap<TableId, DeltaBuffer>,
@@ -234,7 +489,7 @@ fn run_tick(
     executors: &mut [SubplanExecutor],
     leaf_consumers: &[Vec<(Vec<usize>, InputSource, ConsumerId)>],
     weights: &CostWeights,
-) -> Result<(WorkUnits, Duration)> {
+) -> Result<(WorkUnits, Duration, WorkBreakdown)> {
     let i = tick.sp.index();
     let counter = WorkCounter::new();
     let started = Instant::now();
@@ -249,9 +504,9 @@ fn run_tick(
         inputs.insert(path.clone(), batch);
     }
     let out = executors[i].execute(&mut inputs, &counter)?;
-    counter.charge(weights.materialize, out.len());
+    counter.charge(OpKind::Materialize, weights.materialize, out.len());
     sp_buffers[i].append(&out);
-    Ok((counter.total(), started.elapsed()))
+    Ok((counter.total(), started.elapsed(), counter.breakdown()))
 }
 
 #[cfg(test)]

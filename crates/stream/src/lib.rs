@@ -34,6 +34,13 @@ pub mod measure;
 pub mod parallel;
 pub mod schedule;
 
-pub use driver::{execute_planned, execute_planned_deltas, RunResult};
+pub use driver::{
+    execute_planned, execute_planned_deltas, execute_planned_deltas_obs, execute_planned_obs,
+    RunResult,
+};
+pub use ishare_obs::{ExecCounts, ObsConfig, ObsReport};
 pub use measure::{missed_latency_stats, MissedLatencyStats};
-pub use parallel::{execute_planned_deltas_parallel, execute_planned_parallel};
+pub use parallel::{
+    execute_planned_deltas_parallel, execute_planned_deltas_parallel_obs, execute_planned_parallel,
+    execute_planned_parallel_obs,
+};

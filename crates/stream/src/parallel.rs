@@ -31,11 +31,15 @@
 //! sequential driver performs within a front are no-ops anyway.
 
 use crate::driver::{
-    feed_fraction, insert_feeds, per_query_views, setup_engine, EngineState, RunResult,
+    buffer_gauges, compactable_mask, feed_fraction, fold_run, insert_feeds, per_query_views,
+    setup_engine, EngineState, FrontRec, RunResult, TickRec,
 };
 use crate::schedule::{build_schedule, depth_levels, wavefronts, Tick};
-use ishare_common::{CostWeights, Error, Result, TableId, WorkCounter, WorkUnits};
+use ishare_common::{
+    CostWeights, Error, OpKind, Result, TableId, WorkBreakdown, WorkCounter, WorkUnits,
+};
 use ishare_exec::SubplanExecutor;
+use ishare_obs::ObsConfig;
 use ishare_plan::{InputSource, SharedPlan};
 use ishare_storage::{Catalog, ConsumerId, DeltaBuffer, Row};
 use std::collections::HashMap;
@@ -56,6 +60,21 @@ pub fn execute_planned_parallel(
     execute_planned_deltas_parallel(plan, paces, catalog, &feeds, weights, threads)
 }
 
+/// [`execute_planned_parallel`] with opt-in observability (see
+/// [`execute_planned_deltas_parallel_obs`]).
+pub fn execute_planned_parallel_obs(
+    plan: &SharedPlan,
+    paces: &[u32],
+    catalog: &Catalog,
+    data: &HashMap<TableId, Vec<Row>>,
+    weights: CostWeights,
+    threads: usize,
+    obs: Option<ObsConfig>,
+) -> Result<RunResult> {
+    let feeds = insert_feeds(data);
+    execute_planned_deltas_parallel_obs(plan, paces, catalog, &feeds, weights, threads, obs)
+}
+
 /// Parallel [`crate::execute_planned_deltas`]: weighted delta feeds,
 /// `threads` workers. Produces work totals and results bit-identical to the
 /// sequential driver for any `threads ≥ 1`; `threads == 0` is rejected.
@@ -67,6 +86,24 @@ pub fn execute_planned_deltas_parallel(
     weights: CostWeights,
     threads: usize,
 ) -> Result<RunResult> {
+    execute_planned_deltas_parallel_obs(plan, paces, catalog, data, weights, threads, None)
+}
+
+/// [`execute_planned_deltas_parallel`] with opt-in observability: when `obs`
+/// is set, [`RunResult::obs`] carries per-subplan work breakdowns, metrics,
+/// and a tick/wavefront span trace with one track per worker. The
+/// instrumentation only reads tick-local counters and the wall clock, so
+/// work numbers stay bit-identical to the sequential driver with `obs` on
+/// or off.
+pub fn execute_planned_deltas_parallel_obs(
+    plan: &SharedPlan,
+    paces: &[u32],
+    catalog: &Catalog,
+    data: &HashMap<TableId, Vec<(Row, i64)>>,
+    weights: CostWeights,
+    threads: usize,
+    obs: Option<ObsConfig>,
+) -> Result<RunResult> {
     if threads == 0 {
         return Err(Error::InvalidConfig("thread count must be at least 1".into()));
     }
@@ -74,18 +111,20 @@ pub fn execute_planned_deltas_parallel(
     let schedule = build_schedule(plan, paces)?;
     let all_queries = plan.queries();
     let depths = plan.depths();
+    let compactable = compactable_mask(plan, all_queries);
     let EngineState { base_buffers, mut base_fed, sp_buffers, executors, leaf_consumers } =
         setup_engine(plan, catalog, weights)?;
     // Shared-state wrappers. Plain `Mutex` (not `RwLock`): every buffer
     // access — even a read — advances a consumer cursor via `pull(&mut)`.
     let mut base_buffers: HashMap<TableId, Mutex<DeltaBuffer>> =
         base_buffers.into_iter().map(|(t, b)| (t, Mutex::new(b))).collect();
-    let sp_buffers: Vec<Mutex<DeltaBuffer>> = sp_buffers.into_iter().map(Mutex::new).collect();
+    let mut sp_buffers: Vec<Mutex<DeltaBuffer>> = sp_buffers.into_iter().map(Mutex::new).collect();
     let executors: Vec<Mutex<SubplanExecutor>> = executors.into_iter().map(Mutex::new).collect();
 
     // Per-tick measurements, indexed by global schedule position and folded
     // in that order below — the linchpin of the bit-identical guarantee.
-    let mut recs: Vec<Option<(WorkUnits, Duration)>> = vec![None; schedule.len()];
+    let mut recs: Vec<Option<TickRec>> = vec![None; schedule.len()];
+    let mut fronts: Vec<FrontRec> = Vec::new();
 
     for front in wavefronts(&schedule) {
         // Feed every base to this front's arrival fraction (single-threaded
@@ -99,93 +138,123 @@ pub fn execute_planned_deltas_parallel(
                 .expect("buffer lock poisoned")
                 .push(dr)
         });
+        let front_start = run_started.elapsed();
         for level in depth_levels(&schedule[front.clone()], &depths) {
             let ticks: Vec<usize> = level.map(|o| front.start + o).collect();
             if threads == 1 || ticks.len() == 1 {
                 for &g in &ticks {
-                    recs[g] = Some(run_tick(
+                    let start = run_started.elapsed();
+                    let (work, wall, breakdown) = run_tick(
                         &schedule[g],
                         &base_buffers,
                         &sp_buffers,
                         &executors,
                         &leaf_consumers,
                         &weights,
-                    )?);
+                    )?;
+                    recs[g] = Some(TickRec { work, wall, breakdown, start, worker: 0 });
                 }
             } else {
                 // Work-stealing over the level: workers grab the next tick
                 // index until the level is drained.
                 let next = AtomicUsize::new(0);
                 let workers = threads.min(ticks.len());
-                let mut outcomes: Vec<(usize, Result<(WorkUnits, Duration)>)> =
-                    std::thread::scope(|s| {
-                        let handles: Vec<_> = (0..workers)
-                            .map(|_| {
-                                s.spawn(|| {
-                                    let mut done = Vec::new();
-                                    loop {
-                                        let j = next.fetch_add(1, Ordering::Relaxed);
-                                        let Some(&g) = ticks.get(j) else { break };
-                                        done.push((
-                                            g,
-                                            run_tick(
-                                                &schedule[g],
-                                                &base_buffers,
-                                                &sp_buffers,
-                                                &executors,
-                                                &leaf_consumers,
-                                                &weights,
-                                            ),
-                                        ));
-                                    }
-                                    done
-                                })
+                type Outcome = (usize, Result<(WorkUnits, Duration, WorkBreakdown)>, Duration);
+                let mut outcomes: Vec<(u32, Outcome)> = std::thread::scope(|s| {
+                    let handles: Vec<_> = (0..workers as u32)
+                        .map(|w| {
+                            let next = &next;
+                            let ticks = &ticks;
+                            let schedule = &schedule;
+                            let base_buffers = &base_buffers;
+                            let sp_buffers = &sp_buffers;
+                            let executors = &executors;
+                            let leaf_consumers = &leaf_consumers;
+                            let weights = &weights;
+                            s.spawn(move || {
+                                let mut done = Vec::new();
+                                loop {
+                                    let j = next.fetch_add(1, Ordering::Relaxed);
+                                    let Some(&g) = ticks.get(j) else { break };
+                                    let start = run_started.elapsed();
+                                    let outcome = run_tick(
+                                        &schedule[g],
+                                        base_buffers,
+                                        sp_buffers,
+                                        executors,
+                                        leaf_consumers,
+                                        weights,
+                                    );
+                                    done.push((w, (g, outcome, start)));
+                                }
+                                done
                             })
-                            .collect();
-                        handles
-                            .into_iter()
-                            .flat_map(|h| h.join().expect("worker thread panicked"))
-                            .collect()
-                    });
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .flat_map(|h| h.join().expect("worker thread panicked"))
+                        .collect()
+                });
                 // Surface the earliest failing tick in schedule order, as
                 // the sequential driver would.
-                outcomes.sort_by_key(|(g, _)| *g);
-                for (g, outcome) in outcomes {
-                    recs[g] = Some(outcome?);
+                outcomes.sort_by_key(|(_, (g, _, _))| *g);
+                for (w, (g, outcome, start)) in outcomes {
+                    let (work, wall, breakdown) = outcome?;
+                    recs[g] = Some(TickRec { work, wall, breakdown, start, worker: w });
                 }
+            }
+        }
+        fronts.push(FrontRec {
+            range: front,
+            num: head.num,
+            den: head.den,
+            start: front_start,
+            dur: run_started.elapsed() - front_start,
+        });
+        // Reclaim fully consumed prefixes between fronts (single-threaded
+        // here, so `get_mut`); cursors are absolute, later pulls unaffected.
+        for b in base_buffers.values_mut() {
+            b.get_mut().expect("buffer lock poisoned").compact();
+        }
+        for (i, b) in sp_buffers.iter_mut().enumerate() {
+            if compactable[i] {
+                b.get_mut().expect("buffer lock poisoned").compact();
             }
         }
     }
 
-    // Fold per-tick records in global schedule order.
-    let mut total_work = WorkUnits::ZERO;
-    let mut total_wall = Duration::ZERO;
-    let mut final_sp_work: Vec<f64> = vec![0.0; plan.len()];
-    let mut final_sp_wall: Vec<Duration> = vec![Duration::ZERO; plan.len()];
-    let mut executions = 0usize;
-    for (tick, rec) in schedule.iter().zip(&recs) {
-        let (work, wall) = rec.expect("every scheduled tick ran");
-        total_work += work;
-        total_wall += wall;
-        executions += 1;
-        if tick.is_final {
-            final_sp_work[tick.sp.index()] = work.get();
-            final_sp_wall[tick.sp.index()] = wall;
-        }
-    }
+    let recs: Vec<TickRec> =
+        recs.into_iter().map(|r| r.expect("every scheduled tick ran")).collect();
+    let folded = fold_run(plan, all_queries, &schedule, &depths, &recs, &fronts, obs);
 
+    let base_buffers: HashMap<TableId, DeltaBuffer> = base_buffers
+        .into_iter()
+        .map(|(t, m)| (t, m.into_inner().expect("buffer lock poisoned")))
+        .collect();
     let sp_buffers: Vec<DeltaBuffer> =
         sp_buffers.into_iter().map(|m| m.into_inner().expect("buffer lock poisoned")).collect();
-    let (final_work, latency, results) =
-        per_query_views(plan, all_queries, &final_sp_work, &final_sp_wall, &sp_buffers)?;
+    let mut obs_report = folded.obs;
+    if let Some(report) = obs_report.as_mut() {
+        buffer_gauges(report, &base_buffers, &sp_buffers);
+    }
+    let (final_work, latency, results) = per_query_views(
+        plan,
+        all_queries,
+        &folded.final_sp_work,
+        &folded.final_sp_wall,
+        &sp_buffers,
+    )?;
     Ok(RunResult {
-        total_work,
-        total_wall,
+        total_work: folded.total_work,
+        total_wall: folded.total_wall,
         final_work,
         latency,
         results,
-        executions,
+        executions: folded.executions,
+        executions_per_query: folded.executions_per_query,
         elapsed: run_started.elapsed(),
+        obs: obs_report,
     })
 }
 
@@ -200,7 +269,7 @@ fn run_tick(
     executors: &[Mutex<SubplanExecutor>],
     leaf_consumers: &[Vec<(Vec<usize>, InputSource, ConsumerId)>],
     weights: &CostWeights,
-) -> Result<(WorkUnits, Duration)> {
+) -> Result<(WorkUnits, Duration, WorkBreakdown)> {
     let i = tick.sp.index();
     let counter = WorkCounter::new();
     let started = Instant::now();
@@ -221,9 +290,9 @@ fn run_tick(
     }
     let out =
         executors[i].lock().expect("executor lock poisoned").execute(&mut inputs, &counter)?;
-    counter.charge(weights.materialize, out.len());
+    counter.charge(OpKind::Materialize, weights.materialize, out.len());
     sp_buffers[i].lock().expect("buffer lock poisoned").append(&out);
-    Ok((counter.total(), started.elapsed()))
+    Ok((counter.total(), started.elapsed(), counter.breakdown()))
 }
 
 #[cfg(test)]

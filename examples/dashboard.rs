@@ -1,5 +1,6 @@
 //! Recurring-dashboard scenario (the paper's introduction): several daily
-//! reports over the same TPC-H stream, due at different times.
+//! reports over the same TPC-H stream, due at different times — plus the
+//! live observability view of the winning plan.
 //!
 //! ```text
 //! cargo run --release --example dashboard
@@ -8,13 +9,83 @@
 //! The 6am data load feeds four dashboards: two due right away (tight
 //! constraints) and two due mid-morning (loose constraints). The example
 //! compares all four planning approaches on measured work and per-dashboard
-//! final work, showing iShare meeting every deadline at the lowest cost.
+//! final work, then renders the iShare run's [`ObsReport`]: the
+//! per-operator work breakdown, per-subplan execution counts, delta-buffer
+//! high-water gauges from the metrics registry, and per-dashboard
+//! missed-latency statistics against the resolved goals.
+//!
+//! [`ObsReport`]: ishare::stream::ObsReport
 
-use ishare::core::{plan_workload, Approach, FinalWorkConstraint, PlanningOptions};
-use ishare::stream::execute_planned;
+use ishare::core::{
+    plan_workload, resolve_constraints, Approach, FinalWorkConstraint, PlanningOptions,
+};
+use ishare::stream::{execute_planned_obs, missed_latency_stats, ObsConfig, ObsReport};
 use ishare::tpch::{generate, query_by_name};
-use ishare_common::{CostWeights, QueryId};
+use ishare_common::{CostWeights, OpKind, QueryId};
 use std::collections::BTreeMap;
+
+fn bar(value: f64, max: f64) -> String {
+    const WIDTH: f64 = 40.0;
+    let n = if max > 0.0 { (WIDTH * value / max).round() as usize } else { 0 };
+    "#".repeat(n)
+}
+
+fn render_report(
+    report: &ObsReport,
+    goals: &BTreeMap<QueryId, f64>,
+    final_work: &BTreeMap<QueryId, f64>,
+    dashboards: &[(&str, &str, f64)],
+) {
+    println!("\n== iShare observability report ==");
+
+    let breakdown = report.breakdown();
+    let max = OpKind::ALL.iter().map(|&k| breakdown.get(k)).fold(0.0, f64::max);
+    println!(
+        "\nwork by operator (total {:.0}, breakdown {:.0}):",
+        report.total_work,
+        breakdown.sum()
+    );
+    for kind in OpKind::ALL {
+        let w = breakdown.get(kind);
+        if w != 0.0 {
+            println!("  {:<14} {:>12.0}  {}", kind.label(), w, bar(w, max));
+        }
+    }
+
+    println!("\nexecutions per subplan (incremental + final):");
+    for (i, e) in report.executions_by_subplan.iter().enumerate() {
+        println!(
+            "  sp{i:<3} {:>4} incremental + {} final  (work {:.0})",
+            e.incremental,
+            e.finals,
+            report.work_by_subplan[i].sum()
+        );
+    }
+
+    println!("\ndelta-buffer high-water gauges (resident rows at peak):");
+    for (name, value) in report.metrics.gauges() {
+        if name.ends_with(".high_water") && value > 0.0 {
+            println!("  {name:<28} {value:>8.0}");
+        }
+    }
+
+    println!("\nmissed latency per dashboard (goal = rel × batch final work):");
+    for (i, (label, name, _)) in dashboards.iter().enumerate() {
+        let q = QueryId(i as u16);
+        let (goal, tested) = (goals[&q], final_work[&q]);
+        let missed = (tested - goal).max(0.0);
+        println!(
+            "  {label:<32} [{name}] goal {goal:>10.0}  final {tested:>10.0}  missed {:>8.0} ({:.1}%)",
+            missed,
+            if goal > 0.0 { 100.0 * missed / goal } else { 0.0 },
+        );
+    }
+    let stats = missed_latency_stats(goals, final_work);
+    println!(
+        "  across dashboards: mean missed {:.0} ({:.1}%), max missed {:.0} ({:.1}%)",
+        stats.mean_abs, stats.mean_pct, stats.max_abs, stats.max_pct
+    );
+}
 
 fn main() -> ishare::Result<()> {
     let data = generate(0.003, 7)?;
@@ -38,21 +109,25 @@ fn main() -> ishare::Result<()> {
         .enumerate()
         .map(|(i, (_, _, frac))| (QueryId(i as u16), FinalWorkConstraint::Relative(*frac)))
         .collect();
+    let goals = resolve_constraints(&queries, &constraints, &data.catalog, CostWeights::default())?;
 
     let opts = PlanningOptions { max_pace: 50, ..Default::default() };
+    let mut ishare_view: Option<(ObsReport, BTreeMap<QueryId, f64>)> = None;
     for approach in [
         Approach::NoShareUniform,
         Approach::NoShareNonuniform,
         Approach::ShareUniform,
         Approach::IShare,
     ] {
+        let obs = (approach == Approach::IShare).then(ObsConfig::default);
         let planned = plan_workload(approach, &queries, &constraints, &data.catalog, &opts)?;
-        let run = execute_planned(
+        let mut run = execute_planned_obs(
             &planned.plan,
             planned.paces.as_slice(),
             &data.catalog,
             &data.data,
             CostWeights::default(),
+            obs,
         )?;
         println!(
             "\n{} — total work {:.0}, wall {:?}, {} subplans, paces {}",
@@ -70,6 +145,13 @@ fn main() -> ishare::Result<()> {
                 run.results[&q].len()
             );
         }
+        if let Some(report) = run.obs.take() {
+            ishare_view = Some((report, run.final_work.clone()));
+        }
+    }
+
+    if let Some((report, final_work)) = &ishare_view {
+        render_report(report, &goals, final_work, &dashboards);
     }
     Ok(())
 }

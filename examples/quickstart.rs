@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! cargo run --release --example quickstart [-- --threads N]
+//!     [--trace-out trace.json] [--metrics-out metrics.json]
 //! ```
 //!
 //! Builds a tiny catalog, registers two queries over the same stream — a
@@ -10,25 +11,42 @@
 //! alert that cannot (0.1) — lets iShare plan them, and executes the plan
 //! against simulated arrivals, comparing against Share-Uniform. With
 //! `--threads N > 1` the run uses the multi-threaded driver, whose work
-//! numbers are bit-identical to the sequential one.
+//! numbers are bit-identical to the sequential one. `--trace-out` /
+//! `--metrics-out` enable observability on the iShare run and write its
+//! Chrome `trace_event` JSON (open in `chrome://tracing` or Perfetto) and
+//! per-operator work/metrics snapshot.
 
 use ishare::core::{plan_workload, Approach, FinalWorkConstraint, PlanningOptions};
 use ishare::plan::PlanBuilder;
-use ishare::stream::{execute_planned, execute_planned_parallel};
+use ishare::stream::{execute_planned_obs, execute_planned_parallel_obs, ObsConfig};
 use ishare_common::{CostWeights, DataType, QueryId, Value};
 use ishare_expr::Expr;
 use ishare_storage::{Catalog, Field, Row, Schema, TableStats};
 use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+fn write_json(path: &PathBuf, value: &serde_json::Value) -> ishare::Result<()> {
+    if let Some(parent) = path.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    let text = serde_json::to_string_pretty(value)
+        .map_err(|e| ishare_common::Error::InvalidConfig(format!("serialize {path:?}: {e}")))?;
+    std::fs::write(path, text)
+        .map_err(|e| ishare_common::Error::InvalidConfig(format!("write {path:?}: {e}")))?;
+    println!("[saved {}]", path.display());
+    Ok(())
+}
 
 fn main() -> ishare::Result<()> {
-    // 0. Worker threads (1 = sequential reference driver).
+    // 0. Worker threads (1 = sequential reference driver) and optional
+    //    observability artifact paths.
     let args: Vec<String> = std::env::args().collect();
-    let threads = args
-        .iter()
-        .position(|a| a == "--threads")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse::<usize>().ok())
-        .unwrap_or(1);
+    let flag =
+        |name: &str| args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned();
+    let threads = flag("--threads").and_then(|v| v.parse::<usize>().ok()).unwrap_or(1);
+    let trace_out = flag("--trace-out").map(PathBuf::from);
+    let metrics_out = flag("--metrics-out").map(PathBuf::from);
+    let want_obs = trace_out.is_some() || metrics_out.is_some();
 
     // 1. A catalog with one streamed relation: orders(customer, amount).
     let mut catalog = Catalog::new();
@@ -79,23 +97,28 @@ fn main() -> ishare::Result<()> {
         "approach", "total work", "report final", "alert final", "elapsed"
     );
     for approach in [Approach::ShareUniform, Approach::IShare] {
+        // Observability is opt-in and passive: enabling it on the iShare run
+        // leaves every measured work number bit-identical.
+        let obs = (want_obs && approach == Approach::IShare).then(ObsConfig::default);
         let planned = plan_workload(approach, &queries, &constraints, &catalog, &opts)?;
-        let run = if threads == 1 {
-            execute_planned(
+        let mut run = if threads == 1 {
+            execute_planned_obs(
                 &planned.plan,
                 planned.paces.as_slice(),
                 &catalog,
                 &data,
                 CostWeights::default(),
+                obs,
             )?
         } else {
-            execute_planned_parallel(
+            execute_planned_parallel_obs(
                 &planned.plan,
                 planned.paces.as_slice(),
                 &catalog,
                 &data,
                 CostWeights::default(),
                 threads,
+                obs,
             )?
         };
         println!(
@@ -107,6 +130,14 @@ fn main() -> ishare::Result<()> {
             run.elapsed.as_secs_f64(),
             planned.paces
         );
+        if let Some(report) = run.obs.take() {
+            if let Some(path) = &trace_out {
+                write_json(path, &report.chrome_trace())?;
+            }
+            if let Some(path) = &metrics_out {
+                write_json(path, &report.metrics_json())?;
+            }
+        }
     }
     println!(
         "\niShare runs the shared scan+aggregate eagerly only where the alert \

@@ -26,6 +26,7 @@ pub use ishare_cost as cost;
 pub use ishare_exec as exec;
 pub use ishare_expr as expr;
 pub use ishare_mqo as mqo;
+pub use ishare_obs as obs;
 pub use ishare_plan as plan;
 pub use ishare_storage as storage;
 pub use ishare_stream as stream;

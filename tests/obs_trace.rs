@@ -1,0 +1,148 @@
+//! Observability artifacts are well-formed: the Chrome trace produced by a
+//! real run parses, carries valid span events, has non-overlapping spans per
+//! worker track, and the metrics document round-trips through the JSON
+//! parser with its work invariants intact.
+
+use ishare::stream::{
+    execute_planned_deltas_obs, execute_planned_deltas_parallel_obs, ObsConfig, ObsReport,
+};
+use ishare_common::{CostWeights, DataType, QueryId, QuerySet, TableId, Value};
+use ishare_expr::Expr;
+use ishare_plan::{AggExpr, AggFunc, DagOp, SelectBranch, SharedDag, SharedPlan};
+use ishare_storage::{Catalog, Field, Row, Schema, TableStats};
+use std::collections::HashMap;
+
+type DeltaFeeds = HashMap<TableId, Vec<(Row, i64)>>;
+
+/// A two-query plan that `from_dag` cuts into three subplans (shared
+/// scan+select trunk, one aggregate per query).
+fn tiny_workload() -> (Catalog, SharedPlan, DeltaFeeds) {
+    let mut c = Catalog::new();
+    let t = c
+        .add_table(
+            "t",
+            Schema::new(vec![Field::new("k", DataType::Int), Field::new("v", DataType::Int)]),
+            TableStats::unknown(100.0, 2),
+        )
+        .unwrap();
+    let qs = |ids: &[u16]| QuerySet::from_iter(ids.iter().map(|&i| QueryId(i)));
+    let mut d = SharedDag::new();
+    let scan = d.add_node(DagOp::Scan { table: t }, vec![], qs(&[0, 1])).unwrap();
+    let branches = vec![
+        SelectBranch { queries: qs(&[0]), predicate: Expr::true_lit() },
+        SelectBranch { queries: qs(&[1]), predicate: Expr::col(1).lt(Expr::lit(50i64)) },
+    ];
+    let sel = d.add_node(DagOp::Select { branches }, vec![scan], qs(&[0, 1])).unwrap();
+    for q in 0..2u16 {
+        let agg = d
+            .add_node(
+                DagOp::Aggregate {
+                    group_by: vec![(Expr::col(0), "k".into())],
+                    aggs: vec![AggExpr::new(AggFunc::Sum, Expr::col(1), "a")],
+                },
+                vec![sel],
+                qs(&[q]),
+            )
+            .unwrap();
+        d.set_query_root(QueryId(q), agg).unwrap();
+    }
+    let plan = SharedPlan::from_dag(&d, |_| false).unwrap();
+    let feed: Vec<(Row, i64)> =
+        (0..120).map(|i| (Row::new(vec![Value::Int(i % 5), Value::Int(i % 100)]), 1i64)).collect();
+    (c, plan, [(t, feed)].into_iter().collect())
+}
+
+fn run_with_obs(threads: usize) -> (f64, ObsReport) {
+    let (c, plan, data) = tiny_workload();
+    let paces = vec![4u32; plan.len()];
+    let run = if threads == 1 {
+        execute_planned_deltas_obs(
+            &plan,
+            &paces,
+            &c,
+            &data,
+            CostWeights::default(),
+            Some(ObsConfig::default()),
+        )
+        .unwrap()
+    } else {
+        execute_planned_deltas_parallel_obs(
+            &plan,
+            &paces,
+            &c,
+            &data,
+            CostWeights::default(),
+            threads,
+            Some(ObsConfig::default()),
+        )
+        .unwrap()
+    };
+    (run.total_work.get(), run.obs.unwrap())
+}
+
+fn check_chrome_trace(trace: &serde_json::Value) {
+    let events = trace["traceEvents"].as_array().expect("traceEvents array");
+    assert!(!events.is_empty(), "trace must contain events");
+    let mut spans_by_tid: HashMap<i64, Vec<(i64, i64)>> = HashMap::new();
+    let mut saw_span = false;
+    for ev in events {
+        match ev["ph"].as_str().expect("ph field") {
+            "M" => {
+                assert_eq!(ev["name"].as_str(), Some("thread_name"));
+                continue;
+            }
+            "X" => {}
+            other => panic!("unexpected ph {other:?}"),
+        }
+        saw_span = true;
+        let ts = ev["ts"].as_i64().expect("integer ts");
+        let dur = ev["dur"].as_i64().expect("integer dur");
+        let tid = ev["tid"].as_i64().expect("integer tid");
+        assert!(ts >= 0 && dur >= 0, "ts/dur must be non-negative");
+        assert!(ev["args"]["work"].as_f64().is_some(), "span args carry work");
+        spans_by_tid.entry(tid).or_default().push((ts, ts + dur));
+    }
+    assert!(saw_span, "trace must contain at least one span");
+    for (tid, spans) in &mut spans_by_tid {
+        spans.sort_unstable();
+        for w in spans.windows(2) {
+            assert!(w[1].0 >= w[0].1, "spans overlap on tid {tid}: {:?} then {:?}", w[0], w[1]);
+        }
+    }
+}
+
+#[test]
+fn chrome_trace_is_well_formed_sequential_and_parallel() {
+    for threads in [1usize, 2, 4] {
+        let (_, report) = run_with_obs(threads);
+        check_chrome_trace(&report.chrome_trace());
+    }
+}
+
+#[test]
+fn metrics_json_roundtrips_and_sums() {
+    let (total, report) = run_with_obs(2);
+    let doc = report.metrics_json();
+    let text = serde_json::to_string_pretty(&doc).unwrap();
+    let parsed = serde_json::from_str(&text).unwrap();
+    assert_eq!(doc, parsed, "metrics JSON must round-trip through the parser");
+
+    let tol = 1e-6 * total.abs().max(1.0);
+    let breakdown_total = parsed["breakdown_total"].as_f64().unwrap();
+    assert!((breakdown_total - total).abs() <= tol);
+    let kinds = match &parsed["work_by_kind"] {
+        serde_json::Value::Object(fields) => fields,
+        other => panic!("work_by_kind must be an object, got {other:?}"),
+    };
+    let kind_sum: f64 = kinds.iter().map(|(_, v)| v.as_f64().unwrap()).sum();
+    assert!((kind_sum - total).abs() <= tol, "kind sum {kind_sum} != total {total}");
+}
+
+#[test]
+fn trace_roundtrips_through_parser() {
+    let (_, report) = run_with_obs(1);
+    let doc = report.chrome_trace();
+    let text = serde_json::to_string_pretty(&doc).unwrap();
+    let parsed = serde_json::from_str(&text).unwrap();
+    assert_eq!(doc, parsed);
+}

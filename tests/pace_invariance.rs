@@ -6,7 +6,7 @@
 //! current extremum gets deleted mid-stream (the rescan-on-delete path of
 //! the engine, Sec. 2.3).
 
-use ishare::stream::execute_planned_deltas;
+use ishare::stream::{execute_planned_deltas, execute_planned_deltas_obs, ObsConfig};
 use ishare_common::{CostWeights, DataType, QueryId, QuerySet, TableId, Value};
 use ishare_expr::Expr;
 use ishare_plan::{AggExpr, AggFunc, DagOp, SelectBranch, SharedDag, SharedPlan};
@@ -136,5 +136,27 @@ proptest! {
             .unwrap();
 
         prop_assert_eq!(&batch.results, &paced.results, "paces {:?}", paces);
+
+        // Observability must be passive: identical results and bitwise-equal
+        // work with obs on, and the per-operator breakdown regroups exactly
+        // the charged terms, so it sums back to the flat total.
+        let obs = execute_planned_deltas_obs(
+            &plan, paces, &c, &data, CostWeights::default(), Some(ObsConfig::default()),
+        )
+        .unwrap();
+        prop_assert_eq!(&paced.results, &obs.results, "obs-on results, paces {:?}", paces);
+        prop_assert_eq!(
+            paced.total_work.get().to_bits(),
+            obs.total_work.get().to_bits(),
+            "obs-on total_work not bit-identical"
+        );
+        let report = obs.obs.as_ref().expect("obs requested");
+        let total = obs.total_work.get();
+        prop_assert!(
+            (report.breakdown_total() - total).abs() <= 1e-6 * total.abs().max(1.0),
+            "breakdown {} != total {}",
+            report.breakdown_total(),
+            total
+        );
     }
 }

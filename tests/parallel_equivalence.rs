@@ -10,7 +10,10 @@
 //! and the same execution count as the sequential driver.
 
 use ishare::core::{plan_workload, Approach, FinalWorkConstraint, PlanningOptions};
-use ishare::stream::{execute_planned_deltas, execute_planned_deltas_parallel, RunResult};
+use ishare::stream::{
+    execute_planned_deltas, execute_planned_deltas_obs, execute_planned_deltas_parallel,
+    execute_planned_deltas_parallel_obs, ObsConfig, RunResult,
+};
 use ishare::tpch::{generate, queries::sharing_friendly_queries};
 use ishare_common::{CostWeights, DataType, QueryId, QuerySet, TableId, Value};
 use ishare_expr::Expr;
@@ -130,6 +133,39 @@ fn assert_bit_identical(
         );
     }
     prop_assert_eq!(seq.executions, par.executions, "{}: executions differ", label);
+    prop_assert_eq!(
+        &seq.executions_per_query,
+        &par.executions_per_query,
+        "{}: per-query execution counts differ",
+        label
+    );
+    Ok(())
+}
+
+/// The opt-in instrumentation must be passive: same run, obs on, must stay
+/// bit-identical, and the per-operator × per-subplan breakdown must sum back
+/// to the flat total (same terms regrouped, so only float re-association
+/// separates them).
+fn assert_obs_consistent(run: &RunResult, label: &str) -> Result<(), TestCaseError> {
+    let report = run.obs.as_ref().expect("obs requested");
+    let total = run.total_work.get();
+    let tol = 1e-6 * total.abs().max(1.0);
+    prop_assert!(
+        (report.breakdown_total() - total).abs() <= tol,
+        "{}: breakdown {} != total_work {}",
+        label,
+        report.breakdown_total(),
+        total
+    );
+    prop_assert!(
+        (report.total_work - total).abs() <= tol,
+        "{}: report.total_work {} != total_work {}",
+        label,
+        report.total_work,
+        total
+    );
+    let execs: u64 = report.executions_by_subplan.iter().map(|e| e.total()).sum();
+    prop_assert_eq!(execs as usize, run.executions, "{}: execution counts differ", label);
     Ok(())
 }
 
@@ -160,12 +196,25 @@ proptest! {
 
         let seq = execute_planned_deltas(&plan, paces, &c, &data, CostWeights::default())
             .unwrap();
+        let seq_obs = execute_planned_deltas_obs(
+            &plan, paces, &c, &data, CostWeights::default(), Some(ObsConfig::default()),
+        )
+        .unwrap();
+        assert_bit_identical(&seq, &seq_obs, "sequential obs-on")?;
+        assert_obs_consistent(&seq_obs, "sequential obs-on")?;
         for threads in [1usize, 2, 4] {
             let par = execute_planned_deltas_parallel(
                 &plan, paces, &c, &data, CostWeights::default(), threads,
             )
             .unwrap();
             assert_bit_identical(&seq, &par, &format!("threads={threads}"))?;
+            let par_obs = execute_planned_deltas_parallel_obs(
+                &plan, paces, &c, &data, CostWeights::default(), threads,
+                Some(ObsConfig::default()),
+            )
+            .unwrap();
+            assert_bit_identical(&seq, &par_obs, &format!("threads={threads} obs-on"))?;
+            assert_obs_consistent(&par_obs, &format!("threads={threads} obs-on"))?;
         }
     }
 }
@@ -201,22 +250,30 @@ fn tpch_workload_parallel_matches_sequential() {
     )
     .unwrap();
     for threads in [2usize, 4] {
-        let par = execute_planned_deltas_parallel(
+        let par = execute_planned_deltas_parallel_obs(
             &planned.plan,
             planned.paces.as_slice(),
             &tpch.catalog,
             &feeds,
             CostWeights::default(),
             threads,
+            Some(ObsConfig::default()),
         )
         .unwrap();
         assert_eq!(seq.results, par.results, "threads={threads}");
         assert_eq!(
             seq.total_work.get().to_bits(),
             par.total_work.get().to_bits(),
-            "threads={threads}: total work must be bit-identical"
+            "threads={threads}: total work must be bit-identical even with obs on"
         );
         assert_eq!(seq.final_work, par.final_work, "threads={threads}");
         assert_eq!(seq.executions, par.executions, "threads={threads}");
+        let report = par.obs.as_ref().unwrap();
+        let total = par.total_work.get();
+        assert!(
+            (report.breakdown_total() - total).abs() <= 1e-6 * total.abs().max(1.0),
+            "threads={threads}: breakdown {} != total {total}",
+            report.breakdown_total()
+        );
     }
 }
