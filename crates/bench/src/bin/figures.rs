@@ -13,7 +13,9 @@
 //! `--random-sets <n>`, `--dnf-secs <n>`, `--trace-out <path>`,
 //! `--metrics-out <path>` (the latter two apply to `scaling`: the widest
 //! thread-count run is re-executed with observability enabled and its
-//! Chrome trace / metrics snapshot written as JSON).
+//! Chrome trace / metrics snapshot written as JSON), `--ingest` (the
+//! scaling experiment pulls input through the ingest subsystem instead of
+//! pre-materialized feeds), `--jitter <n>` (arrival jitter for `--ingest`).
 
 use ishare_bench::experiments::{self, Params};
 
@@ -46,6 +48,8 @@ fn main() {
                 params.metrics_out =
                     Some(value::<std::path::PathBuf>(&args, &mut i, "--metrics-out <path>"))
             }
+            "--ingest" => params.ingest = true,
+            "--jitter" => params.jitter = value(&args, &mut i, "--jitter <n>"),
             other if !other.starts_with("--") => exp = other.to_string(),
             other => {
                 eprintln!("unknown option {other}");

@@ -1,0 +1,117 @@
+//! Diff two run summaries written by `examples/streaming.rs --out`.
+//!
+//! ```text
+//! cargo run -p ishare-bench --bin validate_replay -- run.json resumed.json
+//! ```
+//!
+//! The differential guarantee this gate enforces: any two runs of the same
+//! workload — `Vec`-fed or source-fed, in-order or jittered, sequential or
+//! parallel, uninterrupted or killed-and-resumed — must agree on every work
+//! number *to the bit* and on every query's final result multiset. The
+//! summaries carry work numbers as exact f64 bit patterns (hex), so the
+//! comparison is `==` with zero tolerance.
+//!
+//! Checks, in order:
+//!
+//! * both files parse as JSON through the vendored `serde_json` stub,
+//! * both carry `total_work_bits`, `final_work_bits`, `result_checksum`,
+//!   and `executions`,
+//! * every one of those fields is equal between the two runs (the set of
+//!   queries under `final_work_bits` included).
+//!
+//! Exits 0 on exact agreement, 1 with the first difference otherwise — this
+//! is the CI smoke gate for the ingest kill/replay path.
+
+fn fail(msg: &str) -> ! {
+    eprintln!("validate_replay: {msg}");
+    std::process::exit(1);
+}
+
+fn load(path: &str) -> serde_json::Value {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+    if text.trim().is_empty() {
+        fail(&format!("{path} is empty"));
+    }
+    serde_json::from_str(&text).unwrap_or_else(|e| fail(&format!("{path} is not valid JSON: {e}")))
+}
+
+fn str_field<'a>(run: &'a serde_json::Value, path: &str, name: &str) -> &'a str {
+    run.get(name)
+        .and_then(|v| v.as_str())
+        .unwrap_or_else(|| fail(&format!("{path}: missing string `{name}`")))
+}
+
+/// `final_work_bits` as sorted (query, bits) pairs.
+fn final_bits(run: &serde_json::Value, path: &str) -> Vec<(String, String)> {
+    let obj = run
+        .get("final_work_bits")
+        .unwrap_or_else(|| fail(&format!("{path}: missing `final_work_bits`")));
+    let serde_json::Value::Object(fields) = obj else {
+        fail(&format!("{path}: `final_work_bits` is not an object"));
+    };
+    let mut out: Vec<(String, String)> = fields
+        .iter()
+        .map(|(q, v)| {
+            let bits = v
+                .as_str()
+                .unwrap_or_else(|| fail(&format!("{path}: final_work_bits.{q} not a string")));
+            (q.clone(), bits.to_string())
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [path_a, path_b] = args.as_slice() else {
+        eprintln!("usage: validate_replay <run_a.json> <run_b.json>");
+        std::process::exit(2);
+    };
+    let (a, b) = (load(path_a), load(path_b));
+    let describe = |run: &serde_json::Value, path: &str| {
+        format!(
+            "mode {}, threads {}, kill_after {}",
+            str_field(run, path, "mode"),
+            run.get("threads").and_then(|v| v.as_i64()).unwrap_or(-1),
+            run.get("kill_after").and_then(|v| v.as_i64()).unwrap_or(-1),
+        )
+    };
+    println!("validate_replay: {path_a} ({})", describe(&a, path_a));
+    println!("validate_replay: {path_b} ({})", describe(&b, path_b));
+
+    for name in ["total_work_bits", "result_checksum"] {
+        let (va, vb) = (str_field(&a, path_a, name), str_field(&b, path_b, name));
+        if va != vb {
+            fail(&format!("`{name}` differs: {va} vs {vb}"));
+        }
+    }
+    let (ea, eb) = (
+        a.get("executions").and_then(|v| v.as_i64()),
+        b.get("executions").and_then(|v| v.as_i64()),
+    );
+    match (ea, eb) {
+        (Some(x), Some(y)) if x == y => {}
+        (Some(x), Some(y)) => fail(&format!("`executions` differs: {x} vs {y}")),
+        _ => fail("missing integer `executions`"),
+    }
+    let (fa, fb) = (final_bits(&a, path_a), final_bits(&b, path_b));
+    if fa != fb {
+        let qa: Vec<&str> = fa.iter().map(|(q, _)| q.as_str()).collect();
+        let qb: Vec<&str> = fb.iter().map(|(q, _)| q.as_str()).collect();
+        if qa != qb {
+            fail(&format!("query sets differ: {qa:?} vs {qb:?}"));
+        }
+        for ((q, x), (_, y)) in fa.iter().zip(fb.iter()) {
+            if x != y {
+                fail(&format!("`final_work_bits.{q}` differs: {x} vs {y}"));
+            }
+        }
+    }
+    println!(
+        "validate_replay: OK — runs are bit-identical (total work bits {}, {} queries)",
+        str_field(&a, path_a, "total_work_bits"),
+        fa.len()
+    );
+}

@@ -1,7 +1,7 @@
 //! The paper's experiments (Sec. 5), one function per table/figure.
 
 use crate::harness::{
-    print_table, run_approach, run_approach_obs, run_to_json, save_json, write_json_file,
+    print_table, run_approach, run_approach_full, run_to_json, save_json, write_json_file,
     ApproachRun, Env, Workload,
 };
 use ishare_common::{CostWeights, QueryId, Result};
@@ -40,6 +40,12 @@ pub struct Params {
     /// Write the same run's metrics/work-breakdown JSON here
     /// (`--metrics-out`).
     pub metrics_out: Option<std::path::PathBuf>,
+    /// Pull input through the ingest subsystem (partitioned bounded topics,
+    /// watermark cuts) instead of pre-materialized `Vec` feeds (`--ingest`).
+    pub ingest: bool,
+    /// Arrival jitter for ingest mode: each row's arrival may be displaced
+    /// up to this many positions from its event time (`--jitter`).
+    pub jitter: u64,
 }
 
 impl Default for Params {
@@ -52,6 +58,8 @@ impl Default for Params {
             dnf: Duration::from_secs(60),
             trace_out: None,
             metrics_out: None,
+            ingest: false,
+            jitter: 0,
         }
     }
 }
@@ -614,6 +622,16 @@ pub fn fig17(p: &Params, which: char) -> Result<()> {
 /// counts; only the end-to-end wall clock may change.
 pub fn parallel_scaling(p: &Params) -> Result<()> {
     let mut env = Env::new(p.sf, p.seed)?;
+    // Ingest mode swaps the Vec feed for a pull-based source (two partitions,
+    // a small ring to exercise backpressure, caller-chosen jitter). The
+    // bit-identity assertion below is unchanged: source-fed runs must match
+    // Vec-fed work numbers exactly, whatever the arrival order.
+    let ingest_cfg = p.ingest.then_some(ishare_stream::SourceConfig {
+        partitions: 2,
+        capacity: 512,
+        jitter: p.jitter,
+        seed: p.seed,
+    });
     let queries = named_ten(&env)?;
     let workload = Workload::uniform("parallel-scaling", queries, 0.2);
     let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
@@ -636,13 +654,14 @@ pub fn parallel_scaling(p: &Params) -> Result<()> {
         let mut best: Option<ApproachRun> = None;
         let mut elapsed_reps = Vec::with_capacity(REPS);
         for _ in 0..REPS {
-            let (run, report) = run_approach_obs(
+            let (run, report) = run_approach_full(
                 &mut env,
                 &workload,
                 Approach::NoShareNonuniform,
                 &opts(p),
                 threads,
                 obs,
+                ingest_cfg,
             )?;
             if report.is_some() {
                 obs_report = report;
@@ -685,7 +704,15 @@ pub fn parallel_scaling(p: &Params) -> Result<()> {
         &["threads", "measured work", "subplans", "min elapsed s", "speedup"],
         &rows,
     );
-    save_json("parallel_scaling", &serde_json::json!({ "available_cores": cores, "points": json }));
+    save_json(
+        "parallel_scaling",
+        &serde_json::json!({
+            "available_cores": cores,
+            "ingest": p.ingest,
+            "jitter": p.jitter,
+            "points": json,
+        }),
+    );
     if let Some(report) = obs_report {
         if let Some(path) = &p.trace_out {
             write_json_file(path, &report.chrome_trace())?;

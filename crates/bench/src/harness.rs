@@ -5,8 +5,9 @@ use ishare_common::{CostWeights, QueryId, Result};
 use ishare_core::{plan_workload, Approach, FinalWorkConstraint, PlanningOptions};
 use ishare_plan::LogicalPlan;
 use ishare_stream::{
-    execute_planned_obs, execute_planned_parallel_obs, missed_latency_stats, MissedLatencyStats,
-    ObsConfig, ObsReport,
+    execute_from_source_obs, execute_from_source_parallel_obs, execute_planned_obs,
+    execute_planned_parallel_obs, missed_latency_stats, MissedLatencyStats, ObsConfig, ObsReport,
+    Source, SourceConfig, SourceOptions,
 };
 use ishare_tpch::{generate, TpchData};
 use std::collections::BTreeMap;
@@ -173,19 +174,36 @@ pub fn run_approach_obs(
     threads: usize,
     obs: Option<ObsConfig>,
 ) -> Result<(ApproachRun, Option<ObsReport>)> {
+    run_approach_full(env, workload, approach, opts, threads, obs, None)
+}
+
+/// [`run_approach_obs`] with an optional ingest mode: when `ingest` is set,
+/// the run pulls its input through an `ishare-ingest` [`Source`] (partitioned
+/// bounded topics, jittered arrival under watermarks) instead of the
+/// pre-materialized `Vec` feeds. The source path is bit-identical in every
+/// work number, so approach comparisons and the scaling experiment's
+/// identity assertions hold in either mode.
+pub fn run_approach_full(
+    env: &mut Env,
+    workload: &Workload,
+    approach: Approach,
+    opts: &PlanningOptions,
+    threads: usize,
+    obs: Option<ObsConfig>,
+    ingest: Option<SourceConfig>,
+) -> Result<(ApproachRun, Option<ObsReport>)> {
     let (queries, cons) = workload.planner_inputs();
     let planned = plan_workload(approach, &queries, &cons, &env.data.catalog, opts)?;
-    let mut run = if threads == 1 {
-        execute_planned_obs(
+    let mut run = match ingest {
+        None if threads == 1 => execute_planned_obs(
             &planned.plan,
             planned.paces.as_slice(),
             &env.data.catalog,
             &env.data.data,
             CostWeights::default(),
             obs,
-        )?
-    } else {
-        execute_planned_parallel_obs(
+        )?,
+        None => execute_planned_parallel_obs(
             &planned.plan,
             planned.paces.as_slice(),
             &env.data.catalog,
@@ -193,7 +211,39 @@ pub fn run_approach_obs(
             CostWeights::default(),
             threads,
             obs,
-        )?
+        )?,
+        Some(cfg) => {
+            let feeds = env
+                .data
+                .data
+                .iter()
+                .map(|(t, rows)| (*t, rows.iter().map(|r| (r.clone(), 1i64)).collect()))
+                .collect();
+            let mut source = Source::new(&feeds, cfg)?;
+            let sopts = SourceOptions { obs, ..Default::default() };
+            if threads == 1 {
+                execute_from_source_obs(
+                    &planned.plan,
+                    planned.paces.as_slice(),
+                    &env.data.catalog,
+                    &mut source,
+                    CostWeights::default(),
+                    sopts,
+                )?
+                .into_result()?
+            } else {
+                execute_from_source_parallel_obs(
+                    &planned.plan,
+                    planned.paces.as_slice(),
+                    &env.data.catalog,
+                    &mut source,
+                    CostWeights::default(),
+                    threads,
+                    sopts,
+                )?
+                .into_result()?
+            }
+        }
     };
 
     // Latency goals from measured batch baselines.

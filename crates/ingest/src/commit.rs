@@ -1,0 +1,193 @@
+//! Offset-commit log: the replay anchor for killed-and-resumed runs.
+//!
+//! At every wavefront boundary the driver commits, per topic, the consumer's
+//! per-partition offsets and the delivered event-time cut. The log is
+//! JSON-serializable, so a run can be killed after any wavefront, its log
+//! persisted, and a fresh process can resume: the source is regenerated
+//! deterministically from the same seed, the committed prefix is replayed,
+//! and every replayed wavefront is verified against the log — a divergent
+//! (non-deterministic) source is detected instead of silently producing a
+//! different run.
+
+use ishare_common::{Error, Result};
+use serde_json::{json, Value};
+use std::collections::BTreeMap;
+
+/// One topic's committed consumer state at a wavefront boundary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TopicCommit {
+    /// Records delivered to the engine so far (the event-time cut: every
+    /// record with `seq < delivered` has been handed to the driver).
+    pub delivered: u64,
+    /// Consumer offset per partition (absolute appended positions read).
+    pub offsets: Vec<u64>,
+}
+
+/// The commit for one completed wavefront.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommitEntry {
+    /// Index of the wavefront in schedule order (0-based).
+    pub wavefront: usize,
+    /// Arrival-fraction numerator of the wavefront.
+    pub num: u32,
+    /// Arrival-fraction denominator of the wavefront.
+    pub den: u32,
+    /// Per-topic consumer state, keyed by topic name (`t<table-id>`).
+    pub topics: BTreeMap<String, TopicCommit>,
+}
+
+/// An append-only log of wavefront commits.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CommitLog {
+    /// One entry per completed wavefront, in schedule order.
+    pub entries: Vec<CommitEntry>,
+}
+
+impl CommitLog {
+    /// Empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of committed wavefronts.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` iff nothing was committed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// JSON document for persistence (`{"entries": [...]}`).
+    pub fn to_json(&self) -> Value {
+        let entries: Vec<Value> = self
+            .entries
+            .iter()
+            .map(|e| {
+                let topics: Vec<(String, Value)> = e
+                    .topics
+                    .iter()
+                    .map(|(name, tc)| {
+                        (
+                            name.clone(),
+                            json!({
+                                "delivered": tc.delivered,
+                                "offsets": tc.offsets.iter().map(|&o| Value::from(o)).collect::<Vec<_>>(),
+                            }),
+                        )
+                    })
+                    .collect();
+                json!({
+                    "wavefront": e.wavefront as u64,
+                    "num": e.num,
+                    "den": e.den,
+                    "topics": Value::Object(topics),
+                })
+            })
+            .collect();
+        json!({ "entries": entries })
+    }
+
+    /// Parse a document produced by [`to_json`](CommitLog::to_json).
+    pub fn from_json(doc: &Value) -> Result<CommitLog> {
+        let bad = |msg: &str| Error::InvalidConfig(format!("commit log: {msg}"));
+        let entries = doc
+            .get("entries")
+            .and_then(|v| v.as_array())
+            .ok_or_else(|| bad("missing `entries` array"))?;
+        let mut log = CommitLog::new();
+        for (i, e) in entries.iter().enumerate() {
+            let int = |name: &str| {
+                e.get(name)
+                    .and_then(|v| v.as_i64())
+                    .ok_or_else(|| bad(&format!("entry {i} lacks integer `{name}`")))
+            };
+            let mut topics = BTreeMap::new();
+            match e.get("topics") {
+                Some(Value::Object(fields)) => {
+                    for (name, tc) in fields {
+                        let delivered = tc
+                            .get("delivered")
+                            .and_then(|v| v.as_i64())
+                            .ok_or_else(|| bad(&format!("topic {name} lacks `delivered`")))?;
+                        let offsets = tc
+                            .get("offsets")
+                            .and_then(|v| v.as_array())
+                            .ok_or_else(|| bad(&format!("topic {name} lacks `offsets`")))?
+                            .iter()
+                            .map(|o| o.as_i64().map(|v| v as u64))
+                            .collect::<Option<Vec<u64>>>()
+                            .ok_or_else(|| bad(&format!("topic {name} has non-integer offset")))?;
+                        topics.insert(
+                            name.clone(),
+                            TopicCommit { delivered: delivered as u64, offsets },
+                        );
+                    }
+                }
+                _ => return Err(bad(&format!("entry {i} lacks `topics` object"))),
+            }
+            log.entries.push(CommitEntry {
+                wavefront: int("wavefront")? as usize,
+                num: int("num")? as u32,
+                den: int("den")? as u32,
+                topics,
+            });
+        }
+        Ok(log)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CommitLog {
+        let mut log = CommitLog::new();
+        for (i, (num, den)) in [(1u32, 4u32), (1, 2), (3, 4)].iter().enumerate() {
+            let mut topics = BTreeMap::new();
+            topics.insert(
+                "t0".to_string(),
+                TopicCommit { delivered: 10 * (i as u64 + 1), offsets: vec![5, 5 + i as u64] },
+            );
+            topics.insert(
+                "t3".to_string(),
+                TopicCommit { delivered: i as u64, offsets: vec![i as u64] },
+            );
+            log.entries.push(CommitEntry { wavefront: i, num: *num, den: *den, topics });
+        }
+        log
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let log = sample();
+        let text = serde_json::to_string_pretty(&log.to_json()).unwrap();
+        let parsed = serde_json::from_str(&text).unwrap();
+        let back = CommitLog::from_json(&parsed).unwrap();
+        assert_eq!(back, log);
+    }
+
+    #[test]
+    fn malformed_documents_rejected() {
+        for text in [
+            "{}",
+            r#"{"entries": [{}]}"#,
+            r#"{"entries": [{"wavefront": 0, "num": 1, "den": 2}]}"#,
+            r#"{"entries": [{"wavefront": 0, "num": 1, "den": 2,
+                "topics": {"t0": {"delivered": 1}}}]}"#,
+        ] {
+            let doc = serde_json::from_str(text).unwrap();
+            assert!(CommitLog::from_json(&doc).is_err(), "{text} should be rejected");
+        }
+    }
+
+    #[test]
+    fn prefix_equality_is_entrywise() {
+        let log = sample();
+        let mut prefix = log.clone();
+        prefix.entries.truncate(2);
+        assert_eq!(&log.entries[..2], &prefix.entries[..]);
+        assert_ne!(log, prefix);
+    }
+}

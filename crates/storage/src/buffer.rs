@@ -17,6 +17,22 @@ use ishare_common::{Error, Result};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ConsumerId(usize);
 
+/// What a buffer keeps resident across [`compact`](DeltaBuffer::compact)
+/// calls. The policy lives on the buffer, set once at wiring time, so
+/// callers can compact uniformly instead of each re-deriving which buffers
+/// are safe to trim.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Retain {
+    /// Keep the full stream: `compact` is a no-op. Query-root buffers use
+    /// this — their whole stream backs the final result views
+    /// ([`all_rows`](DeltaBuffer::all_rows)).
+    All,
+    /// Keep only what some registered consumer still has to read; the
+    /// fully-consumed prefix is dropped on `compact`. The default.
+    #[default]
+    Consumed,
+}
+
 /// An append-only delta buffer with independently paced consumers.
 ///
 /// Offsets are *absolute* stream positions; internally the buffer may drop a
@@ -34,6 +50,8 @@ pub struct DeltaBuffer {
     offsets: Vec<usize>,
     /// Largest number of rows ever resident at once (post-compaction peak).
     high_water: usize,
+    /// Compaction policy (see [`Retain`]).
+    retention: Retain,
 }
 
 impl DeltaBuffer {
@@ -44,14 +62,32 @@ impl DeltaBuffer {
 
     /// Register a new consumer starting at the beginning of the stream.
     ///
-    /// Consumers must be registered before any [`compact`] call; a consumer
-    /// registered later would start at position 0, below the compacted base.
+    /// Consumers must be registered before any [`compact`] call has dropped
+    /// rows: a consumer registered later would start at position 0, below the
+    /// compacted base, and silently read from the wrong place. Such late
+    /// registration is an error.
     ///
     /// [`compact`]: DeltaBuffer::compact
-    pub fn register_consumer(&mut self) -> ConsumerId {
-        assert_eq!(self.base, 0, "cannot register a consumer after compaction");
+    pub fn register_consumer(&mut self) -> Result<ConsumerId> {
+        if self.base != 0 {
+            return Err(Error::InvalidDelta(format!(
+                "cannot register a consumer after compaction dropped {} rows",
+                self.base
+            )));
+        }
         self.offsets.push(0);
-        ConsumerId(self.offsets.len() - 1)
+        Ok(ConsumerId(self.offsets.len() - 1))
+    }
+
+    /// Set the compaction policy. Called once at wiring time by whoever
+    /// builds the dataflow (drivers mark query-root buffers [`Retain::All`]).
+    pub fn set_retention(&mut self, retention: Retain) {
+        self.retention = retention;
+    }
+
+    /// The buffer's compaction policy.
+    pub fn retention(&self) -> Retain {
+        self.retention
     }
 
     /// Number of registered consumers.
@@ -148,10 +184,11 @@ impl DeltaBuffer {
     /// the number of rows freed. A consumer never re-reads below its cursor,
     /// so this cannot change what any future `pull`/`peek` observes.
     ///
-    /// Buffers with no consumers (query roots, whose full stream backs the
-    /// final result views) are left untouched.
+    /// No-op on [`Retain::All`] buffers and on buffers with no consumers
+    /// (nothing is known to be consumed), so callers can compact every
+    /// buffer uniformly.
     pub fn compact(&mut self) -> usize {
-        if self.offsets.is_empty() {
+        if self.retention == Retain::All || self.offsets.is_empty() {
             return 0;
         }
         let min_off = *self.offsets.iter().min().expect("non-empty offsets");
@@ -188,8 +225,8 @@ mod tests {
     #[test]
     fn independent_consumers() {
         let mut b = DeltaBuffer::new();
-        let c1 = b.register_consumer();
-        let c2 = b.register_consumer();
+        let c1 = b.register_consumer().unwrap();
+        let c2 = b.register_consumer().unwrap();
         b.push(dr(1));
         b.push(dr(2));
 
@@ -209,7 +246,7 @@ mod tests {
     #[test]
     fn peek_does_not_advance() {
         let mut b = DeltaBuffer::new();
-        let c = b.register_consumer();
+        let c = b.register_consumer().unwrap();
         b.push(dr(1));
         assert_eq!(b.peek(c).unwrap().len(), 1);
         assert_eq!(b.peek(c).unwrap().len(), 1);
@@ -221,8 +258,8 @@ mod tests {
     fn unknown_consumer_errors() {
         let mut a = DeltaBuffer::new();
         let mut bsecond = DeltaBuffer::new();
-        let _ = bsecond.register_consumer();
-        let c_other = bsecond.register_consumer();
+        let _ = bsecond.register_consumer().unwrap();
+        let c_other = bsecond.register_consumer().unwrap();
         // `a` has no consumer with that id.
         assert!(a.pull(c_other).is_err());
         assert!(a.peek(c_other).is_err());
@@ -231,8 +268,8 @@ mod tests {
     #[test]
     fn compact_drops_only_fully_consumed_prefix() {
         let mut b = DeltaBuffer::new();
-        let c1 = b.register_consumer();
-        let c2 = b.register_consumer();
+        let c1 = b.register_consumer().unwrap();
+        let c2 = b.register_consumer().unwrap();
         for v in 0..6 {
             b.push(dr(v));
         }
@@ -273,7 +310,7 @@ mod tests {
     #[test]
     fn high_water_tracks_resident_peak() {
         let mut b = DeltaBuffer::new();
-        let c = b.register_consumer();
+        let c = b.register_consumer().unwrap();
         for v in 0..4 {
             b.push(dr(v));
         }
@@ -293,8 +330,8 @@ mod tests {
     #[test]
     fn lags_report_per_consumer_backlog() {
         let mut b = DeltaBuffer::new();
-        let c1 = b.register_consumer();
-        let _c2 = b.register_consumer();
+        let c1 = b.register_consumer().unwrap();
+        let _c2 = b.register_consumer().unwrap();
         b.push(dr(1));
         b.push(dr(2));
         b.pull(c1).unwrap();
@@ -302,9 +339,41 @@ mod tests {
     }
 
     #[test]
+    fn retain_all_makes_compact_a_noop() {
+        let mut b = DeltaBuffer::new();
+        b.set_retention(Retain::All);
+        let c = b.register_consumer().unwrap();
+        for v in 0..5 {
+            b.push(dr(v));
+        }
+        b.pull(c).unwrap();
+        assert_eq!(b.compact(), 0);
+        assert_eq!(b.retained_len(), 5);
+        assert_eq!(b.all_rows().len(), 5, "full stream still backs result views");
+        // Switching back re-enables prefix dropping.
+        b.set_retention(Retain::Consumed);
+        assert_eq!(b.compact(), 5);
+    }
+
+    #[test]
+    fn late_register_after_compaction_errors() {
+        let mut b = DeltaBuffer::new();
+        let c = b.register_consumer().unwrap();
+        b.push(dr(1));
+        b.pull(c).unwrap();
+        assert_eq!(b.compact(), 1);
+        assert!(b.register_consumer().is_err(), "would silently read from the compacted base");
+        // Before any rows are dropped, late registration is still fine.
+        let mut fresh = DeltaBuffer::new();
+        fresh.push(dr(1));
+        assert_eq!(fresh.compact(), 0);
+        assert!(fresh.register_consumer().is_ok());
+    }
+
+    #[test]
     fn reset_rewinds_everything() {
         let mut b = DeltaBuffer::new();
-        let c = b.register_consumer();
+        let c = b.register_consumer().unwrap();
         b.push(dr(1));
         b.pull(c).unwrap();
         b.reset();

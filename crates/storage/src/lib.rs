@@ -24,7 +24,7 @@ pub mod catalog;
 pub mod row;
 pub mod schema;
 
-pub use buffer::{ConsumerId, DeltaBuffer};
+pub use buffer::{ConsumerId, DeltaBuffer, Retain};
 pub use catalog::{Catalog, ColumnStats, TableDef, TableStats};
 pub use row::{consolidate, DeltaBatch, DeltaRow, Row};
 pub use schema::{Field, Schema};

@@ -11,9 +11,10 @@ use ishare_common::{
     WorkUnits,
 };
 use ishare_exec::{query_result, QueryResult, SubplanExecutor};
+use ishare_ingest::{CommitLog, Source, TopicStats};
 use ishare_obs::{ExecCounts, ObsConfig, ObsReport, Span, SpanKind, TraceBuffer};
 use ishare_plan::{InputSource, SharedPlan};
-use ishare_storage::{Catalog, ConsumerId, DeltaBuffer, DeltaRow, Row};
+use ishare_storage::{Catalog, ConsumerId, DeltaBuffer, DeltaRow, Retain, Row};
 use std::collections::{BTreeMap, HashMap};
 use std::ops::Range;
 use std::time::{Duration, Instant};
@@ -54,8 +55,9 @@ pub struct RunResult {
 /// consumer registrations wiring them together.
 pub(crate) struct EngineState {
     pub(crate) base_buffers: HashMap<TableId, DeltaBuffer>,
-    /// `base_fed[t]` = rows of table `t`'s feed already pushed.
-    pub(crate) base_fed: HashMap<TableId, usize>,
+    /// Registered base tables in deterministic (sorted) order: the order
+    /// both drivers advance the ingest topics in.
+    pub(crate) base_tables: Vec<TableId>,
     pub(crate) sp_buffers: Vec<DeltaBuffer>,
     pub(crate) executors: Vec<SubplanExecutor>,
     /// Per subplan: `(leaf path, source, consumer)` for each leaf input.
@@ -63,6 +65,11 @@ pub(crate) struct EngineState {
 }
 
 /// Build executors, buffers, and consumer registrations for `plan`.
+///
+/// Retention policy is decided here, once: query-root buffers keep their
+/// full stream ([`Retain::All`] — it backs the final result views), every
+/// other buffer drops its consumed prefix on `compact`. The drivers then
+/// compact all buffers uniformly between wavefronts.
 pub(crate) fn setup_engine(
     plan: &SharedPlan,
     catalog: &Catalog,
@@ -71,6 +78,11 @@ pub(crate) fn setup_engine(
     let schemas = plan.schemas(catalog)?;
     let mut base_buffers: HashMap<TableId, DeltaBuffer> = HashMap::new();
     let mut sp_buffers: Vec<DeltaBuffer> = (0..plan.len()).map(|_| DeltaBuffer::new()).collect();
+    for q in plan.queries().iter() {
+        if let Some(root) = plan.query_root(q) {
+            sp_buffers[root.index()].set_retention(Retain::All);
+        }
+    }
     let mut executors: Vec<SubplanExecutor> = Vec::with_capacity(plan.len());
     let mut leaf_consumers: Vec<Vec<(Vec<usize>, InputSource, ConsumerId)>> =
         Vec::with_capacity(plan.len());
@@ -81,43 +93,38 @@ pub(crate) fn setup_engine(
             let consumer = match src {
                 InputSource::Base(t) => {
                     catalog.table(t)?; // existence check
-                    base_buffers.entry(t).or_default().register_consumer()
+                    base_buffers.entry(t).or_default().register_consumer()?
                 }
-                InputSource::Subplan(c) => sp_buffers[c.index()].register_consumer(),
+                InputSource::Subplan(c) => sp_buffers[c.index()].register_consumer()?,
             };
             regs.push((path, src, consumer));
         }
         executors.push(ex);
         leaf_consumers.push(regs);
     }
-    let base_fed = base_buffers.keys().map(|t| (*t, 0)).collect();
-    Ok(EngineState { base_buffers, base_fed, sp_buffers, executors, leaf_consumers })
+    let mut base_tables: Vec<TableId> = base_buffers.keys().copied().collect();
+    base_tables.sort();
+    Ok(EngineState { base_buffers, base_tables, sp_buffers, executors, leaf_consumers })
 }
 
-/// Push every base feed forward to arrival fraction `num/den`, handing each
-/// new delta row to `push`. Tables are independent buffers, so the iteration
-/// order over them does not affect any downstream state.
-pub(crate) fn feed_fraction(
-    data: &HashMap<TableId, Vec<(Row, i64)>>,
+/// Advance every registered base table's topic to arrival fraction
+/// `num/den`, handing each released delta to `push` in event-time order.
+/// Tables are independent topics, so iterating them in sorted order is
+/// deterministic and does not affect any downstream state.
+pub(crate) fn feed_from_source(
+    source: &mut Source,
+    base_tables: &[TableId],
     num: u32,
     den: u32,
     all_queries: QuerySet,
-    base_fed: &mut HashMap<TableId, usize>,
     mut push: impl FnMut(TableId, DeltaRow),
-) {
-    let tables: Vec<TableId> = base_fed.keys().copied().collect();
-    for t in tables {
-        let rows = data.get(&t).map(|v| v.as_slice()).unwrap_or(&[]);
-        let n = rows.len() as u64;
-        let arrived = ((num as u64 * n) / den as u64) as usize;
-        let fed = base_fed[&t];
-        if arrived > fed {
-            for (row, weight) in &rows[fed..arrived] {
-                push(t, DeltaRow { row: row.clone(), weight: *weight, mask: all_queries });
-            }
-            base_fed.insert(t, arrived);
-        }
+) -> Result<()> {
+    for &t in base_tables {
+        source.advance_to(t, num, den, |row, weight| {
+            push(t, DeltaRow { row, weight, mask: all_queries })
+        })?;
     }
+    Ok(())
 }
 
 /// Fold per-subplan final-tick measurements and root buffers into the
@@ -165,19 +172,6 @@ pub(crate) struct FrontRec {
     pub(crate) den: u32,
     pub(crate) start: Duration,
     pub(crate) dur: Duration,
-}
-
-/// `true` for every subplan whose output buffer may be compacted between
-/// wavefronts. Query roots are excluded: their full output stream backs the
-/// final result views ([`per_query_views`]).
-pub(crate) fn compactable_mask(plan: &SharedPlan, all_queries: QuerySet) -> Vec<bool> {
-    let mut mask = vec![true; plan.len()];
-    for q in all_queries.iter() {
-        if let Some(root) = plan.query_root(q) {
-            mask[root.index()] = false;
-        }
-    }
-    mask
 }
 
 /// What [`fold_run`] produces: the deterministic run totals (identical maths
@@ -335,6 +329,99 @@ pub(crate) fn buffer_gauges(
     }
 }
 
+/// Record end-of-run ingest gauges (per-partition ring high-water marks,
+/// producer stall ticks, consumer lag, delivered cuts) into an
+/// [`ObsReport`]'s registry.
+pub(crate) fn ingest_gauges(report: &mut ObsReport, stats: &[TopicStats]) {
+    for s in stats {
+        let t = s.table.0;
+        report.metrics.gauge_set(&format!("ingest.t{t}.delivered"), s.delivered as f64);
+        report.metrics.gauge_set(&format!("ingest.t{t}.stall_ticks"), s.stall_ticks as f64);
+        let lag: u64 = s.partitions.iter().map(|p| p.lag).sum();
+        report.metrics.gauge_set(&format!("ingest.t{t}.lag"), lag as f64);
+        for (i, p) in s.partitions.iter().enumerate() {
+            report.metrics.gauge_set(&format!("ingest.t{t}.p{i}.high_water"), p.high_water as f64);
+        }
+    }
+}
+
+/// Options of a source-fed run ([`execute_from_source_obs`] and its parallel
+/// twin).
+#[derive(Debug, Clone, Default)]
+pub struct SourceOptions {
+    /// Opt-in observability (see [`execute_planned_deltas_obs`]).
+    pub obs: Option<ObsConfig>,
+    /// Stop (kill) the run after this many wavefronts have completed and
+    /// committed, returning [`SourceOutcome::Suspended`] with the commit
+    /// log. `None` runs to completion.
+    pub stop_after: Option<usize>,
+    /// A commit log from a previous (killed) run over the same workload.
+    /// Each replayed wavefront's commit is verified against it; divergence —
+    /// a non-deterministic source — is an error rather than a silently
+    /// different run.
+    pub verify: Option<CommitLog>,
+}
+
+/// What a source-fed run produced.
+#[derive(Debug)]
+pub enum SourceOutcome {
+    /// The run executed every wavefront.
+    Completed {
+        /// The measured run, bit-identical to the `Vec`-fed drivers.
+        result: Box<RunResult>,
+        /// Commit log of every wavefront (for later replay verification).
+        log: CommitLog,
+    },
+    /// The run was stopped by [`SourceOptions::stop_after`]; resume by
+    /// rebuilding the source from the same feeds and config and re-running
+    /// with [`SourceOptions::verify`] set to the log.
+    Suspended {
+        /// Commit log of the wavefronts that completed before the stop.
+        log: CommitLog,
+    },
+}
+
+impl SourceOutcome {
+    /// Unwrap a completed run's result; errors on [`Suspended`].
+    ///
+    /// [`Suspended`]: SourceOutcome::Suspended
+    pub fn into_result(self) -> Result<RunResult> {
+        match self {
+            SourceOutcome::Completed { result, .. } => Ok(*result),
+            SourceOutcome::Suspended { log } => Err(Error::InvalidConfig(format!(
+                "run suspended after {} wavefronts, no result",
+                log.len()
+            ))),
+        }
+    }
+}
+
+/// Verify a replayed wavefront's commit against a prior run's log and handle
+/// a requested stop. Returns `Some(Suspended)` when the driver should cut
+/// the run here. Shared by both drivers so kill/replay semantics cannot
+/// drift between them.
+pub(crate) fn commit_wavefront(
+    source: &mut Source,
+    wavefront: usize,
+    num: u32,
+    den: u32,
+    opts: &SourceOptions,
+) -> Result<Option<SourceOutcome>> {
+    let entry = source.commit(wavefront, num, den);
+    if let Some(expect) = opts.verify.as_ref().and_then(|log| log.entries.get(wavefront)) {
+        if expect != entry {
+            return Err(Error::InvalidDelta(format!(
+                "replay diverged from commit log at wavefront {wavefront} \
+                 (fraction {num}/{den}): the source is not deterministic"
+            )));
+        }
+    }
+    if opts.stop_after == Some(wavefront + 1) {
+        return Ok(Some(SourceOutcome::Suspended { log: source.log().clone() }));
+    }
+    Ok(None)
+}
+
 /// Execute `plan` at `paces` over insert-only `data` (each base relation's
 /// full trigger of rows in arrival order). See [`execute_planned_deltas`]
 /// for streams containing deletes/updates.
@@ -400,14 +487,43 @@ pub fn execute_planned_deltas_obs(
     weights: CostWeights,
     obs: Option<ObsConfig>,
 ) -> Result<RunResult> {
+    let mut source = Source::in_order(data);
+    execute_from_source_obs(
+        plan,
+        paces,
+        catalog,
+        &mut source,
+        weights,
+        SourceOptions { obs, ..Default::default() },
+    )?
+    .into_result()
+}
+
+/// Execute `plan` at `paces` pulling input from an ingest [`Source`] instead
+/// of pre-materialized `Vec` feeds.
+///
+/// The source may deliver out of order (bounded jitter + watermarks) and
+/// exert backpressure; the run's results and every measured work number are
+/// still bit-identical to [`execute_planned_deltas_obs`] over the same
+/// feeds. At every wavefront boundary the consumed offsets are committed to
+/// the source's [`CommitLog`]; [`SourceOptions::stop_after`] kills the run
+/// at a boundary and [`SourceOptions::verify`] replays a killed run against
+/// its log (see [`SourceOutcome`]).
+pub fn execute_from_source_obs(
+    plan: &SharedPlan,
+    paces: &[u32],
+    catalog: &Catalog,
+    source: &mut Source,
+    weights: CostWeights,
+    opts: SourceOptions,
+) -> Result<SourceOutcome> {
     let run_started = Instant::now();
     let tick_list = build_schedule(plan, paces)?;
     let all_queries = plan.queries();
     let depths = plan.depths();
-    let compactable = compactable_mask(plan, all_queries);
     let EngineState {
         mut base_buffers,
-        mut base_fed,
+        base_tables,
         mut sp_buffers,
         mut executors,
         leaf_consumers,
@@ -415,14 +531,15 @@ pub fn execute_planned_deltas_obs(
 
     // Run, one wavefront (= one arrival fraction) at a time. Ticks still
     // execute in global schedule order; grouping by front lets the driver
-    // feed each base once per fraction and compact buffers between fronts.
+    // cut the ingest topics once per fraction and compact buffers between
+    // fronts.
     let mut recs: Vec<TickRec> = Vec::with_capacity(tick_list.len());
     let mut fronts: Vec<FrontRec> = Vec::new();
-    for front in wavefronts(&tick_list) {
+    for (wf, front) in wavefronts(&tick_list).into_iter().enumerate() {
         let head = tick_list[front.start];
-        feed_fraction(data, head.num, head.den, all_queries, &mut base_fed, |t, dr| {
+        feed_from_source(source, &base_tables, head.num, head.den, all_queries, |t, dr| {
             base_buffers.get_mut(&t).expect("registered table").push(dr)
-        });
+        })?;
         let front_start = run_started.elapsed();
         for tick in &tick_list[front.clone()] {
             let start = run_started.elapsed();
@@ -444,21 +561,25 @@ pub fn execute_planned_deltas_obs(
             dur: run_started.elapsed() - front_start,
         });
         // Reclaim fully consumed prefixes. Consumers never re-read below
-        // their cursor, so this cannot change what later ticks see.
+        // their cursor, and query roots retain everything ([`Retain::All`],
+        // set at wiring time), so this cannot change what later ticks or the
+        // final result views see.
         for b in base_buffers.values_mut() {
             b.compact();
         }
-        for (i, b) in sp_buffers.iter_mut().enumerate() {
-            if compactable[i] {
-                b.compact();
-            }
+        for b in sp_buffers.iter_mut() {
+            b.compact();
+        }
+        if let Some(out) = commit_wavefront(source, wf, head.num, head.den, &opts)? {
+            return Ok(out);
         }
     }
 
-    let folded = fold_run(plan, all_queries, &tick_list, &depths, &recs, &fronts, obs);
+    let folded = fold_run(plan, all_queries, &tick_list, &depths, &recs, &fronts, opts.obs);
     let mut obs_report = folded.obs;
     if let Some(report) = obs_report.as_mut() {
         buffer_gauges(report, &base_buffers, &sp_buffers);
+        ingest_gauges(report, &source.stats());
     }
     let (final_work, latency, results) = per_query_views(
         plan,
@@ -467,16 +588,19 @@ pub fn execute_planned_deltas_obs(
         &folded.final_sp_wall,
         &sp_buffers,
     )?;
-    Ok(RunResult {
-        total_work: folded.total_work,
-        total_wall: folded.total_wall,
-        final_work,
-        latency,
-        results,
-        executions: folded.executions,
-        executions_per_query: folded.executions_per_query,
-        elapsed: run_started.elapsed(),
-        obs: obs_report,
+    Ok(SourceOutcome::Completed {
+        result: Box::new(RunResult {
+            total_work: folded.total_work,
+            total_wall: folded.total_wall,
+            final_work,
+            latency,
+            results,
+            executions: folded.executions,
+            executions_per_query: folded.executions_per_query,
+            elapsed: run_started.elapsed(),
+            obs: obs_report,
+        }),
+        log: source.log().clone(),
     })
 }
 

@@ -25,6 +25,16 @@
 //! a scheduling wavefront concurrently while staying bit-identical to the
 //! sequential driver in every measured work number (see [`parallel`]).
 //!
+//! Both drivers also expose *source-fed* entry points
+//! ([`execute_from_source_obs`] / [`execute_from_source_parallel_obs`]) that
+//! pull input from an [`ishare_ingest::Source`] — an in-process Kafka-analog
+//! with partitioned bounded topics, producer backpressure, out-of-order
+//! arrival under event-time watermarks, and offset-commit/replay — instead
+//! of pre-materialized `Vec` feeds. The `Vec`-fed entry points above are
+//! thin adapters over an in-order source, so there is exactly one feed
+//! path, and source-fed runs (jittered or not, killed-and-resumed or not)
+//! stay bit-identical to the `Vec`-fed ones.
+//!
 //! [`SharedPlan`]: ishare_plan::SharedPlan
 
 #![warn(missing_docs)]
@@ -35,12 +45,13 @@ pub mod parallel;
 pub mod schedule;
 
 pub use driver::{
-    execute_planned, execute_planned_deltas, execute_planned_deltas_obs, execute_planned_obs,
-    RunResult,
+    execute_from_source_obs, execute_planned, execute_planned_deltas, execute_planned_deltas_obs,
+    execute_planned_obs, RunResult, SourceOptions, SourceOutcome,
 };
+pub use ishare_ingest::{CommitLog, Source, SourceConfig};
 pub use ishare_obs::{ExecCounts, ObsConfig, ObsReport};
 pub use measure::{missed_latency_stats, MissedLatencyStats};
 pub use parallel::{
-    execute_planned_deltas_parallel, execute_planned_deltas_parallel_obs, execute_planned_parallel,
-    execute_planned_parallel_obs,
+    execute_from_source_parallel_obs, execute_planned_deltas_parallel,
+    execute_planned_deltas_parallel_obs, execute_planned_parallel, execute_planned_parallel_obs,
 };

@@ -31,14 +31,16 @@
 //! sequential driver performs within a front are no-ops anyway.
 
 use crate::driver::{
-    buffer_gauges, compactable_mask, feed_fraction, fold_run, insert_feeds, per_query_views,
-    setup_engine, EngineState, FrontRec, RunResult, TickRec,
+    buffer_gauges, commit_wavefront, feed_from_source, fold_run, ingest_gauges, insert_feeds,
+    per_query_views, setup_engine, EngineState, FrontRec, RunResult, SourceOptions, SourceOutcome,
+    TickRec,
 };
 use crate::schedule::{build_schedule, depth_levels, wavefronts, Tick};
 use ishare_common::{
     CostWeights, Error, OpKind, Result, TableId, WorkBreakdown, WorkCounter, WorkUnits,
 };
 use ishare_exec::SubplanExecutor;
+use ishare_ingest::Source;
 use ishare_obs::ObsConfig;
 use ishare_plan::{InputSource, SharedPlan};
 use ishare_storage::{Catalog, ConsumerId, DeltaBuffer, Row};
@@ -104,6 +106,33 @@ pub fn execute_planned_deltas_parallel_obs(
     threads: usize,
     obs: Option<ObsConfig>,
 ) -> Result<RunResult> {
+    let mut source = Source::in_order(data);
+    execute_from_source_parallel_obs(
+        plan,
+        paces,
+        catalog,
+        &mut source,
+        weights,
+        threads,
+        SourceOptions { obs, ..Default::default() },
+    )?
+    .into_result()
+}
+
+/// Parallel twin of [`crate::driver::execute_from_source_obs`]: pulls input
+/// from an ingest [`Source`], executes independent subplans of each
+/// wavefront on `threads` workers, and commits consumed offsets at every
+/// wavefront boundary. Bit-identical to the sequential source-fed driver —
+/// and hence to the `Vec`-fed drivers — for any `threads ≥ 1`.
+pub fn execute_from_source_parallel_obs(
+    plan: &SharedPlan,
+    paces: &[u32],
+    catalog: &Catalog,
+    source: &mut Source,
+    weights: CostWeights,
+    threads: usize,
+    opts: SourceOptions,
+) -> Result<SourceOutcome> {
     if threads == 0 {
         return Err(Error::InvalidConfig("thread count must be at least 1".into()));
     }
@@ -111,8 +140,7 @@ pub fn execute_planned_deltas_parallel_obs(
     let schedule = build_schedule(plan, paces)?;
     let all_queries = plan.queries();
     let depths = plan.depths();
-    let compactable = compactable_mask(plan, all_queries);
-    let EngineState { base_buffers, mut base_fed, sp_buffers, executors, leaf_consumers } =
+    let EngineState { base_buffers, base_tables, sp_buffers, executors, leaf_consumers } =
         setup_engine(plan, catalog, weights)?;
     // Shared-state wrappers. Plain `Mutex` (not `RwLock`): every buffer
     // access — even a read — advances a consumer cursor via `pull(&mut)`.
@@ -126,18 +154,19 @@ pub fn execute_planned_deltas_parallel_obs(
     let mut recs: Vec<Option<TickRec>> = vec![None; schedule.len()];
     let mut fronts: Vec<FrontRec> = Vec::new();
 
-    for front in wavefronts(&schedule) {
-        // Feed every base to this front's arrival fraction (single-threaded
-        // between levels, hence `get_mut` instead of locking).
+    for (wf, front) in wavefronts(&schedule).into_iter().enumerate() {
+        // Cut the ingest topics at this front's arrival fraction
+        // (single-threaded between levels, hence `get_mut` instead of
+        // locking).
         let head = schedule[front.start];
-        feed_fraction(data, head.num, head.den, all_queries, &mut base_fed, |t, dr| {
+        feed_from_source(source, &base_tables, head.num, head.den, all_queries, |t, dr| {
             base_buffers
                 .get_mut(&t)
                 .expect("registered table")
                 .get_mut()
                 .expect("buffer lock poisoned")
                 .push(dr)
-        });
+        })?;
         let front_start = run_started.elapsed();
         for level in depth_levels(&schedule[front.clone()], &depths) {
             let ticks: Vec<usize> = level.map(|o| front.start + o).collect();
@@ -213,20 +242,22 @@ pub fn execute_planned_deltas_parallel_obs(
             dur: run_started.elapsed() - front_start,
         });
         // Reclaim fully consumed prefixes between fronts (single-threaded
-        // here, so `get_mut`); cursors are absolute, later pulls unaffected.
+        // here, so `get_mut`); cursors are absolute and query roots retain
+        // everything, so later pulls and result views are unaffected.
         for b in base_buffers.values_mut() {
             b.get_mut().expect("buffer lock poisoned").compact();
         }
-        for (i, b) in sp_buffers.iter_mut().enumerate() {
-            if compactable[i] {
-                b.get_mut().expect("buffer lock poisoned").compact();
-            }
+        for b in sp_buffers.iter_mut() {
+            b.get_mut().expect("buffer lock poisoned").compact();
+        }
+        if let Some(out) = commit_wavefront(source, wf, head.num, head.den, &opts)? {
+            return Ok(out);
         }
     }
 
     let recs: Vec<TickRec> =
         recs.into_iter().map(|r| r.expect("every scheduled tick ran")).collect();
-    let folded = fold_run(plan, all_queries, &schedule, &depths, &recs, &fronts, obs);
+    let folded = fold_run(plan, all_queries, &schedule, &depths, &recs, &fronts, opts.obs);
 
     let base_buffers: HashMap<TableId, DeltaBuffer> = base_buffers
         .into_iter()
@@ -237,6 +268,7 @@ pub fn execute_planned_deltas_parallel_obs(
     let mut obs_report = folded.obs;
     if let Some(report) = obs_report.as_mut() {
         buffer_gauges(report, &base_buffers, &sp_buffers);
+        ingest_gauges(report, &source.stats());
     }
     let (final_work, latency, results) = per_query_views(
         plan,
@@ -245,16 +277,19 @@ pub fn execute_planned_deltas_parallel_obs(
         &folded.final_sp_wall,
         &sp_buffers,
     )?;
-    Ok(RunResult {
-        total_work: folded.total_work,
-        total_wall: folded.total_wall,
-        final_work,
-        latency,
-        results,
-        executions: folded.executions,
-        executions_per_query: folded.executions_per_query,
-        elapsed: run_started.elapsed(),
-        obs: obs_report,
+    Ok(SourceOutcome::Completed {
+        result: Box::new(RunResult {
+            total_work: folded.total_work,
+            total_wall: folded.total_wall,
+            final_work,
+            latency,
+            results,
+            executions: folded.executions,
+            executions_per_query: folded.executions_per_query,
+            elapsed: run_started.elapsed(),
+            obs: obs_report,
+        }),
+        log: source.log().clone(),
     })
 }
 

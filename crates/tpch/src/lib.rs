@@ -28,11 +28,13 @@
 
 pub mod datagen;
 pub mod names;
+pub mod producer;
 pub mod queries;
 pub mod updates;
 pub mod variants;
 
 pub use datagen::{calibrate, generate, TpchData};
+pub use producer::{produce_source, produce_source_from_feeds, StreamConfig};
 pub use queries::{all_queries, query_by_name, QueryDef};
-pub use updates::{net_rows, with_updates};
+pub use updates::{net_rows, with_updates, with_updates_windowed, UPDATE_WINDOW};
 pub use variants::variant_plan;

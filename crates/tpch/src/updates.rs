@@ -12,10 +12,18 @@ use ishare_common::{Result, TableId, Value};
 use ishare_storage::Row;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 /// One relation's delta feed: `(row, weight)` in arrival order.
 pub type DeltaFeed = Vec<(Row, i64)>;
+
+/// How many of the most recently arrived row versions stay eligible as
+/// update victims. Updates in the scenario hit *recent* rows (an order is
+/// amended shortly after entry, not years later), so a sliding window both
+/// models that and caps the generator's working set at `O(UPDATE_WINDOW)`
+/// rows per fact table — previously it retained every live row, growing
+/// without bound with the scale factor.
+pub const UPDATE_WINDOW: usize = 4096;
 
 /// Convert an instance into delta feeds where roughly `update_frac` of the
 /// fact-table arrivals are updates (delete of an earlier row + insert of a
@@ -24,16 +32,37 @@ pub type DeltaFeed = Vec<(Row, i64)>;
 ///
 /// Updated rows keep every key column and mutate one measure column
 /// (`l_quantity` / `o_totalprice`), so referential integrity and join
-/// cardinalities are preserved while aggregates genuinely churn.
+/// cardinalities are preserved while aggregates genuinely churn. Victims
+/// are drawn from the last [`UPDATE_WINDOW`] arrivals.
 pub fn with_updates(
     data: &TpchData,
     update_frac: f64,
     seed: u64,
 ) -> Result<HashMap<TableId, DeltaFeed>> {
+    with_updates_windowed(data, update_frac, seed, UPDATE_WINDOW)
+}
+
+/// [`with_updates`] with an explicit victim-window size (tests use small
+/// windows to exercise eviction; production callers use the default via
+/// [`with_updates`]). For feeds shorter than the window the output is
+/// identical for any window size.
+pub fn with_updates_windowed(
+    data: &TpchData,
+    update_frac: f64,
+    seed: u64,
+    window: usize,
+) -> Result<HashMap<TableId, DeltaFeed>> {
     assert!((0.0..1.0).contains(&update_frac), "update_frac in [0, 1)");
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_cafe);
+    assert!(window > 0, "victim window must hold at least one row");
     let mut feeds = HashMap::new();
     for (table_id, rows) in &data.data {
+        // One RNG per table, seeded from (seed, table id): the output must
+        // not depend on `HashMap` iteration order, which varies *between
+        // processes* — kill/resume replays and cross-process run diffs rely
+        // on `with_updates` being a pure function of `(data, frac, seed)`.
+        let mut rng = StdRng::seed_from_u64(
+            seed ^ 0x5eed_cafe ^ (table_id.0 as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        );
         let def = data.catalog.table(*table_id)?;
         let measure = match def.name.as_str() {
             "lineitem" => Some(def.schema.index_of("l_quantity")?),
@@ -41,14 +70,17 @@ pub fn with_updates(
             _ => None,
         };
         let mut feed: DeltaFeed = Vec::with_capacity(rows.len());
-        // Live rows eligible for an update: (index into feed history kept
-        // implicitly — we track current row versions).
-        let mut live: Vec<Row> = Vec::new();
+        // Current versions of the rows still eligible as update victims:
+        // a sliding window over the most recent `window` arrivals.
+        let mut live: VecDeque<Row> = VecDeque::with_capacity(window.min(rows.len()));
         for row in rows {
             feed.push((row.clone(), 1));
             if let Some(col) = measure {
-                live.push(row.clone());
-                if !live.is_empty() && rng.gen_bool(update_frac) {
+                if live.len() == window {
+                    live.pop_front();
+                }
+                live.push_back(row.clone());
+                if rng.gen_bool(update_frac) {
                     let victim_idx = rng.gen_range(0..live.len());
                     let old = live[victim_idx].clone();
                     let mut vals = old.values().to_vec();
@@ -127,6 +159,62 @@ mod tests {
         let li = d.catalog.table_by_name("lineitem").unwrap().id;
         assert_eq!(feeds[&li].len(), d.data[&li].len());
         assert!(feeds[&li].iter().all(|(_, w)| *w == 1));
+    }
+
+    #[test]
+    fn victim_window_stays_bounded() {
+        // Replicate the generator's sliding window from the feed structure
+        // alone (a delete is always immediately followed by its replacement
+        // insert; any other insert is an original arrival) and assert the
+        // generator's working set never exceeds the window — and that every
+        // update victim was still inside it.
+        let d = generate(0.004, 7).unwrap();
+        let li = d.catalog.table_by_name("lineitem").unwrap().id;
+        let window = 32;
+        assert!(
+            d.data[&li].len() > 4 * window,
+            "feed must be much longer than the window to exercise eviction"
+        );
+        let feeds = with_updates_windowed(&d, 0.25, 11, window).unwrap();
+        let feed = &feeds[&li];
+
+        let mut live: VecDeque<Row> = VecDeque::new();
+        let mut peak = 0usize;
+        let mut evictions = 0usize;
+        let mut i = 0;
+        while i < feed.len() {
+            if feed[i].1 < 0 {
+                let victim = live
+                    .iter()
+                    .position(|r| r == &feed[i].0)
+                    .expect("update victim must still be inside the sliding window");
+                live[victim] = feed[i + 1].0.clone(); // replacement insert
+                i += 2;
+            } else {
+                if live.len() == window {
+                    live.pop_front();
+                    evictions += 1;
+                }
+                live.push_back(feed[i].0.clone());
+                i += 1;
+            }
+            peak = peak.max(live.len());
+        }
+        assert_eq!(peak, window, "peak working set is exactly the window cap");
+        assert!(evictions > 0, "a long feed must actually evict");
+    }
+
+    #[test]
+    fn small_feeds_unaffected_by_window_size() {
+        // Feeds shorter than the window: the windowed generator degenerates
+        // to the unbounded one, so the default constant changes nothing for
+        // small scale factors.
+        let d = generate(0.0005, 5).unwrap();
+        let small = with_updates_windowed(&d, 0.2, 9, 1 << 20).unwrap();
+        let def = with_updates(&d, 0.2, 9).unwrap();
+        let li = d.catalog.table_by_name("lineitem").unwrap().id;
+        assert!(d.data[&li].len() <= UPDATE_WINDOW, "premise: feed fits the default window");
+        assert_eq!(small[&li], def[&li]);
     }
 
     #[test]

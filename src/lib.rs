@@ -25,6 +25,7 @@ pub use ishare_core as core;
 pub use ishare_cost as cost;
 pub use ishare_exec as exec;
 pub use ishare_expr as expr;
+pub use ishare_ingest as ingest;
 pub use ishare_mqo as mqo;
 pub use ishare_obs as obs;
 pub use ishare_plan as plan;
