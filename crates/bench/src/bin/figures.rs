@@ -7,7 +7,8 @@
 //!
 //! Experiments: fig9, fig10, fig11, fig12, table1 (runs fig9+11+12),
 //! fig13 (with table2), fig14 (with table3), fig15, fig16, fig17a,
-//! fig17b, fig17c, scaling (parallel-driver thread sweep), all.
+//! fig17b, fig17c, scaling (parallel-driver thread sweep), kernels
+//! (datapath kernels vs reference operators → `BENCH_kernels.json`), all.
 //!
 //! Options: `--sf <f64>`, `--seed <u64>`, `--max-pace <u32>`,
 //! `--random-sets <n>`, `--dnf-secs <n>`, `--trace-out <path>`,
@@ -82,6 +83,7 @@ fn main() {
             "fig17b" => experiments::fig17(params, 'b'),
             "fig17c" => experiments::fig17(params, 'c'),
             "scaling" => experiments::parallel_scaling(params),
+            "kernels" => experiments::kernel_bench(params),
             other => {
                 eprintln!("unknown experiment `{other}`");
                 std::process::exit(2);
@@ -96,7 +98,7 @@ fn main() {
     if exp == "all" {
         for name in [
             "fig10", "table1", "fig13", "fig14", "fig15", "fig16", "fig17a", "fig17b", "fig17c",
-            "scaling",
+            "scaling", "kernels",
         ] {
             run(name, &params);
         }

@@ -723,3 +723,210 @@ pub fn parallel_scaling(p: &Params) -> Result<()> {
     }
     Ok(())
 }
+
+/// Kernel datapath benchmark: per-kernel ns/op for the three hot kernels
+/// (join probe/insert, group update, predicate eval) against the reference
+/// operators they replaced, plus the engine-level wall clock of the
+/// `scaling` workload on both datapaths. Work numbers are asserted
+/// bit-identical between the datapaths; results land in
+/// `results/BENCH_kernels.json` — the perf trajectory later PRs regress
+/// against.
+pub fn kernel_bench(p: &Params) -> Result<()> {
+    use crate::harness::{save_kernel_bench, time_min_secs, KernelTiming};
+    use ishare_common::{QuerySet, Value, WorkCounter};
+    use ishare_exec::aggregate::{AggSpec, AggState};
+    use ishare_exec::join::{JoinKeys, JoinState};
+    use ishare_exec::operators::apply_select;
+    use ishare_exec::reference::{ref_apply_select, RefAggState, RefJoinState};
+    use ishare_expr::{CompiledPredicate, Expr};
+    use ishare_plan::{AggExpr, AggFunc, SelectBranch};
+    use ishare_storage::{DeltaBatch, DeltaRow, Row};
+    use ishare_stream::{execute_planned_deltas, execute_planned_deltas_reference};
+    use std::collections::HashMap;
+
+    let weights = CostWeights::default();
+    const REPS: usize = 5;
+    const N: usize = 10_000;
+    let rows = |n: usize, keys: i64, mask: QuerySet| -> Vec<DeltaRow> {
+        (0..n as i64)
+            .map(|i| DeltaRow {
+                row: Row::new(vec![Value::Int(i % keys), Value::Int(i * 13 % 1000)]),
+                weight: 1,
+                mask,
+            })
+            .collect()
+    };
+    let mut micro = Vec::new();
+
+    // Join probe + insert: ΔL of N rows against a ΔR of N/4 rows, 4096 keys
+    // (~3 matches per probe). The sparse key space keeps the micro dominated
+    // by the probe/insert datapath under test; a dense one (say 256 keys,
+    // ~40 matches per probe) spends most of its time materializing output
+    // rows through `Row::concat` — code both datapaths share — and the
+    // ratio of two near-equal totals is then mostly measurement noise.
+    let key_exprs = vec![(Expr::col(0), Expr::col(0))];
+    let join_keys = JoinKeys::compile(&key_exprs);
+    let left = DeltaBatch::from_rows(rows(N, 4096, QuerySet(0b1)));
+    let right = DeltaBatch::from_rows(rows(N / 4, 4096, QuerySet(0b1)));
+    micro.push(KernelTiming {
+        name: "join_probe_insert".into(),
+        ops: N + N / 4,
+        kernel_ns_per_op: time_min_secs(REPS, || {
+            let mut st = JoinState::new();
+            st.execute(left.clone(), right.clone(), &join_keys, &weights, &WorkCounter::new())
+                .unwrap();
+        }) * 1e9
+            / (N + N / 4) as f64,
+        reference_ns_per_op: time_min_secs(REPS, || {
+            let mut st = RefJoinState::new();
+            st.execute(left.clone(), right.clone(), &key_exprs, &weights, &WorkCounter::new())
+                .unwrap();
+        }) * 1e9
+            / (N + N / 4) as f64,
+    });
+
+    // Group update: N rows into 64 SUM groups.
+    let group_by = vec![(Expr::col(0), "k".to_string())];
+    let aggs = vec![AggExpr::new(AggFunc::Sum, Expr::col(1), "s")];
+    let spec = AggSpec::compile(&group_by, &aggs);
+    let input = DeltaBatch::from_rows(rows(N, 64, QuerySet(0b11)));
+    micro.push(KernelTiming {
+        name: "group_update".into(),
+        ops: N,
+        kernel_ns_per_op: time_min_secs(REPS, || {
+            let mut st = AggState::new();
+            st.execute(input.clone(), &spec, &[true], &weights, &WorkCounter::new()).unwrap();
+        }) * 1e9
+            / N as f64,
+        reference_ns_per_op: time_min_secs(REPS, || {
+            let mut st = RefAggState::new();
+            st.execute(input.clone(), &group_by, &aggs, &[true], &weights, &WorkCounter::new())
+                .unwrap();
+        }) * 1e9
+            / N as f64,
+    });
+
+    // Predicate eval: four `col < const` branches over N rows — the
+    // kernel's `ColCmpLit` fast path vs recursive interpretation.
+    let branches: Vec<SelectBranch> = (0..4u16)
+        .map(|q| SelectBranch {
+            queries: QuerySet(1 << q),
+            predicate: Expr::col(1).lt(Expr::lit(250 * (i64::from(q) + 1))),
+        })
+        .collect();
+    let compiled: Vec<CompiledPredicate> =
+        branches.iter().map(|b| CompiledPredicate::compile(&b.predicate)).collect();
+    let sel_input = DeltaBatch::from_rows(rows(N, 64, QuerySet(0b1111)));
+    micro.push(KernelTiming {
+        name: "predicate_eval".into(),
+        ops: N * branches.len(),
+        kernel_ns_per_op: time_min_secs(REPS, || {
+            apply_select(sel_input.clone(), &branches, &compiled, &weights, &WorkCounter::new())
+                .unwrap();
+        }) * 1e9
+            / (N * branches.len()) as f64,
+        reference_ns_per_op: time_min_secs(REPS, || {
+            ref_apply_select(sel_input.clone(), &branches, &weights, &WorkCounter::new()).unwrap();
+        }) * 1e9
+            / (N * branches.len()) as f64,
+    });
+
+    // Engine level: the `scaling` workload (ten sharing-friendly queries,
+    // NoShare-Nonuniform — join-heavy, ten independent subplan chains) on
+    // both datapaths, sequentially, so the gap is pure datapath.
+    let env = Env::new(p.sf, p.seed)?;
+    let queries: Vec<(QueryId, LogicalPlan)> = named_ten(&env)?
+        .into_iter()
+        .enumerate()
+        .map(|(i, (_, plan))| (QueryId(i as u16), plan))
+        .collect();
+    let cons: BTreeMap<QueryId, FinalWorkConstraint> =
+        queries.iter().map(|(q, _)| (*q, FinalWorkConstraint::Relative(0.2))).collect();
+    let planned =
+        plan_workload(Approach::NoShareNonuniform, &queries, &cons, &env.data.catalog, &opts(p))?;
+    let feeds: HashMap<_, Vec<(Row, i64)>> = env
+        .data
+        .data
+        .iter()
+        .map(|(t, rows)| (*t, rows.iter().map(|r| (r.clone(), 1i64)).collect()))
+        .collect();
+    let kernel_run = execute_planned_deltas(
+        &planned.plan,
+        planned.paces.as_slice(),
+        &env.data.catalog,
+        &feeds,
+        CostWeights::default(),
+    )?;
+    let reference_run = execute_planned_deltas_reference(
+        &planned.plan,
+        planned.paces.as_slice(),
+        &env.data.catalog,
+        &feeds,
+        CostWeights::default(),
+    )?;
+    assert_eq!(
+        kernel_run.total_work.get().to_bits(),
+        reference_run.total_work.get().to_bits(),
+        "datapaths must charge bit-identical work"
+    );
+    assert_eq!(kernel_run.results, reference_run.results, "datapaths must agree on results");
+    const ENGINE_REPS: usize = 5;
+    let kernel_secs = time_min_secs(ENGINE_REPS, || {
+        execute_planned_deltas(
+            &planned.plan,
+            planned.paces.as_slice(),
+            &env.data.catalog,
+            &feeds,
+            CostWeights::default(),
+        )
+        .unwrap();
+    });
+    let reference_secs = time_min_secs(ENGINE_REPS, || {
+        execute_planned_deltas_reference(
+            &planned.plan,
+            planned.paces.as_slice(),
+            &env.data.catalog,
+            &feeds,
+            CostWeights::default(),
+        )
+        .unwrap();
+    });
+    let engine_speedup = reference_secs / kernel_secs;
+
+    let mut rows_out: Vec<Vec<String>> = micro
+        .iter()
+        .map(|t| {
+            vec![
+                t.name.clone(),
+                format!("{:.1}", t.kernel_ns_per_op),
+                format!("{:.1}", t.reference_ns_per_op),
+                format!("{:.2}x", t.speedup()),
+            ]
+        })
+        .collect();
+    rows_out.push(vec![
+        "engine (scaling workload, s)".into(),
+        format!("{kernel_secs:.3}"),
+        format!("{reference_secs:.3}"),
+        format!("{engine_speedup:.2}x"),
+    ]);
+    print_table(
+        &format!("Kernel datapath vs reference — sf {}, seed {}", p.sf, p.seed),
+        &["kernel", "kernels ns/op", "reference ns/op", "speedup"],
+        &rows_out,
+    );
+    save_kernel_bench(
+        &micro,
+        &serde_json::json!({
+            "workload": "scaling (10 sharing-friendly queries, NoShare-Nonuniform)",
+            "sf": p.sf,
+            "seed": p.seed,
+            "subplans": planned.plan.len(),
+            "kernel_wall_secs_min": kernel_secs,
+            "reference_wall_secs_min": reference_secs,
+            "speedup": engine_speedup,
+            "total_work_bits": format!("{:016x}", kernel_run.total_work.get().to_bits()),
+        }),
+    );
+    Ok(())
+}

@@ -335,6 +335,63 @@ pub fn save_json(name: &str, value: &serde_json::Value) {
     }
 }
 
+/// One kernel-vs-reference micro timing: min-of-reps wall clock normalized
+/// to nanoseconds per processed tuple.
+#[derive(Debug, Clone)]
+pub struct KernelTiming {
+    /// Kernel name (e.g. `join_probe_insert`).
+    pub name: String,
+    /// Tuples processed per run (the ns/op denominator).
+    pub ops: usize,
+    /// Kernel datapath, ns per tuple (min over reps).
+    pub kernel_ns_per_op: f64,
+    /// Reference datapath, ns per tuple (min over reps).
+    pub reference_ns_per_op: f64,
+}
+
+impl KernelTiming {
+    /// Reference / kernel — how much faster the kernel is.
+    pub fn speedup(&self) -> f64 {
+        self.reference_ns_per_op / self.kernel_ns_per_op
+    }
+}
+
+/// Time `f` over `reps` runs (after one warm-up), returning the minimum
+/// wall-clock seconds — the noise-robust statistic every experiment here
+/// reports.
+pub fn time_min_secs<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    f();
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = std::time::Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Emit `results/BENCH_kernels.json`: per-kernel ns/op plus the engine-level
+/// wall clock of the `figures scaling` workload on both datapaths — the
+/// perf trajectory later PRs regress against.
+pub fn save_kernel_bench(micro: &[KernelTiming], engine: &serde_json::Value) {
+    let micro_json: Vec<serde_json::Value> = micro
+        .iter()
+        .map(|t| {
+            serde_json::json!({
+                "kernel": t.name.clone(),
+                "ops": t.ops as u64,
+                "kernel_ns_per_op": t.kernel_ns_per_op,
+                "reference_ns_per_op": t.reference_ns_per_op,
+                "speedup": t.speedup(),
+            })
+        })
+        .collect();
+    save_json(
+        "BENCH_kernels",
+        &serde_json::json!({ "micro": micro_json, "engine": engine.clone() }),
+    );
+}
+
 /// JSON view of an [`ApproachRun`].
 pub fn run_to_json(r: &ApproachRun) -> serde_json::Value {
     serde_json::json!({

@@ -1,0 +1,90 @@
+//! Deterministic string interning for encoded keys.
+//!
+//! [`KeyBuf`] key encoding (see [`crate::key`]) needs a fixed-width stand-in
+//! for string values. A [`StrInterner`] maps each distinct string to a dense
+//! `u32` id assigned in *first-intern order*. Because every operator state
+//! sees a deterministic sequence of input rows (the drivers' bit-identical
+//! schedule guarantee), the id assignment — and therefore every encoded key,
+//! every hash, and every state layout derived from it — is a pure function
+//! of the input stream: identical across processes, thread counts, and
+//! kill/resume replays.
+//!
+//! Ids are only meaningful *within* one interner; each stateful operator
+//! owns its own (a join shares one across both sides so that left and right
+//! keys encode identically).
+//!
+//! [`KeyBuf`]: crate::key::KeyBuf
+
+use crate::fxhash::FxHashMap;
+use std::sync::Arc;
+
+/// Interns strings to dense `u32` ids in first-seen order.
+#[derive(Debug, Default, Clone)]
+pub struct StrInterner {
+    ids: FxHashMap<Arc<str>, u32>,
+    strings: Vec<Arc<str>>,
+}
+
+impl StrInterner {
+    /// Fresh empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Id for `s`, interning it if unseen. Ids count up from 0 in
+    /// first-intern order.
+    pub fn intern(&mut self, s: &Arc<str>) -> u32 {
+        if let Some(&id) = self.ids.get(s) {
+            return id;
+        }
+        let id = u32::try_from(self.strings.len()).expect("interner overflow");
+        self.ids.insert(s.clone(), id);
+        self.strings.push(s.clone());
+        id
+    }
+
+    /// The string interned as `id` (panics on an id this interner never
+    /// produced).
+    pub fn resolve(&self, id: u32) -> &Arc<str> {
+        &self.strings[id as usize]
+    }
+
+    /// Number of distinct strings interned.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// `true` iff nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_seen_order() {
+        let mut i = StrInterner::new();
+        let a: Arc<str> = Arc::from("alpha");
+        let b: Arc<str> = Arc::from("beta");
+        assert_eq!(i.intern(&a), 0);
+        assert_eq!(i.intern(&b), 1);
+        assert_eq!(i.intern(&a), 0, "re-intern is stable");
+        assert_eq!(i.len(), 2);
+        assert_eq!(&**i.resolve(1), "beta");
+    }
+
+    #[test]
+    fn independent_interners_assign_independently() {
+        let mut x = StrInterner::new();
+        let mut y = StrInterner::new();
+        let a: Arc<str> = Arc::from("a");
+        let b: Arc<str> = Arc::from("b");
+        x.intern(&a);
+        assert_eq!(x.intern(&b), 1);
+        assert_eq!(y.intern(&b), 0, "ids are per-interner");
+        assert!(!x.is_empty());
+    }
+}

@@ -15,13 +15,19 @@
 #![warn(missing_docs)]
 
 pub mod error;
+pub mod fxhash;
 pub mod ids;
+pub mod interner;
+pub mod key;
 pub mod queryset;
 pub mod value;
 pub mod work;
 
 pub use error::{Error, Result};
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use ids::{NodeId, SubplanId, TableId};
+pub use interner::StrInterner;
+pub use key::KeyBuf;
 pub use queryset::{QueryId, QuerySet};
-pub use value::{date, days_to_ymd, ymd_to_days, DataType, Value};
+pub use value::{date, days_to_ymd, norm_f64_bits, ymd_to_days, DataType, Value};
 pub use work::{CostWeights, OpKind, WorkBreakdown, WorkCounter, WorkUnits};

@@ -121,16 +121,9 @@ impl Value {
         }
     }
 
-    /// Normalised float bits used for `Eq`/`Hash` (collapses `-0.0`/`0.0`
-    /// and all NaN payloads).
+    /// Normalised float bits used for `Eq`/`Hash` — see [`norm_f64_bits`].
     fn norm_f64_bits(f: f64) -> u64 {
-        if f.is_nan() {
-            f64::NAN.to_bits()
-        } else if f == 0.0 {
-            0u64
-        } else {
-            f.to_bits()
-        }
+        norm_f64_bits(f)
     }
 
     /// Rank used to order values of different types (Null < Bool < Int/Float/Date < Str).
@@ -250,6 +243,20 @@ impl From<&str> for Value {
 impl From<String> for Value {
     fn from(s: String) -> Self {
         Value::Str(Arc::from(s.as_str()))
+    }
+}
+
+/// Normalised float bit pattern: collapses `-0.0`/`0.0` and all NaN
+/// payloads. This is the payload [`Value`]'s `Hash` uses for the numeric
+/// equivalence class (`Int`/`Float`/`Date`), and the encoded-key layer
+/// ([`crate::key::KeyBuf`]) must agree with it word for word.
+pub fn norm_f64_bits(f: f64) -> u64 {
+    if f.is_nan() {
+        f64::NAN.to_bits()
+    } else if f == 0.0 {
+        0u64
+    } else {
+        f.to_bits()
     }
 }
 

@@ -1,4 +1,4 @@
-//! Incremental shared group-by aggregation with mask-partitioned state.
+//! Incremental shared group-by aggregation — datapath-kernel implementation.
 //!
 //! Every group's state is a set of *disjoint query-mask classes*; a class
 //! holds one accumulator per aggregate column covering exactly the input
@@ -18,13 +18,30 @@
 //! extremum triggers a rescan charged at `minmax_rescan × multiset size` —
 //! the paper's "if a max value is deleted, the max operator needs to rescan
 //! all arrived values" (Sec. 5.3, Q15).
+//!
+//! Kernel datapath vs. [`crate::reference::RefAggState`]: group keys are
+//! [`KeyBuf`]-encoded into a [`FlatTable`] (no `Vec<Value>` hashing, no
+//! SipHash); group-by and aggregate-argument expressions are pre-compiled
+//! [`CompiledScalar`]s in an [`AggSpec`]; the per-execution touched set is an
+//! epoch stamp on the group instead of a `HashSet<Vec<Value>>`; and
+//! `AggUpdate`/`AggEmit` work is charged once per batch (bit-identical to the
+//! reference's per-tuple charges because the default weights are dyadic).
+//! Flush order is first-touch order in both datapaths, and each touched
+//! group's output key uses the value representation produced by the row that
+//! first touched it *this execution* — both properties the reference also
+//! has, and both load-bearing for bit-identical results. `MinmaxRescan`
+//! stays charged per event: its unit count depends on mutable state, so it
+//! cannot be batched without changing observable totals on error paths.
 
-use ishare_common::{CostWeights, Error, OpKind, QuerySet, Result, Value, WorkCounter};
-use ishare_expr::eval::eval;
+use crate::flat::FlatTable;
+use ishare_common::{
+    CostWeights, Error, FxHashMap, KeyBuf, OpKind, QuerySet, Result, StrInterner, Value,
+    WorkCounter,
+};
+use ishare_expr::compile::CompiledScalar;
 use ishare_expr::Expr;
 use ishare_plan::{AggExpr, AggFunc};
 use ishare_storage::{DeltaBatch, DeltaRow, Row};
-use std::collections::{HashMap, HashSet};
 
 /// One aggregate accumulator.
 #[derive(Debug, Clone)]
@@ -56,8 +73,9 @@ pub enum Accumulator {
     MinMax {
         /// `true` for MIN.
         min: bool,
-        /// Value multiset (value → net weight).
-        values: HashMap<Value, i64>,
+        /// Value multiset (value → net weight). Deterministically hashed;
+        /// only ever read via `keys().min()/max()`, which is order-free.
+        values: FxHashMap<Value, i64>,
         /// Cached extremum.
         cached: Option<Value>,
         /// Monotone count of values ever inserted. A rescan after deleting
@@ -77,12 +95,18 @@ impl Accumulator {
             AggFunc::Sum => Accumulator::Sum { int, sum_i: 0, sum_f: 0.0, nonnull: 0 },
             AggFunc::Count => Accumulator::Count { count: 0 },
             AggFunc::Avg => Accumulator::Avg { sum: 0.0, count: 0 },
-            AggFunc::Min => {
-                Accumulator::MinMax { min: true, values: HashMap::new(), cached: None, arrived: 0 }
-            }
-            AggFunc::Max => {
-                Accumulator::MinMax { min: false, values: HashMap::new(), cached: None, arrived: 0 }
-            }
+            AggFunc::Min => Accumulator::MinMax {
+                min: true,
+                values: FxHashMap::default(),
+                cached: None,
+                arrived: 0,
+            },
+            AggFunc::Max => Accumulator::MinMax {
+                min: false,
+                values: FxHashMap::default(),
+                cached: None,
+                arrived: 0,
+            },
         }
     }
 
@@ -194,6 +218,26 @@ fn type_err(what: &str, v: &Value) -> Error {
     Error::TypeMismatch(format!("{what} over non-numeric value {v}"))
 }
 
+/// Compiled aggregate operator: group-by scalars plus per-aggregate
+/// `(function, argument scalar)` pairs, lowered once at plan setup.
+#[derive(Debug, Clone)]
+pub struct AggSpec {
+    group_by: Vec<CompiledScalar>,
+    funcs: Vec<AggFunc>,
+    args: Vec<CompiledScalar>,
+}
+
+impl AggSpec {
+    /// Lower the planner's group-by and aggregate expressions.
+    pub fn compile(group_by: &[(Expr, String)], aggs: &[AggExpr]) -> AggSpec {
+        AggSpec {
+            group_by: group_by.iter().map(|(e, _)| CompiledScalar::compile(e)).collect(),
+            funcs: aggs.iter().map(|a| a.func).collect(),
+            args: aggs.iter().map(|a| CompiledScalar::compile(&a.arg)).collect(),
+        }
+    }
+}
+
 /// One disjoint query-mask class within a group.
 #[derive(Debug, Clone)]
 struct ClassState {
@@ -209,12 +253,18 @@ struct ClassState {
 struct GroupState {
     classes: Vec<ClassState>,
     emitted: Vec<(QuerySet, Row)>,
+    /// Execution epoch that last touched this group — replaces the
+    /// reference's per-execution `HashSet<Vec<Value>>` membership test.
+    touched_at: u64,
 }
 
 /// Persistent state of one aggregate operator across incremental executions.
 #[derive(Debug, Default)]
 pub struct AggState {
-    groups: HashMap<Vec<Value>, GroupState>,
+    groups: FlatTable<GroupState>,
+    interner: StrInterner,
+    scratch: KeyBuf,
+    epoch: u64,
 }
 
 impl AggState {
@@ -234,35 +284,50 @@ impl AggState {
     pub fn execute(
         &mut self,
         input: DeltaBatch,
-        group_by: &[(Expr, String)],
-        aggs: &[AggExpr],
+        spec: &AggSpec,
         agg_int: &[bool],
         weights: &CostWeights,
         counter: &WorkCounter,
     ) -> Result<DeltaBatch> {
-        // First-touch order, not HashSet order: flush order must be a pure
+        self.epoch += 1;
+        let epoch = self.epoch;
+        counter.charge(
+            OpKind::AggUpdate,
+            weights.agg_update,
+            input.rows.len() * spec.funcs.len().max(1),
+        );
+        // First-touch order, not map order: flush order must be a pure
         // function of the input stream so executions are reproducible and
         // thread-count independent (the parallel driver's bit-identical
-        // work-unit guarantee relies on it).
-        let mut touched: Vec<Vec<Value>> = Vec::new();
-        let mut touched_set: HashSet<Vec<Value>> = HashSet::new();
+        // work-unit guarantee relies on it). The key values captured here
+        // are the ones the first-touching row evaluated to — the output-row
+        // representation, matching the reference exactly.
+        let mut touched: Vec<(u32, Vec<Value>)> = Vec::new();
+        let mut key_vals: Vec<Value> = Vec::with_capacity(spec.group_by.len());
         for dr in &input.rows {
-            counter.charge(OpKind::AggUpdate, weights.agg_update, aggs.len().max(1));
-            let mut key = Vec::with_capacity(group_by.len());
-            for (e, _) in group_by {
-                key.push(eval(e, dr.row.values())?);
+            key_vals.clear();
+            for g in &spec.group_by {
+                key_vals.push(g.eval(dr.row.values())?);
             }
-            let group = self.groups.entry(key.clone()).or_default();
-            if touched_set.insert(key.clone()) {
-                touched.push(key);
+            self.scratch.clear();
+            for v in &key_vals {
+                self.scratch.push_value(v, &mut self.interner);
             }
-            refine_classes(group, dr.mask, aggs, agg_int);
+            let id = self.groups.id_or_insert_with(self.scratch.as_words(), GroupState::default);
+            let group = self.groups.get_by_id_mut(id).expect("live group");
+            if group.touched_at != epoch {
+                group.touched_at = epoch;
+                touched.push((id, key_vals.clone()));
+            }
+            refine_classes(group, dr.mask, spec, agg_int);
             for class in &mut group.classes {
                 if class.mask.is_subset_of(dr.mask) {
                     class.rows += dr.weight;
-                    for (acc, agg) in class.accums.iter_mut().zip(aggs) {
-                        let v = eval(&agg.arg, dr.row.values())?;
-                        acc.update(&v, dr.weight, weights, counter)?;
+                    for (acc, arg) in class.accums.iter_mut().zip(&spec.args) {
+                        match arg.eval_ref(dr.row.values())? {
+                            Ok(v) => acc.update(v, dr.weight, weights, counter)?,
+                            Err(v) => acc.update(&v, dr.weight, weights, counter)?,
+                        }
                     }
                 }
             }
@@ -271,8 +336,10 @@ impl AggState {
         // Flush: per touched group, retract stale output rows and emit new
         // ones (unchanged pairs cancel).
         let mut out = DeltaBatch::new();
-        for key in touched {
-            let group = self.groups.get_mut(&key).expect("touched group exists");
+        let mut emit_units = 0usize;
+        let mut canceled: Vec<bool> = Vec::new();
+        for (id, key) in touched {
+            let group = self.groups.get_by_id_mut(id).expect("touched group exists");
             for class in &group.classes {
                 if class.rows < 0 {
                     return Err(Error::InvalidDelta(format!(
@@ -281,52 +348,55 @@ impl AggState {
                     )));
                 }
             }
-            let new_pairs: Vec<(QuerySet, Row)> = group
-                .classes
-                .iter()
-                .filter(|c| c.rows > 0)
-                .map(|c| {
-                    let mut vals = key.clone();
-                    vals.extend(c.accums.iter().map(|a| a.value()));
-                    (c.mask, Row::new(vals))
-                })
-                .collect();
+            let mut new_pairs: Vec<(QuerySet, Row)> =
+                Vec::with_capacity(group.classes.iter().filter(|c| c.rows > 0).count());
+            for c in group.classes.iter().filter(|c| c.rows > 0) {
+                let mut vals = Vec::with_capacity(key.len() + c.accums.len());
+                vals.extend(key.iter().cloned());
+                vals.extend(c.accums.iter().map(|a| a.value()));
+                new_pairs.push((c.mask, Row::new(vals)));
+            }
 
-            // Order-preserving diff (retractions first, then inserts):
-            // groups emit a handful of rows, so linear search beats hashing
-            // and keeps emission order deterministic.
-            let mut diff: Vec<((QuerySet, Row), i64)> = Vec::new();
-            let mut bump =
-                |pair: (QuerySet, Row), delta: i64| match diff.iter_mut().find(|(p, _)| *p == pair)
-                {
-                    Some((_, w)) => *w += delta,
-                    None => diff.push((pair, delta)),
-                };
-            for (m, r) in &group.emitted {
-                bump((*m, r.clone()), -1);
+            // Order-preserving diff: retract stale pairs first (in emitted
+            // order), then insert fresh ones (in class order). Pairs within
+            // a group are unique — class masks are disjoint — so an old pair
+            // cancels against at most one identical new pair, and old rows
+            // can be moved straight into the retraction deltas. Groups emit
+            // a handful of rows, so linear matching beats hashing and keeps
+            // emission order deterministic.
+            let old_pairs = std::mem::take(&mut group.emitted);
+            canceled.clear();
+            canceled.resize(new_pairs.len(), false);
+            for (m, r) in old_pairs {
+                match new_pairs.iter().position(|(nm, nr)| *nm == m && *nr == r) {
+                    Some(i) => canceled[i] = true,
+                    None => {
+                        emit_units += 1;
+                        out.push(DeltaRow { row: r, weight: -1, mask: m });
+                    }
+                }
             }
-            for (m, r) in &new_pairs {
-                bump((*m, r.clone()), 1);
-            }
-            for ((mask, row), w) in diff {
-                if w != 0 {
-                    counter.charge(OpKind::AggEmit, weights.agg_emit, w.unsigned_abs() as usize);
-                    out.push(DeltaRow { row, weight: w, mask });
+            for (skip, (m, r)) in canceled.iter().zip(&new_pairs) {
+                if !skip {
+                    emit_units += 1;
+                    out.push(DeltaRow { row: r.clone(), weight: 1, mask: *m });
                 }
             }
             group.emitted = new_pairs;
             group.classes.retain(|c| c.rows > 0);
             if group.classes.is_empty() {
-                self.groups.remove(&key);
+                self.groups.remove_id(id);
             }
         }
+        counter.charge(OpKind::AggEmit, weights.agg_emit, emit_units);
+        self.groups.maybe_compact();
         Ok(out)
     }
 }
 
 /// Partition refinement: after this, every class is either a subset of
 /// `mask` or disjoint from it, and `mask` is fully covered by classes.
-fn refine_classes(group: &mut GroupState, mask: QuerySet, aggs: &[AggExpr], agg_int: &[bool]) {
+fn refine_classes(group: &mut GroupState, mask: QuerySet, spec: &AggSpec, agg_int: &[bool]) {
     let mut covered = QuerySet::EMPTY;
     let mut splits = Vec::new();
     for class in &mut group.classes {
@@ -347,10 +417,11 @@ fn refine_classes(group: &mut GroupState, mask: QuerySet, aggs: &[AggExpr], agg_
         group.classes.push(ClassState {
             mask: leftover,
             rows: 0,
-            accums: aggs
+            accums: spec
+                .funcs
                 .iter()
                 .zip(agg_int)
-                .map(|(a, &int)| Accumulator::new(a.func, int))
+                .map(|(&f, &int)| Accumulator::new(f, int))
                 .collect(),
         });
     }
@@ -370,18 +441,17 @@ mod tests {
         DeltaRow { row: Row::new(vec![Value::Int(k), Value::Int(v)]), weight: w, mask: qs(m) }
     }
 
-    fn sum_spec() -> (Vec<(Expr, String)>, Vec<AggExpr>, Vec<bool>) {
-        (
-            vec![(Expr::col(0), "k".into())],
-            vec![AggExpr::new(AggFunc::Sum, Expr::col(1), "s")],
-            vec![true],
-        )
+    fn sum_spec() -> (AggSpec, Vec<bool>) {
+        let group_by = vec![(Expr::col(0), "k".to_string())];
+        let aggs = vec![AggExpr::new(AggFunc::Sum, Expr::col(1), "s")];
+        (AggSpec::compile(&group_by, &aggs), vec![true])
     }
 
     fn run(st: &mut AggState, rows: Vec<DeltaRow>) -> DeltaBatch {
-        let (g, a, i) = sum_spec();
+        let (spec, agg_int) = sum_spec();
         let c = WorkCounter::new();
-        st.execute(DeltaBatch::from_rows(rows), &g, &a, &i, &CostWeights::default(), &c).unwrap()
+        st.execute(DeltaBatch::from_rows(rows), &spec, &agg_int, &CostWeights::default(), &c)
+            .unwrap()
     }
 
     #[test]
@@ -450,13 +520,12 @@ mod tests {
     fn over_retraction_detected() {
         let mut st = AggState::new();
         run(&mut st, vec![dr(1, 10, 1, &[0])]);
-        let (g, a, i) = sum_spec();
+        let (spec, agg_int) = sum_spec();
         let c = WorkCounter::new();
         let res = st.execute(
             DeltaBatch::from_rows(vec![dr(1, 10, -2, &[0])]),
-            &g,
-            &a,
-            &i,
+            &spec,
+            &agg_int,
             &CostWeights::default(),
             &c,
         );
@@ -481,6 +550,36 @@ mod tests {
         acc.update(&Value::Int(5), -1, &weights, &counter).unwrap();
         assert_eq!(acc.value(), Value::Int(3));
         assert!(counter.total().get() > before, "rescan must be charged");
+    }
+
+    /// Pins the MIN/MAX delete contract end to end: deleting the extremum
+    /// after 3 arrivals yields the runner-up AND charges exactly
+    /// `minmax_rescan × 3` (all arrived values, paper Sec. 5.3) — as raw f64
+    /// bits, so a batching or reordering regression cannot hide in epsilon.
+    #[test]
+    fn minmax_delete_rescan_work_pinned() {
+        let weights = CostWeights::default();
+        let counter = WorkCounter::new();
+        let mut acc = Accumulator::new(AggFunc::Max, true);
+        for v in [1i64, 5, 3] {
+            acc.update(&Value::Int(v), 1, &weights, &counter).unwrap();
+        }
+        assert_eq!(counter.breakdown().get(OpKind::MinmaxRescan), 0.0);
+        acc.update(&Value::Int(5), -1, &weights, &counter).unwrap();
+        assert_eq!(acc.value(), Value::Int(3), "rescan must find the runner-up");
+        let charged = counter.breakdown().get(OpKind::MinmaxRescan);
+        let expected = weights.minmax_rescan * 3.0;
+        assert_eq!(
+            charged.to_bits(),
+            expected.to_bits(),
+            "rescan charge must be exactly minmax_rescan × arrived (= {expected}), got {charged}"
+        );
+        // A second extremum delete rescans against arrived = 3 still (the
+        // counter is monotone over insertions, deletions don't shrink it).
+        acc.update(&Value::Int(3), -1, &weights, &counter).unwrap();
+        assert_eq!(acc.value(), Value::Int(1));
+        let charged2 = counter.breakdown().get(OpKind::MinmaxRescan);
+        assert_eq!(charged2.to_bits(), (weights.minmax_rescan * 6.0).to_bits());
     }
 
     #[test]
@@ -509,14 +608,12 @@ mod tests {
     #[test]
     fn global_aggregate_empty_group_key() {
         let mut st = AggState::new();
-        let g: Vec<(Expr, String)> = vec![];
-        let a = vec![AggExpr::new(AggFunc::Count, Expr::lit(1i64), "n")];
+        let spec = AggSpec::compile(&[], &[AggExpr::new(AggFunc::Count, Expr::lit(1i64), "n")]);
         let c = WorkCounter::new();
         let out = st
             .execute(
                 DeltaBatch::from_rows(vec![dr(1, 1, 1, &[0]), dr(2, 2, 1, &[0])]),
-                &g,
-                &a,
+                &spec,
                 &[true],
                 &CostWeights::default(),
                 &c,
@@ -524,5 +621,43 @@ mod tests {
             .unwrap();
         assert_eq!(out.len(), 1);
         assert_eq!(out.rows[0].row.values(), &[Value::Int(2)]);
+    }
+
+    /// Charged work must be bit-identical to the reference datapath even
+    /// though the kernel batches its `AggUpdate`/`AggEmit` charges.
+    #[test]
+    fn charges_match_reference_bitwise() {
+        use crate::reference::RefAggState;
+        let rows = vec![
+            dr(1, 10, 1, &[0, 1]),
+            dr(2, 7, 1, &[0]),
+            dr(1, 5, 1, &[0]),
+            dr(1, 10, -1, &[0, 1]),
+            dr(3, 2, 1, &[1]),
+        ];
+        let group_by = vec![(Expr::col(0), "k".to_string())];
+        let aggs = vec![AggExpr::new(AggFunc::Sum, Expr::col(1), "s")];
+        let w = CostWeights::default();
+
+        let kc = WorkCounter::new();
+        let mut kst = AggState::new();
+        let spec = AggSpec::compile(&group_by, &aggs);
+        let kout =
+            kst.execute(DeltaBatch::from_rows(rows.clone()), &spec, &[true], &w, &kc).unwrap();
+
+        let rc = WorkCounter::new();
+        let mut rst = RefAggState::new();
+        let rout =
+            rst.execute(DeltaBatch::from_rows(rows), &group_by, &aggs, &[true], &w, &rc).unwrap();
+
+        assert_eq!(kout.rows, rout.rows, "emission (order included) must match");
+        assert_eq!(kc.total().get().to_bits(), rc.total().get().to_bits());
+        for kind in [OpKind::AggUpdate, OpKind::AggEmit, OpKind::MinmaxRescan] {
+            assert_eq!(
+                kc.breakdown().get(kind).to_bits(),
+                rc.breakdown().get(kind).to_bits(),
+                "charge mismatch for {kind:?}"
+            );
+        }
     }
 }

@@ -7,20 +7,56 @@
 //! them to [`SubplanExecutor::execute`], which returns the subplan's output
 //! delta (to be materialized into the subplan's buffer, or consumed as final
 //! query results).
+//!
+//! Two interchangeable datapaths implement the operators ([`ExecMode`]):
+//! the default [`ExecMode::Kernels`] datapath (encoded keys, compiled
+//! expressions, flat state — `join`, `aggregate`, `operators`) and the
+//! original [`ExecMode::Reference`] datapath (`reference`), kept as a
+//! differential oracle. Both must produce bit-identical outputs and charged
+//! work on every input — `tests/kernel_equivalence.rs` and the
+//! `validate_kernels` smoke bin enforce it.
 
-use crate::aggregate::AggState;
-use crate::join::JoinState;
+use crate::aggregate::{AggSpec, AggState};
+use crate::join::{JoinKeys, JoinState};
 use crate::operators::{apply_project, apply_select, narrow_input};
+use crate::reference::{ref_apply_project, ref_apply_select, RefAggState, RefJoinState};
 use ishare_common::{CostWeights, DataType, Error, QuerySet, Result, SubplanId, WorkCounter};
+use ishare_expr::compile::{CompiledPredicate, CompiledProjection};
 use ishare_plan::{InputSource, OpTree, Subplan, TreeOp};
 use ishare_storage::{Catalog, DeltaBatch, Schema};
 use std::collections::HashMap;
+
+/// Which datapath a [`SubplanExecutor`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// The optimized datapath: encoded keys, compiled expressions, flat
+    /// operator state, batched work charges.
+    #[default]
+    Kernels,
+    /// The original interpreter-shaped datapath, retained verbatim as a
+    /// differential oracle ([`crate::reference`]). Results and charged work
+    /// are bit-identical to [`ExecMode::Kernels`]; only wall-clock differs.
+    Reference,
+}
 
 /// Stateful-operator state, keyed by tree path.
 #[derive(Debug)]
 enum OpState {
     Join(JoinState),
     Agg(AggState),
+    RefJoin(RefJoinState),
+    RefAgg(RefAggState),
+}
+
+/// Expression kernels lowered once at executor construction, keyed by tree
+/// path. Empty in [`ExecMode::Reference`] (the reference datapath walks the
+/// plan's `Expr` trees directly).
+#[derive(Debug, Default)]
+struct CompiledOps {
+    selects: HashMap<Vec<usize>, Vec<CompiledPredicate>>,
+    projects: HashMap<Vec<usize>, CompiledProjection>,
+    join_keys: HashMap<Vec<usize>, JoinKeys>,
+    agg_specs: HashMap<Vec<usize>, AggSpec>,
 }
 
 /// Executes one subplan incrementally, holding its operator state.
@@ -28,37 +64,58 @@ enum OpState {
 pub struct SubplanExecutor {
     subplan: Subplan,
     weights: CostWeights,
+    mode: ExecMode,
     /// Per-aggregate-node flags: is each aggregate argument integer-typed?
     agg_int: HashMap<Vec<usize>, Vec<bool>>,
     states: HashMap<Vec<usize>, OpState>,
+    compiled: CompiledOps,
 }
 
 impl SubplanExecutor {
-    /// Build an executor for `subplan`. `child_schemas` must contain the
-    /// output schema of every child subplan referenced by the tree (see
-    /// [`ishare_plan::SharedPlan::schemas`]).
+    /// Build an executor for `subplan` on the default (kernel) datapath.
+    /// `child_schemas` must contain the output schema of every child subplan
+    /// referenced by the tree (see [`ishare_plan::SharedPlan::schemas`]).
     pub fn new(
         subplan: &Subplan,
         catalog: &Catalog,
         child_schemas: &HashMap<SubplanId, Schema>,
         weights: CostWeights,
     ) -> Result<Self> {
+        Self::new_with_mode(subplan, catalog, child_schemas, weights, ExecMode::default())
+    }
+
+    /// Build an executor on an explicit datapath.
+    pub fn new_with_mode(
+        subplan: &Subplan,
+        catalog: &Catalog,
+        child_schemas: &HashMap<SubplanId, Schema>,
+        weights: CostWeights,
+        mode: ExecMode,
+    ) -> Result<Self> {
         let mut agg_int = HashMap::new();
         let mut states = HashMap::new();
+        let mut compiled = CompiledOps::default();
         init_states(
             &subplan.root,
             &mut Vec::new(),
             catalog,
             child_schemas,
+            mode,
             &mut agg_int,
             &mut states,
+            &mut compiled,
         )?;
-        Ok(SubplanExecutor { subplan: subplan.clone(), weights, agg_int, states })
+        Ok(SubplanExecutor { subplan: subplan.clone(), weights, mode, agg_int, states, compiled })
     }
 
     /// The executed subplan.
     pub fn subplan(&self) -> &Subplan {
         &self.subplan
+    }
+
+    /// The datapath this executor runs.
+    pub fn mode(&self) -> ExecMode {
+        self.mode
     }
 
     /// All leaves of the tree with their tree paths, in pre-order. The
@@ -88,71 +145,21 @@ impl SubplanExecutor {
         inputs: &mut HashMap<Vec<usize>, DeltaBatch>,
         counter: &WorkCounter,
     ) -> Result<DeltaBatch> {
-        let root = self.subplan.root.clone();
-        self.exec_node(&root, &mut Vec::new(), inputs, counter)
-    }
-
-    fn exec_node(
-        &mut self,
-        t: &OpTree,
-        path: &mut Vec<usize>,
-        inputs: &mut HashMap<Vec<usize>, DeltaBatch>,
-        counter: &WorkCounter,
-    ) -> Result<DeltaBatch> {
-        match &t.op {
-            TreeOp::Input(_) => {
-                let batch = inputs.remove(path.as_slice()).unwrap_or_default();
-                Ok(narrow_input(&batch, self.subplan.queries, &self.weights, counter))
-            }
-            TreeOp::Select { branches } => {
-                path.push(0);
-                let input = self.exec_node(&t.inputs[0], path, inputs, counter)?;
-                path.pop();
-                apply_select(input, branches, &self.weights, counter)
-            }
-            TreeOp::Project { exprs } => {
-                path.push(0);
-                let input = self.exec_node(&t.inputs[0], path, inputs, counter)?;
-                path.pop();
-                apply_project(input, exprs, &self.weights, counter)
-            }
-            TreeOp::Join { keys } => {
-                path.push(0);
-                let left = self.exec_node(&t.inputs[0], path, inputs, counter)?;
-                path.pop();
-                path.push(1);
-                let right = self.exec_node(&t.inputs[1], path, inputs, counter)?;
-                path.pop();
-                let state = match self.states.get_mut(path.as_slice()) {
-                    Some(OpState::Join(js)) => js,
-                    _ => {
-                        return Err(Error::InvalidPlan(format!(
-                            "missing join state at path {path:?}"
-                        )))
-                    }
-                };
-                state.execute(left, right, keys, &self.weights, counter)
-            }
-            TreeOp::Aggregate { group_by, aggs } => {
-                path.push(0);
-                let input = self.exec_node(&t.inputs[0], path, inputs, counter)?;
-                path.pop();
-                let int_flags = self
-                    .agg_int
-                    .get(path.as_slice())
-                    .cloned()
-                    .unwrap_or_else(|| vec![false; aggs.len()]);
-                let state = match self.states.get_mut(path.as_slice()) {
-                    Some(OpState::Agg(st)) => st,
-                    _ => {
-                        return Err(Error::InvalidPlan(format!(
-                            "missing aggregate state at path {path:?}"
-                        )))
-                    }
-                };
-                state.execute(input, group_by, aggs, &int_flags, &self.weights, counter)
-            }
-        }
+        // `exec_node` borrows the tree and the mutable operator state from
+        // disjoint fields, so the tree is walked in place — no per-execution
+        // clone of the operator tree and its expression nodes.
+        exec_node(
+            &self.subplan.root,
+            &mut Vec::new(),
+            inputs,
+            counter,
+            self.mode,
+            self.subplan.queries,
+            &self.weights,
+            &self.agg_int,
+            &mut self.states,
+            &self.compiled,
+        )
     }
 
     /// The queries this subplan serves.
@@ -161,19 +168,132 @@ impl SubplanExecutor {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
+fn exec_node(
+    t: &OpTree,
+    path: &mut Vec<usize>,
+    inputs: &mut HashMap<Vec<usize>, DeltaBatch>,
+    counter: &WorkCounter,
+    mode: ExecMode,
+    queries: QuerySet,
+    weights: &CostWeights,
+    agg_int: &HashMap<Vec<usize>, Vec<bool>>,
+    states: &mut HashMap<Vec<usize>, OpState>,
+    compiled: &CompiledOps,
+) -> Result<DeltaBatch> {
+    let child = |i: usize,
+                 inputs: &mut HashMap<Vec<usize>, DeltaBatch>,
+                 path: &mut Vec<usize>,
+                 states: &mut HashMap<Vec<usize>, OpState>|
+     -> Result<DeltaBatch> {
+        path.push(i);
+        let out = exec_node(
+            &t.inputs[i],
+            path,
+            inputs,
+            counter,
+            mode,
+            queries,
+            weights,
+            agg_int,
+            states,
+            compiled,
+        );
+        path.pop();
+        out
+    };
+    match &t.op {
+        TreeOp::Input(_) => {
+            let batch = inputs.remove(path.as_slice()).unwrap_or_default();
+            Ok(narrow_input(&batch, queries, weights, counter))
+        }
+        TreeOp::Select { branches } => {
+            let input = child(0, inputs, path, states)?;
+            match mode {
+                ExecMode::Kernels => {
+                    let preds = compiled.selects.get(path.as_slice()).ok_or_else(|| {
+                        Error::InvalidPlan(format!("missing compiled select at path {path:?}"))
+                    })?;
+                    apply_select(input, branches, preds, weights, counter)
+                }
+                ExecMode::Reference => ref_apply_select(input, branches, weights, counter),
+            }
+        }
+        TreeOp::Project { exprs } => {
+            let input = child(0, inputs, path, states)?;
+            match mode {
+                ExecMode::Kernels => {
+                    let proj = compiled.projects.get(path.as_slice()).ok_or_else(|| {
+                        Error::InvalidPlan(format!("missing compiled project at path {path:?}"))
+                    })?;
+                    apply_project(input, proj, weights, counter)
+                }
+                ExecMode::Reference => ref_apply_project(input, exprs, weights, counter),
+            }
+        }
+        TreeOp::Join { keys } => {
+            let left = child(0, inputs, path, states)?;
+            let right = child(1, inputs, path, states)?;
+            match states.get_mut(path.as_slice()) {
+                Some(OpState::Join(js)) => {
+                    let ckeys = compiled.join_keys.get(path.as_slice()).ok_or_else(|| {
+                        Error::InvalidPlan(format!("missing compiled join keys at path {path:?}"))
+                    })?;
+                    js.execute(left, right, ckeys, weights, counter)
+                }
+                Some(OpState::RefJoin(js)) => js.execute(left, right, keys, weights, counter),
+                _ => Err(Error::InvalidPlan(format!("missing join state at path {path:?}"))),
+            }
+        }
+        TreeOp::Aggregate { group_by, aggs } => {
+            let input = child(0, inputs, path, states)?;
+            let int_flags = agg_int.get(path.as_slice());
+            let fallback;
+            let int_flags = match int_flags {
+                Some(f) => f.as_slice(),
+                None => {
+                    fallback = vec![false; aggs.len()];
+                    fallback.as_slice()
+                }
+            };
+            match states.get_mut(path.as_slice()) {
+                Some(OpState::Agg(st)) => {
+                    let spec = compiled.agg_specs.get(path.as_slice()).ok_or_else(|| {
+                        Error::InvalidPlan(format!("missing compiled aggregate at path {path:?}"))
+                    })?;
+                    st.execute(input, spec, int_flags, weights, counter)
+                }
+                Some(OpState::RefAgg(st)) => {
+                    st.execute(input, group_by, aggs, int_flags, weights, counter)
+                }
+                _ => Err(Error::InvalidPlan(format!("missing aggregate state at path {path:?}"))),
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
 fn init_states(
     t: &OpTree,
     path: &mut Vec<usize>,
     catalog: &Catalog,
     child_schemas: &HashMap<SubplanId, Schema>,
+    mode: ExecMode,
     agg_int: &mut HashMap<Vec<usize>, Vec<bool>>,
     states: &mut HashMap<Vec<usize>, OpState>,
+    compiled: &mut CompiledOps,
 ) -> Result<()> {
     match &t.op {
-        TreeOp::Join { .. } => {
-            states.insert(path.clone(), OpState::Join(JoinState::new()));
-        }
-        TreeOp::Aggregate { aggs, .. } => {
+        TreeOp::Join { keys } => match mode {
+            ExecMode::Kernels => {
+                compiled.join_keys.insert(path.clone(), JoinKeys::compile(keys));
+                states.insert(path.clone(), OpState::Join(JoinState::new()));
+            }
+            ExecMode::Reference => {
+                states.insert(path.clone(), OpState::RefJoin(RefJoinState::new()));
+            }
+        },
+        TreeOp::Aggregate { group_by, aggs } => {
             let in_schema = t.inputs[0].schema(catalog, child_schemas)?;
             let mut flags = Vec::with_capacity(aggs.len());
             for a in aggs {
@@ -181,13 +301,35 @@ fn init_states(
                 flags.push(ty == DataType::Int);
             }
             agg_int.insert(path.clone(), flags);
-            states.insert(path.clone(), OpState::Agg(AggState::new()));
+            match mode {
+                ExecMode::Kernels => {
+                    compiled.agg_specs.insert(path.clone(), AggSpec::compile(group_by, aggs));
+                    states.insert(path.clone(), OpState::Agg(AggState::new()));
+                }
+                ExecMode::Reference => {
+                    states.insert(path.clone(), OpState::RefAgg(RefAggState::new()));
+                }
+            }
         }
-        _ => {}
+        TreeOp::Select { branches } => {
+            if mode == ExecMode::Kernels {
+                compiled.selects.insert(
+                    path.clone(),
+                    branches.iter().map(|b| CompiledPredicate::compile(&b.predicate)).collect(),
+                );
+            }
+        }
+        TreeOp::Project { exprs } => {
+            if mode == ExecMode::Kernels {
+                let list: Vec<_> = exprs.iter().map(|(e, _)| e.clone()).collect();
+                compiled.projects.insert(path.clone(), CompiledProjection::compile(&list));
+            }
+        }
+        TreeOp::Input(_) => {}
     }
     for (i, child) in t.inputs.iter().enumerate() {
         path.push(i);
-        init_states(child, path, catalog, child_schemas, agg_int, states)?;
+        init_states(child, path, catalog, child_schemas, mode, agg_int, states, compiled)?;
     }
     path.pop();
     Ok(())
@@ -263,6 +405,7 @@ mod tests {
         let sp = sample_subplan(&c);
         let mut ex =
             SubplanExecutor::new(&sp, &c, &HashMap::new(), CostWeights::default()).unwrap();
+        assert_eq!(ex.mode(), ExecMode::Kernels, "kernels are the default datapath");
         let leaves = ex.leaf_paths();
         assert_eq!(leaves.len(), 2);
         let counter = WorkCounter::new();
@@ -362,5 +505,48 @@ mod tests {
         let out = ex.execute(&mut HashMap::new(), &counter).unwrap();
         assert!(out.is_empty());
         assert_eq!(ex.queries(), qs(&[0, 1]));
+    }
+
+    /// The two datapaths must agree bit-for-bit: same output rows in the
+    /// same order, same charged work to the last f64 bit, across multiple
+    /// incremental executions with inserts and deletes.
+    #[test]
+    fn reference_mode_matches_kernels_bitwise() {
+        let c = catalog();
+        let sp = sample_subplan(&c);
+        let weights = CostWeights::default();
+
+        let mut kern = SubplanExecutor::new(&sp, &c, &HashMap::new(), weights).unwrap();
+        let mut refr =
+            SubplanExecutor::new_with_mode(&sp, &c, &HashMap::new(), weights, ExecMode::Reference)
+                .unwrap();
+        let leaves = kern.leaf_paths();
+        let kc = WorkCounter::new();
+        let rc = WorkCounter::new();
+
+        let steps: Vec<(Vec<DeltaRow>, Vec<DeltaRow>)> = vec![
+            (vec![t_row(1, 1), t_row(1, 5)], vec![t_row(1, 100)]),
+            (vec![t_row(2, 9)], vec![t_row(2, 20), t_row(1, 7)]),
+            (
+                vec![DeltaRow {
+                    row: Row::new(vec![Value::Int(1), Value::Int(5)]),
+                    weight: -1,
+                    mask: qs(&[0, 1]),
+                }],
+                vec![],
+            ),
+        ];
+        for (ts, us) in steps {
+            let mut ki = HashMap::new();
+            ki.insert(leaves[0].0.clone(), DeltaBatch::from_rows(ts.clone()));
+            ki.insert(leaves[1].0.clone(), DeltaBatch::from_rows(us.clone()));
+            let mut ri = HashMap::new();
+            ri.insert(leaves[0].0.clone(), DeltaBatch::from_rows(ts));
+            ri.insert(leaves[1].0.clone(), DeltaBatch::from_rows(us));
+            let kout = kern.execute(&mut ki, &kc).unwrap();
+            let rout = refr.execute(&mut ri, &rc).unwrap();
+            assert_eq!(kout.rows, rout.rows, "outputs must match in order");
+            assert_eq!(kc.total().get().to_bits(), rc.total().get().to_bits());
+        }
     }
 }

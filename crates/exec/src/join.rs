@@ -1,34 +1,98 @@
-//! Incremental shared symmetric hash join.
+//! Incremental shared symmetric hash join — datapath-kernel implementation.
 //!
-//! State is kept for both sides as `key → {(row, mask) → weight}`. One
-//! incremental execution processes the left delta against the *old* right
-//! state, inserts the left delta, then processes the right delta against the
-//! *updated* left state — covering `ΔL⋈R + L⋈ΔR + ΔL⋈ΔR` exactly once.
+//! State is kept for both sides as `encoded key → [(row, mask, weight)]`.
+//! One incremental execution processes the left delta against the *old*
+//! right state, inserts the left delta, then processes the right delta
+//! against the *updated* left state — covering `ΔL⋈R + L⋈ΔR + ΔL⋈ΔR`
+//! exactly once.
 //!
-//! Output masks are the intersection of the joined tuples' masks (a joined
-//! row is valid for a query iff both inputs are); empty intersections are
-//! dropped before emission.
+//! Kernel datapath vs. the reference implementation
+//! ([`crate::reference::RefJoinState`]):
 //!
-//! Rows with a NULL join key never match and are not stored (SQL inner
-//! equi-join semantics).
+//! * Keys are [`KeyBuf`]-encoded (u64 words, interned strings) and hashed
+//!   with FxHash into a [`FlatTable`] — no `Vec<Value>` hashing, no SipHash,
+//!   and probes reuse one scratch buffer. Both sides share one interner so
+//!   left and right keys encode identically.
+//! * Per-key entries are a `Vec` kept **sorted by `(row, mask)`** — the same
+//!   order the reference's `BTreeMap` iterates in. This is load-bearing:
+//!   emission order feeds downstream float aggregation and MIN/MAX rescan
+//!   triggering, so it must be a pure function of the stored state for the
+//!   work totals to stay bit-identical. (The *outer* key table is
+//!   insertion-ordered and never iterated.)
+//! * Work charges are coalesced per (OpKind, batch). The default cost
+//!   weights are dyadic rationals, so `Σ w·1` and `w·n` produce the same
+//!   f64 bit pattern at any grouping.
+//!
+//! Output masks are the intersection of the joined tuples' masks; empty
+//! intersections are dropped before emission. Rows with a NULL join key
+//! never match and are not stored (SQL inner equi-join semantics).
 
-use ishare_common::{CostWeights, Error, OpKind, Result, Value, WorkCounter};
-use ishare_expr::eval::eval;
+use crate::flat::FlatTable;
+use ishare_common::{
+    CostWeights, Error, KeyBuf, OpKind, QuerySet, Result, StrInterner, WorkCounter,
+};
+use ishare_expr::compile::CompiledScalar;
 use ishare_expr::Expr;
 use ishare_storage::{DeltaBatch, DeltaRow, Row};
-use std::collections::{BTreeMap, HashMap};
 
-type Key = Vec<Value>;
-// The inner map is ordered so that probe emission order is a pure function
-// of the stored state, not of hasher seeds — executions must be
-// reproducible for the parallel driver's bit-identical guarantee.
-type SideMap = HashMap<Key, BTreeMap<(Row, ishare_common::QuerySet), i64>>;
+/// One stored join-side entry: `(row, mask, net weight)`, kept sorted by
+/// `(row, mask)` within its key slot.
+type Entry = (Row, QuerySet, i64);
+
+/// A key slot's entries. Most keys hold exactly one `(row, mask)` pair
+/// (e.g. a primary-key join side), so the single-entry case lives inline in
+/// the slot — no per-key `Vec` allocation to create, chase, or free. Slots
+/// spill to a sorted `Vec` only on the second distinct pair.
+#[derive(Debug)]
+enum EntryList {
+    /// Transient: a freshly created slot the caller fills immediately.
+    Empty,
+    One(Entry),
+    Many(Vec<Entry>),
+}
+
+impl EntryList {
+    /// Entries in `(row, mask)` order — the emission order contract.
+    #[inline]
+    fn as_slice(&self) -> &[Entry] {
+        match self {
+            EntryList::Empty => &[],
+            EntryList::One(e) => std::slice::from_ref(e),
+            EntryList::Many(es) => es,
+        }
+    }
+}
+
+/// Compiled join key pairs (left expr, right expr per key column).
+#[derive(Debug, Clone)]
+pub struct JoinKeys {
+    pairs: Vec<(CompiledScalar, CompiledScalar)>,
+}
+
+impl JoinKeys {
+    /// Lower the planner's `(left, right)` key expression pairs.
+    pub fn compile(keys: &[(Expr, Expr)]) -> JoinKeys {
+        JoinKeys {
+            pairs: keys
+                .iter()
+                .map(|(l, r)| (CompiledScalar::compile(l), CompiledScalar::compile(r)))
+                .collect(),
+        }
+    }
+
+    fn side(&self, right: bool) -> impl Iterator<Item = &CompiledScalar> + Clone {
+        self.pairs.iter().map(move |(l, r)| if right { r } else { l })
+    }
+}
 
 /// Persistent state of one join operator across incremental executions.
 #[derive(Debug, Default)]
 pub struct JoinState {
-    left: SideMap,
-    right: SideMap,
+    left: FlatTable<EntryList>,
+    right: FlatTable<EntryList>,
+    /// Shared by both sides: left and right keys must encode identically.
+    interner: StrInterner,
+    scratch: KeyBuf,
     /// Total stored entries per side, for diagnostics and state-size stats.
     left_entries: usize,
     right_entries: usize,
@@ -55,118 +119,234 @@ impl JoinState {
         &mut self,
         left_delta: DeltaBatch,
         right_delta: DeltaBatch,
-        keys: &[(Expr, Expr)],
+        keys: &JoinKeys,
         weights: &CostWeights,
         counter: &WorkCounter,
     ) -> Result<DeltaBatch> {
         let mut out = DeltaBatch::new();
+        let mut emits = 0usize;
+        let stride = 2 * keys.pairs.len();
 
         // ΔL ⋈ R_old
-        let left_keyed = key_rows(&left_delta, keys.iter().map(|(l, _)| l))?;
-        for (key, dr) in &left_keyed {
-            counter.charge(OpKind::JoinProbe, weights.join_probe, 1);
-            if let Some(matches) = self.right.get(key) {
-                for ((rrow, rmask), rw) in matches {
-                    emit(&mut out, dr, rrow, *rmask, *rw, false, weights, counter);
-                }
+        let left_keyed =
+            key_rows(&left_delta, keys.side(false), stride, &mut self.interner, &mut self.scratch)?;
+        counter.charge(OpKind::JoinProbe, weights.join_probe, left_keyed.len());
+        for j in 0..left_keyed.len() {
+            if let Some(entries) = self.right.get(left_keyed.key(j)) {
+                emit_matches(&mut out, left_keyed.row(&left_delta, j), entries, false, &mut emits);
             }
         }
         // Insert ΔL.
-        for (key, dr) in &left_keyed {
-            counter.charge(OpKind::JoinInsert, weights.join_insert, 1);
-            insert_side(&mut self.left, &mut self.left_entries, key, dr)?;
+        counter.charge(OpKind::JoinInsert, weights.join_insert, left_keyed.len());
+        for j in 0..left_keyed.len() {
+            insert_side(
+                &mut self.left,
+                &mut self.left_entries,
+                left_keyed.key(j),
+                left_keyed.row(&left_delta, j),
+            )?;
         }
         // ΔR ⋈ L_new (covers L_old⋈ΔR and ΔL⋈ΔR).
-        let right_keyed = key_rows(&right_delta, keys.iter().map(|(_, r)| r))?;
-        for (key, dr) in &right_keyed {
-            counter.charge(OpKind::JoinProbe, weights.join_probe, 1);
-            if let Some(matches) = self.left.get(key) {
-                for ((lrow, lmask), lw) in matches {
-                    emit(&mut out, dr, lrow, *lmask, *lw, true, weights, counter);
-                }
+        let right_keyed =
+            key_rows(&right_delta, keys.side(true), stride, &mut self.interner, &mut self.scratch)?;
+        counter.charge(OpKind::JoinProbe, weights.join_probe, right_keyed.len());
+        for j in 0..right_keyed.len() {
+            if let Some(entries) = self.left.get(right_keyed.key(j)) {
+                emit_matches(&mut out, right_keyed.row(&right_delta, j), entries, true, &mut emits);
             }
         }
-        for (key, dr) in &right_keyed {
-            counter.charge(OpKind::JoinInsert, weights.join_insert, 1);
-            insert_side(&mut self.right, &mut self.right_entries, key, dr)?;
+        counter.charge(OpKind::JoinInsert, weights.join_insert, right_keyed.len());
+        for j in 0..right_keyed.len() {
+            insert_side(
+                &mut self.right,
+                &mut self.right_entries,
+                right_keyed.key(j),
+                right_keyed.row(&right_delta, j),
+            )?;
         }
+        counter.charge(OpKind::JoinEmit, weights.join_emit, emits);
+        self.left.maybe_compact();
+        self.right.maybe_compact();
         Ok(out)
     }
 }
 
-/// Evaluate join keys for every row; rows with NULL keys are silently
-/// excluded (they can never join).
+/// One side's encoded join keys, packed into a single `u64` arena with a
+/// fixed `stride` (words per key) — one allocation per batch instead of one
+/// `KeyBuf` per row.
+struct KeyedRows {
+    arena: Vec<u64>,
+    stride: usize,
+    /// Indices of the kept (non-NULL-keyed) rows in the source batch.
+    rows: Vec<u32>,
+}
+
+impl KeyedRows {
+    fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Encoded key words of the `j`-th kept row.
+    #[inline]
+    fn key(&self, j: usize) -> &[u64] {
+        &self.arena[j * self.stride..(j + 1) * self.stride]
+    }
+
+    /// The `j`-th kept row of its source batch.
+    #[inline]
+    fn row<'a>(&self, batch: &'a DeltaBatch, j: usize) -> &'a DeltaRow {
+        &batch.rows[self.rows[j] as usize]
+    }
+}
+
+/// Encode join keys for every row; rows with NULL keys are silently excluded
+/// (they can never join).
 fn key_rows<'a>(
     batch: &DeltaBatch,
-    key_exprs: impl Iterator<Item = &'a Expr> + Clone,
-) -> Result<Vec<(Key, DeltaRow)>> {
-    let mut out = Vec::with_capacity(batch.len());
-    'rows: for r in &batch.rows {
-        let mut key = Vec::new();
-        for e in key_exprs.clone() {
-            let v = eval(e, r.row.values())?;
-            if v.is_null() {
-                continue 'rows;
+    key_scalars: impl Iterator<Item = &'a CompiledScalar> + Clone,
+    stride: usize,
+    interner: &mut StrInterner,
+    scratch: &mut KeyBuf,
+) -> Result<KeyedRows> {
+    let mut out = KeyedRows {
+        arena: Vec::with_capacity(batch.len() * stride),
+        stride,
+        rows: Vec::with_capacity(batch.len()),
+    };
+    'rows: for (i, r) in batch.rows.iter().enumerate() {
+        scratch.clear();
+        for k in key_scalars.clone() {
+            match k.eval_ref(r.row.values())? {
+                Ok(v) => {
+                    if v.is_null() {
+                        continue 'rows;
+                    }
+                    scratch.push_value(v, interner);
+                }
+                Err(v) => {
+                    if v.is_null() {
+                        continue 'rows;
+                    }
+                    scratch.push_value(&v, interner);
+                }
             }
-            key.push(v);
         }
-        out.push((key, r.clone()));
+        out.arena.extend_from_slice(scratch.as_words());
+        out.rows.push(i as u32);
     }
     Ok(out)
 }
 
-fn insert_side(side: &mut SideMap, entries: &mut usize, key: &Key, dr: &DeltaRow) -> Result<()> {
-    let slot = side.entry(key.clone()).or_default();
-    let e = slot.entry((dr.row.clone(), dr.mask)).or_insert(0);
-    let was_zero = *e == 0;
-    *e += dr.weight;
-    if *e == 0 {
-        slot.remove(&(dr.row.clone(), dr.mask));
-        *entries -= 1;
-        if slot.is_empty() {
-            side.remove(key);
-        }
-    } else if was_zero {
-        *entries += 1;
+fn negative_state(w: i64, row: &Row) -> Error {
+    Error::InvalidDelta(format!("join state went negative ({w}) for row {row}"))
+}
+
+fn insert_side(
+    table: &mut FlatTable<EntryList>,
+    entries: &mut usize,
+    key: &[u64],
+    dr: &DeltaRow,
+) -> Result<()> {
+    if dr.weight == 0 {
+        // A zero-weight delta is a no-op on the stored multiset (engine
+        // streams never carry one; operators drop zero weights).
+        return Ok(());
     }
-    if let Some(slot) = side.get(key) {
-        if let Some(w) = slot.get(&(dr.row.clone(), dr.mask)) {
-            if *w < 0 {
-                return Err(Error::InvalidDelta(format!(
-                    "join state went negative ({w}) for row {}",
-                    dr.row
-                )));
+    let id = table.id_or_insert_with(key, || EntryList::Empty);
+    let slot = table.get_by_id_mut(id).expect("live slot");
+    match slot {
+        EntryList::Empty => {
+            if dr.weight < 0 {
+                return Err(negative_state(dr.weight, &dr.row));
+            }
+            *slot = EntryList::One((dr.row.clone(), dr.mask, dr.weight));
+            *entries += 1;
+        }
+        EntryList::One((r, m, w)) => {
+            match (*r).cmp(&dr.row).then((*m).cmp(&dr.mask)) {
+                std::cmp::Ordering::Equal => {
+                    *w += dr.weight;
+                    let w = *w;
+                    if w == 0 {
+                        *entries -= 1;
+                        table.remove_id(id);
+                    } else if w < 0 {
+                        return Err(negative_state(w, &dr.row));
+                    }
+                }
+                ord => {
+                    if dr.weight < 0 {
+                        return Err(negative_state(dr.weight, &dr.row));
+                    }
+                    let new = (dr.row.clone(), dr.mask, dr.weight);
+                    let old = std::mem::replace(slot, EntryList::Empty);
+                    let old = match old {
+                        EntryList::One(e) => e,
+                        _ => unreachable!("matched One"),
+                    };
+                    // `ord` compares stored vs new: Less keeps the stored
+                    // entry first, Greater puts the new entry first.
+                    *slot = EntryList::Many(if ord == std::cmp::Ordering::Less {
+                        vec![old, new]
+                    } else {
+                        vec![new, old]
+                    });
+                    *entries += 1;
+                }
+            }
+        }
+        EntryList::Many(es) => {
+            match es.binary_search_by(|(r, m, _)| r.cmp(&dr.row).then(m.cmp(&dr.mask))) {
+                Ok(pos) => {
+                    es[pos].2 += dr.weight;
+                    let w = es[pos].2;
+                    if w == 0 {
+                        es.remove(pos);
+                        *entries -= 1;
+                        if es.is_empty() {
+                            table.remove_id(id);
+                        }
+                    } else if w < 0 {
+                        return Err(negative_state(w, &dr.row));
+                    }
+                }
+                Err(pos) => {
+                    es.insert(pos, (dr.row.clone(), dr.mask, dr.weight));
+                    *entries += 1;
+                    if dr.weight < 0 {
+                        return Err(negative_state(dr.weight, &dr.row));
+                    }
+                }
             }
         }
     }
     Ok(())
 }
 
-#[allow(clippy::too_many_arguments)]
-fn emit(
+/// Emit the join of one delta row against a key slot's stored entries, in
+/// the slot's `(row, mask)` order.
+fn emit_matches(
     out: &mut DeltaBatch,
     delta: &DeltaRow,
-    stored_row: &Row,
-    stored_mask: ishare_common::QuerySet,
-    stored_weight: i64,
+    entries: &EntryList,
     delta_is_right: bool,
-    weights: &CostWeights,
-    counter: &WorkCounter,
+    emits: &mut usize,
 ) {
-    let mask = delta.mask.intersect(stored_mask);
-    if mask.is_empty() || stored_weight == 0 {
-        return;
+    for (srow, smask, sweight) in entries.as_slice() {
+        let mask = delta.mask.intersect(*smask);
+        if mask.is_empty() || *sweight == 0 {
+            continue;
+        }
+        *emits += 1;
+        let row = if delta_is_right { srow.concat(&delta.row) } else { delta.row.concat(srow) };
+        out.push(DeltaRow { row, weight: delta.weight * sweight, mask });
     }
-    counter.charge(OpKind::JoinEmit, weights.join_emit, 1);
-    let row =
-        if delta_is_right { stored_row.concat(&delta.row) } else { delta.row.concat(stored_row) };
-    out.push(DeltaRow { row, weight: delta.weight * stored_weight, mask });
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ishare_common::{QueryId, QuerySet};
+    use ishare_common::{QueryId, Value};
     use ishare_storage::consolidate;
 
     fn qs(ids: &[u16]) -> QuerySet {
@@ -181,8 +361,8 @@ mod tests {
         DeltaRow { row: r2(a, b), weight: w, mask: qs(m) }
     }
 
-    fn keys() -> Vec<(Expr, Expr)> {
-        vec![(Expr::col(0), Expr::col(0))]
+    fn keys() -> JoinKeys {
+        JoinKeys::compile(&[(Expr::col(0), Expr::col(0))])
     }
 
     fn run(st: &mut JoinState, l: Vec<DeltaRow>, r: Vec<DeltaRow>) -> DeltaBatch {
@@ -290,5 +470,57 @@ mod tests {
             &c,
         );
         assert!(matches!(res, Err(Error::InvalidDelta(_))));
+    }
+
+    #[test]
+    fn string_keys_join_via_interner() {
+        let mut st = JoinState::new();
+        let keys = JoinKeys::compile(&[(Expr::col(0), Expr::col(0))]);
+        let srow = |s: &str, v: i64, m: &[u16]| DeltaRow {
+            row: Row::new(vec![Value::str(s), Value::Int(v)]),
+            weight: 1,
+            mask: qs(m),
+        };
+        let c = WorkCounter::new();
+        let out = st
+            .execute(
+                DeltaBatch::from_rows(vec![srow("a", 1, &[0]), srow("b", 2, &[0])]),
+                DeltaBatch::from_rows(vec![srow("b", 3, &[0]), srow("c", 4, &[0])]),
+                &keys,
+                &CostWeights::default(),
+                &c,
+            )
+            .unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.rows[0].row.get(0), &Value::str("b"));
+    }
+
+    #[test]
+    fn emission_order_matches_reference() {
+        // Bit-identity depends on the kernel emitting probe matches in the
+        // reference's BTreeMap (row, mask) order. Store several rows under
+        // one key in scrambled arrival order, then probe once.
+        use crate::reference::RefJoinState;
+        let stored = vec![
+            dr(1, 30, 1, &[0]),
+            dr(1, 10, 1, &[1]),
+            dr(1, 20, 1, &[0, 1]),
+            dr(1, 10, 1, &[0]), // same row, different mask
+        ];
+        let probe = vec![dr(1, 99, 1, &[0, 1])];
+
+        let mut kern = JoinState::new();
+        run(&mut kern, vec![], stored.clone());
+        let kout = run(&mut kern, probe.clone(), vec![]);
+
+        let mut refr = RefJoinState::new();
+        let c = WorkCounter::new();
+        let w = CostWeights::default();
+        let ekeys = vec![(Expr::col(0), Expr::col(0))];
+        refr.execute(DeltaBatch::new(), DeltaBatch::from_rows(stored), &ekeys, &w, &c).unwrap();
+        let rout =
+            refr.execute(DeltaBatch::from_rows(probe), DeltaBatch::new(), &ekeys, &w, &c).unwrap();
+
+        assert_eq!(kout.rows, rout.rows, "emission order must match the reference exactly");
     }
 }

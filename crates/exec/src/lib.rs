@@ -33,6 +33,13 @@
 //! executor used by the test suites to check that incremental execution at
 //! *any* pace produces identical final results.
 //!
+//! The operator implementations come in two interchangeable datapaths
+//! ([`ExecMode`]): the default *kernel* datapath ([`join`], [`aggregate`],
+//! [`operators`] over [`flat`] state and compiled expressions) and the
+//! original interpreter-shaped *reference* datapath ([`reference`]), kept
+//! verbatim as a differential oracle. Both produce bit-identical outputs and
+//! charged work; only wall-clock differs.
+//!
 //! [`CostWeights::minmax_rescan`]: ishare_common::CostWeights
 
 #![warn(missing_docs)]
@@ -40,9 +47,11 @@
 pub mod aggregate;
 pub mod batch_ref;
 pub mod executor;
+pub mod flat;
 pub mod join;
 pub mod operators;
+pub mod reference;
 pub mod result;
 
-pub use executor::SubplanExecutor;
+pub use executor::{ExecMode, SubplanExecutor};
 pub use result::{approx_result_eq, query_result, QueryResult};

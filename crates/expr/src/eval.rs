@@ -105,7 +105,7 @@ fn eval_logical(op: BinaryOp, left: &Expr, right: &Expr, row: &[Value]) -> Resul
     Ok(out.map_or(Value::Null, Value::Bool))
 }
 
-fn to_tribool(v: Value) -> Result<Option<bool>> {
+pub(crate) fn to_tribool(v: Value) -> Result<Option<bool>> {
     match v {
         Value::Null => Ok(None),
         Value::Bool(b) => Ok(Some(b)),
@@ -113,7 +113,7 @@ fn to_tribool(v: Value) -> Result<Option<bool>> {
     }
 }
 
-fn eval_comparison(op: BinaryOp, l: &Value, r: &Value) -> Result<Value> {
+pub(crate) fn eval_comparison(op: BinaryOp, l: &Value, r: &Value) -> Result<Value> {
     use std::cmp::Ordering;
     let ord = l.cmp(r);
     let b = match op {
@@ -128,7 +128,7 @@ fn eval_comparison(op: BinaryOp, l: &Value, r: &Value) -> Result<Value> {
     Ok(Value::Bool(b))
 }
 
-fn eval_arithmetic(op: BinaryOp, l: &Value, r: &Value) -> Result<Value> {
+pub(crate) fn eval_arithmetic(op: BinaryOp, l: &Value, r: &Value) -> Result<Value> {
     // Integer-preserving where both sides are Int; otherwise f64.
     if let (Value::Int(a), Value::Int(b)) = (l, r) {
         let out = match op {

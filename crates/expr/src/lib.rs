@@ -15,8 +15,10 @@
 
 #![warn(missing_docs)]
 
+pub mod compile;
 pub mod eval;
 pub mod expr;
 pub mod typecheck;
 
+pub use compile::{CompiledPredicate, CompiledProjection, CompiledScalar, Program};
 pub use expr::{BinaryOp, Expr, LikePattern, ScalarFunc};

@@ -44,11 +44,12 @@ impl Row {
         &self.values[i]
     }
 
-    /// Concatenate two rows (join output).
+    /// Concatenate two rows (join output). Collecting the chained slice
+    /// iterators (`TrustedLen`) builds the `Arc<[Value]>` in one exact-size
+    /// allocation — no intermediate `Vec`, which matters because this runs
+    /// once per emitted join match.
     pub fn concat(&self, other: &Row) -> Row {
-        let mut v: Vec<Value> = self.values.to_vec();
-        v.extend(other.values.iter().cloned());
-        Row::new(v)
+        Row { values: self.values.iter().chain(other.values.iter()).cloned().collect() }
     }
 }
 

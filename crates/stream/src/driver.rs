@@ -10,7 +10,7 @@ use ishare_common::{
     CostWeights, Error, OpKind, QueryId, QuerySet, Result, TableId, WorkBreakdown, WorkCounter,
     WorkUnits,
 };
-use ishare_exec::{query_result, QueryResult, SubplanExecutor};
+use ishare_exec::{query_result, ExecMode, QueryResult, SubplanExecutor};
 use ishare_ingest::{CommitLog, Source, TopicStats};
 use ishare_obs::{ExecCounts, ObsConfig, ObsReport, Span, SpanKind, TraceBuffer};
 use ishare_plan::{InputSource, SharedPlan};
@@ -74,6 +74,7 @@ pub(crate) fn setup_engine(
     plan: &SharedPlan,
     catalog: &Catalog,
     weights: CostWeights,
+    mode: ExecMode,
 ) -> Result<EngineState> {
     let schemas = plan.schemas(catalog)?;
     let mut base_buffers: HashMap<TableId, DeltaBuffer> = HashMap::new();
@@ -87,7 +88,7 @@ pub(crate) fn setup_engine(
     let mut leaf_consumers: Vec<Vec<(Vec<usize>, InputSource, ConsumerId)>> =
         Vec::with_capacity(plan.len());
     for sp in &plan.subplans {
-        let ex = SubplanExecutor::new(sp, catalog, &schemas, weights)?;
+        let ex = SubplanExecutor::new_with_mode(sp, catalog, &schemas, weights, mode)?;
         let mut regs = Vec::new();
         for (path, src) in ex.leaf_paths() {
             let consumer = match src {
@@ -360,6 +361,11 @@ pub struct SourceOptions {
     /// a non-deterministic source — is an error rather than a silently
     /// different run.
     pub verify: Option<CommitLog>,
+    /// Which exec-layer datapath to run ([`ExecMode::Kernels`] by default).
+    /// [`ExecMode::Reference`] selects the original interpreter-shaped
+    /// operators — bit-identical results and work, used as the differential
+    /// oracle by the kernel-equivalence suites.
+    pub mode: ExecMode,
 }
 
 /// What a source-fed run produced.
@@ -474,6 +480,29 @@ pub fn execute_planned_deltas(
     execute_planned_deltas_obs(plan, paces, catalog, data, weights, None)
 }
 
+/// [`execute_planned_deltas`] on the [`ExecMode::Reference`] datapath — the
+/// original interpreter-shaped operators, kept as a differential oracle.
+/// Everything measured (work totals, per-query `final_work`, results) is
+/// bit-identical to the default kernel datapath; only wall-clock differs.
+pub fn execute_planned_deltas_reference(
+    plan: &SharedPlan,
+    paces: &[u32],
+    catalog: &Catalog,
+    data: &HashMap<TableId, Vec<(Row, i64)>>,
+    weights: CostWeights,
+) -> Result<RunResult> {
+    let mut source = Source::in_order(data);
+    execute_from_source_obs(
+        plan,
+        paces,
+        catalog,
+        &mut source,
+        weights,
+        SourceOptions { mode: ExecMode::Reference, ..Default::default() },
+    )?
+    .into_result()
+}
+
 /// [`execute_planned_deltas`] with opt-in observability: when `obs` is set
 /// the returned [`RunResult::obs`] carries the per-subplan work breakdown,
 /// metrics, and tick/wavefront span trace. Instrumentation is passive (it
@@ -527,7 +556,7 @@ pub fn execute_from_source_obs(
         mut sp_buffers,
         mut executors,
         leaf_consumers,
-    } = setup_engine(plan, catalog, weights)?;
+    } = setup_engine(plan, catalog, weights, opts.mode)?;
 
     // Run, one wavefront (= one arrival fraction) at a time. Ticks still
     // execute in global schedule order; grouping by front lets the driver

@@ -46,8 +46,9 @@ pub mod schedule;
 
 pub use driver::{
     execute_from_source_obs, execute_planned, execute_planned_deltas, execute_planned_deltas_obs,
-    execute_planned_obs, RunResult, SourceOptions, SourceOutcome,
+    execute_planned_deltas_reference, execute_planned_obs, RunResult, SourceOptions, SourceOutcome,
 };
+pub use ishare_exec::ExecMode;
 pub use ishare_ingest::{CommitLog, Source, SourceConfig};
 pub use ishare_obs::{ExecCounts, ObsConfig, ObsReport};
 pub use measure::{missed_latency_stats, MissedLatencyStats};

@@ -141,7 +141,7 @@ pub fn execute_from_source_parallel_obs(
     let all_queries = plan.queries();
     let depths = plan.depths();
     let EngineState { base_buffers, base_tables, sp_buffers, executors, leaf_consumers } =
-        setup_engine(plan, catalog, weights)?;
+        setup_engine(plan, catalog, weights, opts.mode)?;
     // Shared-state wrappers. Plain `Mutex` (not `RwLock`): every buffer
     // access — even a read — advances a consumer cursor via `pull(&mut)`.
     let mut base_buffers: HashMap<TableId, Mutex<DeltaBuffer>> =
