@@ -14,7 +14,7 @@ use ishare_plan::{
     Subplan, TreeOp,
 };
 use ishare_storage::{Catalog, ColumnStats, Field, Schema, TableStats};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::time::Duration;
 
 fn catalog() -> Catalog {
@@ -149,7 +149,7 @@ fn bench_split_search(c: &mut Criterion) {
             ],
         );
         input.delete_frac = 0.2;
-        let mut inputs = HashMap::new();
+        let mut inputs = ishare_cost::LeafInputs::new();
         inputs.insert(vec![0, 0], input);
         let cons: BTreeMap<QueryId, f64> =
             (0..nq).map(|i| (QueryId(i as u16), 3_000.0 + 2_000.0 * i as f64)).collect();

@@ -8,7 +8,9 @@
 //! Experiments: fig9, fig10, fig11, fig12, table1 (runs fig9+11+12),
 //! fig13 (with table2), fig14 (with table3), fig15, fig16, fig17a,
 //! fig17b, fig17c, scaling (parallel-driver thread sweep), kernels
-//! (datapath kernels vs reference operators → `BENCH_kernels.json`), all.
+//! (datapath kernels vs reference operators → `BENCH_kernels.json`),
+//! adapt (static vs adaptive paces under statistics drift →
+//! `BENCH_adapt.json`), all.
 //!
 //! Options: `--sf <f64>`, `--seed <u64>`, `--max-pace <u32>`,
 //! `--random-sets <n>`, `--dnf-secs <n>`, `--trace-out <path>`,
@@ -84,6 +86,7 @@ fn main() {
             "fig17c" => experiments::fig17(params, 'c'),
             "scaling" => experiments::parallel_scaling(params),
             "kernels" => experiments::kernel_bench(params),
+            "adapt" => experiments::adapt(params),
             other => {
                 eprintln!("unknown experiment `{other}`");
                 std::process::exit(2);
@@ -98,7 +101,7 @@ fn main() {
     if exp == "all" {
         for name in [
             "fig10", "table1", "fig13", "fig14", "fig15", "fig16", "fig17a", "fig17b", "fig17c",
-            "scaling", "kernels",
+            "scaling", "kernels", "adapt",
         ] {
             run(name, &params);
         }

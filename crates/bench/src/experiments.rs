@@ -530,7 +530,7 @@ pub fn fig16(p: &Params) -> Result<()> {
             ],
         );
         input.delete_frac = 0.2;
-        let mut inputs = std::collections::HashMap::new();
+        let mut inputs = ishare_cost::LeafInputs::new();
         inputs.insert(vec![0, 0], input);
         let cons: BTreeMap<QueryId, f64> =
             (0..n_queries).map(|i| (QueryId(i as u16), 2_000.0 + 500.0 * i as f64)).collect();
@@ -926,6 +926,170 @@ pub fn kernel_bench(p: &Params) -> Result<()> {
             "reference_wall_secs_min": reference_secs,
             "speedup": engine_speedup,
             "total_work_bits": format!("{:016x}", kernel_run.total_work.get().to_bits()),
+        }),
+    );
+    Ok(())
+}
+
+/// Adaptive re-optimization under statistics drift (`figures adapt`).
+///
+/// Plans an iShare configuration from the *clean* catalog statistics, then
+/// streams a drifted feed: [`ishare_tpch::with_updates`] turns a fraction
+/// of the lineitem/orders rows into delete+insert pairs, so the live stream
+/// carries substantially more records — plus deletes — than the estimator
+/// was told about. The static run keeps the planned paces and misses its
+/// final-work constraints; the adaptive run observes the drift at early
+/// wavefront boundaries, refreshes the estimator's base stats, re-runs the
+/// pace search mid-run, and meets them. Writes `results/BENCH_adapt.json`
+/// with both runs, the `adapt.*` metrics, and the full switch log.
+pub fn adapt(p: &Params) -> Result<()> {
+    use ishare_core::adapt::{AdaptController, AdaptOptions};
+    use ishare_stream::{
+        execute_adaptive_from_source_obs, execute_from_source_obs, ObsConfig, Source, SourceOptions,
+    };
+    use ishare_tpch::with_updates;
+
+    let env = Env::new(p.sf, p.seed)?;
+    let names = ["qa", "qb", "q6"];
+    let mut queries = Vec::new();
+    let mut cons = BTreeMap::new();
+    for (i, name) in names.iter().enumerate() {
+        let q = query_by_name(&env.data.catalog, name)?;
+        queries.push((QueryId(i as u16), q.plan));
+        cons.insert(QueryId(i as u16), FinalWorkConstraint::Relative(0.35));
+    }
+    let planned = plan_workload(Approach::IShare, &queries, &cons, &env.data.catalog, &opts(p))?;
+
+    // Drift the stream: ~40% of the rows become delete+insert pairs, so the
+    // gross record count is ~1.8x what the catalog promised.
+    let update_frac = 0.4;
+    let feeds = with_updates(&env.data, update_frac, p.seed ^ 0x00ad_a917)?;
+    let w = CostWeights::default();
+    let src_opts = || SourceOptions { obs: Some(ObsConfig::default()), ..Default::default() };
+
+    let static_run = {
+        let mut source = Source::in_order(&feeds);
+        execute_from_source_obs(
+            &planned.plan,
+            planned.paces.as_slice(),
+            &env.data.catalog,
+            &mut source,
+            w,
+            src_opts(),
+        )?
+        .into_result()?
+    };
+
+    let mut ctrl = AdaptController::from_planned(
+        &planned,
+        &env.data.catalog,
+        w,
+        AdaptOptions { max_pace: p.max_pace, ..Default::default() },
+    )?;
+    let adaptive_run = {
+        let mut source = Source::in_order(&feeds);
+        execute_adaptive_from_source_obs(
+            &planned.plan,
+            &env.data.catalog,
+            &mut source,
+            w,
+            src_opts(),
+            &mut ctrl,
+        )?
+        .into_result()?
+    };
+
+    let mut rows = Vec::new();
+    let mut query_json = Vec::new();
+    let mut static_missed = 0usize;
+    let mut adaptive_missed = 0usize;
+    for (i, name) in names.iter().enumerate() {
+        let q = QueryId(i as u16);
+        let l = planned.constraints[&q];
+        let s = static_run.final_work[&q];
+        let a = adaptive_run.final_work[&q];
+        let s_met = s <= l;
+        let a_met = a <= l;
+        static_missed += usize::from(!s_met);
+        adaptive_missed += usize::from(!a_met);
+        rows.push(vec![
+            name.to_string(),
+            format!("{l:.0}"),
+            format!("{s:.0} {}", if s_met { "met" } else { "MISS" }),
+            format!("{a:.0} {}", if a_met { "met" } else { "MISS" }),
+        ]);
+        query_json.push(serde_json::json!({
+            "query": name,
+            "constraint": l,
+            "static_final_work": s,
+            "adaptive_final_work": a,
+            "static_met": s_met,
+            "adaptive_met": a_met,
+        }));
+    }
+    print_table(
+        &format!(
+            "Adaptive re-optimization under drift — sf {}, seed {}, update_frac {}",
+            p.sf, p.seed, update_frac
+        ),
+        &["query", "constraint L(q)", "static final work", "adaptive final work"],
+        &rows,
+    );
+    let m = ctrl.metrics();
+    println!(
+        "static misses {static_missed}/{} constraints; adaptive misses {adaptive_missed}/{} \
+         ({} switches, max drift {:.2}, reopt {:.1} ms)",
+        names.len(),
+        names.len(),
+        m.switches,
+        m.max_drift,
+        m.reopt_time.as_secs_f64() * 1e3,
+    );
+
+    // The adapt.* metrics as the observability layer surfaces them.
+    let obs = adaptive_run.obs.as_ref().expect("obs was enabled");
+    let metric = |n: &str| obs.metrics.counter(n).or_else(|| obs.metrics.gauge(n)).unwrap_or(0.0);
+    let switches: Vec<serde_json::Value> = ctrl
+        .switches()
+        .iter()
+        .map(|s| {
+            serde_json::json!({
+                "wavefront": s.wavefront as u64,
+                "num": s.num,
+                "den": s.den,
+                "drift": s.drift,
+                "from": s.from.clone(),
+                "to": s.to.clone(),
+                "feasible": s.feasible,
+                "steps": s.steps as u64,
+            })
+        })
+        .collect();
+    save_json(
+        "BENCH_adapt",
+        &serde_json::json!({
+            "sf": p.sf,
+            "seed": p.seed,
+            "update_frac": update_frac,
+            "queries": query_json,
+            "static": {
+                "total_work": static_run.total_work.get(),
+                "executions": static_run.executions as u64,
+                "constraints_missed": static_missed as u64,
+            },
+            "adaptive": {
+                "total_work": adaptive_run.total_work.get(),
+                "executions": adaptive_run.executions as u64,
+                "constraints_missed": adaptive_missed as u64,
+            },
+            "adapt": {
+                "adapt.evaluations": metric("adapt.evaluations"),
+                "adapt.triggers": metric("adapt.triggers"),
+                "adapt.pace_switches": metric("adapt.pace_switches"),
+                "adapt.max_drift": metric("adapt.max_drift"),
+                "adapt.reopt_time_us": metric("adapt.reopt_time_us"),
+            },
+            "switches": switches,
         }),
     );
     Ok(())

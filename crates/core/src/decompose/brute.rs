@@ -8,9 +8,8 @@
 //! Fig. 16 plots exactly this growth against the clustering algorithm.
 
 use super::clustering::Split;
-use super::local::{LocalProblem, PartitionEval};
+use super::local::{LocalProblem, PartitionMemo};
 use ishare_common::{QueryId, QuerySet, Result};
-use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
 /// Outcome of a brute-force search.
@@ -28,7 +27,7 @@ pub fn brute_force_split(problem: &LocalProblem<'_>, deadline: Duration) -> Resu
     let queries: Vec<QueryId> = problem.subplan.queries.iter().collect();
     let n = queries.len();
     let start = Instant::now();
-    let mut memo: HashMap<QuerySet, PartitionEval> = HashMap::new();
+    let mut memo = PartitionMemo::new();
     let mut best: Option<Split> = None;
     let mut evaluated = 0usize;
 
@@ -52,7 +51,10 @@ pub fn brute_force_split(problem: &LocalProblem<'_>, deadline: Duration) -> Resu
             with_paces.push((*p, eval.pace));
         }
         evaluated += 1;
-        let better = best.as_ref().is_none_or(|b| total < b.local_total);
+        // NaN-safe: a NaN total never wins, a finite one displaces a NaN.
+        debug_assert!(!total.is_nan(), "NaN local total in brute-force split");
+        let better = !total.is_nan()
+            && best.as_ref().is_none_or(|b| b.local_total.is_nan() || total < b.local_total);
         if better {
             with_paces.sort_by_key(|(s, _)| s.min_query().map(|q| q.0).unwrap_or(u16::MAX));
             best = Some(Split { partitions: with_paces, local_total: total });

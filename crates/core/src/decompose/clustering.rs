@@ -12,9 +12,8 @@
 //! merged partition's selected-pace search starts from the larger of the two
 //! old selected paces (monotonicity observation).
 
-use super::local::{LocalProblem, PartitionEval};
+use super::local::{LocalProblem, PartitionEval, PartitionMemo};
 use ishare_common::{QuerySet, Result};
-use std::collections::HashMap;
 
 /// A proposed split of a shared subplan.
 #[derive(Debug, Clone, PartialEq)]
@@ -34,9 +33,22 @@ impl Split {
     }
 }
 
+/// `true` iff a merge with sharing benefit `b` beats the incumbent best.
+/// NaN-safe: a NaN benefit never wins, and any non-NaN benefit displaces a
+/// NaN incumbent — a poisoned cost cannot steer the clustering.
+pub(crate) fn merge_better(b: f64, best: Option<f64>) -> bool {
+    if b.is_nan() {
+        return false;
+    }
+    match best {
+        None => true,
+        Some(bb) => bb.is_nan() || b.total_cmp(&bb).is_gt(),
+    }
+}
+
 /// Run the clustering algorithm for one local problem.
 pub fn cluster_split(problem: &LocalProblem<'_>) -> Result<Split> {
-    let mut memo: HashMap<QuerySet, PartitionEval> = HashMap::new();
+    let mut memo = PartitionMemo::new();
     let mut parts: Vec<(QuerySet, PartitionEval)> = Vec::new();
     for q in problem.subplan.queries.iter() {
         let set = QuerySet::single(q);
@@ -52,11 +64,8 @@ pub fn cluster_split(problem: &LocalProblem<'_>) -> Result<Split> {
                 let start = parts[i].1.pace.max(parts[j].1.pace);
                 let eval = problem.eval_partition(merged, start, &mut memo)?;
                 let b = parts[i].1.wpt + parts[j].1.wpt - eval.wpt;
-                let better = match &best {
-                    None => true,
-                    Some((bb, ..)) => b > *bb,
-                };
-                if better {
+                debug_assert!(!b.is_nan(), "NaN sharing benefit for {merged}");
+                if merge_better(b, best.as_ref().map(|(bb, ..)| *bb)) {
                     best = Some((b, i, j, eval));
                 }
             }
@@ -88,6 +97,20 @@ mod tests {
 
     fn qs(ids: &[u16]) -> QuerySet {
         QuerySet::from_iter(ids.iter().map(|&i| QueryId(i)))
+    }
+
+    #[test]
+    fn nan_benefit_cannot_win_a_merge() {
+        // Regression for the NaN-unsafe `b > *bb` comparison: a NaN sharing
+        // benefit must lose to everything (including a worse finite benefit)
+        // and a finite benefit must displace a NaN incumbent.
+        assert!(!merge_better(f64::NAN, None));
+        assert!(!merge_better(f64::NAN, Some(-5.0)));
+        assert!(merge_better(-5.0, Some(f64::NAN)));
+        assert!(merge_better(1.0, None));
+        assert!(merge_better(2.0, Some(1.0)));
+        assert!(!merge_better(1.0, Some(2.0)));
+        assert!(merge_better(f64::INFINITY, Some(1.0)));
     }
 
     #[test]
@@ -195,7 +218,7 @@ mod tests {
         let q0_pace = split.partitions.iter().find(|(s, _)| s.contains(QueryId(0))).unwrap().1;
         assert!(q1_pace > q0_pace, "tight query eager ({q1_pace}), loose lazy ({q0_pace})");
         // And the split beats the fully shared evaluation locally.
-        let mut memo = HashMap::new();
+        let mut memo = PartitionMemo::new();
         let full = prob.eval_partition(sp.queries, 1, &mut memo).unwrap();
         assert!(split.local_total < full.wpt);
     }

@@ -14,8 +14,13 @@
 
 use ishare_common::{CostWeights, Error, QueryId, QuerySet, Result};
 use ishare_cost::simulate::simulate_subplan;
-use ishare_cost::StreamEstimate;
-use std::collections::{BTreeMap, HashMap};
+use ishare_cost::LeafInputs;
+use std::collections::BTreeMap;
+
+/// Partition-evaluation memo shared across the clustering and brute-force
+/// searches. A `BTreeMap` (QuerySet derives `Ord`) so any iteration over
+/// cached evaluations is deterministic.
+pub type PartitionMemo = BTreeMap<QuerySet, PartitionEval>;
 
 /// One partition's evaluation at its selected pace.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -37,7 +42,7 @@ pub struct LocalProblem<'a> {
     pub subplan: &'a ishare_plan::Subplan,
     /// Full-trigger input estimates per leaf (from simulating the chosen
     /// nonuniform pace configuration of the full plan — Fig. 7).
-    pub inputs: &'a HashMap<Vec<usize>, StreamEstimate>,
+    pub inputs: &'a LeafInputs,
     /// Local final work constraints S_j per query.
     pub local_constraints: &'a BTreeMap<QueryId, f64>,
     /// Cost weights.
@@ -57,23 +62,29 @@ impl LocalProblem<'_> {
         &self,
         queries: QuerySet,
         start_pace: u32,
-        memo: &mut HashMap<QuerySet, PartitionEval>,
+        memo: &mut PartitionMemo,
     ) -> Result<PartitionEval> {
         if let Some(hit) = memo.get(&queries) {
             return Ok(*hit);
         }
         let restricted = self.subplan.restrict(queries)?;
-        let limit = queries
-            .iter()
-            .map(|q| {
-                self.local_constraints
-                    .get(&q)
-                    .copied()
-                    .ok_or_else(|| Error::NotFound(format!("local constraint for {q}")))
-            })
-            .collect::<Result<Vec<f64>>>()?
-            .into_iter()
-            .fold(f64::INFINITY, f64::min);
+        // NaN-safe minimum: a NaN constraint is rejected outright instead of
+        // silently winning or losing the fold (`f64::min` drops NaN, turning
+        // a poisoned constraint into "unconstrained").
+        let mut limit = f64::INFINITY;
+        for q in queries.iter() {
+            let l = self
+                .local_constraints
+                .get(&q)
+                .copied()
+                .ok_or_else(|| Error::NotFound(format!("local constraint for {q}")))?;
+            if l.is_nan() {
+                return Err(Error::InvalidConfig(format!("NaN local constraint for {q}")));
+            }
+            if l.total_cmp(&limit).is_lt() {
+                limit = l;
+            }
+        }
 
         // W_F is (approximately) monotone decreasing in the pace, so the
         // selected pace is found by galloping up from `start_pace` and
@@ -81,6 +92,10 @@ impl LocalProblem<'_> {
         // probe costs O(pace) simulation steps, so this matters.
         let probe = |pace: u32| -> Result<(f64, f64)> {
             let sim = simulate_subplan(&restricted, pace, self.inputs, &self.weights)?;
+            debug_assert!(
+                sim.private_total.is_finite() && sim.private_final.is_finite(),
+                "non-finite simulated cost at pace {pace}"
+            );
             Ok((sim.private_total, sim.private_final))
         };
         let start = start_pace.max(1);
@@ -174,7 +189,7 @@ impl LocalProblem<'_> {
 /// > two operators is also 20% of the constraint on q."
 pub fn local_constraints_for_subplan(
     subplan: &ishare_plan::Subplan,
-    inputs: &HashMap<Vec<usize>, StreamEstimate>,
+    inputs: &LeafInputs,
     global_constraints: &BTreeMap<QueryId, f64>,
     batch_finals: &BTreeMap<QueryId, f64>,
     weights: CostWeights,
@@ -187,6 +202,9 @@ pub fn local_constraints_for_subplan(
         let fraction =
             if total_batch > 0.0 { (sim.private_total / total_batch).clamp(0.0, 1.0) } else { 1.0 };
         let l = global_constraints.get(&q).copied().unwrap_or(f64::INFINITY);
+        if l.is_nan() {
+            return Err(Error::InvalidConfig(format!("NaN final-work constraint for {q}")));
+        }
         out.insert(q, l * fraction);
     }
     Ok(out)
@@ -196,6 +214,7 @@ pub fn local_constraints_for_subplan(
 pub(crate) mod tests {
     use super::*;
     use ishare_common::{SubplanId, TableId};
+    use ishare_cost::StreamEstimate;
     use ishare_expr::Expr;
     use ishare_plan::{AggExpr, AggFunc, InputSource, OpTree, SelectBranch, Subplan, TreeOp};
     use ishare_storage::ColumnStats;
@@ -236,8 +255,8 @@ pub(crate) mod tests {
         }
     }
 
-    pub(crate) fn inputs_for(sp: &Subplan, total: f64) -> HashMap<Vec<usize>, StreamEstimate> {
-        let mut m = HashMap::new();
+    pub(crate) fn inputs_for(sp: &Subplan, total: f64) -> LeafInputs {
+        let mut m = LeafInputs::new();
         fn collect(t: &OpTree, p: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
             if matches!(t.op, TreeOp::Input(_)) {
                 out.push(p.clone());
@@ -289,7 +308,7 @@ pub(crate) mod tests {
             weights: CostWeights::default(),
             max_pace: 100,
         };
-        let mut memo = HashMap::new();
+        let mut memo = PartitionMemo::new();
         let eval = prob.eval_partition(sp.queries, 1, &mut memo).unwrap();
         assert!(eval.feasible);
         assert!(eval.pace >= 4, "roughly 1/pace final work");
@@ -315,7 +334,7 @@ pub(crate) mod tests {
             weights: CostWeights::default(),
             max_pace: 100,
         };
-        let mut memo = HashMap::new();
+        let mut memo = PartitionMemo::new();
         let full = prob.eval_partition(sp.queries, 1, &mut memo).unwrap();
         let q1_only = prob.eval_partition(qs(&[1]), 1, &mut memo).unwrap();
         assert!(q1_only.pace <= full.pace);
@@ -334,7 +353,7 @@ pub(crate) mod tests {
             weights: CostWeights::default(),
             max_pace: 6,
         };
-        let mut memo = HashMap::new();
+        let mut memo = PartitionMemo::new();
         let eval = prob.eval_partition(sp.queries, 1, &mut memo).unwrap();
         assert!(!eval.feasible);
         assert_eq!(eval.pace, 6);
@@ -352,7 +371,7 @@ pub(crate) mod tests {
             weights: CostWeights::default(),
             max_pace: 10,
         };
-        let mut memo = HashMap::new();
+        let mut memo = PartitionMemo::new();
         assert!(prob.eval_partition(qs(&[0]), 1, &mut memo).is_err());
     }
 
@@ -374,5 +393,37 @@ pub(crate) mod tests {
         for q in sp.queries.iter() {
             assert!((local[&q] - 25.0).abs() < 1e-6, "25% of L(q)=100");
         }
+    }
+
+    #[test]
+    fn nan_constraint_is_rejected_not_silently_dropped() {
+        // Regression: the old `fold(INFINITY, f64::min)` dropped NaN (Rust's
+        // `f64::min` returns the non-NaN operand), silently treating a
+        // poisoned constraint as "unconstrained" and mis-ranking candidates.
+        let sp = shared_agg_subplan();
+        let inputs = inputs_for(&sp, 1_000.0);
+        let mut cons: BTreeMap<QueryId, f64> = sp.queries.iter().map(|q| (q, 1_000.0)).collect();
+        cons.insert(QueryId(1), f64::NAN);
+        let prob = LocalProblem {
+            subplan: &sp,
+            inputs: &inputs,
+            local_constraints: &cons,
+            weights: CostWeights::default(),
+            max_pace: 10,
+        };
+        let mut memo = PartitionMemo::new();
+        assert!(prob.eval_partition(sp.queries, 1, &mut memo).is_err());
+        // Global NaN constraints are rejected when localizing, too.
+        let mut global: BTreeMap<QueryId, f64> = sp.queries.iter().map(|q| (q, 100.0)).collect();
+        global.insert(QueryId(0), f64::NAN);
+        let batch: BTreeMap<QueryId, f64> = sp.queries.iter().map(|q| (q, 400.0)).collect();
+        assert!(local_constraints_for_subplan(
+            &sp,
+            &inputs,
+            &global,
+            &batch,
+            CostWeights::default()
+        )
+        .is_err());
     }
 }

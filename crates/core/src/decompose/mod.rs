@@ -178,7 +178,7 @@ fn evaluate_candidate(
     plan: &SharedPlan,
     paces: &PaceConfiguration,
     target: SubplanId,
-    inputs: &std::collections::HashMap<Vec<usize>, ishare_cost::StreamEstimate>,
+    inputs: &ishare_cost::LeafInputs,
     constraints: &ConstraintMap,
     batch_finals: &BTreeMap<QueryId, f64>,
     catalog: &Catalog,

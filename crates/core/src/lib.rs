@@ -20,6 +20,10 @@
 //!    (Sec. 4.3) splits only a root-anchored subtree.
 //! 3. **Full-plan application** ([`optimizer`], Sec. 4.4) — subplans are
 //!    visited parents-first and each beneficial decomposition is adopted.
+//! 4. **Online re-optimization** ([`adapt`]) — at wavefront boundaries the
+//!    stream drivers feed measured delivery counts back into the cost
+//!    stats; when drift crosses a threshold the pace search re-runs on the
+//!    refreshed estimator (memo reuse) under residual final-work budgets.
 //!
 //! [`baselines`] implements every comparison system of the evaluation
 //! (Sec. 5.2): NoShare-Uniform, NoShare-Nonuniform, Share-Uniform, iShare
@@ -27,6 +31,7 @@
 
 #![warn(missing_docs)]
 
+pub mod adapt;
 pub mod baselines;
 pub mod constraint;
 pub mod decompose;
@@ -35,6 +40,9 @@ pub mod optimizer;
 pub mod pace;
 pub mod pace_search;
 
+pub use adapt::{
+    AdaptController, AdaptMetrics, AdaptOptions, ObservedTable, PaceSwitch, WavefrontObservation,
+};
 pub use baselines::{plan_workload, Approach, PlannedExecution, PlanningOptions};
 pub use constraint::{resolve_constraints, ConstraintMap, FinalWorkConstraint};
 pub use incrementability::{benefit, incrementability};

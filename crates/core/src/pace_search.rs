@@ -17,8 +17,9 @@
 use crate::constraint::ConstraintMap;
 use crate::incrementability::{benefit, incrementability};
 use crate::pace::PaceConfiguration;
-use ishare_common::{Result, SubplanId};
+use ishare_common::{Error, Result, SubplanId};
 use ishare_cost::{CostReport, PlanEstimator};
+use std::cmp::Ordering;
 
 /// Result of a pace search.
 #[derive(Debug, Clone)]
@@ -35,6 +36,66 @@ pub struct SearchOutcome {
 
 fn is_feasible(report: &CostReport, constraints: &ConstraintMap) -> bool {
     constraints.iter().all(|(q, l)| report.final_of(*q).get() <= *l + 1e-9)
+}
+
+/// Reject NaN constraints up front: every comparison downstream treats
+/// "final work ≤ L + ε" as false for NaN, which would silently turn a
+/// poisoned constraint into "unsatisfiable" (upward search) or "always
+/// admissible" (relaxation's `(x − NaN).max(0.0) == 0`).
+fn check_constraints(constraints: &ConstraintMap) -> Result<()> {
+    for (q, l) in constraints {
+        if l.is_nan() {
+            return Err(Error::InvalidConfig(format!("NaN final-work constraint for {q}")));
+        }
+    }
+    Ok(())
+}
+
+/// Candidate ordering for the upward search: highest incrementability wins,
+/// ties broken by least extra total work. NaN-safe — a candidate with a NaN
+/// cost never wins (total_cmp alone would rank NaN above +∞), and any
+/// non-NaN candidate displaces a NaN incumbent.
+pub(crate) fn upward_better(cand: (f64, f64), best: Option<(f64, f64)>) -> bool {
+    let (inc, extra) = cand;
+    if inc.is_nan() || extra.is_nan() {
+        return false;
+    }
+    match best {
+        None => true,
+        Some((bi, be)) => {
+            if bi.is_nan() || be.is_nan() {
+                return true;
+            }
+            match inc.total_cmp(&bi) {
+                Ordering::Greater => true,
+                Ordering::Equal => extra.total_cmp(&be).is_lt(),
+                Ordering::Less => false,
+            }
+        }
+    }
+}
+
+/// Candidate ordering for the lazy-ward relaxation: lowest incrementability
+/// wins, ties broken by most total work saved. Same NaN policy as
+/// [`upward_better`].
+pub(crate) fn relax_better(cand: (f64, f64), best: Option<(f64, f64)>) -> bool {
+    let (inc, saved) = cand;
+    if inc.is_nan() || saved.is_nan() {
+        return false;
+    }
+    match best {
+        None => true,
+        Some((bi, bs)) => {
+            if bi.is_nan() || bs.is_nan() {
+                return true;
+            }
+            match inc.total_cmp(&bi) {
+                Ordering::Less => true,
+                Ordering::Equal => saved.total_cmp(&bs).is_gt(),
+                Ordering::Greater => false,
+            }
+        }
+    }
 }
 
 /// The iShare greedy (one pace knob per subplan).
@@ -64,6 +125,7 @@ fn grouped_search(
     constraints: &ConstraintMap,
     max_pace: u32,
 ) -> Result<SearchOutcome> {
+    check_constraints(constraints)?;
     let plan = est.plan().clone();
     let paces = PaceConfiguration::batch(plan.len());
     search_upward(est, &plan, groups, constraints, max_pace, paces)
@@ -116,13 +178,13 @@ fn search_upward(
                 continue;
             }
             let cand_report = est.estimate(cand.as_slice())?;
+            debug_assert!(
+                cand_report.total_work.get().is_finite(),
+                "non-finite estimated total work for {cand}"
+            );
             let inc = incrementability(&cand_report, &report, constraints);
             let extra = cand_report.total_work.get() - report.total_work.get();
-            let better = match &best {
-                None => true,
-                Some((bi, be, _, _)) => inc > *bi || (inc == *bi && extra < *be),
-            };
-            if better {
+            if upward_better((inc, extra), best.as_ref().map(|(bi, be, _, _)| (*bi, *be))) {
                 best = Some((inc, extra, cand, cand_report));
             }
         }
@@ -151,6 +213,7 @@ pub fn relax_pace_configuration(
     init: PaceConfiguration,
     max_pace: u32,
 ) -> Result<SearchOutcome> {
+    check_constraints(constraints)?;
     let plan = est.plan().clone();
     let mut paces = init;
     let mut report = est.estimate(paces.as_slice())?;
@@ -201,11 +264,7 @@ pub fn relax_pace_configuration(
             // Lowest incrementability of the eager side = best candidate to
             // relax: it pays the most total work for the least benefit.
             let inc = incrementability(&report, &cand_report, constraints);
-            let better = match &best {
-                None => true,
-                Some((bi, bs, _, _)) => inc < *bi || (inc == *bi && saved > *bs),
-            };
-            if better {
+            if relax_better((inc, saved), best.as_ref().map(|(bi, bs, _, _)| (*bi, *bs))) {
                 best = Some((inc, saved, cand, cand_report));
             }
         }
@@ -414,6 +473,40 @@ mod tests {
             relaxed.report.total_work.get() < eager_report.total_work.get(),
             "relaxation must save total work"
         );
+    }
+
+    #[test]
+    fn nan_cost_cannot_win_a_search() {
+        // Regression for the NaN-unsafe `inc > *bi` / `inc < *bi`
+        // comparisons: NaN candidates must lose to everything in both
+        // search directions, and finite candidates must displace a NaN
+        // incumbent.
+        // Upward (max inc, min extra):
+        assert!(!upward_better((f64::NAN, 0.0), None));
+        assert!(!upward_better((1.0, f64::NAN), None));
+        assert!(!upward_better((f64::NAN, 0.0), Some((0.0, 0.0))));
+        assert!(upward_better((0.0, 0.0), Some((f64::NAN, 0.0))));
+        assert!(upward_better((f64::INFINITY, 5.0), Some((2.0, 0.0))));
+        assert!(upward_better((2.0, 1.0), Some((2.0, 3.0))), "tie broken by less extra");
+        assert!(!upward_better((2.0, 3.0), Some((2.0, 1.0))));
+        // Relaxation (min inc, max saved):
+        assert!(!relax_better((f64::NAN, 0.0), None));
+        assert!(!relax_better((f64::NAN, 0.0), Some((f64::INFINITY, 0.0))));
+        assert!(relax_better((f64::INFINITY, 0.0), Some((f64::NAN, 0.0))));
+        assert!(relax_better((1.0, 0.0), Some((2.0, 9.0))));
+        assert!(relax_better((2.0, 9.0), Some((2.0, 1.0))), "tie broken by more saved");
+    }
+
+    #[test]
+    fn nan_constraints_rejected() {
+        let c = catalog();
+        let plan = shared_plan(&c);
+        let mut est = PlanEstimator::new(&plan, &c, CostWeights::default()).unwrap();
+        let cons: ConstraintMap =
+            [(QueryId(0), f64::NAN), (QueryId(1), 10.0)].into_iter().collect();
+        assert!(find_pace_configuration(&mut est, &cons, 10).is_err());
+        let init = PaceConfiguration::batch(plan.len());
+        assert!(relax_pace_configuration(&mut est, &cons, init, 10).is_err());
     }
 
     #[test]

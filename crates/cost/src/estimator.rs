@@ -15,6 +15,12 @@ use ishare_plan::{InputSource, SharedPlan};
 use ishare_storage::Catalog;
 use std::collections::{BTreeMap, HashMap};
 
+/// Leaf input estimates per subplan, keyed by leaf path. A `BTreeMap` so
+/// every iteration over the inputs (decomposition, debugging output) is
+/// deterministic — `HashMap` order escaping into tie-breaking was the bug
+/// class behind cross-process nondeterminism.
+pub type LeafInputs = BTreeMap<Vec<usize>, StreamEstimate>;
+
 /// The estimator's view of one pace configuration.
 #[derive(Debug, Clone)]
 pub struct CostReport {
@@ -29,7 +35,7 @@ pub struct CostReport {
     pub subplan_final: Vec<f64>,
     /// Full-trigger input estimate per subplan leaf (the Fig. 7 input
     /// cardinalities the decomposition algorithm consumes).
-    pub subplan_inputs: Vec<HashMap<Vec<usize>, StreamEstimate>>,
+    pub subplan_inputs: Vec<LeafInputs>,
     /// Full-trigger output estimate per subplan.
     pub subplan_output: Vec<StreamEstimate>,
 }
@@ -39,6 +45,19 @@ impl CostReport {
     pub fn final_of(&self, q: QueryId) -> WorkUnits {
         self.final_work.get(&q).copied().unwrap_or(WorkUnits::ZERO)
     }
+}
+
+/// One base table's observed full-trigger statistics, fed back into the
+/// estimator by the runtime adaptation controller. Both fields are derived
+/// from deterministic delta counts (never wall-clock), so a refresh driven
+/// by them replays bit-identically.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ObservedBase {
+    /// Extrapolated full-trigger row count (delivered rows scaled up by the
+    /// inverse of the arrival fraction observed so far).
+    pub rows: f64,
+    /// Observed fraction of delta rows that are retractions.
+    pub delete_frac: f64,
 }
 
 /// Cheap observability into memo effectiveness (Fig. 15's mechanism).
@@ -61,8 +80,9 @@ pub struct PlanEstimator {
     descendants: Vec<Vec<SubplanId>>,
     /// Per subplan: its leaves (path, source).
     leaves: Vec<Vec<(Vec<usize>, InputSource)>>,
-    /// Base-table full-trigger stream estimates.
-    base: HashMap<TableId, StreamEstimate>,
+    /// Base-table full-trigger stream estimates (`BTreeMap` so refresh and
+    /// drift scans iterate in a deterministic order).
+    base: BTreeMap<TableId, StreamEstimate>,
     /// Per subplan: memo from private pace configuration to simulation
     /// (Arc so hits are O(1), not a deep clone of the stream estimate).
     memo: Vec<HashMap<Vec<u32>, std::sync::Arc<SubplanSim>>>,
@@ -106,10 +126,10 @@ impl PlanEstimator {
         // Base streams: every row of a base table is valid for every query
         // of the whole plan (leaf narrowing restricts per subplan).
         let queries = plan.queries();
-        let mut base = HashMap::new();
+        let mut base = BTreeMap::new();
         for sp in &plan.subplans {
             for t in sp.root.referenced_tables() {
-                if let std::collections::hash_map::Entry::Vacant(e) = base.entry(t) {
+                if let std::collections::btree_map::Entry::Vacant(e) = base.entry(t) {
                     let def = catalog.table(t)?;
                     e.insert(StreamEstimate::insert_only(
                         def.stats.row_count,
@@ -142,6 +162,68 @@ impl PlanEstimator {
     /// The plan this estimator is bound to.
     pub fn plan(&self) -> &SharedPlan {
         &self.plan
+    }
+
+    /// The current base-stream estimate for `t`, if the plan references it.
+    pub fn base_estimate(&self, t: TableId) -> Option<&StreamEstimate> {
+        self.base.get(&t)
+    }
+
+    /// The base tables the plan references, in deterministic order.
+    pub fn base_tables(&self) -> Vec<TableId> {
+        self.base.keys().copied().collect()
+    }
+
+    /// Refresh one base table's stream statistics from observed quantities.
+    ///
+    /// The row estimate is rescaled via [`CardVec::scaled`] so the per-query
+    /// structure (which leaf narrowing established) is preserved; column
+    /// statistics are kept. Exactly the memo entries of subplans whose input
+    /// cone references `t` are invalidated, so re-optimizations after a
+    /// refresh still reuse every simulation the change cannot affect.
+    ///
+    /// Returns `true` iff the estimate actually changed (and memos were
+    /// dropped).
+    pub fn refresh_base(&mut self, t: TableId, observed: ObservedBase) -> Result<bool> {
+        if !observed.rows.is_finite() || observed.rows < 0.0 || !observed.delete_frac.is_finite() {
+            return Err(Error::InvalidConfig(format!(
+                "non-finite observed stats for {t}: rows {} delete_frac {}",
+                observed.rows, observed.delete_frac
+            )));
+        }
+        let queries = self.plan.queries();
+        let est =
+            self.base.get_mut(&t).ok_or_else(|| Error::NotFound(format!("base stream {t}")))?;
+        let new_delete_frac = observed.delete_frac.clamp(0.0, 0.95);
+        let old_rows = est.rows.total;
+        let row_change = if old_rows > 0.0 {
+            (observed.rows / old_rows - 1.0).abs()
+        } else if observed.rows > 0.0 {
+            f64::INFINITY
+        } else {
+            0.0
+        };
+        let changed = row_change > 1e-12 || (est.delete_frac - new_delete_frac).abs() > 1e-12;
+        if !changed {
+            return Ok(false);
+        }
+        est.rows = if old_rows > 0.0 {
+            est.rows.scaled(observed.rows / old_rows)
+        } else {
+            crate::stats::CardVec::uniform(observed.rows, queries)
+        };
+        est.delete_frac = new_delete_frac;
+        // Cone-scoped invalidation: subplan `i` depends on `t` iff `t` is
+        // referenced by `i` or any of its descendants.
+        for i in 0..self.plan.subplans.len() {
+            let cone_refs_t = self.descendants[i]
+                .iter()
+                .any(|d| self.plan.subplans[d.index()].root.referenced_tables().contains(&t));
+            if cone_refs_t {
+                self.memo[i].clear();
+            }
+        }
+        Ok(true)
     }
 
     /// Estimate a pace configuration (one pace per subplan, positionally).
@@ -186,13 +268,13 @@ impl PlanEstimator {
             final_work: BTreeMap::new(),
             subplan_total: vec![0.0; n],
             subplan_final: vec![0.0; n],
-            subplan_inputs: vec![HashMap::new(); n],
+            subplan_inputs: vec![LeafInputs::new(); n],
             subplan_output: Vec::new(),
         };
         for &id in &self.topo.clone() {
             let i = id.index();
             // Assemble this subplan's leaf inputs from children's outputs.
-            let mut inputs = HashMap::new();
+            let mut inputs = LeafInputs::new();
             for (path, src) in &self.leaves[i] {
                 let est = match src {
                     InputSource::Base(t) => self
@@ -245,8 +327,17 @@ impl PlanEstimator {
                     WorkUnits(report.subplan_final[sp.id.index()]);
             }
         }
-        report.subplan_output =
-            outputs.into_iter().map(|o| o.expect("all subplans simulated")).collect();
+        report.subplan_output = outputs
+            .into_iter()
+            .enumerate()
+            .map(|(i, o)| {
+                o.ok_or_else(|| {
+                    Error::InvalidPlan(format!(
+                        "subplan {i} missing from topological order (malformed DAG)"
+                    ))
+                })
+            })
+            .collect::<Result<Vec<_>>>()?;
         Ok(report)
     }
 }
@@ -480,5 +571,69 @@ mod tests {
         let mut est = PlanEstimator::new(&plan, &c, CostWeights::default()).unwrap();
         assert!(est.estimate(&[1, 1]).is_err());
         assert!(est.estimate(&vec![0; plan.len()]).is_err());
+    }
+
+    #[test]
+    fn malformed_topo_order_errors_instead_of_panicking() {
+        // Regression: a topological order that misses a subplan used to hit
+        // `o.expect("all subplans simulated")` and abort the process. With
+        // re-optimization calling the estimator at runtime, a malformed DAG
+        // must surface as Err.
+        let c = catalog();
+        let plan = fig2_plan(&c);
+        let mut est = PlanEstimator::new(&plan, &c, CostWeights::default()).unwrap();
+        est.topo.pop(); // corrupt: drop a root subplan from the order
+        let r = est.estimate(&vec![1; plan.len()]);
+        assert!(r.is_err(), "missing subplan must be an error, not a panic");
+        let msg = format!("{}", r.unwrap_err());
+        assert!(msg.contains("topological order"), "got: {msg}");
+    }
+
+    #[test]
+    fn refresh_base_invalidates_only_the_affected_cone() {
+        let c = catalog();
+        let plan = fig2_plan(&c);
+        let mut est = PlanEstimator::new(&plan, &c, CostWeights::default()).unwrap();
+        let n = plan.len();
+        let paces = vec![2u32; n];
+        let before = est.estimate(&paces).unwrap();
+        let sims_full = est.counters.simulations;
+        assert_eq!(sims_full, n);
+
+        // Table `u` only feeds the join subplan (q1's root chain); sp0 (the
+        // shared aggregate over `t`) and q0's project must keep their memos.
+        let u = c.table_by_name("u").unwrap().id;
+        let changed =
+            est.refresh_base(u, ObservedBase { rows: 4_000.0, delete_frac: 0.1 }).unwrap();
+        assert!(changed);
+        let after = est.estimate(&paces).unwrap();
+        let resimulated = est.counters.simulations - sims_full;
+        assert_eq!(resimulated, 1, "only the join subplan's cone touches u");
+        assert!(
+            after.total_work.get() > before.total_work.get(),
+            "4x the rows of u must cost more"
+        );
+
+        // Refreshing with identical stats is a no-op: no memo loss.
+        let sims_now = est.counters.simulations;
+        let changed =
+            est.refresh_base(u, ObservedBase { rows: 4_000.0, delete_frac: 0.1 }).unwrap();
+        assert!(!changed);
+        est.estimate(&paces).unwrap();
+        assert_eq!(est.counters.simulations, sims_now, "all memo hits after no-op refresh");
+    }
+
+    #[test]
+    fn refresh_base_rejects_bad_inputs() {
+        let c = catalog();
+        let plan = fig2_plan(&c);
+        let mut est = PlanEstimator::new(&plan, &c, CostWeights::default()).unwrap();
+        let t = c.table_by_name("t").unwrap().id;
+        assert!(est.refresh_base(t, ObservedBase { rows: f64::NAN, delete_frac: 0.0 }).is_err());
+        assert!(est.refresh_base(t, ObservedBase { rows: -1.0, delete_frac: 0.0 }).is_err());
+        assert!(est.refresh_base(t, ObservedBase { rows: 1.0, delete_frac: f64::NAN }).is_err());
+        assert!(est
+            .refresh_base(TableId(99), ObservedBase { rows: 1.0, delete_frac: 0.0 })
+            .is_err());
     }
 }

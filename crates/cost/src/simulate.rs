@@ -15,6 +15,7 @@
 //! * MIN/MAX rescans driven by upstream retractions, and
 //! * growing operator state (join sides, seen groups) across the k steps.
 
+use crate::estimator::LeafInputs;
 use crate::selectivity::selectivity;
 use crate::stats::{expected_distinct, CardVec, StreamEstimate};
 use ishare_common::{CostWeights, Error, Result};
@@ -40,7 +41,7 @@ pub struct SubplanSim {
 pub fn simulate_subplan(
     subplan: &Subplan,
     pace: u32,
-    leaf_inputs: &HashMap<Vec<usize>, StreamEstimate>,
+    leaf_inputs: &LeafInputs,
     weights: &CostWeights,
 ) -> Result<SubplanSim> {
     if pace == 0 {
@@ -113,7 +114,7 @@ fn static_pass(
     subplan: &Subplan,
     t: &OpTree,
     path: &mut Vec<usize>,
-    leaf_inputs: &HashMap<Vec<usize>, StreamEstimate>,
+    leaf_inputs: &LeafInputs,
     statics: &mut HashMap<Vec<usize>, NodeStatic>,
 ) -> Result<NodeStatic> {
     let info = match &t.op {
@@ -206,7 +207,7 @@ fn rec_static(
     t: &OpTree,
     child: usize,
     path: &mut Vec<usize>,
-    leaf_inputs: &HashMap<Vec<usize>, StreamEstimate>,
+    leaf_inputs: &LeafInputs,
     statics: &mut HashMap<Vec<usize>, NodeStatic>,
 ) -> Result<NodeStatic> {
     path.push(child);
@@ -334,7 +335,7 @@ fn dyn_pass(
     t: &OpTree,
     path: &mut Vec<usize>,
     pace: u32,
-    leaf_inputs: &HashMap<Vec<usize>, StreamEstimate>,
+    leaf_inputs: &LeafInputs,
     statics: &HashMap<Vec<usize>, NodeStatic>,
     states: &mut HashMap<Vec<usize>, OpSimState>,
     weights: &CostWeights,
@@ -475,7 +476,7 @@ fn rec_dyn(
     child: usize,
     path: &mut Vec<usize>,
     pace: u32,
-    leaf_inputs: &HashMap<Vec<usize>, StreamEstimate>,
+    leaf_inputs: &LeafInputs,
     statics: &HashMap<Vec<usize>, NodeStatic>,
     states: &mut HashMap<Vec<usize>, OpSimState>,
     weights: &CostWeights,
@@ -539,9 +540,9 @@ mod tests {
         Subplan { id: SubplanId(0), root: tree, queries: qs(&[0, 1]), output_queries: qs(&[0, 1]) }
     }
 
-    fn inputs_for(sp: &Subplan, est: StreamEstimate) -> HashMap<Vec<usize>, StreamEstimate> {
+    fn inputs_for(sp: &Subplan, est: StreamEstimate) -> LeafInputs {
         // Single leaf at path [0, 0].
-        let mut m = HashMap::new();
+        let mut m = LeafInputs::new();
         let mut paths = Vec::new();
         fn collect(t: &OpTree, p: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
             if matches!(t.op, TreeOp::Input(_)) {
@@ -602,7 +603,7 @@ mod tests {
         );
         let sp =
             Subplan { id: SubplanId(0), root: tree, queries: qs(&[0]), output_queries: qs(&[0]) };
-        let mut inputs = HashMap::new();
+        let mut inputs = LeafInputs::new();
         inputs.insert(vec![0], base_input(100.0, qs(&[0]), &[10.0, 10.0]));
         inputs.insert(vec![1], base_input(100.0, qs(&[0]), &[10.0, 10.0]));
         let w = CostWeights::default();
@@ -633,7 +634,7 @@ mod tests {
             Subplan { id: SubplanId(0), root: tree, queries: qs(&[0]), output_queries: qs(&[0]) };
         let mut churny = base_input(1000.0, qs(&[0]), &[100.0, 1000.0]);
         churny.delete_frac = 0.4;
-        let mut inputs = HashMap::new();
+        let mut inputs = LeafInputs::new();
         inputs.insert(vec![0], churny);
         let w = CostWeights::default();
         let lazy = simulate_subplan(&sp, 1, &inputs, &w).unwrap();
@@ -658,7 +659,7 @@ mod tests {
         let sp = agg_subplan();
         let inputs = inputs_for(&sp, base_input(10.0, qs(&[0, 1]), &[2.0, 2.0]));
         assert!(simulate_subplan(&sp, 0, &inputs, &CostWeights::default()).is_err());
-        assert!(simulate_subplan(&sp, 1, &HashMap::new(), &CostWeights::default()).is_err());
+        assert!(simulate_subplan(&sp, 1, &LeafInputs::new(), &CostWeights::default()).is_err());
     }
 
     #[test]

@@ -32,6 +32,11 @@ pub struct CommitEntry {
     pub num: u32,
     /// Arrival-fraction denominator of the wavefront.
     pub den: u32,
+    /// Pace configuration in effect *during* this wavefront (one pace per
+    /// subplan, positional). Adaptive runs record every mid-run pace switch
+    /// here, so a resumed run can verify it re-derived the identical switch
+    /// sequence; static runs repeat the planned paces in every entry.
+    pub paces: Vec<u32>,
     /// Per-topic consumer state, keyed by topic name (`t<table-id>`).
     pub topics: BTreeMap<String, TopicCommit>,
 }
@@ -82,6 +87,7 @@ impl CommitLog {
                     "wavefront": e.wavefront as u64,
                     "num": e.num,
                     "den": e.den,
+                    "paces": e.paces.iter().map(|&p| Value::from(p)).collect::<Vec<_>>(),
                     "topics": Value::Object(topics),
                 })
             })
@@ -127,10 +133,23 @@ impl CommitLog {
                 }
                 _ => return Err(bad(&format!("entry {i} lacks `topics` object"))),
             }
+            // Lenient on `paces` (absent in logs written before adaptive
+            // runs existed): missing → empty, but a present field must be a
+            // proper integer array.
+            let paces = match e.get("paces") {
+                None => Vec::new(),
+                Some(Value::Array(items)) => items
+                    .iter()
+                    .map(|p| p.as_i64().map(|v| v as u32))
+                    .collect::<Option<Vec<u32>>>()
+                    .ok_or_else(|| bad(&format!("entry {i} has non-integer pace")))?,
+                Some(_) => return Err(bad(&format!("entry {i} has non-array `paces`"))),
+            };
             log.entries.push(CommitEntry {
                 wavefront: int("wavefront")? as usize,
                 num: int("num")? as u32,
                 den: int("den")? as u32,
+                paces,
                 topics,
             });
         }
@@ -154,7 +173,13 @@ mod tests {
                 "t3".to_string(),
                 TopicCommit { delivered: i as u64, offsets: vec![i as u64] },
             );
-            log.entries.push(CommitEntry { wavefront: i, num: *num, den: *den, topics });
+            log.entries.push(CommitEntry {
+                wavefront: i,
+                num: *num,
+                den: *den,
+                paces: vec![1, 2 + i as u32],
+                topics,
+            });
         }
         log
     }
@@ -176,10 +201,21 @@ mod tests {
             r#"{"entries": [{"wavefront": 0, "num": 1, "den": 2}]}"#,
             r#"{"entries": [{"wavefront": 0, "num": 1, "den": 2,
                 "topics": {"t0": {"delivered": 1}}}]}"#,
+            r#"{"entries": [{"wavefront": 0, "num": 1, "den": 2, "paces": [1, "x"],
+                "topics": {"t0": {"delivered": 1, "offsets": [1]}}}]}"#,
         ] {
             let doc = serde_json::from_str(text).unwrap();
             assert!(CommitLog::from_json(&doc).is_err(), "{text} should be rejected");
         }
+    }
+
+    #[test]
+    fn missing_paces_field_parses_as_empty() {
+        let text = r#"{"entries": [{"wavefront": 0, "num": 1, "den": 2,
+            "topics": {"t0": {"delivered": 1, "offsets": [1]}}}]}"#;
+        let doc = serde_json::from_str(text).unwrap();
+        let log = CommitLog::from_json(&doc).unwrap();
+        assert!(log.entries[0].paces.is_empty());
     }
 
     #[test]

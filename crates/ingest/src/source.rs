@@ -238,7 +238,9 @@ impl Source {
 
     /// Commit every topic's consumer state at a wavefront boundary,
     /// appending to (and returning) the new entry of the commit log.
-    pub fn commit(&mut self, wavefront: usize, num: u32, den: u32) -> &CommitEntry {
+    /// `paces` records the pace configuration that was in effect during the
+    /// wavefront, so adaptive runs can verify replayed pace switches.
+    pub fn commit(&mut self, wavefront: usize, num: u32, den: u32, paces: &[u32]) -> &CommitEntry {
         let topics = self
             .topics
             .iter()
@@ -252,7 +254,7 @@ impl Source {
                 )
             })
             .collect();
-        self.log.entries.push(CommitEntry { wavefront, num, den, topics });
+        self.log.entries.push(CommitEntry { wavefront, num, den, paces: paces.to_vec(), topics });
         self.log.entries.last().expect("just pushed")
     }
 
@@ -345,8 +347,8 @@ mod tests {
             let got_a = collect_advance(&mut a, num, 4);
             let got_b = collect_advance(&mut b, num, 4);
             assert_eq!(got_a, got_b, "deterministic regeneration");
-            a.commit(i, num, 4);
-            b.commit(i, num, 4);
+            a.commit(i, num, 4, &[1, 4]);
+            b.commit(i, num, 4, &[1, 4]);
         }
         assert_eq!(a.log(), b.log());
         assert_eq!(a.log().len(), 4);

@@ -5,11 +5,12 @@
 //! correctness oracle: the parallel driver in [`crate::parallel`] must
 //! produce bit-identical work totals and results for any thread count.
 
-use crate::schedule::{build_schedule, wavefronts, Tick};
+use crate::schedule::{build_schedule, front_at, reschedule_after, Tick};
 use ishare_common::{
     CostWeights, Error, OpKind, QueryId, QuerySet, Result, TableId, WorkBreakdown, WorkCounter,
     WorkUnits,
 };
+use ishare_core::adapt::{AdaptController, ObservedTable, WavefrontObservation};
 use ishare_exec::{query_result, ExecMode, QueryResult, SubplanExecutor};
 use ishare_ingest::{CommitLog, Source, TopicStats};
 use ishare_obs::{ExecCounts, ObsConfig, ObsReport, Span, SpanKind, TraceBuffer};
@@ -346,6 +347,48 @@ pub(crate) fn ingest_gauges(report: &mut ObsReport, stats: &[TopicStats]) {
     }
 }
 
+/// Assemble the deterministic per-wavefront observation the adaptation
+/// controller consumes: cumulative delivery tallies per base table
+/// (`(delivered, deletes)` as counted by the feed path) plus per-query
+/// charged final work. Shared by both drivers so the adaptive decision
+/// inputs — and therefore the switch sequences — cannot drift between them.
+pub(crate) fn wavefront_observation(
+    plan: &SharedPlan,
+    all_queries: QuerySet,
+    wavefront: usize,
+    num: u32,
+    den: u32,
+    charged_sp_final: &[f64],
+    tallies: &BTreeMap<TableId, (u64, u64)>,
+) -> WavefrontObservation {
+    let mut charged_final = BTreeMap::new();
+    for q in all_queries.iter() {
+        let sum: f64 =
+            plan.subplans_of_query(q).iter().map(|id| charged_sp_final[id.index()]).sum();
+        charged_final.insert(q, sum);
+    }
+    WavefrontObservation {
+        wavefront,
+        num,
+        den,
+        charged_final,
+        tables: tallies
+            .iter()
+            .map(|(t, &(delivered, deletes))| ObservedTable { table: *t, delivered, deletes })
+            .collect(),
+    }
+}
+
+/// Record end-of-run adaptation counters into an [`ObsReport`]'s registry.
+pub(crate) fn adapt_gauges(report: &mut ObsReport, ctrl: &AdaptController) {
+    let m = ctrl.metrics();
+    report.metrics.counter_add("adapt.evaluations", m.evaluations as f64);
+    report.metrics.counter_add("adapt.triggers", m.triggers as f64);
+    report.metrics.counter_add("adapt.pace_switches", m.switches as f64);
+    report.metrics.gauge_set("adapt.max_drift", m.max_drift);
+    report.metrics.gauge_set("adapt.reopt_time_us", m.reopt_time.as_micros() as f64);
+}
+
 /// Options of a source-fed run ([`execute_from_source_obs`] and its parallel
 /// twin).
 #[derive(Debug, Clone, Default)]
@@ -411,14 +454,17 @@ pub(crate) fn commit_wavefront(
     wavefront: usize,
     num: u32,
     den: u32,
+    paces: &[u32],
     opts: &SourceOptions,
 ) -> Result<Option<SourceOutcome>> {
-    let entry = source.commit(wavefront, num, den);
+    let entry = source.commit(wavefront, num, den, paces);
     if let Some(expect) = opts.verify.as_ref().and_then(|log| log.entries.get(wavefront)) {
         if expect != entry {
+            let what =
+                if expect.paces != entry.paces { "adaptive pace decisions" } else { "the source" };
             return Err(Error::InvalidDelta(format!(
                 "replay diverged from commit log at wavefront {wavefront} \
-                 (fraction {num}/{den}): the source is not deterministic"
+                 (fraction {num}/{den}): {what} did not replay deterministically"
             )));
         }
     }
@@ -546,8 +592,42 @@ pub fn execute_from_source_obs(
     weights: CostWeights,
     opts: SourceOptions,
 ) -> Result<SourceOutcome> {
+    run_from_source(plan, paces, catalog, source, weights, opts, None)
+}
+
+/// [`execute_from_source_obs`] with online re-optimization: after every
+/// committed wavefront the controller sees the cumulative delivery tallies
+/// and charged final work ([`WavefrontObservation`]); when it installs new
+/// paces the remaining schedule is rebuilt via
+/// [`reschedule_after`](crate::schedule::reschedule_after) and the switch
+/// takes effect at the next wavefront. The controller's decisions depend
+/// only on deterministic measured quantities, so killed-and-resumed runs
+/// re-derive the identical switch sequence (verified through the commit
+/// log's `paces` field) and parallel runs stay bit-identical to sequential.
+pub fn execute_adaptive_from_source_obs(
+    plan: &SharedPlan,
+    catalog: &Catalog,
+    source: &mut Source,
+    weights: CostWeights,
+    opts: SourceOptions,
+    ctrl: &mut AdaptController,
+) -> Result<SourceOutcome> {
+    let paces = ctrl.current_paces().to_vec();
+    run_from_source(plan, &paces, catalog, source, weights, opts, Some(ctrl))
+}
+
+fn run_from_source(
+    plan: &SharedPlan,
+    paces: &[u32],
+    catalog: &Catalog,
+    source: &mut Source,
+    weights: CostWeights,
+    opts: SourceOptions,
+    mut adapt: Option<&mut AdaptController>,
+) -> Result<SourceOutcome> {
     let run_started = Instant::now();
-    let tick_list = build_schedule(plan, paces)?;
+    let mut tick_list = build_schedule(plan, paces)?;
+    let mut active_paces: Vec<u32> = paces.to_vec();
     let all_queries = plan.queries();
     let depths = plan.depths();
     let EngineState {
@@ -561,12 +641,23 @@ pub fn execute_from_source_obs(
     // Run, one wavefront (= one arrival fraction) at a time. Ticks still
     // execute in global schedule order; grouping by front lets the driver
     // cut the ingest topics once per fraction and compact buffers between
-    // fronts.
+    // fronts. Fronts are discovered incrementally ([`front_at`]) because an
+    // adaptive pace switch rebuilds the unexecuted tail of the schedule.
     let mut recs: Vec<TickRec> = Vec::with_capacity(tick_list.len());
     let mut fronts: Vec<FrontRec> = Vec::new();
-    for (wf, front) in wavefronts(&tick_list).into_iter().enumerate() {
+    let mut tallies: BTreeMap<TableId, (u64, u64)> = BTreeMap::new();
+    let mut charged_final: Vec<f64> = vec![0.0; plan.len()];
+    let mut pos = 0;
+    let mut wf = 0;
+    while pos < tick_list.len() {
+        let front = front_at(&tick_list, pos);
         let head = tick_list[front.start];
         feed_from_source(source, &base_tables, head.num, head.den, all_queries, |t, dr| {
+            let tally = tallies.entry(t).or_insert((0, 0));
+            tally.0 += 1;
+            if dr.weight < 0 {
+                tally.1 += 1;
+            }
             base_buffers.get_mut(&t).expect("registered table").push(dr)
         })?;
         let front_start = run_started.elapsed();
@@ -580,10 +671,13 @@ pub fn execute_from_source_obs(
                 &leaf_consumers,
                 &weights,
             )?;
+            if tick.is_final {
+                charged_final[tick.sp.index()] = work.get();
+            }
             recs.push(TickRec { work, wall, breakdown, start, worker: 0 });
         }
         fronts.push(FrontRec {
-            range: front,
+            range: front.clone(),
             num: head.num,
             den: head.den,
             start: front_start,
@@ -599,9 +693,35 @@ pub fn execute_from_source_obs(
         for b in sp_buffers.iter_mut() {
             b.compact();
         }
-        if let Some(out) = commit_wavefront(source, wf, head.num, head.den, &opts)? {
+        // Commit first, then adapt: the log entry records the paces that
+        // were in effect *during* this wavefront; a switch installed below
+        // only governs subsequent fronts.
+        if let Some(out) = commit_wavefront(source, wf, head.num, head.den, &active_paces, &opts)? {
             return Ok(out);
         }
+        if let Some(ctrl) = adapt.as_deref_mut() {
+            let obs = wavefront_observation(
+                plan,
+                all_queries,
+                wf,
+                head.num,
+                head.den,
+                &charged_final,
+                &tallies,
+            );
+            if let Some(new_paces) = ctrl.observe(&obs)? {
+                tick_list = reschedule_after(
+                    plan,
+                    &tick_list[..front.end],
+                    head.num,
+                    head.den,
+                    &new_paces,
+                )?;
+                active_paces = new_paces;
+            }
+        }
+        pos = front.end;
+        wf += 1;
     }
 
     let folded = fold_run(plan, all_queries, &tick_list, &depths, &recs, &fronts, opts.obs);
@@ -609,6 +729,9 @@ pub fn execute_from_source_obs(
     if let Some(report) = obs_report.as_mut() {
         buffer_gauges(report, &base_buffers, &sp_buffers);
         ingest_gauges(report, &source.stats());
+        if let Some(ctrl) = adapt.as_deref() {
+            adapt_gauges(report, ctrl);
+        }
     }
     let (final_work, latency, results) = per_query_views(
         plan,

@@ -35,6 +35,15 @@
 //! path, and source-fed runs (jittered or not, killed-and-resumed or not)
 //! stay bit-identical to the `Vec`-fed ones.
 //!
+//! Source-fed runs can additionally adapt ([`execute_adaptive_from_source_obs`]
+//! / [`execute_adaptive_from_source_parallel_obs`]): an
+//! [`ishare_core::adapt::AdaptController`] watches measured delivery
+//! tallies at every wavefront boundary and, when the live stream drifts
+//! from the catalog statistics the paces were planned against, re-runs the
+//! pace search and installs the new configuration for the remaining
+//! wavefronts — deterministically, so adaptive runs replay and parallelize
+//! bit-identically too.
+//!
 //! [`SharedPlan`]: ishare_plan::SharedPlan
 
 #![warn(missing_docs)]
@@ -45,14 +54,16 @@ pub mod parallel;
 pub mod schedule;
 
 pub use driver::{
-    execute_from_source_obs, execute_planned, execute_planned_deltas, execute_planned_deltas_obs,
-    execute_planned_deltas_reference, execute_planned_obs, RunResult, SourceOptions, SourceOutcome,
+    execute_adaptive_from_source_obs, execute_from_source_obs, execute_planned,
+    execute_planned_deltas, execute_planned_deltas_obs, execute_planned_deltas_reference,
+    execute_planned_obs, RunResult, SourceOptions, SourceOutcome,
 };
 pub use ishare_exec::ExecMode;
 pub use ishare_ingest::{CommitLog, Source, SourceConfig};
 pub use ishare_obs::{ExecCounts, ObsConfig, ObsReport};
 pub use measure::{missed_latency_stats, MissedLatencyStats};
 pub use parallel::{
-    execute_from_source_parallel_obs, execute_planned_deltas_parallel,
-    execute_planned_deltas_parallel_obs, execute_planned_parallel, execute_planned_parallel_obs,
+    execute_adaptive_from_source_parallel_obs, execute_from_source_parallel_obs,
+    execute_planned_deltas_parallel, execute_planned_deltas_parallel_obs, execute_planned_parallel,
+    execute_planned_parallel_obs,
 };

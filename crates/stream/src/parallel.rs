@@ -31,20 +31,21 @@
 //! sequential driver performs within a front are no-ops anyway.
 
 use crate::driver::{
-    buffer_gauges, commit_wavefront, feed_from_source, fold_run, ingest_gauges, insert_feeds,
-    per_query_views, setup_engine, EngineState, FrontRec, RunResult, SourceOptions, SourceOutcome,
-    TickRec,
+    adapt_gauges, buffer_gauges, commit_wavefront, feed_from_source, fold_run, ingest_gauges,
+    insert_feeds, per_query_views, setup_engine, wavefront_observation, EngineState, FrontRec,
+    RunResult, SourceOptions, SourceOutcome, TickRec,
 };
-use crate::schedule::{build_schedule, depth_levels, wavefronts, Tick};
+use crate::schedule::{build_schedule, depth_levels, front_at, reschedule_after, Tick};
 use ishare_common::{
     CostWeights, Error, OpKind, Result, TableId, WorkBreakdown, WorkCounter, WorkUnits,
 };
+use ishare_core::adapt::AdaptController;
 use ishare_exec::SubplanExecutor;
 use ishare_ingest::Source;
 use ishare_obs::ObsConfig;
 use ishare_plan::{InputSource, SharedPlan};
 use ishare_storage::{Catalog, ConsumerId, DeltaBuffer, Row};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
@@ -133,11 +134,44 @@ pub fn execute_from_source_parallel_obs(
     threads: usize,
     opts: SourceOptions,
 ) -> Result<SourceOutcome> {
+    run_from_source_parallel(plan, paces, catalog, source, weights, threads, opts, None)
+}
+
+/// Parallel twin of [`crate::driver::execute_adaptive_from_source_obs`].
+/// Adaptation decisions happen between wavefronts, on the single-threaded
+/// boundary path, from the same deterministic observations the sequential
+/// driver builds — so adaptive parallel runs remain bit-identical to
+/// adaptive sequential runs for any thread count.
+pub fn execute_adaptive_from_source_parallel_obs(
+    plan: &SharedPlan,
+    catalog: &Catalog,
+    source: &mut Source,
+    weights: CostWeights,
+    threads: usize,
+    opts: SourceOptions,
+    ctrl: &mut AdaptController,
+) -> Result<SourceOutcome> {
+    let paces = ctrl.current_paces().to_vec();
+    run_from_source_parallel(plan, &paces, catalog, source, weights, threads, opts, Some(ctrl))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_from_source_parallel(
+    plan: &SharedPlan,
+    paces: &[u32],
+    catalog: &Catalog,
+    source: &mut Source,
+    weights: CostWeights,
+    threads: usize,
+    opts: SourceOptions,
+    mut adapt: Option<&mut AdaptController>,
+) -> Result<SourceOutcome> {
     if threads == 0 {
         return Err(Error::InvalidConfig("thread count must be at least 1".into()));
     }
     let run_started = Instant::now();
-    let schedule = build_schedule(plan, paces)?;
+    let mut schedule = build_schedule(plan, paces)?;
+    let mut active_paces: Vec<u32> = paces.to_vec();
     let all_queries = plan.queries();
     let depths = plan.depths();
     let EngineState { base_buffers, base_tables, sp_buffers, executors, leaf_consumers } =
@@ -153,13 +187,22 @@ pub fn execute_from_source_parallel_obs(
     // in that order below — the linchpin of the bit-identical guarantee.
     let mut recs: Vec<Option<TickRec>> = vec![None; schedule.len()];
     let mut fronts: Vec<FrontRec> = Vec::new();
-
-    for (wf, front) in wavefronts(&schedule).into_iter().enumerate() {
+    let mut tallies: BTreeMap<TableId, (u64, u64)> = BTreeMap::new();
+    let mut charged_final: Vec<f64> = vec![0.0; plan.len()];
+    let mut pos = 0;
+    let mut wf = 0;
+    while pos < schedule.len() {
+        let front = front_at(&schedule, pos);
         // Cut the ingest topics at this front's arrival fraction
         // (single-threaded between levels, hence `get_mut` instead of
         // locking).
         let head = schedule[front.start];
         feed_from_source(source, &base_tables, head.num, head.den, all_queries, |t, dr| {
+            let tally = tallies.entry(t).or_insert((0, 0));
+            tally.0 += 1;
+            if dr.weight < 0 {
+                tally.1 += 1;
+            }
             base_buffers
                 .get_mut(&t)
                 .expect("registered table")
@@ -234,8 +277,14 @@ pub fn execute_from_source_parallel_obs(
                 }
             }
         }
+        for (i, tick) in schedule[front.clone()].iter().enumerate() {
+            if tick.is_final {
+                let rec = recs[front.start + i].as_ref().expect("tick ran");
+                charged_final[tick.sp.index()] = rec.work.get();
+            }
+        }
         fronts.push(FrontRec {
-            range: front,
+            range: front.clone(),
             num: head.num,
             den: head.den,
             start: front_start,
@@ -250,9 +299,35 @@ pub fn execute_from_source_parallel_obs(
         for b in sp_buffers.iter_mut() {
             b.get_mut().expect("buffer lock poisoned").compact();
         }
-        if let Some(out) = commit_wavefront(source, wf, head.num, head.den, &opts)? {
+        // Commit first (the entry records the paces in effect during this
+        // front), then let the controller install a switch for the next.
+        if let Some(out) = commit_wavefront(source, wf, head.num, head.den, &active_paces, &opts)? {
             return Ok(out);
         }
+        if let Some(ctrl) = adapt.as_deref_mut() {
+            let obs = wavefront_observation(
+                plan,
+                all_queries,
+                wf,
+                head.num,
+                head.den,
+                &charged_final,
+                &tallies,
+            );
+            if let Some(new_paces) = ctrl.observe(&obs)? {
+                schedule =
+                    reschedule_after(plan, &schedule[..front.end], head.num, head.den, &new_paces)?;
+                // The executed prefix keeps its records; the rebuilt tail is
+                // unexecuted, so its slots start empty.
+                recs.resize(schedule.len(), None);
+                for r in recs.iter_mut().skip(front.end) {
+                    *r = None;
+                }
+                active_paces = new_paces;
+            }
+        }
+        pos = front.end;
+        wf += 1;
     }
 
     let recs: Vec<TickRec> =
@@ -269,6 +344,9 @@ pub fn execute_from_source_parallel_obs(
     if let Some(report) = obs_report.as_mut() {
         buffer_gauges(report, &base_buffers, &sp_buffers);
         ingest_gauges(report, &source.stats());
+        if let Some(ctrl) = adapt.as_deref() {
+            adapt_gauges(report, ctrl);
+        }
     }
     let (final_work, latency, results) = per_query_views(
         plan,
@@ -465,5 +543,139 @@ mod tests {
         let err =
             execute_planned_deltas_parallel(&plan, &paces, &c, &data, CostWeights::default(), 0);
         assert!(matches!(err, Err(Error::InvalidConfig(_))));
+    }
+
+    fn controller(
+        c: &Catalog,
+        plan: &SharedPlan,
+        paces: &[u32],
+        constraints: ishare_core::ConstraintMap,
+        opts: ishare_core::AdaptOptions,
+    ) -> AdaptController {
+        AdaptController::new(plan, c, CostWeights::default(), paces, constraints, opts).unwrap()
+    }
+
+    #[test]
+    fn adaptive_disabled_is_bit_identical_to_static() {
+        use crate::driver::execute_adaptive_from_source_obs;
+        let (c, plan, data) = fan_out(4);
+        let paces: Vec<u32> = (0..plan.len()).map(|i| 1 + i as u32 % 3).collect();
+        let w = CostWeights::default();
+        let static_run = execute_planned_deltas(&plan, &paces, &c, &data, w).unwrap();
+        let opts = ishare_core::AdaptOptions::disabled();
+        for threads in [1usize, 2, 4] {
+            let mut ctrl = controller(&c, &plan, &paces, ishare_core::ConstraintMap::new(), opts);
+            let mut source = Source::in_order(&data);
+            let run = if threads == 1 {
+                execute_adaptive_from_source_obs(
+                    &plan,
+                    &c,
+                    &mut source,
+                    w,
+                    SourceOptions::default(),
+                    &mut ctrl,
+                )
+            } else {
+                execute_adaptive_from_source_parallel_obs(
+                    &plan,
+                    &c,
+                    &mut source,
+                    w,
+                    threads,
+                    SourceOptions::default(),
+                    &mut ctrl,
+                )
+            }
+            .unwrap()
+            .into_result()
+            .unwrap();
+            assert_bit_identical(&static_run, &run, &format!("adaptive off, threads={threads}"));
+            assert_eq!(ctrl.metrics().switches, 0, "disabled controller must never switch");
+            assert!(ctrl.metrics().evaluations > 0, "controller must still observe fronts");
+        }
+    }
+
+    /// A drifted stream (3× the cataloged rows, with deletes) plus an
+    /// unreachable constraint force a pace switch; the switch must replay
+    /// bit-identically sequentially, in parallel, and across kill/resume.
+    #[test]
+    fn adaptive_switch_replays_and_parallelizes_bit_identically() {
+        use crate::driver::execute_adaptive_from_source_obs;
+        let (c, plan, mut data) = fan_out(3);
+        let feed = data.values_mut().next().unwrap();
+        let extra: Vec<(Row, i64)> = (120..330)
+            .map(|i| (Row::new(vec![Value::Int(i % 12), Value::Int(i * 13 % 100)]), 1))
+            .collect();
+        let dels: Vec<(Row, i64)> = feed.iter().step_by(4).map(|(r, _)| (r.clone(), -1)).collect();
+        feed.extend(extra);
+        feed.extend(dels);
+        let w = CostWeights::default();
+        let initial = vec![2u32; plan.len()];
+        let cons: ishare_core::ConstraintMap = [(QueryId(0), 1.0)].into_iter().collect();
+        let opts = ishare_core::AdaptOptions { max_pace: 6, ..Default::default() };
+
+        let run = |threads: usize, src_opts: SourceOptions| {
+            let mut ctrl = controller(&c, &plan, &initial, cons.clone(), opts);
+            let mut source = Source::in_order(&data);
+            let out = if threads == 1 {
+                execute_adaptive_from_source_obs(&plan, &c, &mut source, w, src_opts, &mut ctrl)
+            } else {
+                execute_adaptive_from_source_parallel_obs(
+                    &plan,
+                    &c,
+                    &mut source,
+                    w,
+                    threads,
+                    src_opts,
+                    &mut ctrl,
+                )
+            }
+            .unwrap();
+            (out, ctrl)
+        };
+
+        let (out_seq, ctrl_seq) = run(1, SourceOptions::default());
+        assert!(
+            !ctrl_seq.switches().is_empty(),
+            "3x drift against an unreachable constraint must switch paces"
+        );
+        let (result_seq, log_seq) = match out_seq {
+            SourceOutcome::Completed { result, log } => (*result, log),
+            SourceOutcome::Suspended { .. } => panic!("run must complete"),
+        };
+        // The commit log records the pace trajectory: initial paces on the
+        // first front, switched paces on the last.
+        assert_eq!(log_seq.entries.first().unwrap().paces, initial);
+        assert_eq!(
+            log_seq.entries.last().unwrap().paces,
+            ctrl_seq.current_paces(),
+            "last front must run under the switched configuration"
+        );
+
+        for threads in [2usize, 4] {
+            let (out, ctrl) = run(threads, SourceOptions::default());
+            let result = out.into_result().unwrap();
+            assert_bit_identical(&result_seq, &result, &format!("adaptive threads={threads}"));
+            assert_eq!(ctrl.switches(), ctrl_seq.switches(), "switch log, threads={threads}");
+        }
+
+        // Kill after the first committed wavefront, then resume from scratch
+        // with the partial log: the fresh controller must re-derive the same
+        // switches and the run must verify against — and extend — the log.
+        let (killed, _) = run(1, SourceOptions { stop_after: Some(1), ..Default::default() });
+        let partial = match killed {
+            SourceOutcome::Suspended { log } => log,
+            SourceOutcome::Completed { .. } => panic!("stop_after must suspend"),
+        };
+        assert_eq!(partial.len(), 1);
+        let (resumed, ctrl_res) =
+            run(1, SourceOptions { verify: Some(partial), ..Default::default() });
+        let (result_res, log_res) = match resumed {
+            SourceOutcome::Completed { result, log } => (*result, log),
+            SourceOutcome::Suspended { .. } => panic!("resume must complete"),
+        };
+        assert_bit_identical(&result_seq, &result_res, "killed+resumed");
+        assert_eq!(log_res, log_seq, "resumed commit log (incl. paces) must match");
+        assert_eq!(ctrl_res.switches(), ctrl_seq.switches(), "resumed switch log must match");
     }
 }

@@ -92,6 +92,78 @@ pub fn wavefronts(ticks: &[Tick]) -> Vec<Range<usize>> {
     fronts
 }
 
+/// The maximal wavefront starting at `pos`: the run of ticks sharing
+/// `ticks[pos]`'s arrival fraction. Incremental counterpart of
+/// [`wavefronts`] for drivers whose schedule may change mid-run (adaptive
+/// pace switches rebuild the tail, so fronts cannot be precomputed).
+pub fn front_at(ticks: &[Tick], pos: usize) -> Range<usize> {
+    let mut end = pos + 1;
+    while end < ticks.len() && ticks[end].frac_cmp(&ticks[pos]) == Ordering::Equal {
+        end += 1;
+    }
+    pos..end
+}
+
+/// Rebuild a schedule around a mid-run pace switch: keep the already
+/// executed prefix (`executed`, which must end exactly at the wavefront
+/// boundary with arrival fraction `num/den`) and regenerate every remaining
+/// tick from `new_paces`, keeping only fractions *strictly* beyond the
+/// boundary. Each subplan's final tick (`k/k`, fraction 1) is always beyond
+/// a non-final boundary, so every subplan still ends with exactly one final
+/// refresh — and because the engine's delta buffers are pull-based, any tick
+/// set ending in finals materializes the same results, so a switch can never
+/// change answers, only how work is spread over the remaining fronts.
+pub fn reschedule_after(
+    plan: &SharedPlan,
+    executed: &[Tick],
+    num: u32,
+    den: u32,
+    new_paces: &[u32],
+) -> Result<Vec<Tick>> {
+    if new_paces.len() != plan.len() {
+        return Err(Error::InvalidConfig(format!(
+            "{} paces for {} subplans",
+            new_paces.len(),
+            plan.len()
+        )));
+    }
+    if num >= den {
+        return Err(Error::InvalidConfig(format!(
+            "cannot reschedule at boundary {num}/{den}: stream already complete"
+        )));
+    }
+    let topo = plan.topo_order()?;
+    let topo_rank: HashMap<SubplanId, usize> =
+        topo.iter().enumerate().map(|(i, id)| (*id, i)).collect();
+    let mut suffix: Vec<Tick> = Vec::new();
+    for sp in &plan.subplans {
+        let k = new_paces[sp.id.index()];
+        for j in 1..=k {
+            // Strictly beyond the boundary: j/k > num/den ⇔ j·den > num·k
+            // (exact in u64).
+            if j as u64 * den as u64 > num as u64 * k as u64 {
+                suffix.push(Tick {
+                    num: j,
+                    den: k,
+                    topo_rank: topo_rank[&sp.id],
+                    sp: sp.id,
+                    is_final: j == k,
+                });
+            }
+        }
+    }
+    suffix.sort_by(|a, b| a.frac_cmp(b).then(a.topo_rank.cmp(&b.topo_rank)));
+    let mut out = executed.to_vec();
+    out.extend(suffix);
+    debug_assert!(
+        plan.subplans
+            .iter()
+            .all(|sp| out.iter().filter(|t| t.sp == sp.id && t.is_final).count() == 1),
+        "rescheduled ticks must contain exactly one final tick per subplan"
+    );
+    Ok(out)
+}
+
 /// Split one wavefront into depth levels: maximal runs of ticks whose
 /// subplans share a dependency depth (`SharedPlan::depths`), as index ranges
 /// into the front. A parent subplan is strictly deeper than each of its
@@ -307,5 +379,57 @@ mod tests {
                 assert_ne!(depths[sp.id.index()], depths[child.index()]);
             }
         }
+    }
+
+    #[test]
+    fn front_at_agrees_with_wavefronts() {
+        let (_c, plan) = fixture();
+        let paces: Vec<u32> = (0..plan.len()).map(|i| 1 + i as u32 * 2).collect();
+        let ticks = build_schedule(&plan, &paces).unwrap();
+        let mut pos = 0;
+        let mut incremental = Vec::new();
+        while pos < ticks.len() {
+            let f = front_at(&ticks, pos);
+            pos = f.end;
+            incremental.push(f);
+        }
+        assert_eq!(incremental, wavefronts(&ticks));
+    }
+
+    #[test]
+    fn reschedule_keeps_prefix_and_regenerates_strict_suffix() {
+        let (_c, plan) = fixture();
+        let old = vec![4u32; plan.len()];
+        let ticks = build_schedule(&plan, &old).unwrap();
+        // Boundary after the 2/4 front.
+        let boundary = wavefronts(&ticks)[1].end;
+        let new_paces: Vec<u32> = (0..plan.len()).map(|i| [6u32, 1][i % 2]).collect();
+        let out = reschedule_after(&plan, &ticks[..boundary], 2, 4, &new_paces).unwrap();
+        // Prefix untouched.
+        assert_eq!(&out[..boundary], &ticks[..boundary]);
+        // Suffix: only fractions strictly beyond 1/2, sorted, each subplan
+        // ending in exactly one final tick.
+        let half = Tick { num: 1, den: 2, topo_rank: 0, sp: SubplanId(0), is_final: false };
+        for t in &out[boundary..] {
+            assert_eq!(t.frac_cmp(&half), Ordering::Greater, "{}/{} <= 1/2", t.num, t.den);
+        }
+        for w in out[boundary..].windows(2) {
+            assert_ne!(w[0].frac_cmp(&w[1]), Ordering::Greater, "suffix must stay sorted");
+        }
+        for sp in &plan.subplans {
+            assert_eq!(out.iter().filter(|t| t.sp == sp.id && t.is_final).count(), 1);
+            let k = new_paces[sp.id.index()];
+            // A subplan at new pace k has exactly the ticks j/k with j/k > 1/2.
+            let expect = (1..=k).filter(|&j| j as u64 * 2 > k as u64).count();
+            assert_eq!(out[boundary..].iter().filter(|t| t.sp == sp.id).count(), expect);
+        }
+    }
+
+    #[test]
+    fn reschedule_rejects_complete_boundary_and_bad_arity() {
+        let (_c, plan) = fixture();
+        let ticks = build_schedule(&plan, &vec![2u32; plan.len()]).unwrap();
+        assert!(reschedule_after(&plan, &ticks, 2, 2, &vec![3u32; plan.len()]).is_err());
+        assert!(reschedule_after(&plan, &ticks[..1], 1, 2, &[3]).is_err());
     }
 }

@@ -276,3 +276,142 @@ fn infeasible_workload_still_plans_and_runs() {
         ishare::exec::batch_ref::run_logical(&queries[0].1, &data.catalog, &data.data).unwrap();
     assert!(ishare::exec::approx_result_eq(&run.results[&QueryId(0)], &expected, 1e-9));
 }
+
+/// One line capturing everything the optimizer decided: the approach's
+/// paces, the plan shape, and the bit patterns of the estimated work.
+/// Any nondeterminism in planning — map iteration order, float reduction
+/// order, tie-breaking — shows up as a differing summary.
+fn optimize_summary() -> String {
+    let data = generate(0.004, 42).unwrap();
+    let queries = queries_by_name(&data, &["qa", "qb", "q6"]);
+    let cons: BTreeMap<QueryId, FinalWorkConstraint> =
+        (0..3).map(|i| (QueryId(i), FinalWorkConstraint::Relative(0.3))).collect();
+    let opts = PlanningOptions { max_pace: 100, ..Default::default() };
+    let p = plan_workload(Approach::IShare, &queries, &cons, &data.catalog, &opts).unwrap();
+    let finals: Vec<String> = p
+        .plan
+        .queries()
+        .iter()
+        .map(|q| format!("q{}:{:016x}", q.0, p.report.final_of(q).get().to_bits()))
+        .collect();
+    format!(
+        "paces={:?} subplans={} feasible={} total={:016x} {}",
+        p.paces,
+        p.plan.len(),
+        p.feasible,
+        p.report.total_work.get().to_bits(),
+        finals.join(" ")
+    )
+}
+
+#[test]
+fn optimize_is_deterministic_across_processes() {
+    // HashMap iteration order varies *between processes* (random SipHash
+    // keys), so in-process repetition cannot catch ordering bugs. Re-run
+    // the whole planning pipeline in a child process and demand an
+    // identical decision summary.
+    let summary = optimize_summary();
+    if std::env::var_os("ISHARE_OPT_SUMMARY_CHILD").is_some() {
+        println!("SUMMARY:{summary}");
+        return;
+    }
+    let exe = std::env::current_exe().unwrap();
+    let out = std::process::Command::new(exe)
+        .args(["optimize_is_deterministic_across_processes", "--exact", "--nocapture"])
+        .env("ISHARE_OPT_SUMMARY_CHILD", "1")
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "child test run failed: {:?}", out);
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    // The libtest harness prints "test <name> ... " on the same line before
+    // captured output, so match the marker anywhere in a line.
+    let child = stdout
+        .lines()
+        .find_map(|l| l.split_once("SUMMARY:").map(|(_, s)| s))
+        .unwrap_or_else(|| panic!("child printed no summary:\n{stdout}"));
+    assert_eq!(summary, child, "optimizer decisions differ across processes");
+}
+
+// The adaptive drivers with an infinite drift threshold must be
+// bit-identical to the static driver — the controller still observes
+// every wavefront, so this proves observation itself perturbs nothing —
+// and identical across 1/2/4 worker threads, for any seed and update mix.
+fn check_disabled_adaptation_invariance(seed: u64, update_frac: f64) {
+    use ishare::core::adapt::{AdaptController, AdaptOptions};
+    use ishare::stream::{
+        execute_adaptive_from_source_obs, execute_adaptive_from_source_parallel_obs,
+        execute_planned_deltas, Source, SourceOptions,
+    };
+    use ishare::tpch::with_updates;
+
+    let data = generate(0.004, seed).unwrap();
+    let queries = queries_by_name(&data, &["qa", "qb", "q6"]);
+    let cons: BTreeMap<QueryId, FinalWorkConstraint> =
+        (0..3).map(|i| (QueryId(i), FinalWorkConstraint::Relative(0.3))).collect();
+    let opts = PlanningOptions { max_pace: 100, ..Default::default() };
+    let planned = plan_workload(Approach::IShare, &queries, &cons, &data.catalog, &opts).unwrap();
+    let feeds = with_updates(&data, update_frac, seed ^ 7).unwrap();
+    let w = CostWeights::default();
+
+    let baseline =
+        execute_planned_deltas(&planned.plan, planned.paces.as_slice(), &data.catalog, &feeds, w)
+            .unwrap();
+    for threads in [1usize, 2, 4] {
+        let mut ctrl =
+            AdaptController::from_planned(&planned, &data.catalog, w, AdaptOptions::disabled())
+                .unwrap();
+        let mut source = Source::in_order(&feeds);
+        let run = if threads == 1 {
+            execute_adaptive_from_source_obs(
+                &planned.plan,
+                &data.catalog,
+                &mut source,
+                w,
+                SourceOptions::default(),
+                &mut ctrl,
+            )
+        } else {
+            execute_adaptive_from_source_parallel_obs(
+                &planned.plan,
+                &data.catalog,
+                &mut source,
+                w,
+                threads,
+                SourceOptions::default(),
+                &mut ctrl,
+            )
+        }
+        .unwrap()
+        .into_result()
+        .unwrap();
+        assert_eq!(
+            baseline.total_work.get().to_bits(),
+            run.total_work.get().to_bits(),
+            "threads {threads}: total work drifted"
+        );
+        for (q, work) in &baseline.final_work {
+            assert_eq!(
+                work.to_bits(),
+                run.final_work[q].to_bits(),
+                "threads {threads}: final work drifted for q{}",
+                q.0
+            );
+        }
+        assert_eq!(baseline.results, run.results, "threads {threads}: results drifted");
+        assert!(ctrl.switches().is_empty(), "disabled controller must never switch");
+        assert!(ctrl.metrics().evaluations > 0, "controller must still observe wavefronts");
+    }
+}
+
+proptest::proptest! {
+    // Each case plans and runs the workload four times; a few cases keep the
+    // suite's wall clock sane while still varying seed and update mix.
+    #![proptest_config(proptest::prelude::ProptestConfig::with_cases(3))]
+    #[test]
+    fn disabled_adaptation_is_invariant_across_thread_counts(
+        seed in 0u64..256,
+        update_frac in 0.1f64..0.6,
+    ) {
+        check_disabled_adaptation_invariance(seed, update_frac);
+    }
+}
