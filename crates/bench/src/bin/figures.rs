@@ -10,7 +10,8 @@
 //! fig17b, fig17c, scaling (parallel-driver thread sweep), kernels
 //! (datapath kernels vs reference operators → `BENCH_kernels.json`),
 //! adapt (static vs adaptive paces under statistics drift →
-//! `BENCH_adapt.json`), all.
+//! `BENCH_adapt.json`), partition (intra-subplan partition scaling →
+//! `BENCH_partition.json`), all.
 //!
 //! Options: `--sf <f64>`, `--seed <u64>`, `--max-pace <u32>`,
 //! `--random-sets <n>`, `--dnf-secs <n>`, `--trace-out <path>`,
@@ -87,6 +88,7 @@ fn main() {
             "scaling" => experiments::parallel_scaling(params),
             "kernels" => experiments::kernel_bench(params),
             "adapt" => experiments::adapt(params),
+            "partition" => experiments::partition(params),
             other => {
                 eprintln!("unknown experiment `{other}`");
                 std::process::exit(2);
@@ -100,8 +102,19 @@ fn main() {
 
     if exp == "all" {
         for name in [
-            "fig10", "table1", "fig13", "fig14", "fig15", "fig16", "fig17a", "fig17b", "fig17c",
-            "scaling", "kernels", "adapt",
+            "fig10",
+            "table1",
+            "fig13",
+            "fig14",
+            "fig15",
+            "fig16",
+            "fig17a",
+            "fig17b",
+            "fig17c",
+            "scaling",
+            "kernels",
+            "adapt",
+            "partition",
         ] {
             run(name, &params);
         }

@@ -236,6 +236,26 @@ impl AggSpec {
             args: aggs.iter().map(|a| CompiledScalar::compile(&a.arg)).collect(),
         }
     }
+
+    /// Partition-key extractor over the group-by scalars — the exchange
+    /// routes rows by evaluating exactly what the state groups by, so a
+    /// group's rows always share a partition.
+    pub fn group_extractor(&self) -> ishare_expr::KeyExtractor {
+        ishare_expr::KeyExtractor::new(self.group_by.clone())
+    }
+}
+
+/// Per-touched-group flush records of one aggregate execution, in flush
+/// (= first-touch) order: `(first_touch_row, emits)` where `first_touch_row`
+/// is the batch index of the row that first touched the group this execution
+/// and `emits` is how many output rows the group's flush produced. Groups
+/// partition disjointly by key, so each partition's flush order is a
+/// subsequence of the sequential one; merging partition outputs ascending by
+/// `first_touch_row` reconstructs the exact sequential emission order.
+#[derive(Debug, Default)]
+pub struct AggTrace {
+    /// `(first_touch_row, emits)` per touched group, in flush order.
+    pub groups: Vec<(u32, u32)>,
 }
 
 /// One disjoint query-mask class within a group.
@@ -289,6 +309,24 @@ impl AggState {
         weights: &CostWeights,
         counter: &WorkCounter,
     ) -> Result<DeltaBatch> {
+        self.execute_traced(input, spec, agg_int, weights, counter, None)
+    }
+
+    /// [`Self::execute`] that additionally records per-touched-group flush
+    /// records into `trace` (cleared first). The traced and untraced paths
+    /// are byte-for-byte the same computation.
+    pub fn execute_traced(
+        &mut self,
+        input: DeltaBatch,
+        spec: &AggSpec,
+        agg_int: &[bool],
+        weights: &CostWeights,
+        counter: &WorkCounter,
+        mut trace: Option<&mut AggTrace>,
+    ) -> Result<DeltaBatch> {
+        if let Some(t) = trace.as_deref_mut() {
+            t.groups.clear();
+        }
         self.epoch += 1;
         let epoch = self.epoch;
         counter.charge(
@@ -302,9 +340,9 @@ impl AggState {
         // work-unit guarantee relies on it). The key values captured here
         // are the ones the first-touching row evaluated to — the output-row
         // representation, matching the reference exactly.
-        let mut touched: Vec<(u32, Vec<Value>)> = Vec::new();
+        let mut touched: Vec<(u32, Vec<Value>, u32)> = Vec::new();
         let mut key_vals: Vec<Value> = Vec::with_capacity(spec.group_by.len());
-        for dr in &input.rows {
+        for (i, dr) in input.rows.iter().enumerate() {
             key_vals.clear();
             for g in &spec.group_by {
                 key_vals.push(g.eval(dr.row.values())?);
@@ -317,7 +355,7 @@ impl AggState {
             let group = self.groups.get_by_id_mut(id).expect("live group");
             if group.touched_at != epoch {
                 group.touched_at = epoch;
-                touched.push((id, key_vals.clone()));
+                touched.push((id, key_vals.clone(), i as u32));
             }
             refine_classes(group, dr.mask, spec, agg_int);
             for class in &mut group.classes {
@@ -338,7 +376,8 @@ impl AggState {
         let mut out = DeltaBatch::new();
         let mut emit_units = 0usize;
         let mut canceled: Vec<bool> = Vec::new();
-        for (id, key) in touched {
+        for (id, key, first_row) in touched {
+            let flush_start = out.len();
             let group = self.groups.get_by_id_mut(id).expect("touched group exists");
             for class in &group.classes {
                 if class.rows < 0 {
@@ -386,6 +425,9 @@ impl AggState {
             group.classes.retain(|c| c.rows > 0);
             if group.classes.is_empty() {
                 self.groups.remove_id(id);
+            }
+            if let Some(t) = trace.as_deref_mut() {
+                t.groups.push((first_row, (out.len() - flush_start) as u32));
             }
         }
         counter.charge(OpKind::AggEmit, weights.agg_emit, emit_units);

@@ -19,6 +19,7 @@
 use crate::aggregate::{AggSpec, AggState};
 use crate::join::{JoinKeys, JoinState};
 use crate::operators::{apply_project, apply_select, narrow_input};
+use crate::partition::{PartitionStat, PartitionedAgg, PartitionedJoin};
 use crate::reference::{ref_apply_project, ref_apply_select, RefAggState, RefJoinState};
 use ishare_common::{CostWeights, DataType, Error, QuerySet, Result, SubplanId, WorkCounter};
 use ishare_expr::compile::{CompiledPredicate, CompiledProjection};
@@ -39,11 +40,50 @@ pub enum ExecMode {
     Reference,
 }
 
+/// How a [`SubplanExecutor`] is built: which datapath, and whether stateful
+/// operators hash-partition their state behind an exchange
+/// ([`crate::partition`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecOptions {
+    /// The datapath. [`ExecMode::Reference`] ignores the partition fields —
+    /// the reference datapath stays the unpartitioned differential oracle at
+    /// every requested partition count.
+    pub mode: ExecMode,
+    /// Hash partitions for join/aggregate state. `0` or `1` = unpartitioned
+    /// (plain [`JoinState`]/[`AggState`], exactly as before).
+    pub partitions: usize,
+    /// Worker threads fanning one partitioned operator's partitions out
+    /// (scoped threads per execution). `0` or `1` = run partitions inline.
+    /// Purely a wall-clock knob — results and charges are thread-count
+    /// independent.
+    pub partition_threads: usize,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions { mode: ExecMode::default(), partitions: 1, partition_threads: 1 }
+    }
+}
+
+impl ExecOptions {
+    /// Options for `mode` with unpartitioned state.
+    pub fn with_mode(mode: ExecMode) -> ExecOptions {
+        ExecOptions { mode, ..ExecOptions::default() }
+    }
+
+    /// `true` iff stateful operators should be partitioned.
+    fn partitioned(&self) -> bool {
+        self.mode == ExecMode::Kernels && self.partitions > 1
+    }
+}
+
 /// Stateful-operator state, keyed by tree path.
 #[derive(Debug)]
 enum OpState {
     Join(JoinState),
     Agg(AggState),
+    PartJoin(PartitionedJoin),
+    PartAgg(PartitionedAgg),
     RefJoin(RefJoinState),
     RefAgg(RefAggState),
 }
@@ -64,7 +104,7 @@ struct CompiledOps {
 pub struct SubplanExecutor {
     subplan: Subplan,
     weights: CostWeights,
-    mode: ExecMode,
+    options: ExecOptions,
     /// Per-aggregate-node flags: is each aggregate argument integer-typed?
     agg_int: HashMap<Vec<usize>, Vec<bool>>,
     states: HashMap<Vec<usize>, OpState>,
@@ -84,13 +124,31 @@ impl SubplanExecutor {
         Self::new_with_mode(subplan, catalog, child_schemas, weights, ExecMode::default())
     }
 
-    /// Build an executor on an explicit datapath.
+    /// Build an executor on an explicit datapath (unpartitioned state).
     pub fn new_with_mode(
         subplan: &Subplan,
         catalog: &Catalog,
         child_schemas: &HashMap<SubplanId, Schema>,
         weights: CostWeights,
         mode: ExecMode,
+    ) -> Result<Self> {
+        Self::new_with_options(
+            subplan,
+            catalog,
+            child_schemas,
+            weights,
+            ExecOptions::with_mode(mode),
+        )
+    }
+
+    /// Build an executor with full [`ExecOptions`] — datapath plus
+    /// state-partitioning configuration.
+    pub fn new_with_options(
+        subplan: &Subplan,
+        catalog: &Catalog,
+        child_schemas: &HashMap<SubplanId, Schema>,
+        weights: CostWeights,
+        options: ExecOptions,
     ) -> Result<Self> {
         let mut agg_int = HashMap::new();
         let mut states = HashMap::new();
@@ -100,12 +158,19 @@ impl SubplanExecutor {
             &mut Vec::new(),
             catalog,
             child_schemas,
-            mode,
+            options,
             &mut agg_int,
             &mut states,
             &mut compiled,
         )?;
-        Ok(SubplanExecutor { subplan: subplan.clone(), weights, mode, agg_int, states, compiled })
+        Ok(SubplanExecutor {
+            subplan: subplan.clone(),
+            weights,
+            options,
+            agg_int,
+            states,
+            compiled,
+        })
     }
 
     /// The executed subplan.
@@ -115,7 +180,40 @@ impl SubplanExecutor {
 
     /// The datapath this executor runs.
     pub fn mode(&self) -> ExecMode {
-        self.mode
+        self.options.mode
+    }
+
+    /// The full build options.
+    pub fn options(&self) -> ExecOptions {
+        self.options
+    }
+
+    /// Per-partition cumulative load, summed over this subplan's partitioned
+    /// operators: entry `p` is the rows routed to and work charged by
+    /// partition `p`. Empty when no operator is partitioned.
+    pub fn partition_stats(&self) -> Vec<PartitionStat> {
+        let mut acc: Vec<PartitionStat> = Vec::new();
+        let mut fold = |stats: &[PartitionStat]| {
+            if acc.len() < stats.len() {
+                acc.resize(stats.len(), PartitionStat::default());
+            }
+            for (a, s) in acc.iter_mut().zip(stats) {
+                a.rows += s.rows;
+                a.work += s.work;
+            }
+        };
+        // Deterministic order: sort by tree path (HashMap iteration order is
+        // seed-free here but sorting keeps the fold order obvious).
+        let mut paths: Vec<&Vec<usize>> = self.states.keys().collect();
+        paths.sort();
+        for path in paths {
+            match &self.states[path] {
+                OpState::PartJoin(pj) => fold(pj.stats()),
+                OpState::PartAgg(pa) => fold(pa.stats()),
+                _ => {}
+            }
+        }
+        acc
     }
 
     /// All leaves of the tree with their tree paths, in pre-order. The
@@ -153,7 +251,7 @@ impl SubplanExecutor {
             &mut Vec::new(),
             inputs,
             counter,
-            self.mode,
+            self.options.mode,
             self.subplan.queries,
             &self.weights,
             &self.agg_int,
@@ -241,6 +339,12 @@ fn exec_node(
                     })?;
                     js.execute(left, right, ckeys, weights, counter)
                 }
+                Some(OpState::PartJoin(pj)) => {
+                    let ckeys = compiled.join_keys.get(path.as_slice()).ok_or_else(|| {
+                        Error::InvalidPlan(format!("missing compiled join keys at path {path:?}"))
+                    })?;
+                    pj.execute(left, right, ckeys, weights, counter)
+                }
                 Some(OpState::RefJoin(js)) => js.execute(left, right, keys, weights, counter),
                 _ => Err(Error::InvalidPlan(format!("missing join state at path {path:?}"))),
             }
@@ -263,6 +367,12 @@ fn exec_node(
                     })?;
                     st.execute(input, spec, int_flags, weights, counter)
                 }
+                Some(OpState::PartAgg(pa)) => {
+                    let spec = compiled.agg_specs.get(path.as_slice()).ok_or_else(|| {
+                        Error::InvalidPlan(format!("missing compiled aggregate at path {path:?}"))
+                    })?;
+                    pa.execute(input, spec, int_flags, weights, counter)
+                }
                 Some(OpState::RefAgg(st)) => {
                     st.execute(input, group_by, aggs, int_flags, weights, counter)
                 }
@@ -278,16 +388,27 @@ fn init_states(
     path: &mut Vec<usize>,
     catalog: &Catalog,
     child_schemas: &HashMap<SubplanId, Schema>,
-    mode: ExecMode,
+    options: ExecOptions,
     agg_int: &mut HashMap<Vec<usize>, Vec<bool>>,
     states: &mut HashMap<Vec<usize>, OpState>,
     compiled: &mut CompiledOps,
 ) -> Result<()> {
+    let mode = options.mode;
     match &t.op {
         TreeOp::Join { keys } => match mode {
             ExecMode::Kernels => {
-                compiled.join_keys.insert(path.clone(), JoinKeys::compile(keys));
-                states.insert(path.clone(), OpState::Join(JoinState::new()));
+                let ckeys = JoinKeys::compile(keys);
+                let state = if options.partitioned() {
+                    OpState::PartJoin(PartitionedJoin::new(
+                        options.partitions,
+                        options.partition_threads,
+                        &ckeys,
+                    ))
+                } else {
+                    OpState::Join(JoinState::new())
+                };
+                compiled.join_keys.insert(path.clone(), ckeys);
+                states.insert(path.clone(), state);
             }
             ExecMode::Reference => {
                 states.insert(path.clone(), OpState::RefJoin(RefJoinState::new()));
@@ -303,8 +424,18 @@ fn init_states(
             agg_int.insert(path.clone(), flags);
             match mode {
                 ExecMode::Kernels => {
-                    compiled.agg_specs.insert(path.clone(), AggSpec::compile(group_by, aggs));
-                    states.insert(path.clone(), OpState::Agg(AggState::new()));
+                    let spec = AggSpec::compile(group_by, aggs);
+                    let state = if options.partitioned() {
+                        OpState::PartAgg(PartitionedAgg::new(
+                            options.partitions,
+                            options.partition_threads,
+                            &spec,
+                        ))
+                    } else {
+                        OpState::Agg(AggState::new())
+                    };
+                    compiled.agg_specs.insert(path.clone(), spec);
+                    states.insert(path.clone(), state);
                 }
                 ExecMode::Reference => {
                     states.insert(path.clone(), OpState::RefAgg(RefAggState::new()));
@@ -329,7 +460,7 @@ fn init_states(
     }
     for (i, child) in t.inputs.iter().enumerate() {
         path.push(i);
-        init_states(child, path, catalog, child_schemas, mode, agg_int, states, compiled)?;
+        init_states(child, path, catalog, child_schemas, options, agg_int, states, compiled)?;
     }
     path.pop();
     Ok(())
@@ -505,6 +636,75 @@ mod tests {
         let out = ex.execute(&mut HashMap::new(), &counter).unwrap();
         assert!(out.is_empty());
         assert_eq!(ex.queries(), qs(&[0, 1]));
+    }
+
+    /// The partition exchange must be invisible: same output rows in the
+    /// same order and bit-identical charges at every partition/thread
+    /// count, across incremental executions with inserts and deletes —
+    /// through a join AND an aggregate (different partition keys).
+    #[test]
+    fn partitioned_state_matches_unpartitioned_bitwise() {
+        let c = catalog();
+        let sp = sample_subplan(&c);
+        let weights = CostWeights::default();
+        let steps: Vec<(Vec<DeltaRow>, Vec<DeltaRow>)> = vec![
+            (vec![t_row(1, 1), t_row(2, 5), t_row(3, 8)], vec![t_row(1, 100), t_row(2, 50)]),
+            (vec![t_row(4, 9), t_row(1, 3)], vec![t_row(3, 20), t_row(4, 7), t_row(1, 7)]),
+            (
+                vec![DeltaRow {
+                    row: Row::new(vec![Value::Int(1), Value::Int(1)]),
+                    weight: -1,
+                    mask: qs(&[0, 1]),
+                }],
+                vec![],
+            ),
+            (vec![t_row(2, 4), t_row(5, 6)], vec![t_row(5, 11)]),
+        ];
+        let run = |options: ExecOptions| {
+            let mut ex =
+                SubplanExecutor::new_with_options(&sp, &c, &HashMap::new(), weights, options)
+                    .unwrap();
+            let leaves = ex.leaf_paths();
+            let counter = WorkCounter::new();
+            let mut outs = Vec::new();
+            for (ts, us) in &steps {
+                let mut inputs = HashMap::new();
+                inputs.insert(leaves[0].0.clone(), DeltaBatch::from_rows(ts.clone()));
+                inputs.insert(leaves[1].0.clone(), DeltaBatch::from_rows(us.clone()));
+                outs.push(ex.execute(&mut inputs, &counter).unwrap().rows);
+            }
+            (outs, counter.total().get(), counter.breakdown(), ex.partition_stats())
+        };
+        let (base_outs, base_total, base_breakdown, base_stats) = run(ExecOptions::default());
+        assert!(base_stats.is_empty(), "unpartitioned executor reports no partition stats");
+        for partitions in [2usize, 4, 8] {
+            for threads in [1usize, 2] {
+                let opts =
+                    ExecOptions { mode: ExecMode::Kernels, partitions, partition_threads: threads };
+                let (outs, total, breakdown, stats) = run(opts);
+                assert_eq!(
+                    outs, base_outs,
+                    "outputs differ at {partitions} partitions, {threads} threads"
+                );
+                assert_eq!(
+                    total.to_bits(),
+                    base_total.to_bits(),
+                    "total work differs at {partitions} partitions, {threads} threads"
+                );
+                for kind in ishare_common::OpKind::ALL {
+                    assert_eq!(
+                        breakdown.get(kind).to_bits(),
+                        base_breakdown.get(kind).to_bits(),
+                        "{kind} charges differ at {partitions} partitions"
+                    );
+                }
+                assert_eq!(stats.len(), partitions);
+                let routed: u64 = stats.iter().map(|s| s.rows).sum();
+                assert!(routed > 0, "exchange must have routed rows");
+                let split: f64 = stats.iter().map(|s| s.work).sum();
+                assert!(split > 0.0, "partitions must have charged work");
+            }
+        }
     }
 
     /// The two datapaths must agree bit-for-bit: same output rows in the

@@ -80,9 +80,36 @@ impl JoinKeys {
         }
     }
 
-    fn side(&self, right: bool) -> impl Iterator<Item = &CompiledScalar> + Clone {
+    pub(crate) fn side(&self, right: bool) -> impl Iterator<Item = &CompiledScalar> + Clone {
         self.pairs.iter().map(move |(l, r)| if right { r } else { l })
     }
+
+    /// Words per encoded key (both sides of every pair).
+    pub(crate) fn stride(&self) -> usize {
+        2 * self.pairs.len()
+    }
+
+    /// Partition-key extractor for one side: the exchange routes each side's
+    /// rows by the *same* compiled key scalars the join probes with, so a
+    /// left row and its matching right rows always share a partition.
+    pub fn extractor(&self, right: bool) -> ishare_expr::KeyExtractor {
+        ishare_expr::KeyExtractor::new(self.side(right).cloned().collect())
+    }
+}
+
+/// Per-input-row emission counts of one join execution: `left[i]` /
+/// `right[i]` is how many output rows the `i`-th left / right delta row
+/// produced when probing (NULL-keyed rows produce 0). Since an execution
+/// emits all left-probe output before any right-probe output, and within a
+/// phase strictly in batch-row order, these counts let the partition
+/// exchange splice per-partition outputs back into the exact sequential
+/// emission order.
+#[derive(Debug, Default)]
+pub struct JoinTrace {
+    /// Emissions per left delta row, in batch order.
+    pub left: Vec<u32>,
+    /// Emissions per right delta row, in batch order.
+    pub right: Vec<u32>,
 }
 
 /// Persistent state of one join operator across incremental executions.
@@ -123,17 +150,42 @@ impl JoinState {
         weights: &CostWeights,
         counter: &WorkCounter,
     ) -> Result<DeltaBatch> {
+        self.execute_traced(left_delta, right_delta, keys, weights, counter, None)
+    }
+
+    /// [`Self::execute`] that additionally records per-input-row emission
+    /// counts into `trace` (cleared and resized to the batch lengths first).
+    /// The traced and untraced paths are byte-for-byte the same computation.
+    pub fn execute_traced(
+        &mut self,
+        left_delta: DeltaBatch,
+        right_delta: DeltaBatch,
+        keys: &JoinKeys,
+        weights: &CostWeights,
+        counter: &WorkCounter,
+        mut trace: Option<&mut JoinTrace>,
+    ) -> Result<DeltaBatch> {
+        if let Some(t) = trace.as_deref_mut() {
+            t.left.clear();
+            t.left.resize(left_delta.len(), 0);
+            t.right.clear();
+            t.right.resize(right_delta.len(), 0);
+        }
         let mut out = DeltaBatch::new();
         let mut emits = 0usize;
-        let stride = 2 * keys.pairs.len();
+        let stride = keys.stride();
 
         // ΔL ⋈ R_old
         let left_keyed =
             key_rows(&left_delta, keys.side(false), stride, &mut self.interner, &mut self.scratch)?;
         counter.charge(OpKind::JoinProbe, weights.join_probe, left_keyed.len());
         for j in 0..left_keyed.len() {
+            let before = out.len();
             if let Some(entries) = self.right.get(left_keyed.key(j)) {
                 emit_matches(&mut out, left_keyed.row(&left_delta, j), entries, false, &mut emits);
+            }
+            if let Some(t) = trace.as_deref_mut() {
+                t.left[left_keyed.rows[j] as usize] = (out.len() - before) as u32;
             }
         }
         // Insert ΔL.
@@ -151,8 +203,12 @@ impl JoinState {
             key_rows(&right_delta, keys.side(true), stride, &mut self.interner, &mut self.scratch)?;
         counter.charge(OpKind::JoinProbe, weights.join_probe, right_keyed.len());
         for j in 0..right_keyed.len() {
+            let before = out.len();
             if let Some(entries) = self.left.get(right_keyed.key(j)) {
                 emit_matches(&mut out, right_keyed.row(&right_delta, j), entries, true, &mut emits);
+            }
+            if let Some(t) = trace.as_deref_mut() {
+                t.right[right_keyed.rows[j] as usize] = (out.len() - before) as u32;
             }
         }
         counter.charge(OpKind::JoinInsert, weights.join_insert, right_keyed.len());

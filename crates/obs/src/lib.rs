@@ -25,6 +25,6 @@ pub mod metrics;
 pub mod report;
 pub mod trace;
 
-pub use metrics::{Histogram, MetricsRegistry, DEFAULT_BUCKETS};
+pub use metrics::{record_partition_gauges, Histogram, MetricsRegistry, DEFAULT_BUCKETS};
 pub use report::{ExecCounts, ObsConfig, ObsReport};
 pub use trace::{Span, SpanKind, TraceBuffer, WAVEFRONT_TID};

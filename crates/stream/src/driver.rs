@@ -11,7 +11,7 @@ use ishare_common::{
     WorkUnits,
 };
 use ishare_core::adapt::{AdaptController, ObservedTable, WavefrontObservation};
-use ishare_exec::{query_result, ExecMode, QueryResult, SubplanExecutor};
+use ishare_exec::{query_result, ExecMode, ExecOptions, QueryResult, SubplanExecutor};
 use ishare_ingest::{CommitLog, Source, TopicStats};
 use ishare_obs::{ExecCounts, ObsConfig, ObsReport, Span, SpanKind, TraceBuffer};
 use ishare_plan::{InputSource, SharedPlan};
@@ -75,7 +75,7 @@ pub(crate) fn setup_engine(
     plan: &SharedPlan,
     catalog: &Catalog,
     weights: CostWeights,
-    mode: ExecMode,
+    options: ExecOptions,
 ) -> Result<EngineState> {
     let schemas = plan.schemas(catalog)?;
     let mut base_buffers: HashMap<TableId, DeltaBuffer> = HashMap::new();
@@ -89,7 +89,7 @@ pub(crate) fn setup_engine(
     let mut leaf_consumers: Vec<Vec<(Vec<usize>, InputSource, ConsumerId)>> =
         Vec::with_capacity(plan.len());
     for sp in &plan.subplans {
-        let ex = SubplanExecutor::new_with_mode(sp, catalog, &schemas, weights, mode)?;
+        let ex = SubplanExecutor::new_with_options(sp, catalog, &schemas, weights, options)?;
         let mut regs = Vec::new();
         for (path, src) in ex.leaf_paths() {
             let consumer = match src {
@@ -331,6 +331,17 @@ pub(crate) fn buffer_gauges(
     }
 }
 
+/// Record end-of-run partition-exchange gauges (per-partition routed rows
+/// and charged work, plus a max/mean skew ratio per subplan) into an
+/// [`ObsReport`]'s registry. No-op for unpartitioned executors.
+pub(crate) fn partition_gauges(report: &mut ObsReport, executors: &[SubplanExecutor]) {
+    for (i, ex) in executors.iter().enumerate() {
+        let stats: Vec<(u64, f64)> =
+            ex.partition_stats().iter().map(|s| (s.rows, s.work)).collect();
+        ishare_obs::record_partition_gauges(&mut report.metrics, i, &stats);
+    }
+}
+
 /// Record end-of-run ingest gauges (per-partition ring high-water marks,
 /// producer stall ticks, consumer lag, delivered cuts) into an
 /// [`ObsReport`]'s registry.
@@ -409,6 +420,27 @@ pub struct SourceOptions {
     /// operators — bit-identical results and work, used as the differential
     /// oracle by the kernel-equivalence suites.
     pub mode: ExecMode,
+    /// Hash-partition every join/aggregate's state into this many partitions
+    /// (intra-subplan data parallelism; see DESIGN.md §12). `0` and `1` both
+    /// mean unpartitioned. Only effective on the kernel datapath —
+    /// [`ExecMode::Reference`] ignores it and stays the oracle. Results and
+    /// every measured work number are bit-identical at any partition count.
+    pub partitions: usize,
+    /// Worker threads per partitioned operator execution (`0`/`1` =
+    /// single-threaded exchange). Purely a wall-clock knob: the thread count
+    /// never affects routing, merge order, or charged work.
+    pub partition_threads: usize,
+}
+
+impl SourceOptions {
+    /// The exec-layer options this run configures.
+    pub(crate) fn exec_options(&self) -> ExecOptions {
+        ExecOptions {
+            mode: self.mode,
+            partitions: self.partitions.max(1),
+            partition_threads: self.partition_threads.max(1),
+        }
+    }
 }
 
 /// What a source-fed run produced.
@@ -549,6 +581,49 @@ pub fn execute_planned_deltas_reference(
     .into_result()
 }
 
+/// [`execute_planned_deltas`] with intra-subplan data parallelism: every
+/// join and aggregate's state is hash-partitioned into `partitions` parts
+/// over the operator's encoded key (DESIGN.md §12). Results, work totals,
+/// and every per-query number are bit-identical to the unpartitioned run at
+/// any partition count; `partitions <= 1` is exactly the unpartitioned path.
+pub fn execute_planned_deltas_partitioned(
+    plan: &SharedPlan,
+    paces: &[u32],
+    catalog: &Catalog,
+    data: &HashMap<TableId, Vec<(Row, i64)>>,
+    weights: CostWeights,
+    partitions: usize,
+) -> Result<RunResult> {
+    execute_planned_deltas_partitioned_obs(plan, paces, catalog, data, weights, partitions, 1, None)
+}
+
+/// [`execute_planned_deltas_partitioned`] with a worker-thread count for the
+/// partitioned operators and opt-in observability. `partition_threads` is a
+/// wall-clock knob only; when `obs` is set the report carries per-partition
+/// `partition.sp*.p*.rows`/`.work` gauges and a `partition.sp*.skew` ratio.
+#[allow(clippy::too_many_arguments)]
+pub fn execute_planned_deltas_partitioned_obs(
+    plan: &SharedPlan,
+    paces: &[u32],
+    catalog: &Catalog,
+    data: &HashMap<TableId, Vec<(Row, i64)>>,
+    weights: CostWeights,
+    partitions: usize,
+    partition_threads: usize,
+    obs: Option<ObsConfig>,
+) -> Result<RunResult> {
+    let mut source = Source::in_order(data);
+    execute_from_source_obs(
+        plan,
+        paces,
+        catalog,
+        &mut source,
+        weights,
+        SourceOptions { obs, partitions, partition_threads, ..Default::default() },
+    )?
+    .into_result()
+}
+
 /// [`execute_planned_deltas`] with opt-in observability: when `obs` is set
 /// the returned [`RunResult::obs`] carries the per-subplan work breakdown,
 /// metrics, and tick/wavefront span trace. Instrumentation is passive (it
@@ -636,7 +711,7 @@ fn run_from_source(
         mut sp_buffers,
         mut executors,
         leaf_consumers,
-    } = setup_engine(plan, catalog, weights, opts.mode)?;
+    } = setup_engine(plan, catalog, weights, opts.exec_options())?;
 
     // Run, one wavefront (= one arrival fraction) at a time. Ticks still
     // execute in global schedule order; grouping by front lets the driver
@@ -728,6 +803,7 @@ fn run_from_source(
     let mut obs_report = folded.obs;
     if let Some(report) = obs_report.as_mut() {
         buffer_gauges(report, &base_buffers, &sp_buffers);
+        partition_gauges(report, &executors);
         ingest_gauges(report, &source.stats());
         if let Some(ctrl) = adapt.as_deref() {
             adapt_gauges(report, ctrl);

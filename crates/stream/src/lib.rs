@@ -55,15 +55,17 @@ pub mod schedule;
 
 pub use driver::{
     execute_adaptive_from_source_obs, execute_from_source_obs, execute_planned,
-    execute_planned_deltas, execute_planned_deltas_obs, execute_planned_deltas_reference,
-    execute_planned_obs, RunResult, SourceOptions, SourceOutcome,
+    execute_planned_deltas, execute_planned_deltas_obs, execute_planned_deltas_partitioned,
+    execute_planned_deltas_partitioned_obs, execute_planned_deltas_reference, execute_planned_obs,
+    RunResult, SourceOptions, SourceOutcome,
 };
-pub use ishare_exec::ExecMode;
+pub use ishare_exec::{ExecMode, ExecOptions};
 pub use ishare_ingest::{CommitLog, Source, SourceConfig};
 pub use ishare_obs::{ExecCounts, ObsConfig, ObsReport};
 pub use measure::{missed_latency_stats, MissedLatencyStats};
 pub use parallel::{
     execute_adaptive_from_source_parallel_obs, execute_from_source_parallel_obs,
-    execute_planned_deltas_parallel, execute_planned_deltas_parallel_obs, execute_planned_parallel,
+    execute_planned_deltas_parallel, execute_planned_deltas_parallel_obs,
+    execute_planned_deltas_parallel_partitioned_obs, execute_planned_parallel,
     execute_planned_parallel_obs,
 };

@@ -32,8 +32,8 @@
 
 use crate::driver::{
     adapt_gauges, buffer_gauges, commit_wavefront, feed_from_source, fold_run, ingest_gauges,
-    insert_feeds, per_query_views, setup_engine, wavefront_observation, EngineState, FrontRec,
-    RunResult, SourceOptions, SourceOutcome, TickRec,
+    insert_feeds, partition_gauges, per_query_views, setup_engine, wavefront_observation,
+    EngineState, FrontRec, RunResult, SourceOptions, SourceOutcome, TickRec,
 };
 use crate::schedule::{build_schedule, depth_levels, front_at, reschedule_after, Tick};
 use ishare_common::{
@@ -120,6 +120,38 @@ pub fn execute_planned_deltas_parallel_obs(
     .into_result()
 }
 
+/// [`execute_planned_deltas_parallel_obs`] with intra-subplan data
+/// parallelism stacked on top of inter-subplan parallelism: independent
+/// subplans of a wavefront run on `threads` workers, and inside each tick
+/// every join/aggregate's state is hash-partitioned into `partitions` parts
+/// executed by `partition_threads` workers (DESIGN.md §12). Bit-identical to
+/// the sequential unpartitioned driver for any combination of the three
+/// knobs.
+#[allow(clippy::too_many_arguments)]
+pub fn execute_planned_deltas_parallel_partitioned_obs(
+    plan: &SharedPlan,
+    paces: &[u32],
+    catalog: &Catalog,
+    data: &HashMap<TableId, Vec<(Row, i64)>>,
+    weights: CostWeights,
+    threads: usize,
+    partitions: usize,
+    partition_threads: usize,
+    obs: Option<ObsConfig>,
+) -> Result<RunResult> {
+    let mut source = Source::in_order(data);
+    execute_from_source_parallel_obs(
+        plan,
+        paces,
+        catalog,
+        &mut source,
+        weights,
+        threads,
+        SourceOptions { obs, partitions, partition_threads, ..Default::default() },
+    )?
+    .into_result()
+}
+
 /// Parallel twin of [`crate::driver::execute_from_source_obs`]: pulls input
 /// from an ingest [`Source`], executes independent subplans of each
 /// wavefront on `threads` workers, and commits consumed offsets at every
@@ -175,7 +207,7 @@ fn run_from_source_parallel(
     let all_queries = plan.queries();
     let depths = plan.depths();
     let EngineState { base_buffers, base_tables, sp_buffers, executors, leaf_consumers } =
-        setup_engine(plan, catalog, weights, opts.mode)?;
+        setup_engine(plan, catalog, weights, opts.exec_options())?;
     // Shared-state wrappers. Plain `Mutex` (not `RwLock`): every buffer
     // access — even a read — advances a consumer cursor via `pull(&mut)`.
     let mut base_buffers: HashMap<TableId, Mutex<DeltaBuffer>> =
@@ -340,9 +372,12 @@ fn run_from_source_parallel(
         .collect();
     let sp_buffers: Vec<DeltaBuffer> =
         sp_buffers.into_iter().map(|m| m.into_inner().expect("buffer lock poisoned")).collect();
+    let executors: Vec<SubplanExecutor> =
+        executors.into_iter().map(|m| m.into_inner().expect("executor lock poisoned")).collect();
     let mut obs_report = folded.obs;
     if let Some(report) = obs_report.as_mut() {
         buffer_gauges(report, &base_buffers, &sp_buffers);
+        partition_gauges(report, &executors);
         ingest_gauges(report, &source.stats());
         if let Some(ctrl) = adapt.as_deref() {
             adapt_gauges(report, ctrl);

@@ -333,6 +333,72 @@ fn tpch_source_fed_matches_vec_fed_with_kill_resume() {
     assert_eq!(reference.executions, resumed.executions);
 }
 
+/// Kill/resume with intra-subplan data parallelism on (DESIGN.md §12): the
+/// exchange rebuilds hash-partitioned operator state deterministically from
+/// the replayed deltas, so a run killed at a wavefront boundary and resumed
+/// against its commit log at 2/4 partitions — through the jittered source,
+/// on the parallel driver — must land bit-exactly on the unpartitioned
+/// Vec-fed run's numbers.
+#[test]
+fn partitioned_kill_resume_replays_bit_exact() {
+    let c = catalog();
+    let plan = build_plan(&c, 3, &[50, 90, 30, 70], &[0, 2, 3, 1]);
+    let t = c.table_by_name("t").unwrap().id;
+    let spec: Vec<(i64, i64, bool)> = (0..50).map(|i| (i % 5, i * 17 % 100, i % 6 == 4)).collect();
+    let feeds: HashMap<TableId, Vec<(Row, i64)>> = [(t, build_feed(&spec))].into_iter().collect();
+    let paces = vec![3u32; plan.len()];
+    let cfg = SourceConfig { partitions: 3, capacity: 32, jitter: 7, seed: 13 };
+
+    let reference =
+        execute_planned_deltas(&plan, &paces, &c, &feeds, CostWeights::default()).unwrap();
+
+    for exec_partitions in [2usize, 4] {
+        let popts = SourceOptions {
+            partitions: exec_partitions,
+            partition_threads: 2,
+            ..Default::default()
+        };
+        let label = format!("exec partitions={exec_partitions}");
+
+        // Uninterrupted source-fed partitioned run on the parallel driver.
+        let SourceOutcome::Completed { result: full, log } =
+            run_from_source(&plan, &paces, &c, &feeds, cfg, 2, popts.clone())
+        else {
+            panic!("{label}: uninterrupted run must complete");
+        };
+        assert_bit_identical(&reference, &full, &label).unwrap();
+
+        // Kill after wavefront 2, rebuild, replay under verification.
+        let killed = run_from_source(
+            &plan,
+            &paces,
+            &c,
+            &feeds,
+            cfg,
+            2,
+            SourceOptions { stop_after: Some(2), ..popts.clone() },
+        );
+        let SourceOutcome::Suspended { log: partial } = killed else {
+            panic!("{label}: stop_after 2 must suspend");
+        };
+        assert_eq!(partial.len(), 2, "{label}: commit log cut at the stop");
+        let resumed = run_from_source(
+            &plan,
+            &paces,
+            &c,
+            &feeds,
+            cfg,
+            2,
+            SourceOptions { verify: Some(partial), ..popts },
+        );
+        let SourceOutcome::Completed { result: resumed, log: resumed_log } = resumed else {
+            panic!("{label}: resume must complete");
+        };
+        assert_bit_identical(&reference, &resumed, &format!("{label} resumed")).unwrap();
+        assert_eq!(resumed_log.entries, log.entries, "{label}: commit logs agree");
+    }
+}
+
 /// A tampered commit log must make the replay fail loudly instead of
 /// silently diverging.
 #[test]

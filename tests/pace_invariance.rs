@@ -6,8 +6,11 @@
 //! current extremum gets deleted mid-stream (the rescan-on-delete path of
 //! the engine, Sec. 2.3).
 
-use ishare::stream::{execute_planned_deltas, execute_planned_deltas_obs, ObsConfig};
-use ishare_common::{CostWeights, DataType, QueryId, QuerySet, TableId, Value};
+use ishare::stream::{
+    execute_planned_deltas, execute_planned_deltas_obs, execute_planned_deltas_partitioned_obs,
+    ObsConfig,
+};
+use ishare_common::{CostWeights, DataType, OpKind, QueryId, QuerySet, TableId, Value};
 use ishare_expr::Expr;
 use ishare_plan::{AggExpr, AggFunc, DagOp, SelectBranch, SharedDag, SharedPlan};
 use ishare_storage::{Catalog, Field, Row, Schema, TableStats};
@@ -158,5 +161,35 @@ proptest! {
             report.breakdown_total(),
             total
         );
+
+        // Partitioned execution splits each operator's charges across the
+        // exchange; the dyadic cost weights make the split sum *exactly* —
+        // every per-subplan, per-kind breakdown cell is bitwise-equal to the
+        // unpartitioned run's, not just the flat total.
+        let part = execute_planned_deltas_partitioned_obs(
+            &plan, paces, &c, &data, CostWeights::default(), 4, 1, Some(ObsConfig::default()),
+        )
+        .unwrap();
+        prop_assert_eq!(
+            obs.total_work.get().to_bits(),
+            part.total_work.get().to_bits(),
+            "partitioned total_work not bit-identical"
+        );
+        let part_report = part.obs.as_ref().expect("obs requested");
+        for (sp, (a, b)) in
+            report.work_by_subplan.iter().zip(&part_report.work_by_subplan).enumerate()
+        {
+            for kind in OpKind::ALL {
+                prop_assert_eq!(
+                    a.get(kind).to_bits(),
+                    b.get(kind).to_bits(),
+                    "sp{} {:?}: partitioned charge {} != unpartitioned {}",
+                    sp,
+                    kind,
+                    b.get(kind),
+                    a.get(kind)
+                );
+            }
+        }
     }
 }
