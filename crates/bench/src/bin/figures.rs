@@ -11,13 +11,16 @@
 //! (datapath kernels vs reference operators → `BENCH_kernels.json`),
 //! adapt (static vs adaptive paces under statistics drift →
 //! `BENCH_adapt.json`), partition (intra-subplan partition scaling →
-//! `BENCH_partition.json`), all.
+//! `BENCH_partition.json`), obs (observability overhead gate →
+//! `BENCH_obs.json`, fails above 5% overhead), all.
 //!
 //! Options: `--sf <f64>`, `--seed <u64>`, `--max-pace <u32>`,
 //! `--random-sets <n>`, `--dnf-secs <n>`, `--trace-out <path>`,
 //! `--metrics-out <path>` (the latter two apply to `scaling`: the widest
 //! thread-count run is re-executed with observability enabled and its
-//! Chrome trace / metrics snapshot written as JSON), `--ingest` (the
+//! Chrome trace / metrics snapshot written as JSON; a `--metrics-out` path
+//! ending in `.prom` writes the Prometheus text exposition instead),
+//! `--ingest` (the
 //! scaling experiment pulls input through the ingest subsystem instead of
 //! pre-materialized feeds), `--jitter <n>` (arrival jitter for `--ingest`).
 
@@ -89,6 +92,7 @@ fn main() {
             "kernels" => experiments::kernel_bench(params),
             "adapt" => experiments::adapt(params),
             "partition" => experiments::partition(params),
+            "obs" => experiments::obs_overhead(params),
             other => {
                 eprintln!("unknown experiment `{other}`");
                 std::process::exit(2);
@@ -115,6 +119,7 @@ fn main() {
             "kernels",
             "adapt",
             "partition",
+            "obs",
         ] {
             run(name, &params);
         }

@@ -2,17 +2,21 @@
 //! --metrics-out` or `examples/quickstart --trace-out --metrics-out`.
 //!
 //! ```text
-//! cargo run -p ishare-bench --bin validate_obs -- trace.json metrics.json
+//! cargo run -p ishare-bench --bin validate_obs -- trace.json metrics.json [metrics.prom]
 //! ```
 //!
 //! Checks, in order:
 //!
 //! * both files parse as JSON through the vendored `serde_json` stub,
 //! * the trace has a non-empty `traceEvents` array whose events carry valid
-//!   `ph`/`ts`/`dur` fields (`ph: "X"` spans, `ph: "M"` metadata only),
+//!   `ph`/`ts`/`dur` fields (`ph: "X"` spans, `ph: "M"` metadata, `ph: "C"`
+//!   slack counters only),
 //! * spans on the same `tid` (worker track) do not overlap,
 //! * the metrics report's `breakdown_total` and the sum of its per-kind
-//!   entries both match `total_work` within 1e-6 relative error.
+//!   entries both match `total_work` within 1e-6 relative error,
+//! * with a third argument: the file is a well-formed Prometheus text
+//!   exposition (`ishare_`-prefixed families, every sample line numeric,
+//!   every family preceded by a `# TYPE` header).
 //!
 //! Exits 0 if everything holds, 1 with a message otherwise — this is the CI
 //! smoke gate for the observability layer.
@@ -51,6 +55,17 @@ fn validate_trace(path: &str) -> usize {
             .unwrap_or_else(|| fail(&format!("{path}: event {i} has no `ph`")));
         match ph {
             "M" => continue,
+            "C" => {
+                // Counter events (slack tracks) carry ts + numeric args only.
+                let ts = ev
+                    .get("ts")
+                    .and_then(|v| v.as_i64())
+                    .unwrap_or_else(|| fail(&format!("{path}: counter event {i} lacks `ts`")));
+                if ts < 0 {
+                    fail(&format!("{path}: counter event {i} has negative ts"));
+                }
+                continue;
+            }
             "X" => {}
             other => fail(&format!("{path}: event {i} has unexpected ph {other:?}")),
         }
@@ -118,13 +133,76 @@ fn validate_metrics(path: &str) -> f64 {
     total
 }
 
+/// A Prometheus 0.0.4 text exposition: `# TYPE` headers, `ishare_`-prefixed
+/// families, numeric sample values. Returns the sample-line count.
+fn validate_prom(path: &str) -> usize {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+    let mut typed: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+    let mut samples = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let (Some(name), Some(kind)) = (parts.next(), parts.next()) else {
+                fail(&format!("{path}:{}: malformed TYPE header", i + 1));
+            };
+            if !matches!(kind, "counter" | "gauge" | "histogram") {
+                fail(&format!("{path}:{}: unknown metric type {kind:?}", i + 1));
+            }
+            typed.insert(name.to_string());
+            continue;
+        }
+        if line.starts_with('#') {
+            continue;
+        }
+        let Some((name_and_labels, value)) = line.rsplit_once(' ') else {
+            fail(&format!("{path}:{}: sample line has no value", i + 1));
+        };
+        let name = name_and_labels.split('{').next().unwrap_or(name_and_labels);
+        if !name.starts_with("ishare_") {
+            fail(&format!("{path}:{}: family {name:?} lacks the ishare_ prefix", i + 1));
+        }
+        // Histogram series (`_bucket`/`_sum`/`_count`) belong to the base
+        // family's TYPE header.
+        let base = name
+            .strip_suffix("_bucket")
+            .or_else(|| name.strip_suffix("_sum"))
+            .or_else(|| name.strip_suffix("_count"))
+            .filter(|b| typed.contains(*b))
+            .unwrap_or(name);
+        if !typed.contains(base) {
+            fail(&format!("{path}:{}: sample {name:?} has no preceding TYPE header", i + 1));
+        }
+        if value.parse::<f64>().is_err() && !matches!(value, "+Inf" | "-Inf" | "NaN") {
+            fail(&format!("{path}:{}: non-numeric sample value {value:?}", i + 1));
+        }
+        samples += 1;
+    }
+    if samples == 0 {
+        fail(&format!("{path}: no sample lines"));
+    }
+    samples
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let [trace_path, metrics_path] = args.as_slice() else {
-        eprintln!("usage: validate_obs <trace.json> <metrics.json>");
-        std::process::exit(2);
+    let (trace_path, metrics_path, prom_path) = match args.as_slice() {
+        [t, m] => (t, m, None),
+        [t, m, p] => (t, m, Some(p)),
+        _ => {
+            eprintln!("usage: validate_obs <trace.json> <metrics.json> [metrics.prom]");
+            std::process::exit(2);
+        }
     };
     let spans = validate_trace(trace_path);
     let total = validate_metrics(metrics_path);
-    println!("validate_obs: OK — {spans} spans, total work {total}");
+    if let Some(p) = prom_path {
+        let samples = validate_prom(p);
+        println!("validate_obs: OK — {spans} spans, total work {total}, {samples} prom samples");
+    } else {
+        println!("validate_obs: OK — {spans} spans, total work {total}");
+    }
 }

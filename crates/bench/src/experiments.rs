@@ -718,7 +718,7 @@ pub fn parallel_scaling(p: &Params) -> Result<()> {
             write_json_file(path, &report.chrome_trace())?;
         }
         if let Some(path) = &p.metrics_out {
-            write_json_file(path, &report.metrics_json())?;
+            crate::harness::write_metrics_file(path, &report)?;
         }
     }
     Ok(())
@@ -1348,5 +1348,146 @@ pub fn partition(p: &Params) -> Result<()> {
                      Wall-clock is honest and limited by available_cores.",
         }),
     );
+    Ok(())
+}
+
+/// Observability overhead gate: the instrumentation (metrics registry, span
+/// trace, slack ledger) must stay effectively free, because the whole design
+/// is fold-after-execute — nothing runs on the hot path. Executes the
+/// 10-query `scaling` workload source-fed with obs fully off and fully on
+/// (metrics + tick/wavefront/operator spans + SLO slack ledger), REPS
+/// repetitions each interleaved, compares min-of-reps end-to-end wall
+/// clock, and fails when the obs-on overhead exceeds the gate (5% by
+/// default; `ISHARE_OBS_GATE_PCT` overrides for noisy machines). Work
+/// numbers are asserted bit-identical between the modes — observability can
+/// cost (bounded) time but never changes a measured quantity. Writes
+/// `results/BENCH_obs.json`.
+pub fn obs_overhead(p: &Params) -> Result<()> {
+    use ishare_stream::{execute_from_source_obs, ObsConfig, RunResult, Source, SourceOptions};
+
+    let env = Env::new(p.sf, p.seed)?;
+    let queries = named_ten(&env)?;
+    let workload = Workload::uniform("obs-overhead", queries, 0.2);
+    let (planner_queries, cons) = {
+        let queries: Vec<(QueryId, LogicalPlan)> = workload
+            .queries
+            .iter()
+            .enumerate()
+            .map(|(i, (_, plan))| (QueryId(i as u16), plan.clone()))
+            .collect();
+        let cons: BTreeMap<QueryId, FinalWorkConstraint> = workload
+            .rel_constraints
+            .iter()
+            .enumerate()
+            .map(|(i, &f)| (QueryId(i as u16), FinalWorkConstraint::Relative(f)))
+            .collect();
+        (queries, cons)
+    };
+    let planned =
+        plan_workload(Approach::IShare, &planner_queries, &cons, &env.data.catalog, &opts(p))?;
+    let feeds: std::collections::HashMap<_, Vec<_>> = env
+        .data
+        .data
+        .iter()
+        .map(|(t, rows)| (*t, rows.iter().map(|r| (r.clone(), 1i64)).collect()))
+        .collect();
+    let w = CostWeights::default();
+
+    let run_once = |opts: SourceOptions| -> Result<RunResult> {
+        let mut source = Source::in_order(&feeds);
+        execute_from_source_obs(
+            &planned.plan,
+            planned.paces.as_slice(),
+            &env.data.catalog,
+            &mut source,
+            w,
+            opts,
+        )?
+        .into_result()
+    };
+    let obs_opts = || SourceOptions {
+        obs: Some(ObsConfig::default()),
+        slo: Some(planned.constraints.clone()),
+        ..Default::default()
+    };
+
+    // Interleave off/on reps so machine-load drift hits both modes alike;
+    // min-of-reps is the noise-robust statistic every experiment here uses.
+    const REPS: usize = 5;
+    let mut off_secs = f64::INFINITY;
+    let mut on_secs = f64::INFINITY;
+    let mut off_run: Option<RunResult> = None;
+    let mut on_run: Option<RunResult> = None;
+    for _ in 0..REPS {
+        let off = run_once(SourceOptions::default())?;
+        off_secs = off_secs.min(off.elapsed.as_secs_f64());
+        off_run = Some(off);
+        let on = run_once(obs_opts())?;
+        on_secs = on_secs.min(on.elapsed.as_secs_f64());
+        on_run = Some(on);
+    }
+    let (off_run, on_run) = (off_run.expect("reps > 0"), on_run.expect("reps > 0"));
+
+    // Observability is passive: every measured number must be bit-identical.
+    assert_eq!(
+        off_run.total_work.get().to_bits(),
+        on_run.total_work.get().to_bits(),
+        "obs-on run changed measured total work"
+    );
+    for (q, work) in &off_run.final_work {
+        assert_eq!(
+            work.to_bits(),
+            on_run.final_work[q].to_bits(),
+            "obs-on run changed final work of q{}",
+            q.0
+        );
+    }
+
+    let report = on_run.obs.as_ref().expect("obs was enabled");
+    let ledger = report.slack.as_ref().expect("slo budgets were set");
+    ledger.verify().map_err(ishare_common::Error::InvalidConfig)?;
+    let overhead_pct = (on_secs - off_secs) / off_secs * 100.0;
+    let gate_pct = std::env::var("ISHARE_OBS_GATE_PCT")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(5.0);
+
+    print_table(
+        &format!("Observability overhead — sf {}, seed {}, {REPS} reps", p.sf, p.seed),
+        &["mode", "min elapsed s", "spans", "slack fronts"],
+        &[
+            vec!["obs off".into(), format!("{off_secs:.4}"), "0".into(), "0".into()],
+            vec![
+                "obs on".into(),
+                format!("{on_secs:.4}"),
+                format!("{}", report.trace.spans().len() + report.trace.aux_spans().len()),
+                format!("{}", ledger.fronts()),
+            ],
+        ],
+    );
+    println!("obs overhead: {overhead_pct:.2}% (gate {gate_pct}%)");
+
+    save_json(
+        "BENCH_obs",
+        &serde_json::json!({
+            "sf": p.sf,
+            "seed": p.seed,
+            "reps": REPS as u64,
+            "off_elapsed_secs_min": off_secs,
+            "on_elapsed_secs_min": on_secs,
+            "overhead_pct": overhead_pct,
+            "gate_pct": gate_pct,
+            "total_work_bits": format!("{:016x}", on_run.total_work.get().to_bits()),
+            "spans": (report.trace.spans().len() + report.trace.aux_spans().len()) as u64,
+            "slack_fronts": ledger.fronts() as u64,
+            "deadline_misses": ledger.misses() as u64,
+        }),
+    );
+    if overhead_pct > gate_pct {
+        return Err(ishare_common::Error::InvalidConfig(format!(
+            "observability overhead {overhead_pct:.2}% exceeds the {gate_pct}% gate \
+             (obs off {off_secs:.4}s, obs on {on_secs:.4}s)"
+        )));
+    }
     Ok(())
 }

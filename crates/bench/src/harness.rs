@@ -298,6 +298,28 @@ pub fn write_json_file(path: &std::path::Path, value: &serde_json::Value) -> Res
     Ok(())
 }
 
+/// Write an [`ObsReport`]'s metrics snapshot to `path`. A `.prom` extension
+/// selects the Prometheus text exposition (`ishare_*` families, 0.0.4 text
+/// format); anything else gets the JSON document `--metrics-out` has always
+/// written.
+pub fn write_metrics_file(path: &std::path::Path, report: &ObsReport) -> Result<()> {
+    if path.extension().and_then(|e| e.to_str()) == Some("prom") {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent).map_err(|e| {
+                    ishare_common::Error::InvalidConfig(format!("mkdir {parent:?}: {e}"))
+                })?;
+            }
+        }
+        std::fs::write(path, report.prometheus())
+            .map_err(|e| ishare_common::Error::InvalidConfig(format!("write {path:?}: {e}")))?;
+        println!("[saved {}]", path.display());
+        Ok(())
+    } else {
+        write_json_file(path, &report.metrics_json())
+    }
+}
+
 /// Print an aligned table.
 pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     println!("\n== {title} ==");

@@ -159,6 +159,23 @@ pub struct PaceSwitch {
     pub steps: usize,
 }
 
+/// Residual budgets the controller computed at one observed wavefront:
+/// `R(q) = headroom · max(0, L(q) − charged_final(q))`, recorded for *every*
+/// observation (including final fronts and fronts that did not trigger).
+/// Purely deterministic, so the observability layer's slack ledger can be
+/// checked `to_bits`-equal against it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrontResiduals {
+    /// Zero-based wavefront index of the observation.
+    pub wavefront: usize,
+    /// Arrival fraction numerator at the observation.
+    pub num: u32,
+    /// Arrival fraction denominator at the observation.
+    pub den: u32,
+    /// Residual budget per query.
+    pub residuals: ConstraintMap,
+}
+
 /// Counters and gauges the controller accumulates; surfaced as `adapt.*`
 /// metrics by the observability layer.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -187,6 +204,7 @@ pub struct AdaptController {
     armed: bool,
     cooldown: usize,
     switches: Vec<PaceSwitch>,
+    residual_log: Vec<FrontResiduals>,
     metrics: AdaptMetrics,
 }
 
@@ -220,6 +238,7 @@ impl AdaptController {
             armed: true,
             cooldown: 0,
             switches: Vec::new(),
+            residual_log: Vec::new(),
             metrics: AdaptMetrics::default(),
         })
     }
@@ -254,6 +273,12 @@ impl AdaptController {
     /// The recorded switch log, in trigger order.
     pub fn switches(&self) -> &[PaceSwitch] {
         &self.switches
+    }
+
+    /// Residual budgets computed for every observed wavefront, in
+    /// observation order (one entry per [`observe`](Self::observe) call).
+    pub fn residual_log(&self) -> &[FrontResiduals] {
+        &self.residual_log
     }
 
     /// Accumulated counters and gauges.
@@ -298,6 +323,12 @@ impl AdaptController {
     /// the switch sequence is a deterministic function of the stream.
     pub fn observe(&mut self, obs: &WavefrontObservation) -> Result<Option<Vec<u32>>> {
         self.metrics.evaluations += 1;
+        self.residual_log.push(FrontResiduals {
+            wavefront: obs.wavefront,
+            num: obs.num,
+            den: obs.den,
+            residuals: self.residual_constraints(&obs.charged_final),
+        });
         if obs.num == obs.den {
             // Final wavefront: nothing left to reschedule.
             return Ok(None);
@@ -563,6 +594,33 @@ mod tests {
         // Over-charged budgets clamp at zero rather than going negative.
         let over: BTreeMap<QueryId, f64> = [(QueryId(0), l * 2.0)].into_iter().collect();
         assert_eq!(ctrl.residual_constraints(&over)[&QueryId(0)], 0.0);
+    }
+
+    #[test]
+    fn residual_log_records_every_observation() {
+        let opts = AdaptOptions { headroom: 1.0, ..AdaptOptions::disabled() };
+        let (mut ctrl, _, t) = planned_controller(0.4, opts);
+        let l = *ctrl.constraints().values().next().unwrap();
+        for wf in 0..3 {
+            let mut obs = drifted_obs(t, 1.0);
+            obs.wavefront = wf;
+            obs.charged_final = [(QueryId(0), l * 0.1 * wf as f64)].into_iter().collect();
+            if wf == 2 {
+                // Final front: early-returns, but must still be logged.
+                obs.num = 4;
+                obs.den = 4;
+            }
+            ctrl.observe(&obs).unwrap();
+        }
+        let log = ctrl.residual_log();
+        assert_eq!(log.len(), 3);
+        for (wf, entry) in log.iter().enumerate() {
+            assert_eq!(entry.wavefront, wf);
+            let want = (l - l * 0.1 * wf as f64).max(0.0);
+            assert_eq!(entry.residuals[&QueryId(0)].to_bits(), want.to_bits());
+        }
+        assert_eq!(log[2].num, 4);
+        assert_eq!(log[2].den, 4);
     }
 
     #[test]

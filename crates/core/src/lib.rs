@@ -41,7 +41,8 @@ pub mod pace;
 pub mod pace_search;
 
 pub use adapt::{
-    AdaptController, AdaptMetrics, AdaptOptions, ObservedTable, PaceSwitch, WavefrontObservation,
+    AdaptController, AdaptMetrics, AdaptOptions, FrontResiduals, ObservedTable, PaceSwitch,
+    WavefrontObservation,
 };
 pub use baselines::{plan_workload, Approach, PlannedExecution, PlanningOptions};
 pub use constraint::{resolve_constraints, ConstraintMap, FinalWorkConstraint};

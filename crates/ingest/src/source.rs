@@ -64,6 +64,13 @@ pub struct TopicStats {
     pub stall_ticks: u64,
     /// Records currently held in the consumer's reorder buffer.
     pub reorder_buffered: usize,
+    /// Peak reorder-buffer occupancy over the run — how far out-of-order
+    /// the jittered arrivals actually got before the watermark released
+    /// them (0 means perfectly in-order delivery).
+    pub reorder_high_water: usize,
+    /// Driver polls answered (`advance_to` calls), a deterministic count:
+    /// one per wavefront per topic, however the run is threaded or resumed.
+    pub polls: u64,
     /// Per-partition gauges.
     pub partitions: Vec<PartitionStats>,
 }
@@ -86,6 +93,8 @@ struct TopicState {
     /// been handed to the driver, in event-time order.
     delivered: u64,
     stall_ticks: u64,
+    reorder_high_water: usize,
+    polls: u64,
 }
 
 impl TopicState {
@@ -110,6 +119,8 @@ impl TopicState {
             pending: BTreeMap::new(),
             delivered: 0,
             stall_ticks: 0,
+            reorder_high_water: 0,
+            polls: 0,
         })
     }
 
@@ -120,6 +131,7 @@ impl TopicState {
     /// Pump, drain, and release until every row with event time below
     /// `num/den · total` has been handed to `sink`, in event-time order.
     fn advance_to(&mut self, num: u32, den: u32, mut sink: impl FnMut(Row, i64)) -> Result<()> {
+        self.polls += 1;
         let target = (num as u64 * self.total()) / den as u64;
         let mut drained: Vec<Record> = Vec::new();
         while self.delivered < target {
@@ -146,6 +158,7 @@ impl TopicState {
             for rec in drained.drain(..) {
                 self.pending.insert(rec.seq, (rec.row, rec.weight));
             }
+            self.reorder_high_water = self.reorder_high_water.max(self.pending.len());
 
             // Release: hand over everything below both the safe frontier
             // (all partitions agree it has fully arrived) and the cut.
@@ -177,6 +190,8 @@ impl TopicState {
             delivered: self.delivered,
             stall_ticks: self.stall_ticks,
             reorder_buffered: self.pending.len(),
+            reorder_high_water: self.reorder_high_water,
+            polls: self.polls,
             partitions: self
                 .topic
                 .partitions()

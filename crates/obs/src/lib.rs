@@ -1,9 +1,11 @@
 //! # ishare-obs
 //!
 //! Zero-dependency observability for the iShare engine: a metrics registry
-//! ([`MetricsRegistry`]), a bounded tick/wavefront span trace with Chrome
-//! `trace_event` export ([`TraceBuffer`]), and the per-run bundle the drivers
-//! hand back ([`ObsReport`]).
+//! ([`MetricsRegistry`]) with Prometheus text exposition ([`prometheus_text`]),
+//! a bounded span trace — wavefront/tick spans plus operator, ingest-poll,
+//! and adapt re-search aux spans — with Chrome `trace_event` export
+//! ([`TraceBuffer`]), the per-query slack ledger ([`SlackLedger`]), and the
+//! per-run bundle the drivers hand back ([`ObsReport`]).
 //!
 //! ## Design constraints
 //!
@@ -22,9 +24,15 @@
 #![warn(missing_docs)]
 
 pub mod metrics;
+pub mod prom;
 pub mod report;
+pub mod slack;
+pub mod span;
 pub mod trace;
 
 pub use metrics::{record_partition_gauges, Histogram, MetricsRegistry, DEFAULT_BUCKETS};
+pub use prom::{prom_name, prometheus_text};
 pub use report::{ExecCounts, ObsConfig, ObsReport};
+pub use slack::{FrontCharge, QuerySlack, SlackLedger, SlackSample};
+pub use span::{AuxKind, AuxSpan, SlackPoint, ADAPT_TID, INGEST_TID, OP_TID_BASE};
 pub use trace::{Span, SpanKind, TraceBuffer, WAVEFRONT_TID};

@@ -90,6 +90,67 @@ impl Histogram {
         }
     }
 
+    /// Bucket upper bounds (the overflow bucket has no bound).
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts; the final entry is the overflow bucket, so
+    /// `bucket_counts().len() == bounds().len() + 1`.
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Estimate the `q`-quantile (`q` in `[0, 1]`, clamped) by linear
+    /// interpolation within the covering bucket, clamped to the observed
+    /// `[min, max]` range.
+    ///
+    /// Edge cases are exact rather than interpolated: an empty histogram
+    /// returns 0, a single sample returns that sample for every `q`, `q = 0`
+    /// returns the minimum, and `q = 1` (p100) returns the maximum —
+    /// interpolation can neither undershoot the smallest observation nor
+    /// overshoot the largest (the overflow bucket has no upper bound, so it
+    /// reports the observed maximum).
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        if self.count == 1 {
+            // min == max == the one sample.
+            return self.min;
+        }
+        if q == 0.0 {
+            return self.min;
+        }
+        if q == 1.0 {
+            return self.max;
+        }
+        // Rank of the target observation, 1-based: ceil(q * count).
+        let rank = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut cumulative = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if cumulative + c >= rank {
+                // Target falls in bucket i. Interpolate between the bucket's
+                // lower and upper bound by the rank's position within it.
+                if i >= self.bounds.len() {
+                    // Overflow bucket: unbounded above, report the max.
+                    return self.max;
+                }
+                let hi = self.bounds[i].min(self.max);
+                let lo = if i == 0 { self.min } else { self.bounds[i - 1].max(self.min) };
+                let lo = lo.min(hi);
+                let frac = (rank - cumulative) as f64 / c as f64;
+                return lo + (hi - lo) * frac;
+            }
+            cumulative += c;
+        }
+        self.max
+    }
+
     fn to_json(&self) -> Value {
         json!({
             "bounds": self.bounds.clone(),
@@ -99,6 +160,10 @@ impl Histogram {
             "min": self.min(),
             "max": self.max(),
             "mean": self.mean(),
+            "p50": self.quantile(0.50),
+            "p90": self.quantile(0.90),
+            "p99": self.quantile(0.99),
+            "p100": self.quantile(1.0),
         })
     }
 }
@@ -171,6 +236,11 @@ impl MetricsRegistry {
         self.gauges.iter().map(|(k, v)| (k.as_str(), *v))
     }
 
+    /// Histogram names and values in lexicographic order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, h)| (k.as_str(), h))
+    }
+
     /// Snapshot every metric as a JSON document:
     /// `{"counters": {...}, "gauges": {...}, "histograms": {name: {bounds,
     /// counts, count, sum, min, max, mean}}}`. Keys are sorted, so equal
@@ -182,6 +252,42 @@ impl MetricsRegistry {
             self.gauges.iter().map(|(k, v)| (k.clone(), Value::from(*v))).collect::<Vec<_>>();
         let histograms =
             self.histograms.iter().map(|(k, h)| (k.clone(), h.to_json())).collect::<Vec<_>>();
+        Value::Object(vec![
+            ("counters".to_string(), Value::Object(counters)),
+            ("gauges".to_string(), Value::Object(gauges)),
+            ("histograms".to_string(), Value::Object(histograms)),
+        ])
+    }
+
+    /// Like [`snapshot`](Self::snapshot) but with every wall-clock-derived
+    /// metric removed (any name mentioning `wall` or `time`, e.g.
+    /// `tick.wall_us`, `adapt.reopt_time_us`). Everything left is folded
+    /// from deterministic measured work, so two identical runs — regardless
+    /// of thread count, obs timing, or process — serialize to byte-equal
+    /// documents; golden snapshots and the cross-process determinism test
+    /// diff this form.
+    pub fn snapshot_deterministic(&self) -> Value {
+        fn keep(name: &str) -> bool {
+            !name.contains("wall") && !name.contains("time")
+        }
+        let counters = self
+            .counters
+            .iter()
+            .filter(|(k, _)| keep(k))
+            .map(|(k, v)| (k.clone(), Value::from(*v)))
+            .collect::<Vec<_>>();
+        let gauges = self
+            .gauges
+            .iter()
+            .filter(|(k, _)| keep(k))
+            .map(|(k, v)| (k.clone(), Value::from(*v)))
+            .collect::<Vec<_>>();
+        let histograms = self
+            .histograms
+            .iter()
+            .filter(|(k, _)| keep(k))
+            .map(|(k, h)| (k.clone(), h.to_json()))
+            .collect::<Vec<_>>();
         Value::Object(vec![
             ("counters".to_string(), Value::Object(counters)),
             ("gauges".to_string(), Value::Object(gauges)),
@@ -244,6 +350,65 @@ mod tests {
         assert_eq!(h.min(), 0.5);
         assert_eq!(h.max(), 500.0);
         assert!((h.sum() - 560.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantile_edge_cases() {
+        // Empty histogram: every quantile is 0.
+        let h = Histogram::new(&[1.0, 10.0]);
+        assert_eq!(h.quantile(0.5), 0.0);
+        assert_eq!(h.quantile(1.0), 0.0);
+
+        // Single sample: every quantile is that sample.
+        let mut h = Histogram::new(&[1.0, 10.0, 100.0]);
+        h.record(7.0);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 7.0, "q={q}");
+        }
+
+        // p0 = min, p100 = max, even when max lives in the overflow bucket.
+        let mut h = Histogram::new(&[1.0, 10.0]);
+        for v in [0.5, 5.0, 500.0] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), 0.5);
+        assert_eq!(h.quantile(1.0), 500.0);
+        // The overflow bucket reports the observed max, not infinity.
+        assert_eq!(h.quantile(0.99), 500.0);
+        // Out-of-range q clamps instead of panicking.
+        assert_eq!(h.quantile(-3.0), 0.5);
+        assert_eq!(h.quantile(2.0), 500.0);
+    }
+
+    #[test]
+    fn quantile_interpolates_within_buckets() {
+        let mut h = Histogram::new(&[10.0, 20.0, 30.0]);
+        for v in [2.0, 12.0, 14.0, 16.0, 18.0, 22.0, 24.0, 26.0, 28.0, 29.0] {
+            h.record(v);
+        }
+        // Median falls in the (10, 20] bucket and never leaves [min, max].
+        let p50 = h.quantile(0.5);
+        assert!((10.0..=20.0).contains(&p50), "p50 = {p50}");
+        let p90 = h.quantile(0.9);
+        assert!((20.0..=30.0).contains(&p90), "p90 = {p90}");
+        // Quantiles are monotone in q.
+        let qs: Vec<f64> =
+            [0.1, 0.25, 0.5, 0.75, 0.9, 1.0].iter().map(|&q| h.quantile(q)).collect();
+        assert!(qs.windows(2).all(|w| w[0] <= w[1]), "{qs:?}");
+    }
+
+    #[test]
+    fn deterministic_snapshot_filters_wall_metrics() {
+        let mut m = MetricsRegistry::new();
+        m.counter_add("work.total", 5.0);
+        m.gauge_set("adapt.reopt_time_us", 120.0);
+        m.histogram_record("tick.wall_us", 33.0);
+        m.histogram_record("tick.work", 5.0);
+        let det = m.snapshot_deterministic();
+        assert!(det["counters"].get("work.total").is_some());
+        assert!(det["gauges"].get("adapt.reopt_time_us").is_none());
+        assert!(det["histograms"].get("tick.wall_us").is_none());
+        assert!(det["histograms"].get("tick.work").is_some());
     }
 
     #[test]

@@ -3,6 +3,8 @@
 //! (bench harness, example, test) gets everything from one handle.
 
 use crate::metrics::MetricsRegistry;
+use crate::prom::prometheus_text;
+use crate::slack::SlackLedger;
 use crate::trace::TraceBuffer;
 use ishare_common::{OpKind, WorkBreakdown};
 use serde_json::{json, Value};
@@ -58,6 +60,9 @@ pub struct ObsReport {
     pub metrics: MetricsRegistry,
     /// Tick/wavefront spans.
     pub trace: TraceBuffer,
+    /// Per-query slack ledger; `None` when the run declared no `L(q)`
+    /// budgets (e.g. best-effort plans with no constraints).
+    pub slack: Option<SlackLedger>,
 }
 
 impl ObsReport {
@@ -109,7 +114,7 @@ impl ObsReport {
             .filter(|&&k| global.get(k) != 0.0)
             .map(|&k| (k.label().to_string(), Value::from(global.get(k))))
             .collect();
-        json!({
+        let mut doc = json!({
             "total_work": self.total_work,
             "breakdown_total": self.breakdown_total(),
             "work_by_kind": Value::Object(global_kinds),
@@ -117,12 +122,24 @@ impl ObsReport {
             "metrics": self.metrics.snapshot(),
             "trace_spans": self.trace.spans().len(),
             "trace_dropped": self.trace.dropped(),
-        })
+        });
+        if let (Some(ledger), Value::Object(map)) = (&self.slack, &mut doc) {
+            map.push(("slack".to_string(), ledger.to_json()));
+        }
+        doc
     }
 
     /// Chrome `trace_event` JSON (what `--trace-out` writes).
     pub fn chrome_trace(&self) -> Value {
         self.trace.chrome_trace()
+    }
+
+    /// Prometheus text exposition of the metrics registry (what
+    /// `--metrics-out foo.prom` writes). The slack ledger is already folded
+    /// into the registry as `slo.*` series, so this single document carries
+    /// work, partition, ingest, adapt, and SLO metrics.
+    pub fn prometheus(&self) -> String {
+        prometheus_text(&self.metrics)
     }
 }
 

@@ -6,6 +6,7 @@
 //! utilization and stragglers are visible as gaps on worker lanes; wavefront
 //! spans live on a dedicated track above the workers.
 
+use crate::span::{AuxKind, AuxSpan, SlackPoint, ADAPT_TID, INGEST_TID, OP_TID_BASE};
 use serde_json::{json, Value};
 
 /// What a [`Span`] covers.
@@ -65,6 +66,12 @@ pub const WAVEFRONT_TID: u64 = 0;
 #[derive(Debug, Clone, PartialEq)]
 pub struct TraceBuffer {
     spans: Vec<Span>,
+    /// Auxiliary operator / ingest-poll / adapt-search spans (separate
+    /// storage so the primary span layout — and its byte-golden Chrome
+    /// export — is untouched when no aux spans are recorded).
+    aux: Vec<AuxSpan>,
+    /// Per-query slack samples, exported as Chrome counter events.
+    slack: Vec<SlackPoint>,
     capacity: usize,
     dropped: usize,
 }
@@ -74,9 +81,10 @@ impl TraceBuffer {
     /// bounding worst-case memory to a few MiB.
     pub const DEFAULT_CAPACITY: usize = 1 << 16;
 
-    /// Empty buffer holding at most `capacity` spans.
+    /// Empty buffer holding at most `capacity` spans (primary and auxiliary
+    /// spans each get their own `capacity` budget).
     pub fn new(capacity: usize) -> Self {
-        Self { spans: Vec::new(), capacity, dropped: 0 }
+        Self { spans: Vec::new(), aux: Vec::new(), slack: Vec::new(), capacity, dropped: 0 }
     }
 
     /// Record a span, dropping it (counted) if the buffer is full.
@@ -88,10 +96,34 @@ impl TraceBuffer {
         }
     }
 
+    /// Record an auxiliary span, dropping it (counted) if its budget is full.
+    pub fn push_aux(&mut self, span: AuxSpan) {
+        if self.aux.len() < self.capacity {
+            self.aux.push(span);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// Record a per-query slack sample for the counter track.
+    pub fn push_slack(&mut self, point: SlackPoint) {
+        if self.slack.len() < self.capacity {
+            self.slack.push(point);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
     /// Absorb another buffer's spans (used when folding per-run traces).
     pub fn extend(&mut self, other: &TraceBuffer) {
         for s in &other.spans {
             self.push(*s);
+        }
+        for s in &other.aux {
+            self.push_aux(*s);
+        }
+        for p in &other.slack {
+            self.push_slack(*p);
         }
         self.dropped += other.dropped;
     }
@@ -101,6 +133,16 @@ impl TraceBuffer {
         &self.spans
     }
 
+    /// Recorded auxiliary spans, in insertion order.
+    pub fn aux_spans(&self) -> &[AuxSpan] {
+        &self.aux
+    }
+
+    /// Recorded slack samples, in insertion order.
+    pub fn slack_points(&self) -> &[SlackPoint] {
+        &self.slack
+    }
+
     /// Number of spans that did not fit.
     pub fn dropped(&self) -> usize {
         self.dropped
@@ -108,7 +150,7 @@ impl TraceBuffer {
 
     /// `true` iff nothing was recorded.
     pub fn is_empty(&self) -> bool {
-        self.spans.is_empty()
+        self.spans.is_empty() && self.aux.is_empty() && self.slack.is_empty()
     }
 
     /// Export as a Chrome `trace_event` JSON document:
@@ -116,6 +158,14 @@ impl TraceBuffer {
     /// a complete (`"ph": "X"`) event with `ts`/`dur` in microseconds; each
     /// worker gets its own `tid` named via `thread_name` metadata events, and
     /// wavefront spans ride on [`WAVEFRONT_TID`].
+    ///
+    /// Auxiliary spans follow on their own tracks — operator spans on
+    /// `worker N ops` ([`OP_TID_BASE`]` + N`), ingest polls on
+    /// [`INGEST_TID`], adapt re-searches on [`ADAPT_TID`] — and slack
+    /// samples render as counter (`"ph": "C"`) events, one `slack q{i}`
+    /// counter per query with `remaining`/`consumed` series. All additions
+    /// are appended after the primary events, so a buffer with no aux spans
+    /// or slack points exports byte-identically to the PR-2 format.
     pub fn chrome_trace(&self) -> Value {
         let mut events: Vec<Value> = Vec::with_capacity(self.spans.len() + 8);
         let mut workers: Vec<u32> = self
@@ -164,6 +214,56 @@ impl TraceBuffer {
                     "work": s.work,
                     "is_final": s.is_final,
                 },
+            }));
+        }
+        // Auxiliary tracks: name each one that carries spans, then emit the
+        // spans in insertion order.
+        if self.aux.iter().any(|s| s.kind == AuxKind::IngestPoll) {
+            events.push(json!({
+                "ph": "M", "pid": 1, "tid": INGEST_TID, "name": "thread_name",
+                "args": { "name": "ingest" },
+            }));
+        }
+        if self.aux.iter().any(|s| s.kind == AuxKind::AdaptSearch) {
+            events.push(json!({
+                "ph": "M", "pid": 1, "tid": ADAPT_TID, "name": "thread_name",
+                "args": { "name": "adapt" },
+            }));
+        }
+        let op_workers: std::collections::BTreeSet<u32> = self
+            .aux
+            .iter()
+            .filter(|s| matches!(s.kind, AuxKind::Operator(_)))
+            .map(|s| s.worker)
+            .collect();
+        for w in op_workers {
+            events.push(json!({
+                "ph": "M", "pid": 1, "tid": OP_TID_BASE + w as u64, "name": "thread_name",
+                "args": { "name": format!("worker {w} ops") },
+            }));
+        }
+        for s in &self.aux {
+            events.push(json!({
+                "ph": "X",
+                "pid": 1,
+                "tid": s.tid(),
+                "ts": s.start_us,
+                "dur": s.dur_us,
+                "name": s.name(),
+                "cat": s.cat(),
+                "args": { "sp": s.sp, "worker": s.worker, "work": s.work },
+            }));
+        }
+        // Slack samples: one counter track per query, stepped area chart of
+        // remaining slack vs consumed budget.
+        for p in &self.slack {
+            events.push(json!({
+                "ph": "C",
+                "pid": 1,
+                "ts": p.ts_us,
+                "name": format!("slack q{}", p.query),
+                "cat": "slo",
+                "args": { "remaining": p.remaining, "consumed": p.consumed },
             }));
         }
         json!({ "traceEvents": events, "displayTimeUnit": "ms" })
@@ -286,5 +386,79 @@ mod tests {
         let reparsed = serde_json::from_str(&got).unwrap();
         assert_eq!(reparsed["traceEvents"][3]["ph"], "X");
         assert_eq!(reparsed["traceEvents"][3]["dur"].as_i64(), Some(30));
+    }
+
+    #[test]
+    fn aux_spans_and_slack_points_extend_the_export() {
+        use crate::span::{AuxKind, AuxSpan, SlackPoint};
+        use ishare_common::OpKind;
+
+        let mut t = TraceBuffer::new(16);
+        t.push(tick(0, 1, 0, 10));
+        t.push_aux(AuxSpan {
+            kind: AuxKind::Operator(OpKind::Scan),
+            sp: 0,
+            worker: 1,
+            start_us: 0,
+            dur_us: 6,
+            work: 7.0,
+        });
+        t.push_aux(AuxSpan {
+            kind: AuxKind::IngestPoll,
+            sp: 0,
+            worker: 0,
+            start_us: 0,
+            dur_us: 2,
+            work: 40.0,
+        });
+        t.push_aux(AuxSpan {
+            kind: AuxKind::AdaptSearch,
+            sp: 0,
+            worker: 0,
+            start_us: 10,
+            dur_us: 1,
+            work: 0.0,
+        });
+        t.push_slack(SlackPoint {
+            query: 2,
+            wavefront: 0,
+            ts_us: 11,
+            remaining: 90.0,
+            consumed: 10.0,
+        });
+        let doc = t.chrome_trace();
+        let events = doc["traceEvents"].as_array().unwrap();
+        // Thread-name metadata appears for ingest, adapt, and the op track.
+        let names: Vec<String> = events
+            .iter()
+            .filter(|e| e["ph"] == "M")
+            .map(|e| e["args"]["name"].as_str().unwrap().to_string())
+            .collect();
+        assert!(names.contains(&"ingest".to_string()), "{names:?}");
+        assert!(names.contains(&"adapt".to_string()), "{names:?}");
+        assert!(names.contains(&"worker 1 ops".to_string()), "{names:?}");
+        // Operator span rides on OP_TID_BASE + worker.
+        let op = events
+            .iter()
+            .find(|e| e["cat"] == "operator")
+            .unwrap_or_else(|| panic!("no operator event"));
+        assert_eq!(op["tid"].as_i64(), Some((OP_TID_BASE + 1) as i64));
+        assert_eq!(op["name"], "sp0 scan");
+        // Slack point renders as a counter event with both series.
+        let c = events.iter().find(|e| e["ph"] == "C").unwrap();
+        assert_eq!(c["name"], "slack q2");
+        assert_eq!(c["args"]["remaining"].as_f64(), Some(90.0));
+        assert_eq!(c["args"]["consumed"].as_f64(), Some(10.0));
+
+        // An empty aux/slack buffer exports no extra events (byte-stability
+        // of the primary format is covered by the golden test above).
+        let mut plain = TraceBuffer::new(16);
+        plain.push(tick(0, 1, 0, 10));
+        let plain_doc = plain.chrome_trace();
+        assert!(plain_doc["traceEvents"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .all(|e| e["ph"] != "C" && e["cat"] != "operator"));
     }
 }

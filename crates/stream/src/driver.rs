@@ -13,7 +13,10 @@ use ishare_common::{
 use ishare_core::adapt::{AdaptController, ObservedTable, WavefrontObservation};
 use ishare_exec::{query_result, ExecMode, ExecOptions, QueryResult, SubplanExecutor};
 use ishare_ingest::{CommitLog, Source, TopicStats};
-use ishare_obs::{ExecCounts, ObsConfig, ObsReport, Span, SpanKind, TraceBuffer};
+use ishare_obs::{
+    AuxKind, AuxSpan, ExecCounts, FrontCharge, ObsConfig, ObsReport, SlackLedger, SlackPoint, Span,
+    SpanKind, TraceBuffer,
+};
 use ishare_plan::{InputSource, SharedPlan};
 use ishare_storage::{Catalog, ConsumerId, DeltaBuffer, DeltaRow, Retain, Row};
 use std::collections::{BTreeMap, HashMap};
@@ -176,6 +179,26 @@ pub(crate) struct FrontRec {
     pub(crate) dur: Duration,
 }
 
+/// Timing of one per-wavefront ingest cut (the `feed_from_source` call);
+/// becomes an `ingest`-track aux span. `rows` is the deterministic delta
+/// count; the durations are observability-only.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PollRec {
+    pub(crate) start: Duration,
+    pub(crate) dur: Duration,
+    pub(crate) rows: u64,
+}
+
+/// Timing of one adapt-controller evaluation at a wavefront boundary;
+/// becomes an `adapt`-track aux span.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct AdaptRec {
+    pub(crate) front: u32,
+    pub(crate) start: Duration,
+    pub(crate) dur: Duration,
+    pub(crate) switched: bool,
+}
+
 /// What [`fold_run`] produces: the deterministic run totals (identical maths
 /// in both drivers — the linchpin of the bit-identical guarantee) plus the
 /// observability report when requested.
@@ -191,7 +214,11 @@ pub(crate) struct FoldedRun {
 
 /// Fold per-tick records in global schedule order into run totals, per-query
 /// execution counts, and (when `obs_cfg` is set) the span trace, metrics,
-/// and per-subplan work breakdown.
+/// per-subplan work breakdown, and — when `slo` budgets are declared — the
+/// per-query slack ledger. The fold runs after the paced execution on the
+/// coordinating thread, in global schedule order, so every derived number
+/// (including the ledger) is identical across drivers and thread counts.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn fold_run(
     plan: &SharedPlan,
     all_queries: QuerySet,
@@ -199,7 +226,10 @@ pub(crate) fn fold_run(
     depths: &[usize],
     recs: &[TickRec],
     fronts: &[FrontRec],
+    polls: &[PollRec],
+    adapt_recs: &[AdaptRec],
     obs_cfg: Option<ObsConfig>,
+    slo: Option<&BTreeMap<QueryId, f64>>,
 ) -> FoldedRun {
     let mut total_work = WorkUnits::ZERO;
     let mut total_wall = Duration::ZERO;
@@ -251,6 +281,33 @@ pub(crate) fn fold_run(
             });
             metrics.histogram_record("tick.work", rec.work.get());
             metrics.histogram_record("tick.wall_us", rec.wall.as_micros() as f64);
+            // Operator spans: subdivide the tick's wall interval
+            // proportionally to its per-kind work breakdown, on the
+            // worker's dedicated ops track.
+            let dur_total = rec.wall.as_micros() as u64;
+            let work_total = rec.work.get();
+            if work_total > 0.0 && dur_total > 0 {
+                let mut cum = 0.0;
+                for kind in OpKind::ALL {
+                    let w = rec.breakdown.get(kind);
+                    if w == 0.0 {
+                        continue;
+                    }
+                    let s = (dur_total as f64 * (cum / work_total)) as u64;
+                    cum += w;
+                    let e = (dur_total as f64 * (cum / work_total)) as u64;
+                    if e > s {
+                        trace.push_aux(AuxSpan {
+                            kind: AuxKind::Operator(kind),
+                            sp: tick.sp.0,
+                            worker: rec.worker,
+                            start_us: rec.start.as_micros() as u64 + s,
+                            dur_us: e - s,
+                            work: w,
+                        });
+                    }
+                }
+            }
         }
         for (fi, front) in fronts.iter().enumerate() {
             let front_work: f64 = recs[front.range.clone()].iter().map(|r| r.work.get()).sum();
@@ -267,6 +324,80 @@ pub(crate) fn fold_run(
                 work: front_work,
                 is_final,
             });
+        }
+        // Ingest-poll and adapt re-search spans on their own tracks.
+        for (i, p) in polls.iter().enumerate() {
+            trace.push_aux(AuxSpan {
+                kind: AuxKind::IngestPoll,
+                sp: i as u32,
+                worker: 0,
+                start_us: p.start.as_micros() as u64,
+                dur_us: p.dur.as_micros() as u64,
+                work: p.rows as f64,
+            });
+            metrics.histogram_record("ingest.poll.rows", p.rows as f64);
+        }
+        for a in adapt_recs {
+            trace.push_aux(AuxSpan {
+                kind: AuxKind::AdaptSearch,
+                sp: a.front,
+                worker: 0,
+                start_us: a.start.as_micros() as u64,
+                dur_us: a.dur.as_micros() as u64,
+                work: if a.switched { 1.0 } else { 0.0 },
+            });
+        }
+        // Slack ledger: replay the fronts against the L(q) budgets. The
+        // per-query sums iterate `subplans_of_query` in exactly the order
+        // `wavefront_observation` uses, so `consumed` — and therefore
+        // `remaining` — is to_bits-equal to what the adapt controller saw.
+        let mut ledger = match slo {
+            Some(budgets) if !budgets.is_empty() => Some(SlackLedger::new(budgets)),
+            _ => None,
+        };
+        if let Some(ledger) = ledger.as_mut() {
+            let mut sp_total: Vec<f64> = vec![0.0; plan.len()];
+            let mut sp_final: Vec<f64> = vec![0.0; plan.len()];
+            for (fi, front) in fronts.iter().enumerate() {
+                let mut sp_front: Vec<f64> = vec![0.0; plan.len()];
+                for (tick, rec) in
+                    schedule[front.range.clone()].iter().zip(&recs[front.range.clone()])
+                {
+                    let i = tick.sp.index();
+                    let w = rec.work.get();
+                    sp_front[i] += w;
+                    sp_total[i] += w;
+                    if tick.is_final {
+                        sp_final[i] = w;
+                    }
+                }
+                let mut charges: BTreeMap<QueryId, FrontCharge> = BTreeMap::new();
+                for q in all_queries.iter() {
+                    let subplans = plan.subplans_of_query(q);
+                    charges.insert(
+                        q,
+                        FrontCharge {
+                            front_work: subplans.iter().map(|id| sp_front[id.index()]).sum(),
+                            charged_total: subplans.iter().map(|id| sp_total[id.index()]).sum(),
+                            consumed: subplans.iter().map(|id| sp_final[id.index()]).sum(),
+                        },
+                    );
+                }
+                ledger.record_front(fi as u32, front.num, front.den, &charges);
+                let ts_us = (front.start + front.dur).as_micros() as u64;
+                for (q, qs) in ledger.queries() {
+                    if let Some(s) = qs.samples.last() {
+                        trace.push_slack(SlackPoint {
+                            query: q.0,
+                            wavefront: fi as u32,
+                            ts_us,
+                            remaining: s.remaining,
+                            consumed: s.consumed,
+                        });
+                    }
+                }
+            }
+            ledger.record_metrics(&mut metrics);
         }
         let mut global = WorkBreakdown::default();
         for b in &work_by_subplan {
@@ -291,6 +422,7 @@ pub(crate) fn fold_run(
             executions_by_subplan: sp_exec.clone(),
             metrics,
             trace,
+            slack: ledger,
         }
     });
 
@@ -350,6 +482,10 @@ pub(crate) fn ingest_gauges(report: &mut ObsReport, stats: &[TopicStats]) {
         let t = s.table.0;
         report.metrics.gauge_set(&format!("ingest.t{t}.delivered"), s.delivered as f64);
         report.metrics.gauge_set(&format!("ingest.t{t}.stall_ticks"), s.stall_ticks as f64);
+        report.metrics.gauge_set(&format!("ingest.t{t}.polls"), s.polls as f64);
+        report
+            .metrics
+            .gauge_set(&format!("ingest.t{t}.reorder_high_water"), s.reorder_high_water as f64);
         let lag: u64 = s.partitions.iter().map(|p| p.lag).sum();
         report.metrics.gauge_set(&format!("ingest.t{t}.lag"), lag as f64);
         for (i, p) in s.partitions.iter().enumerate() {
@@ -430,6 +566,13 @@ pub struct SourceOptions {
     /// single-threaded exchange). Purely a wall-clock knob: the thread count
     /// never affects routing, merge order, or charged work.
     pub partition_threads: usize,
+    /// Per-query final-work budgets `L(q)` for the slack ledger. When set
+    /// (and `obs` is on), the report carries a [`SlackLedger`] with one
+    /// sample per query per wavefront plus `slo.*` metrics and per-query
+    /// slack counter tracks in the Chrome trace. The adaptive entry points
+    /// default this to the controller's constraints when unset. Purely
+    /// observational: budgets never influence execution.
+    pub slo: Option<BTreeMap<QueryId, f64>>,
 }
 
 impl SourceOptions {
@@ -705,6 +848,10 @@ fn run_from_source(
     let mut active_paces: Vec<u32> = paces.to_vec();
     let all_queries = plan.queries();
     let depths = plan.depths();
+    // Slack budgets: explicit `opts.slo`, else the adaptive controller's
+    // L(q) constraints (the natural budgets for an adaptive run).
+    let slo_budgets: Option<BTreeMap<QueryId, f64>> =
+        opts.slo.clone().or_else(|| adapt.as_deref().map(|c| c.constraints().clone()));
     let EngineState {
         mut base_buffers,
         base_tables,
@@ -720,6 +867,8 @@ fn run_from_source(
     // adaptive pace switch rebuilds the unexecuted tail of the schedule.
     let mut recs: Vec<TickRec> = Vec::with_capacity(tick_list.len());
     let mut fronts: Vec<FrontRec> = Vec::new();
+    let mut polls: Vec<PollRec> = Vec::new();
+    let mut adapt_recs: Vec<AdaptRec> = Vec::new();
     let mut tallies: BTreeMap<TableId, (u64, u64)> = BTreeMap::new();
     let mut charged_final: Vec<f64> = vec![0.0; plan.len()];
     let mut pos = 0;
@@ -727,7 +876,10 @@ fn run_from_source(
     while pos < tick_list.len() {
         let front = front_at(&tick_list, pos);
         let head = tick_list[front.start];
+        let poll_start = run_started.elapsed();
+        let mut poll_rows = 0u64;
         feed_from_source(source, &base_tables, head.num, head.den, all_queries, |t, dr| {
+            poll_rows += 1;
             let tally = tallies.entry(t).or_insert((0, 0));
             tally.0 += 1;
             if dr.weight < 0 {
@@ -735,6 +887,11 @@ fn run_from_source(
             }
             base_buffers.get_mut(&t).expect("registered table").push(dr)
         })?;
+        polls.push(PollRec {
+            start: poll_start,
+            dur: run_started.elapsed() - poll_start,
+            rows: poll_rows,
+        });
         let front_start = run_started.elapsed();
         for tick in &tick_list[front.clone()] {
             let start = run_started.elapsed();
@@ -784,7 +941,15 @@ fn run_from_source(
                 &charged_final,
                 &tallies,
             );
-            if let Some(new_paces) = ctrl.observe(&obs)? {
+            let adapt_start = run_started.elapsed();
+            let switch = ctrl.observe(&obs)?;
+            adapt_recs.push(AdaptRec {
+                front: wf as u32,
+                start: adapt_start,
+                dur: run_started.elapsed() - adapt_start,
+                switched: switch.is_some(),
+            });
+            if let Some(new_paces) = switch {
                 tick_list = reschedule_after(
                     plan,
                     &tick_list[..front.end],
@@ -799,7 +964,18 @@ fn run_from_source(
         wf += 1;
     }
 
-    let folded = fold_run(plan, all_queries, &tick_list, &depths, &recs, &fronts, opts.obs);
+    let folded = fold_run(
+        plan,
+        all_queries,
+        &tick_list,
+        &depths,
+        &recs,
+        &fronts,
+        &polls,
+        &adapt_recs,
+        opts.obs,
+        slo_budgets.as_ref(),
+    );
     let mut obs_report = folded.obs;
     if let Some(report) = obs_report.as_mut() {
         buffer_gauges(report, &base_buffers, &sp_buffers);

@@ -61,7 +61,10 @@ pub use driver::{
 };
 pub use ishare_exec::{ExecMode, ExecOptions};
 pub use ishare_ingest::{CommitLog, Source, SourceConfig};
-pub use ishare_obs::{ExecCounts, ObsConfig, ObsReport};
+pub use ishare_obs::{
+    AuxKind, AuxSpan, ExecCounts, ObsConfig, ObsReport, QuerySlack, SlackLedger, SlackPoint,
+    SlackSample,
+};
 pub use measure::{missed_latency_stats, MissedLatencyStats};
 pub use parallel::{
     execute_adaptive_from_source_parallel_obs, execute_from_source_parallel_obs,

@@ -32,8 +32,8 @@
 
 use crate::driver::{
     adapt_gauges, buffer_gauges, commit_wavefront, feed_from_source, fold_run, ingest_gauges,
-    insert_feeds, partition_gauges, per_query_views, setup_engine, wavefront_observation,
-    EngineState, FrontRec, RunResult, SourceOptions, SourceOutcome, TickRec,
+    insert_feeds, partition_gauges, per_query_views, setup_engine, wavefront_observation, AdaptRec,
+    EngineState, FrontRec, PollRec, RunResult, SourceOptions, SourceOutcome, TickRec,
 };
 use crate::schedule::{build_schedule, depth_levels, front_at, reschedule_after, Tick};
 use ishare_common::{
@@ -206,6 +206,10 @@ fn run_from_source_parallel(
     let mut active_paces: Vec<u32> = paces.to_vec();
     let all_queries = plan.queries();
     let depths = plan.depths();
+    // Slack budgets: explicit `opts.slo`, else the adaptive controller's
+    // L(q) constraints — same derivation as the sequential driver.
+    let slo_budgets: Option<BTreeMap<ishare_common::QueryId, f64>> =
+        opts.slo.clone().or_else(|| adapt.as_deref().map(|c| c.constraints().clone()));
     let EngineState { base_buffers, base_tables, sp_buffers, executors, leaf_consumers } =
         setup_engine(plan, catalog, weights, opts.exec_options())?;
     // Shared-state wrappers. Plain `Mutex` (not `RwLock`): every buffer
@@ -219,6 +223,8 @@ fn run_from_source_parallel(
     // in that order below — the linchpin of the bit-identical guarantee.
     let mut recs: Vec<Option<TickRec>> = vec![None; schedule.len()];
     let mut fronts: Vec<FrontRec> = Vec::new();
+    let mut polls: Vec<PollRec> = Vec::new();
+    let mut adapt_recs: Vec<AdaptRec> = Vec::new();
     let mut tallies: BTreeMap<TableId, (u64, u64)> = BTreeMap::new();
     let mut charged_final: Vec<f64> = vec![0.0; plan.len()];
     let mut pos = 0;
@@ -229,7 +235,10 @@ fn run_from_source_parallel(
         // (single-threaded between levels, hence `get_mut` instead of
         // locking).
         let head = schedule[front.start];
+        let poll_start = run_started.elapsed();
+        let mut poll_rows = 0u64;
         feed_from_source(source, &base_tables, head.num, head.den, all_queries, |t, dr| {
+            poll_rows += 1;
             let tally = tallies.entry(t).or_insert((0, 0));
             tally.0 += 1;
             if dr.weight < 0 {
@@ -242,6 +251,11 @@ fn run_from_source_parallel(
                 .expect("buffer lock poisoned")
                 .push(dr)
         })?;
+        polls.push(PollRec {
+            start: poll_start,
+            dur: run_started.elapsed() - poll_start,
+            rows: poll_rows,
+        });
         let front_start = run_started.elapsed();
         for level in depth_levels(&schedule[front.clone()], &depths) {
             let ticks: Vec<usize> = level.map(|o| front.start + o).collect();
@@ -346,7 +360,15 @@ fn run_from_source_parallel(
                 &charged_final,
                 &tallies,
             );
-            if let Some(new_paces) = ctrl.observe(&obs)? {
+            let adapt_start = run_started.elapsed();
+            let switch = ctrl.observe(&obs)?;
+            adapt_recs.push(AdaptRec {
+                front: wf as u32,
+                start: adapt_start,
+                dur: run_started.elapsed() - adapt_start,
+                switched: switch.is_some(),
+            });
+            if let Some(new_paces) = switch {
                 schedule =
                     reschedule_after(plan, &schedule[..front.end], head.num, head.den, &new_paces)?;
                 // The executed prefix keeps its records; the rebuilt tail is
@@ -364,7 +386,18 @@ fn run_from_source_parallel(
 
     let recs: Vec<TickRec> =
         recs.into_iter().map(|r| r.expect("every scheduled tick ran")).collect();
-    let folded = fold_run(plan, all_queries, &schedule, &depths, &recs, &fronts, opts.obs);
+    let folded = fold_run(
+        plan,
+        all_queries,
+        &schedule,
+        &depths,
+        &recs,
+        &fronts,
+        &polls,
+        &adapt_recs,
+        opts.obs,
+        slo_budgets.as_ref(),
+    );
 
     let base_buffers: HashMap<TableId, DeltaBuffer> = base_buffers
         .into_iter()

@@ -11,8 +11,11 @@
 //! compares all four planning approaches on measured work and per-dashboard
 //! final work, then renders the iShare run's [`ObsReport`]: the
 //! per-operator work breakdown, per-subplan execution counts, delta-buffer
-//! high-water gauges from the metrics registry, and per-dashboard
-//! missed-latency statistics against the resolved goals.
+//! high-water and ingest gauges from the metrics registry, the
+//! partition-skew gauges of the hash-partitioned operator state, the
+//! per-dashboard slack ledger (budget vs consumed final work at every
+//! wavefront, met/missed), and per-dashboard missed-latency statistics
+//! against the resolved goals.
 //!
 //! [`ObsReport`]: ishare::stream::ObsReport
 
@@ -77,6 +80,40 @@ fn render_report(
         if name.starts_with("ingest.") {
             println!("  {name:<28} {value:>8.0}");
         }
+    }
+
+    println!("\npartition skew (max/mean per-partition work, 1.0 = balanced):");
+    for (name, value) in report.metrics.gauges() {
+        if name.starts_with("partition.sp") && name.ends_with(".skew") {
+            println!("  {name:<28} {value:>8.2}");
+        }
+    }
+
+    if let Some(ledger) = &report.slack {
+        println!("\nslack ledger (budget L(q) vs final work consumed, per dashboard):");
+        let max = ledger.queries().map(|(_, s)| s.budget.max(s.consumed())).fold(0.0, f64::max);
+        for (q, slot) in ledger.queries() {
+            let (label, _, _) = dashboards[q.index()];
+            println!(
+                "  {label:<32} budget {:>9.0}  consumed {:>9.0}  slack {:>9.0}  {}",
+                slot.budget,
+                slot.consumed(),
+                slot.remaining(),
+                if slot.met() {
+                    "met".to_string()
+                } else {
+                    format!("MISS (over by {:.0})", slot.overrun())
+                },
+            );
+            println!("    consumed {}", bar(slot.consumed(), max));
+            println!("    budget   {}", bar(slot.budget, max));
+        }
+        println!(
+            "  {} of {} deadlines met over {} wavefronts",
+            ledger.queries().count() - ledger.misses(),
+            ledger.queries().count(),
+            ledger.fronts(),
+        );
     }
 
     println!("\nmissed latency per dashboard (goal = rel × batch final work):");
@@ -152,7 +189,15 @@ fn main() -> ishare::Result<()> {
                 &data.catalog,
                 &mut source,
                 CostWeights::default(),
-                SourceOptions { obs, ..Default::default() },
+                // Partitioned operator state (bit-identical; adds the
+                // partition.sp*.skew gauges) and per-dashboard SLO budgets
+                // (the resolved goals) for the slack ledger.
+                SourceOptions {
+                    obs,
+                    partitions: 2,
+                    slo: Some(goals.clone()),
+                    ..Default::default()
+                },
             )?
             .into_result()?
         } else {

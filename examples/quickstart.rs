@@ -14,7 +14,8 @@
 //! numbers are bit-identical to the sequential one. `--trace-out` /
 //! `--metrics-out` enable observability on the iShare run and write its
 //! Chrome `trace_event` JSON (open in `chrome://tracing` or Perfetto) and
-//! per-operator work/metrics snapshot.
+//! per-operator work/metrics snapshot; a `--metrics-out` path ending in
+//! `.prom` writes the Prometheus text exposition instead of JSON.
 
 use ishare::core::{plan_workload, Approach, FinalWorkConstraint, PlanningOptions};
 use ishare::plan::PlanBuilder;
@@ -135,7 +136,17 @@ fn main() -> ishare::Result<()> {
                 write_json(path, &report.chrome_trace())?;
             }
             if let Some(path) = &metrics_out {
-                write_json(path, &report.metrics_json())?;
+                if path.extension().and_then(|e| e.to_str()) == Some("prom") {
+                    if let Some(parent) = path.parent() {
+                        let _ = std::fs::create_dir_all(parent);
+                    }
+                    std::fs::write(path, report.prometheus()).map_err(|e| {
+                        ishare_common::Error::InvalidConfig(format!("write {path:?}: {e}"))
+                    })?;
+                    println!("[saved {}]", path.display());
+                } else {
+                    write_json(path, &report.metrics_json())?;
+                }
             }
         }
     }

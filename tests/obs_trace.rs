@@ -4,7 +4,8 @@
 //! parser with its work invariants intact.
 
 use ishare::stream::{
-    execute_planned_deltas_obs, execute_planned_deltas_parallel_obs, ObsConfig, ObsReport,
+    execute_from_source_obs, execute_planned_deltas_obs, execute_planned_deltas_parallel_obs,
+    ObsConfig, ObsReport, Source, SourceOptions,
 };
 use ishare_common::{CostWeights, DataType, QueryId, QuerySet, TableId, Value};
 use ishare_expr::Expr;
@@ -91,6 +92,15 @@ fn check_chrome_trace(trace: &serde_json::Value) {
                 assert_eq!(ev["name"].as_str(), Some("thread_name"));
                 continue;
             }
+            // Slack counter tracks: a timestamped value series per query.
+            "C" => {
+                assert!(ev["ts"].as_i64().expect("counter ts") >= 0);
+                assert!(
+                    ev["args"]["remaining"].as_f64().is_some(),
+                    "slack counters carry `remaining`"
+                );
+                continue;
+            }
             "X" => {}
             other => panic!("unexpected ph {other:?}"),
         }
@@ -136,6 +146,90 @@ fn metrics_json_roundtrips_and_sums() {
     };
     let kind_sum: f64 = kinds.iter().map(|(_, v)| v.as_f64().unwrap()).sum();
     assert!((kind_sum - total).abs() <= tol, "kind sum {kind_sum} != total {total}");
+}
+
+/// A source-fed run with SLO budgets grows the trace by the new tracks —
+/// ingest poll spans, per-worker operator spans, per-query slack counters —
+/// and the whole document still satisfies the well-formedness checks.
+#[test]
+fn slo_run_adds_aux_and_slack_tracks() {
+    let (c, plan, data) = tiny_workload();
+    let paces = vec![4u32; plan.len()];
+    let budgets: std::collections::BTreeMap<QueryId, f64> =
+        [(QueryId(0), 1e6), (QueryId(1), 1e6)].into_iter().collect();
+    let mut source = Source::in_order(&data);
+    let run = execute_from_source_obs(
+        &plan,
+        &paces,
+        &c,
+        &mut source,
+        CostWeights::default(),
+        SourceOptions { obs: Some(ObsConfig::default()), slo: Some(budgets), ..Default::default() },
+    )
+    .unwrap()
+    .into_result()
+    .unwrap();
+    let report = run.obs.unwrap();
+
+    let ledger = report.slack.as_ref().expect("slo budgets produce a ledger");
+    ledger.verify().unwrap();
+    assert_eq!(ledger.misses(), 0, "1e6 budgets are unmissable on 120 rows");
+    assert!(!report.trace.aux_spans().is_empty(), "ingest/operator aux spans recorded");
+    assert!(!report.trace.slack_points().is_empty(), "slack counter points recorded");
+
+    let doc = report.chrome_trace();
+    check_chrome_trace(&doc);
+    let events = doc["traceEvents"].as_array().unwrap();
+    let count_ph = |ph: &str| events.iter().filter(|e| e["ph"].as_str() == Some(ph)).count();
+    assert!(count_ph("C") > 0, "trace carries slack counter events");
+    let cats: Vec<&str> = events.iter().filter_map(|e| e["cat"].as_str()).collect();
+    for want in ["ingest", "operator", "slo"] {
+        assert!(cats.contains(&want), "trace lacks category {want:?}");
+    }
+}
+
+/// The deterministic metrics snapshot must serialize to the same bytes in a
+/// different process: HashMap iteration order varies between processes
+/// (random SipHash keys), and the snapshot's wall-clock filter plus BTreeMap
+/// ordering are what make cross-run diffs meaningful.
+#[test]
+fn deterministic_snapshot_is_byte_identical_across_processes() {
+    let (_, report) = run_with_obs(2);
+    let snapshot = serde_json::to_string_pretty(&report.metrics.snapshot_deterministic()).unwrap();
+    if std::env::var_os("ISHARE_OBS_SNAPSHOT_CHILD").is_some() {
+        println!("SNAPSHOT_LEN:{}", snapshot.len());
+        println!("SNAPSHOT_FNV:{:016x}", fnv(&snapshot));
+        return;
+    }
+    let exe = std::env::current_exe().unwrap();
+    let out = std::process::Command::new(exe)
+        .args([
+            "deterministic_snapshot_is_byte_identical_across_processes",
+            "--exact",
+            "--nocapture",
+        ])
+        .env("ISHARE_OBS_SNAPSHOT_CHILD", "1")
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "child test run failed: {out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let find = |marker: &str| {
+        stdout
+            .lines()
+            .find_map(|l| l.split_once(marker).map(|(_, s)| s.to_string()))
+            .unwrap_or_else(|| panic!("child printed no {marker}:\n{stdout}"))
+    };
+    assert_eq!(find("SNAPSHOT_LEN:"), format!("{}", snapshot.len()));
+    assert_eq!(find("SNAPSHOT_FNV:"), format!("{:016x}", fnv(&snapshot)));
+}
+
+fn fnv(s: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        hash ^= u64::from(*b);
+        hash = hash.wrapping_mul(0x1000_0000_01b3);
+    }
+    hash
 }
 
 #[test]
