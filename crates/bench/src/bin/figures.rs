@@ -12,7 +12,10 @@
 //! adapt (static vs adaptive paces under statistics drift →
 //! `BENCH_adapt.json`), partition (intra-subplan partition scaling →
 //! `BENCH_partition.json`), obs (observability overhead gate →
-//! `BENCH_obs.json`, fails above 5% overhead), all.
+//! `BENCH_obs.json`, fails above 5% overhead), churn (online admission:
+//! incremental merge vs full rebuild and state handoff vs history replay
+//! → `BENCH_churn.json`, fails unless the incremental merge is strictly
+//! cheaper), all.
 //!
 //! Options: `--sf <f64>`, `--seed <u64>`, `--max-pace <u32>`,
 //! `--random-sets <n>`, `--dnf-secs <n>`, `--trace-out <path>`,
@@ -93,6 +96,7 @@ fn main() {
             "adapt" => experiments::adapt(params),
             "partition" => experiments::partition(params),
             "obs" => experiments::obs_overhead(params),
+            "churn" => experiments::churn(params),
             other => {
                 eprintln!("unknown experiment `{other}`");
                 std::process::exit(2);
@@ -120,6 +124,7 @@ fn main() {
             "adapt",
             "partition",
             "obs",
+            "churn",
         ] {
             run(name, &params);
         }

@@ -1491,3 +1491,195 @@ pub fn obs_overhead(p: &Params) -> Result<()> {
     }
     Ok(())
 }
+
+/// `figures churn` — the economics of online query churn (DESIGN.md §14),
+/// two comparisons on one live workload:
+///
+/// 1. **Incremental merge vs full rebuild.** Admitting the N-th query into
+///    a sealed [`IncrementalSharer`] (one plan walk against the persistent
+///    signature table, speculative clone included) vs rebuilding the whole
+///    shared DAG from scratch. Min-of-reps wall clock; errors unless the
+///    incremental merge is strictly cheaper.
+/// 2. **State handoff vs history replay.** The work charged to reconstruct
+///    an admitted query's shared state from witness-indexed snapshots
+///    (the churn record's `handoff_work`) vs re-running the query's plan
+///    over the history that had already arrived at its admission boundary
+///    — what a runtime without handoff would have to replay.
+///
+/// Writes `results/BENCH_churn.json`.
+pub fn churn(p: &Params) -> Result<()> {
+    use crate::harness::time_min_secs;
+    use ishare_mqo::{build_shared_dag, normalize, IncrementalSharer, MqoConfig};
+    use ishare_stream::{
+        execute_churn_from_source, ChurnEvent, ChurnOp, ChurnOptions, ChurnScript, Source,
+    };
+    use std::collections::HashMap;
+
+    let env = Env::new(p.sf, p.seed)?;
+    let pool: Vec<(QueryId, LogicalPlan)> = sharing_friendly_queries(&env.data.catalog)?
+        .into_iter()
+        .take(5)
+        .enumerate()
+        .map(|(i, q)| (QueryId(i as u16), normalize(&q.plan)))
+        .collect();
+    if pool.len() < 5 {
+        return Err(ishare_common::Error::InvalidConfig(
+            "churn experiment needs 5 sharing-friendly queries".into(),
+        ));
+    }
+    let w = CostWeights::default();
+    let feeds: HashMap<_, Vec<_>> = env
+        .data
+        .data
+        .iter()
+        .map(|(t, rows)| (*t, rows.iter().map(|r| (r.clone(), 1i64)).collect()))
+        .collect();
+
+    // 1 — merge microbench: admit the 5th query into a sealed 4-query
+    // sharer (clone included, as the runtime admission path pays it) vs a
+    // from-scratch batch rebuild over all 5.
+    const REPS: usize = 20;
+    let sealed = {
+        let mut s = IncrementalSharer::new(MqoConfig::default());
+        for (q, lp) in &pool[..4] {
+            s.admit(*q, lp)?;
+        }
+        s.seal();
+        s
+    };
+    let (last_q, last_plan) = &pool[4];
+    let inc_secs = time_min_secs(REPS, || {
+        let mut s = sealed.clone();
+        s.admit(*last_q, last_plan).expect("admission is feasible");
+    });
+    let batch_secs = time_min_secs(REPS, || {
+        build_shared_dag(&pool, &env.data.catalog, &MqoConfig::default())
+            .expect("batch build succeeds");
+    });
+
+    // 2 — live churn run: admit q3 at 1/4 and q4 at 2/4, remove q1 at 3/4
+    // (the validate_churn trajectory).
+    let initial: Vec<(QueryId, LogicalPlan)> = pool[..3].to_vec();
+    let cons: BTreeMap<QueryId, FinalWorkConstraint> =
+        (0..5).map(|q| (QueryId(q), FinalWorkConstraint::Relative(0.35))).collect();
+    let script = ChurnScript::new(vec![
+        ChurnEvent {
+            num: 1,
+            den: 4,
+            op: ChurnOp::Admit {
+                query: QueryId(3),
+                plan: pool[3].1.clone(),
+                constraint: FinalWorkConstraint::Relative(0.9),
+            },
+        },
+        ChurnEvent {
+            num: 2,
+            den: 4,
+            op: ChurnOp::Admit {
+                query: QueryId(4),
+                plan: pool[4].1.clone(),
+                constraint: FinalWorkConstraint::Relative(0.9),
+            },
+        },
+        ChurnEvent { num: 3, den: 4, op: ChurnOp::Remove { query: QueryId(1) } },
+    ]);
+    let opts = ChurnOptions { max_pace: 16, ..Default::default() };
+    let mut source = Source::in_order(&feeds);
+    let run = execute_churn_from_source(
+        &initial,
+        &cons,
+        &script,
+        &env.data.catalog,
+        &mut source,
+        w,
+        &opts,
+    )?
+    .into_result()?;
+    let handoff_work: f64 = run
+        .churn
+        .iter()
+        .filter(|r| r.handoff_work_bits != 0)
+        .map(|r| f64::from_bits(r.handoff_work_bits))
+        .sum();
+
+    // Replay baseline: per admission, run the admitted query solo over the
+    // history that had arrived by its boundary (q3: first quarter, q4:
+    // first half) and charge the full run — the state a handoff-less
+    // runtime would rebuild from row zero.
+    let mut replay_work = 0.0f64;
+    for (q, frac) in [(3u16, 0.25f64), (4, 0.5)] {
+        let prefix: HashMap<_, Vec<_>> = env
+            .data
+            .data
+            .iter()
+            .map(|(t, rows)| {
+                let n = ((rows.len() as f64) * frac).ceil() as usize;
+                (*t, rows.iter().take(n).map(|r| (r.clone(), 1i64)).collect())
+            })
+            .collect();
+        let mut source = Source::in_order(&prefix);
+        let solo = execute_churn_from_source(
+            &[(QueryId(q), pool[q as usize].1.clone())],
+            &BTreeMap::new(),
+            &ChurnScript::default(),
+            &env.data.catalog,
+            &mut source,
+            w,
+            &ChurnOptions::default(),
+        )?
+        .into_result()?;
+        replay_work += solo.run.total_work.get();
+    }
+
+    print_table(
+        &format!("Online churn — sf {}, seed {}, {REPS} reps", p.sf, p.seed),
+        &["comparison", "incremental / handoff", "rebuild / replay", "ratio"],
+        &[
+            vec![
+                "DAG merge (s, min)".into(),
+                format!("{inc_secs:.6}"),
+                format!("{batch_secs:.6}"),
+                format!("{:.2}x", batch_secs / inc_secs),
+            ],
+            vec![
+                "state seeding (work)".into(),
+                format!("{handoff_work:.0}"),
+                format!("{replay_work:.0}"),
+                format!("{:.2}x", replay_work / handoff_work),
+            ],
+        ],
+    );
+    println!(
+        "churn run: {} events, {} handoff rows, {} reclaimed rows, total work {:.0}",
+        run.churn.len(),
+        run.handoff_rows,
+        run.reclaimed_rows,
+        run.run.total_work.get()
+    );
+
+    save_json(
+        "BENCH_churn",
+        &serde_json::json!({
+            "sf": p.sf,
+            "seed": p.seed,
+            "reps": REPS as u64,
+            "incremental_admit_secs_min": inc_secs,
+            "batch_rebuild_secs_min": batch_secs,
+            "merge_speedup": batch_secs / inc_secs,
+            "handoff_work": handoff_work,
+            "replay_work": replay_work,
+            "handoff_saving": replay_work / handoff_work,
+            "handoff_rows": run.handoff_rows,
+            "reclaimed_rows": run.reclaimed_rows,
+            "churn_events": run.churn.len() as u64,
+            "total_work_bits": format!("{:016x}", run.run.total_work.get().to_bits()),
+        }),
+    );
+    if inc_secs >= batch_secs {
+        return Err(ishare_common::Error::InvalidConfig(format!(
+            "incremental admission ({inc_secs:.6}s) is not strictly cheaper than a full \
+             rebuild ({batch_secs:.6}s)"
+        )));
+    }
+    Ok(())
+}

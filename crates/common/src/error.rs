@@ -29,6 +29,11 @@ pub enum Error {
     InfeasibleConstraint(String),
     /// A configuration value was out of range (zero pace, scale factor ≤ 0, …).
     InvalidConfig(String),
+    /// A live query-churn operation (admission or removal at a wavefront
+    /// boundary) was rejected: duplicate query id, removal of an unknown
+    /// query, an admission whose state handoff has no witness query, or a
+    /// churn event scheduled where none can run (e.g. the final boundary).
+    Churn(String),
 }
 
 impl fmt::Display for Error {
@@ -43,6 +48,7 @@ impl fmt::Display for Error {
             Error::InvalidDelta(m) => write!(f, "invalid delta stream: {m}"),
             Error::InfeasibleConstraint(m) => write!(f, "infeasible constraint: {m}"),
             Error::InvalidConfig(m) => write!(f, "invalid configuration: {m}"),
+            Error::Churn(m) => write!(f, "query churn rejected: {m}"),
         }
     }
 }
@@ -64,6 +70,7 @@ mod tests {
         );
         assert!(Error::TypeMismatch("x".into()).to_string().contains("type mismatch"));
         assert!(Error::InfeasibleConstraint("q1".into()).to_string().contains("infeasible"));
+        assert!(Error::Churn("duplicate query 3".into()).to_string().contains("churn rejected"));
     }
 
     #[test]

@@ -35,7 +35,7 @@
 
 use crate::flat::FlatTable;
 use ishare_common::{
-    CostWeights, Error, FxHashMap, KeyBuf, OpKind, QuerySet, Result, StrInterner, Value,
+    CostWeights, Error, FxHashMap, KeyBuf, OpKind, QueryId, QuerySet, Result, StrInterner, Value,
     WorkCounter,
 };
 use ishare_expr::compile::CompiledScalar;
@@ -434,6 +434,89 @@ impl AggState {
         self.groups.maybe_compact();
         Ok(out)
     }
+
+    /// Stored state entries (mask classes + outstanding emitted pairs), for
+    /// churn GC accounting.
+    pub fn state_size(&self) -> usize {
+        self.groups
+            .live_ids()
+            .iter()
+            .filter_map(|&id| self.groups.get_by_id(id))
+            .map(|g| g.classes.len() + g.emitted.len())
+            .sum()
+    }
+
+    /// Query admission: add `q_new`'s bit wherever the witness `q_ref`'s bit
+    /// is set — in mask classes (so future inputs fold into the accumulator
+    /// `q_new` now shares) *and* in outstanding emitted pairs. Widening the
+    /// emitted pairs is required for correctness, not just bookkeeping: the
+    /// next flush of a touched group retracts pairs by their stored mask,
+    /// and if `q_new` were missing there the retraction would not reach it
+    /// while the fresh insert would — double-counting the group downstream.
+    /// Classes stay disjoint because `q_new` is a fresh bit added only to
+    /// (mutually disjoint) classes containing `q_ref`.
+    pub fn widen_query(&mut self, q_ref: QueryId, q_new: QueryId) {
+        for id in self.groups.live_ids() {
+            let g = self.groups.get_by_id_mut(id).expect("live group");
+            for c in &mut g.classes {
+                if c.mask.contains(q_ref) {
+                    c.mask.insert(q_new);
+                }
+            }
+            for (m, _) in &mut g.emitted {
+                if m.contains(q_ref) {
+                    m.insert(q_new);
+                }
+            }
+        }
+    }
+
+    /// Query removal: clear `q`'s bit from every class and emitted pair,
+    /// dropping those that go empty and removing groups left with no
+    /// classes. Two distinct classes can never collapse into one — class
+    /// masks are disjoint, so equal leftovers would mean both were subsets
+    /// of `{q}` and thus both went empty. Returns state entries freed.
+    pub fn retire_query(&mut self, q: QueryId) -> usize {
+        let mut reclaimed = 0usize;
+        for id in self.groups.live_ids() {
+            let g = self.groups.get_by_id_mut(id).expect("live group");
+            for c in &mut g.classes {
+                c.mask.remove(q);
+            }
+            let before = g.classes.len();
+            g.classes.retain(|c| !c.mask.is_empty());
+            reclaimed += before - g.classes.len();
+            for (m, _) in &mut g.emitted {
+                m.remove(q);
+            }
+            let before = g.emitted.len();
+            g.emitted.retain(|(m, _)| !m.is_empty());
+            reclaimed += before - g.emitted.len();
+            if g.classes.is_empty() && g.emitted.is_empty() {
+                self.groups.remove_id(id);
+            }
+        }
+        self.groups.maybe_compact();
+        reclaimed
+    }
+
+    /// State handoff for admission: the aggregate output `q_ref` has netted
+    /// so far. The flush diff retracts every superseded pair, so the net
+    /// output visible to a query is exactly its outstanding emitted pairs,
+    /// each at weight +1, re-masked to `{q_new}`. Unconsolidated, in
+    /// storage order — the caller consolidates.
+    pub fn snapshot_emitted(&self, q_ref: QueryId, q_new: QueryId) -> Vec<DeltaRow> {
+        let mut out = Vec::new();
+        for id in self.groups.live_ids() {
+            let g = self.groups.get_by_id(id).expect("live group");
+            for (m, r) in &g.emitted {
+                if m.contains(q_ref) {
+                    out.push(DeltaRow { row: r.clone(), weight: 1, mask: QuerySet::single(q_new) });
+                }
+            }
+        }
+        out
+    }
 }
 
 /// Partition refinement: after this, every class is either a subset of
@@ -663,6 +746,37 @@ mod tests {
             .unwrap();
         assert_eq!(out.len(), 1);
         assert_eq!(out.rows[0].row.values(), &[Value::Int(2)]);
+    }
+
+    #[test]
+    fn widen_retire_snapshot_roundtrip() {
+        let mut st = AggState::new();
+        // Group 1 shared by q0+q1, group 2 private to q1.
+        run(&mut st, vec![dr(1, 10, 1, &[0, 1]), dr(2, 7, 1, &[1])]);
+        // Snapshot for q2 witnessed by q0: only group 1's emitted pair.
+        let snap = st.snapshot_emitted(QueryId(0), QueryId(2));
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].row, Row::new(vec![Value::Int(1), Value::Int(10)]));
+        assert_eq!(snap[0].mask, qs(&[2]));
+
+        // Widen, then an update to group 1 retracts the old pair for q2 as
+        // well — no double counting.
+        st.widen_query(QueryId(0), QueryId(2));
+        let out = run(&mut st, vec![dr(1, 5, 1, &[0, 1, 2])]);
+        let c = consolidate(out.rows);
+        assert_eq!(c[&(Row::new(vec![Value::Int(1), Value::Int(10)]), qs(&[0, 1, 2]))], -1);
+        assert_eq!(c[&(Row::new(vec![Value::Int(1), Value::Int(15)]), qs(&[0, 1, 2]))], 1);
+
+        // Retire q1: group 2 (private) is freed entirely.
+        let before = st.group_count();
+        let freed = st.retire_query(QueryId(1));
+        assert!(freed >= 2, "group 2's class + emitted pair are q1-private");
+        assert_eq!(st.group_count(), before - 1);
+        let out = run(&mut st, vec![dr(2, 1, 1, &[0])]);
+        let c = consolidate(out.rows);
+        // Fresh group: no stale retraction from the retired state.
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[&(Row::new(vec![Value::Int(2), Value::Int(1)]), qs(&[0]))], 1);
     }
 
     /// Charged work must be bit-identical to the reference datapath even

@@ -21,10 +21,12 @@ use crate::join::{JoinKeys, JoinState};
 use crate::operators::{apply_project, apply_select, narrow_input};
 use crate::partition::{PartitionStat, PartitionedAgg, PartitionedJoin};
 use crate::reference::{ref_apply_project, ref_apply_select, RefAggState, RefJoinState};
-use ishare_common::{CostWeights, DataType, Error, QuerySet, Result, SubplanId, WorkCounter};
+use ishare_common::{
+    CostWeights, DataType, Error, QueryId, QuerySet, Result, SubplanId, WorkCounter,
+};
 use ishare_expr::compile::{CompiledPredicate, CompiledProjection};
 use ishare_plan::{InputSource, OpTree, Subplan, TreeOp};
-use ishare_storage::{Catalog, DeltaBatch, Schema};
+use ishare_storage::{Catalog, DeltaBatch, DeltaRow, Schema};
 use std::collections::HashMap;
 
 /// Which datapath a [`SubplanExecutor`] runs.
@@ -97,6 +99,51 @@ struct CompiledOps {
     projects: HashMap<Vec<usize>, CompiledProjection>,
     join_keys: HashMap<Vec<usize>, JoinKeys>,
     agg_specs: HashMap<Vec<usize>, AggSpec>,
+}
+
+/// Opaque transplantable operator state of one executor, keyed by tree
+/// path. Produced by [`SubplanExecutor::take_state_bundle`] and consumed by
+/// [`SubplanExecutor::install_state_bundle`] when query churn re-cuts the
+/// shared plan: a surviving subplan hands its join/aggregate state to its
+/// successor executor instead of replaying history.
+/// [`StateBundle::extract_prefix`] supports subplan *splits* — the state
+/// under a forced-cut path moves to the new child subplan with paths
+/// re-rooted at the cut, while the remainder stays with the parent (whose
+/// paths are unchanged: the cut node becomes an `Input` leaf in place).
+#[derive(Debug, Default)]
+pub struct StateBundle {
+    states: HashMap<Vec<usize>, OpState>,
+}
+
+impl StateBundle {
+    /// Number of stateful-operator states carried.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// `true` iff no state is carried.
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// Remove every state whose tree path starts with `prefix` and return
+    /// it as a new bundle with the prefix stripped (re-rooted at the cut
+    /// node). States not under `prefix` stay in `self`.
+    pub fn extract_prefix(&mut self, prefix: &[usize]) -> StateBundle {
+        // `retain` cannot move values out, so drain the map and rebuild
+        // `self` while peeling off the prefixed entries.
+        let mut kept = HashMap::new();
+        let mut out = HashMap::new();
+        for (path, st) in std::mem::take(&mut self.states) {
+            if path.starts_with(prefix) {
+                out.insert(path[prefix.len()..].to_vec(), st);
+            } else {
+                kept.insert(path, st);
+            }
+        }
+        self.states = kept;
+        StateBundle { states: out }
+    }
 }
 
 /// Executes one subplan incrementally, holding its operator state.
@@ -264,6 +311,336 @@ impl SubplanExecutor {
     pub fn queries(&self) -> QuerySet {
         self.subplan.queries
     }
+
+    /// Total stored state entries across this subplan's stateful operators:
+    /// join (row, mask) entries on both sides plus aggregate classes and
+    /// outstanding emitted pairs. Feeds the churn reclaimed-rows accounting.
+    pub fn state_rows(&self) -> usize {
+        self.states
+            .values()
+            .map(|s| match s {
+                OpState::Join(j) => j.left_size() + j.right_size(),
+                OpState::PartJoin(p) => p.left_size() + p.right_size(),
+                OpState::Agg(a) => a.state_size(),
+                OpState::PartAgg(p) => p.state_size(),
+                OpState::RefJoin(_) | OpState::RefAgg(_) => 0,
+            })
+            .sum()
+    }
+
+    /// Swap this subplan description (and its lowered kernels) for a
+    /// structurally identical successor produced by a churn re-cut, keeping
+    /// all operator state in place. "Structurally identical" means the same
+    /// tree shape with stateful operators at the same paths — only select
+    /// branch membership, the query sets, and expression lists may differ
+    /// (e.g. an admitted query joined an existing predicate branch, or a
+    /// removed query's branch disappeared). Rejects shape changes with
+    /// [`Error::Churn`]; splits must go through [`Self::take_state_bundle`]
+    /// instead.
+    pub fn refresh_subplan(
+        &mut self,
+        subplan: &Subplan,
+        catalog: &Catalog,
+        child_schemas: &HashMap<SubplanId, Schema>,
+    ) -> Result<()> {
+        let mut agg_int = HashMap::new();
+        let mut fresh_states = HashMap::new();
+        let mut compiled = CompiledOps::default();
+        init_states(
+            &subplan.root,
+            &mut Vec::new(),
+            catalog,
+            child_schemas,
+            self.options,
+            &mut agg_int,
+            &mut fresh_states,
+            &mut compiled,
+        )?;
+        if fresh_states.len() != self.states.len()
+            || fresh_states.iter().any(|(path, st)| {
+                self.states
+                    .get(path)
+                    .is_none_or(|old| std::mem::discriminant(old) != std::mem::discriminant(st))
+            })
+        {
+            return Err(Error::Churn(format!(
+                "subplan {:?} changed shape across re-cut; state cannot be kept in place",
+                subplan.id
+            )));
+        }
+        self.subplan = subplan.clone();
+        self.agg_int = agg_int;
+        self.compiled = compiled;
+        Ok(())
+    }
+
+    /// Move all operator state out for transplant into successor executors
+    /// (see [`StateBundle`]). This executor is left with fresh empty state —
+    /// it stays runnable but has forgotten its history, so callers normally
+    /// drop it afterwards. [`Error::Churn`] in [`ExecMode::Reference`]: the
+    /// oracle datapath does not support state surgery.
+    pub fn take_state_bundle(&mut self) -> Result<StateBundle> {
+        if self.options.mode == ExecMode::Reference {
+            return Err(churn_unsupported());
+        }
+        let states = std::mem::take(&mut self.states);
+        for (path, keys) in &self.compiled.join_keys {
+            let st = if self.options.partitioned() {
+                OpState::PartJoin(PartitionedJoin::new(
+                    self.options.partitions,
+                    self.options.partition_threads,
+                    keys,
+                ))
+            } else {
+                OpState::Join(JoinState::new())
+            };
+            self.states.insert(path.clone(), st);
+        }
+        for (path, spec) in &self.compiled.agg_specs {
+            let st = if self.options.partitioned() {
+                OpState::PartAgg(PartitionedAgg::new(
+                    self.options.partitions,
+                    self.options.partition_threads,
+                    spec,
+                ))
+            } else {
+                OpState::Agg(AggState::new())
+            };
+            self.states.insert(path.clone(), st);
+        }
+        Ok(StateBundle { states })
+    }
+
+    /// Install transplanted operator state at matching tree paths, replacing
+    /// this executor's (fresh) state there. Every carried path must exist in
+    /// this executor with the same operator variant; paths this bundle does
+    /// not carry keep their fresh empty state (new private operators of an
+    /// admitted query start cold by design). [`Error::Churn`] on unknown
+    /// paths, variant mismatches, or in [`ExecMode::Reference`].
+    pub fn install_state_bundle(&mut self, bundle: StateBundle) -> Result<()> {
+        if self.options.mode == ExecMode::Reference {
+            return Err(churn_unsupported());
+        }
+        for (path, st) in bundle.states {
+            match self.states.get_mut(&path) {
+                Some(slot) if std::mem::discriminant(slot) == std::mem::discriminant(&st) => {
+                    *slot = st;
+                }
+                Some(_) => {
+                    return Err(Error::Churn(format!(
+                        "transplanted state at path {path:?} has a different operator variant"
+                    )));
+                }
+                None => {
+                    return Err(Error::Churn(format!(
+                        "transplanted state at path {path:?} has no stateful operator here"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Widen every stored state entry visible to `q_ref` with `q_new`'s bit,
+    /// across all stateful operators. Called on surviving shared subplans
+    /// when an admitted query reuses them: history the witness query `q_ref`
+    /// can see becomes visible to `q_new` without replay. `q_new` must be a
+    /// fresh bit (the sharer guarantees it), which makes widening injective —
+    /// no two distinct masks become equal. [`Error::Churn`] in
+    /// [`ExecMode::Reference`].
+    pub fn widen_query(&mut self, q_ref: QueryId, q_new: QueryId) -> Result<()> {
+        if self.options.mode == ExecMode::Reference {
+            return Err(churn_unsupported());
+        }
+        for st in self.states.values_mut() {
+            match st {
+                OpState::Join(j) => j.widen_query(q_ref, q_new),
+                OpState::PartJoin(p) => p.widen_query(q_ref, q_new),
+                OpState::Agg(a) => a.widen_query(q_ref, q_new),
+                OpState::PartAgg(p) => p.widen_query(q_ref, q_new),
+                OpState::RefJoin(_) | OpState::RefAgg(_) => return Err(churn_unsupported()),
+            }
+        }
+        Ok(())
+    }
+
+    /// Remove `q` from every stored state entry and GC entries whose mask
+    /// goes empty, across all stateful operators. Returns the number of
+    /// state entries reclaimed. Called on surviving subplans when a query is
+    /// removed. [`Error::Churn`] in [`ExecMode::Reference`].
+    pub fn retire_query(&mut self, q: QueryId) -> Result<usize> {
+        if self.options.mode == ExecMode::Reference {
+            return Err(churn_unsupported());
+        }
+        let mut reclaimed = 0usize;
+        for st in self.states.values_mut() {
+            reclaimed += match st {
+                OpState::Join(j) => j.retire_query(q),
+                OpState::PartJoin(p) => p.retire_query(q),
+                OpState::Agg(a) => a.retire_query(q),
+                OpState::PartAgg(p) => p.retire_query(q),
+                OpState::RefJoin(_) | OpState::RefAgg(_) => return Err(churn_unsupported()),
+            };
+        }
+        Ok(reclaimed)
+    }
+
+    /// The leaves the snapshot walk of [`Self::snapshot_output`] will read
+    /// history from: leaves reachable from the root without crossing a
+    /// stateful operator. Empty when a join/aggregate roots the spine (its
+    /// state already nets everything below it); at most one entry otherwise,
+    /// because stateless operators are unary.
+    pub fn snapshot_leaf_dependencies(&self) -> Vec<(Vec<usize>, InputSource)> {
+        let mut out = Vec::new();
+        let mut t = &self.subplan.root;
+        let mut path = Vec::new();
+        loop {
+            match &t.op {
+                TreeOp::Input(src) => {
+                    out.push((path.clone(), *src));
+                    break;
+                }
+                TreeOp::Select { .. } | TreeOp::Project { .. } => {
+                    path.push(0);
+                    t = &t.inputs[0];
+                }
+                TreeOp::Join { .. } | TreeOp::Aggregate { .. } => break,
+            }
+        }
+        out
+    }
+
+    /// Reconstruct this subplan's *net historical output* as seen by the
+    /// witness query `q_ref`, re-masked to the admitted query `q_new` —
+    /// the state handoff that lets a new query sharing this subplan skip
+    /// replaying history.
+    ///
+    /// The walk descends the root spine to the topmost stateful operator and
+    /// snapshots it — an aggregate's outstanding emitted pairs
+    /// ([`AggState::snapshot_emitted`]) or a join's stored cross product
+    /// ([`crate::join::JoinState::snapshot_product`]) — then re-runs the
+    /// stateless operators *above* it over the snapshot with the normal
+    /// kernels (charging `counter` as usual). Everything *below* the
+    /// stateful operator is already netted into its state. If the spine is
+    /// fully stateless, the history of its single leaf must be supplied in
+    /// `leaf_history` (keyed by leaf path; see
+    /// [`Self::snapshot_leaf_dependencies`]); witness-masked leaf rows are
+    /// re-masked to `q_new` and pushed through the spine.
+    ///
+    /// Stateful-operator snapshots are canonicalized (sorted by encoded row,
+    /// equal rows merged, zero weights dropped) before the spine re-run, so
+    /// the result is independent of partition count and state insertion
+    /// order. The caller must have [`Self::refresh_subplan`]-ed this
+    /// executor first so `q_new` is in the subplan's query set and select
+    /// branches. [`Error::Churn`] in [`ExecMode::Reference`].
+    pub fn snapshot_output(
+        &self,
+        q_ref: QueryId,
+        q_new: QueryId,
+        leaf_history: &mut HashMap<Vec<usize>, DeltaBatch>,
+        counter: &WorkCounter,
+    ) -> Result<DeltaBatch> {
+        if self.options.mode == ExecMode::Reference {
+            return Err(churn_unsupported());
+        }
+        self.snap_node(&self.subplan.root, &mut Vec::new(), q_ref, q_new, leaf_history, counter)
+    }
+
+    fn snap_node(
+        &self,
+        t: &OpTree,
+        path: &mut Vec<usize>,
+        q_ref: QueryId,
+        q_new: QueryId,
+        leaf_history: &mut HashMap<Vec<usize>, DeltaBatch>,
+        counter: &WorkCounter,
+    ) -> Result<DeltaBatch> {
+        match &t.op {
+            TreeOp::Join { .. } => {
+                let rows = match self.states.get(path.as_slice()) {
+                    Some(OpState::Join(j)) => j.snapshot_product(q_ref, q_new),
+                    Some(OpState::PartJoin(p)) => p.snapshot_product(q_ref, q_new),
+                    Some(OpState::RefJoin(_)) | Some(OpState::RefAgg(_)) => {
+                        return Err(churn_unsupported())
+                    }
+                    _ => {
+                        return Err(Error::InvalidPlan(format!(
+                            "missing join state at path {path:?}"
+                        )))
+                    }
+                };
+                Ok(DeltaBatch::from_rows(consolidate_snapshot(rows)))
+            }
+            TreeOp::Aggregate { .. } => {
+                let rows = match self.states.get(path.as_slice()) {
+                    Some(OpState::Agg(a)) => a.snapshot_emitted(q_ref, q_new),
+                    Some(OpState::PartAgg(p)) => p.snapshot_emitted(q_ref, q_new),
+                    Some(OpState::RefJoin(_)) | Some(OpState::RefAgg(_)) => {
+                        return Err(churn_unsupported())
+                    }
+                    _ => {
+                        return Err(Error::InvalidPlan(format!(
+                            "missing aggregate state at path {path:?}"
+                        )))
+                    }
+                };
+                Ok(DeltaBatch::from_rows(consolidate_snapshot(rows)))
+            }
+            TreeOp::Select { branches } => {
+                path.push(0);
+                let input = self.snap_node(&t.inputs[0], path, q_ref, q_new, leaf_history, counter);
+                path.pop();
+                let preds = self.compiled.selects.get(path.as_slice()).ok_or_else(|| {
+                    Error::InvalidPlan(format!("missing compiled select at path {path:?}"))
+                })?;
+                apply_select(input?, branches, preds, &self.weights, counter)
+            }
+            TreeOp::Project { .. } => {
+                path.push(0);
+                let input = self.snap_node(&t.inputs[0], path, q_ref, q_new, leaf_history, counter);
+                path.pop();
+                let proj = self.compiled.projects.get(path.as_slice()).ok_or_else(|| {
+                    Error::InvalidPlan(format!("missing compiled project at path {path:?}"))
+                })?;
+                apply_project(input?, proj, &self.weights, counter)
+            }
+            TreeOp::Input(_) => {
+                let batch = leaf_history.remove(path.as_slice()).unwrap_or_default();
+                let mut witnessed = DeltaBatch::new();
+                for dr in batch.rows {
+                    if dr.mask.contains(q_ref) {
+                        witnessed.push(DeltaRow {
+                            row: dr.row,
+                            weight: dr.weight,
+                            mask: QuerySet::single(q_new),
+                        });
+                    }
+                }
+                Ok(narrow_input(&witnessed, self.subplan.queries, &self.weights, counter))
+            }
+        }
+    }
+}
+
+fn churn_unsupported() -> Error {
+    Error::Churn("reference-mode executors do not support state surgery".into())
+}
+
+/// Canonicalize a state snapshot: sort by (row, mask), merge equal entries
+/// by summing weights, drop zeros. Makes the snapshot a pure function of
+/// the stored state *set*, independent of partition count and insertion
+/// order.
+fn consolidate_snapshot(mut rows: Vec<DeltaRow>) -> Vec<DeltaRow> {
+    rows.sort_by(|a, b| a.row.cmp(&b.row).then_with(|| a.mask.cmp(&b.mask)));
+    let mut out: Vec<DeltaRow> = Vec::with_capacity(rows.len());
+    for dr in rows {
+        match out.last_mut() {
+            Some(last) if last.row == dr.row && last.mask == dr.mask => last.weight += dr.weight,
+            _ => out.push(dr),
+        }
+    }
+    out.retain(|dr| dr.weight != 0);
+    out
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -705,6 +1082,194 @@ mod tests {
                 assert!(split > 0.0, "partitions must have charged work");
             }
         }
+    }
+
+    /// The aggregate-rooted snapshot must equal the witness query's net
+    /// accumulated output, re-masked to the admitted query.
+    #[test]
+    fn snapshot_output_matches_witness_history() {
+        let c = catalog();
+        let mut sp = sample_subplan(&c);
+        let mut ex =
+            SubplanExecutor::new(&sp, &c, &HashMap::new(), CostWeights::default()).unwrap();
+        let leaves = ex.leaf_paths();
+        let counter = WorkCounter::new();
+        let mut acc = Vec::new();
+        let steps: Vec<(Vec<DeltaRow>, Vec<DeltaRow>)> = vec![
+            (vec![t_row(1, 1), t_row(1, 5), t_row(2, 9)], vec![t_row(1, 100)]),
+            (vec![t_row(2, 3)], vec![t_row(2, 20), t_row(1, 7)]),
+        ];
+        for (ts, us) in steps {
+            let mut inputs = HashMap::new();
+            inputs.insert(leaves[0].0.clone(), DeltaBatch::from_rows(ts));
+            inputs.insert(leaves[1].0.clone(), DeltaBatch::from_rows(us));
+            acc.extend(ex.execute(&mut inputs, &counter).unwrap().rows);
+        }
+        // Admit q2 with q0 as witness: widen the subplan description, then
+        // snapshot. The agg roots the spine, so no leaf history is needed.
+        sp.queries = qs(&[0, 1, 2]);
+        ex.refresh_subplan(&sp, &c, &HashMap::new()).unwrap();
+        assert!(ex.snapshot_leaf_dependencies().is_empty());
+        let snap =
+            ex.snapshot_output(QueryId(0), QueryId(2), &mut HashMap::new(), &counter).unwrap();
+        // Expected: net history visible to q0, re-masked to {q2}.
+        let mut expected = HashMap::new();
+        for dr in acc {
+            if dr.mask.contains(QueryId(0)) {
+                *expected.entry(dr.row).or_insert(0i64) += dr.weight;
+            }
+        }
+        expected.retain(|_, w| *w != 0);
+        let got: HashMap<Row, i64> = snap
+            .rows
+            .iter()
+            .map(|dr| {
+                assert_eq!(dr.mask, qs(&[2]));
+                (dr.row.clone(), dr.weight)
+            })
+            .collect();
+        assert_eq!(got, expected);
+        assert!(!got.is_empty());
+        assert!(ex.state_rows() > 0);
+    }
+
+    /// A fully stateless subplan snapshots by pushing witness-masked leaf
+    /// history through its own kernels.
+    #[test]
+    fn stateless_snapshot_replays_leaf_history() {
+        let c = catalog();
+        let t = c.table_by_name("t").unwrap().id;
+        // Post-admission shape: q2 joined q0's (always-true) branch.
+        let tree = OpTree::node(
+            TreeOp::Select {
+                branches: vec![
+                    SelectBranch { queries: qs(&[0, 2]), predicate: Expr::true_lit() },
+                    SelectBranch { queries: qs(&[1]), predicate: Expr::col(1).gt(Expr::lit(2i64)) },
+                ],
+            },
+            vec![OpTree::input(InputSource::Base(t))],
+        );
+        let sp = Subplan {
+            id: SubplanId(0),
+            root: tree,
+            queries: qs(&[0, 1, 2]),
+            output_queries: qs(&[0, 1, 2]),
+        };
+        let ex = SubplanExecutor::new(&sp, &c, &HashMap::new(), CostWeights::default()).unwrap();
+        let deps = ex.snapshot_leaf_dependencies();
+        assert_eq!(deps.len(), 1);
+        assert_eq!(deps[0].1, InputSource::Base(t));
+        let mut hist = HashMap::new();
+        hist.insert(deps[0].0.clone(), DeltaBatch::from_rows(vec![t_row(1, 1), t_row(2, 9)]));
+        let counter = WorkCounter::new();
+        let snap = ex.snapshot_output(QueryId(0), QueryId(2), &mut hist, &counter).unwrap();
+        // q0's branch is always-true: both historical rows, re-masked {q2}.
+        assert_eq!(snap.rows.len(), 2);
+        assert!(snap.rows.iter().all(|dr| dr.mask == qs(&[2]) && dr.weight == 1));
+        assert!(counter.total().get() > 0.0, "spine re-run charges work");
+    }
+
+    /// Transplanting state through a bundle must continue the stream
+    /// bit-identically, and prefix extraction must re-root subtree state.
+    #[test]
+    fn state_bundle_transplant_preserves_stream() {
+        let c = catalog();
+        let sp = sample_subplan(&c);
+        let weights = CostWeights::default();
+        let steps: Vec<(Vec<DeltaRow>, Vec<DeltaRow>)> = vec![
+            (vec![t_row(1, 1), t_row(2, 5)], vec![t_row(1, 100)]),
+            (vec![t_row(1, 3)], vec![t_row(2, 20)]),
+            (vec![t_row(2, 8)], vec![t_row(1, 7)]),
+        ];
+        let run_step = |ex: &mut SubplanExecutor,
+                        step: &(Vec<DeltaRow>, Vec<DeltaRow>),
+                        counter: &WorkCounter| {
+            let leaves = ex.leaf_paths();
+            let mut inputs = HashMap::new();
+            inputs.insert(leaves[0].0.clone(), DeltaBatch::from_rows(step.0.clone()));
+            inputs.insert(leaves[1].0.clone(), DeltaBatch::from_rows(step.1.clone()));
+            ex.execute(&mut inputs, counter).unwrap().rows
+        };
+        let cc = WorkCounter::new();
+        let mut control = SubplanExecutor::new(&sp, &c, &HashMap::new(), weights).unwrap();
+        let mut control_out = Vec::new();
+        for s in &steps {
+            control_out.push(run_step(&mut control, s, &cc));
+        }
+
+        let tc = WorkCounter::new();
+        let mut a = SubplanExecutor::new(&sp, &c, &HashMap::new(), weights).unwrap();
+        let mut out = vec![run_step(&mut a, &steps[0], &tc), run_step(&mut a, &steps[1], &tc)];
+        let rows_before = a.state_rows();
+        let bundle = a.take_state_bundle().unwrap();
+        assert_eq!(bundle.len(), 2, "agg at [] and join at [0]");
+        assert_eq!(a.state_rows(), 0, "donor is left with fresh empty state");
+        let mut b = SubplanExecutor::new(&sp, &c, &HashMap::new(), weights).unwrap();
+        b.install_state_bundle(bundle).unwrap();
+        assert_eq!(b.state_rows(), rows_before);
+        out.push(run_step(&mut b, &steps[2], &tc));
+        assert_eq!(out, control_out);
+        assert_eq!(tc.total().get().to_bits(), cc.total().get().to_bits());
+    }
+
+    /// Splitting at the join: the extracted sub-bundle re-roots at [] and
+    /// installs into an executor whose subplan is the join subtree.
+    #[test]
+    fn extract_prefix_moves_subtree_state() {
+        let c = catalog();
+        let sp = sample_subplan(&c);
+        let weights = CostWeights::default();
+        let counter = WorkCounter::new();
+        let mut ex = SubplanExecutor::new(&sp, &c, &HashMap::new(), weights).unwrap();
+        let leaves = ex.leaf_paths();
+        let mut inputs = HashMap::new();
+        inputs.insert(leaves[1].0.clone(), DeltaBatch::from_rows(vec![t_row(1, 100)]));
+        ex.execute(&mut inputs, &counter).unwrap();
+
+        let mut bundle = ex.take_state_bundle().unwrap();
+        let sub = bundle.extract_prefix(&[0]);
+        assert_eq!(sub.len(), 1, "join state re-rooted at []");
+        assert_eq!(bundle.len(), 1, "agg state stays with the parent");
+
+        let join_sp = Subplan {
+            id: SubplanId(1),
+            root: sp.root.inputs[0].clone(),
+            queries: sp.queries,
+            output_queries: sp.queries,
+        };
+        let mut jex = SubplanExecutor::new(&join_sp, &c, &HashMap::new(), weights).unwrap();
+        jex.install_state_bundle(sub).unwrap();
+        // The transplanted right side must join against a fresh left row.
+        let jleaves = jex.leaf_paths();
+        let mut inputs = HashMap::new();
+        inputs.insert(jleaves[0].0.clone(), DeltaBatch::from_rows(vec![t_row(1, 5)]));
+        let out = jex.execute(&mut inputs, &counter).unwrap();
+        assert_eq!(out.rows.len(), 1, "probe matched the transplanted right row");
+        assert_eq!(out.rows[0].mask, qs(&[0, 1]));
+    }
+
+    #[test]
+    fn reference_mode_rejects_churn_ops() {
+        let c = catalog();
+        let sp = sample_subplan(&c);
+        let mut ex = SubplanExecutor::new_with_mode(
+            &sp,
+            &c,
+            &HashMap::new(),
+            CostWeights::default(),
+            ExecMode::Reference,
+        )
+        .unwrap();
+        let counter = WorkCounter::new();
+        let msg = |e: Error| e.to_string();
+        assert!(msg(ex.widen_query(QueryId(0), QueryId(2)).unwrap_err()).contains("churn"));
+        assert!(msg(ex.retire_query(QueryId(1)).unwrap_err()).contains("churn"));
+        assert!(msg(ex.take_state_bundle().unwrap_err()).contains("churn"));
+        assert!(msg(ex.install_state_bundle(StateBundle::default()).unwrap_err()).contains("churn"));
+        assert!(msg(ex
+            .snapshot_output(QueryId(0), QueryId(2), &mut HashMap::new(), &counter)
+            .unwrap_err())
+        .contains("churn"));
     }
 
     /// The two datapaths must agree bit-for-bit: same output rows in the

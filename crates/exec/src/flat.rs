@@ -141,6 +141,19 @@ impl<V> FlatTable<V> {
         id
     }
 
+    /// Ids of all live slots, in slot (= insertion) order. Stable until the
+    /// next [`Self::maybe_compact`]; used by query churn to walk operator
+    /// state for mask widening / retirement.
+    pub fn live_ids(&self) -> Vec<u32> {
+        (0..self.slots.len() as u32).filter(|&id| self.slots[id as usize].is_some()).collect()
+    }
+
+    /// Key words and value at a live slot id.
+    #[inline]
+    pub fn get_by_id_with_key(&self, id: u32) -> Option<(&[u64], &V)> {
+        self.slots[id as usize].as_ref().map(|(k, v)| (k.as_words(), v))
+    }
+
     /// Remove the entry at `id`, tombstoning its slot. No-op on a dead id.
     pub fn remove_id(&mut self, id: u32) {
         if let Some((key, _)) = self.slots[id as usize].take() {

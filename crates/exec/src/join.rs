@@ -29,7 +29,7 @@
 
 use crate::flat::FlatTable;
 use ishare_common::{
-    CostWeights, Error, KeyBuf, OpKind, QuerySet, Result, StrInterner, WorkCounter,
+    CostWeights, Error, KeyBuf, OpKind, QueryId, QuerySet, Result, StrInterner, WorkCounter,
 };
 use ishare_expr::compile::CompiledScalar;
 use ishare_expr::Expr;
@@ -224,6 +224,114 @@ impl JoinState {
         self.left.maybe_compact();
         self.right.maybe_compact();
         Ok(out)
+    }
+
+    /// Query admission: add `q_new`'s bit to every stored entry whose mask
+    /// contains the witness `q_ref` (those are exactly the tuples `q_new`
+    /// would have stored had it run from the start). Entry lists are
+    /// re-sorted because masks participate in the `(row, mask)` order;
+    /// `q_new` is a fresh bit, so widening never makes two entries equal.
+    pub fn widen_query(&mut self, q_ref: QueryId, q_new: QueryId) {
+        for table in [&mut self.left, &mut self.right] {
+            for id in table.live_ids() {
+                let slot = table.get_by_id_mut(id).expect("live slot");
+                match slot {
+                    EntryList::Empty => {}
+                    EntryList::One((_, m, _)) => {
+                        if m.contains(q_ref) {
+                            m.insert(q_new);
+                        }
+                    }
+                    EntryList::Many(es) => {
+                        let mut widened = false;
+                        for (_, m, _) in es.iter_mut() {
+                            if m.contains(q_ref) {
+                                m.insert(q_new);
+                                widened = true;
+                            }
+                        }
+                        if widened {
+                            es.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Query removal: clear `q`'s bit from every stored entry, dropping
+    /// entries whose mask goes empty and merging entries that become equal
+    /// in `(row, mask)` (their net weights add; both are positive, so the
+    /// merge never cancels to zero). Returns the number of entries freed.
+    pub fn retire_query(&mut self, q: QueryId) -> usize {
+        let mut reclaimed = 0usize;
+        for (table, entries) in
+            [(&mut self.left, &mut self.left_entries), (&mut self.right, &mut self.right_entries)]
+        {
+            for id in table.live_ids() {
+                let slot = table.get_by_id_mut(id).expect("live slot");
+                let mut es: Vec<Entry> = match std::mem::replace(slot, EntryList::Empty) {
+                    EntryList::Empty => Vec::new(),
+                    EntryList::One(e) => vec![e],
+                    EntryList::Many(es) => es,
+                };
+                let before = es.len();
+                for (_, m, _) in es.iter_mut() {
+                    m.remove(q);
+                }
+                es.retain(|(_, m, _)| !m.is_empty());
+                es.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
+                es.dedup_by(|dup, keep| {
+                    if dup.0 == keep.0 && dup.1 == keep.1 {
+                        keep.2 += dup.2;
+                        true
+                    } else {
+                        false
+                    }
+                });
+                reclaimed += before - es.len();
+                *entries -= before - es.len();
+                if es.is_empty() {
+                    table.remove_id(id);
+                } else if es.len() == 1 {
+                    *table.get_by_id_mut(id).expect("live slot") =
+                        EntryList::One(es.pop().expect("one entry"));
+                } else {
+                    *table.get_by_id_mut(id).expect("live slot") = EntryList::Many(es);
+                }
+            }
+            table.maybe_compact();
+        }
+        reclaimed
+    }
+
+    /// State handoff for admission: the join output `q_ref` has netted so
+    /// far, i.e. the per-key cross product of stored left × right entries
+    /// whose masks both contain the witness, re-masked to `{q_new}`.
+    /// Unconsolidated and in storage order — the caller consolidates (and
+    /// thereby becomes partition-count independent).
+    pub fn snapshot_product(&self, q_ref: QueryId, q_new: QueryId) -> Vec<DeltaRow> {
+        let mut out = Vec::new();
+        for lid in self.left.live_ids() {
+            let (key, lentries) = self.left.get_by_id_with_key(lid).expect("live slot");
+            let Some(rentries) = self.right.get(key) else { continue };
+            for (lrow, lmask, lw) in lentries.as_slice() {
+                if !lmask.contains(q_ref) {
+                    continue;
+                }
+                for (rrow, rmask, rw) in rentries.as_slice() {
+                    if !rmask.contains(q_ref) {
+                        continue;
+                    }
+                    out.push(DeltaRow {
+                        row: lrow.concat(rrow),
+                        weight: lw * rw,
+                        mask: QuerySet::single(q_new),
+                    });
+                }
+            }
+        }
+        out
     }
 }
 
@@ -549,6 +657,57 @@ mod tests {
             .unwrap();
         assert_eq!(out.len(), 1);
         assert_eq!(out.rows[0].row.get(0), &Value::str("b"));
+    }
+
+    #[test]
+    fn widen_retire_snapshot_roundtrip() {
+        let mut st = JoinState::new();
+        // q0 and q1 share the stored rows; key 2 is q1-private.
+        run(
+            &mut st,
+            vec![dr(1, 10, 1, &[0, 1]), dr(2, 11, 1, &[1])],
+            vec![dr(1, 20, 1, &[0, 1]), dr(2, 21, 1, &[1])],
+        );
+        // Snapshot for a new query q2 witnessed by q0: only key 1's product.
+        let snap = st.snapshot_product(QueryId(0), QueryId(2));
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].weight, 1);
+        assert_eq!(snap[0].mask, qs(&[2]));
+        assert_eq!(snap[0].row.values().len(), 4);
+
+        // Widen q0 → q2, then a new right row on key 1 joins for q2 too.
+        st.widen_query(QueryId(0), QueryId(2));
+        let out = run(&mut st, vec![], vec![dr(1, 22, 1, &[0, 1, 2])]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.rows[0].mask, qs(&[0, 1, 2]));
+
+        // Retire q1: its private key-2 entries are freed; shared entries
+        // survive with the bit cleared.
+        let freed = st.retire_query(QueryId(1));
+        assert_eq!(freed, 2, "key 2's left+right entries are q1-private");
+        assert_eq!(st.left_size(), 1);
+        let out = run(&mut st, vec![dr(2, 30, 1, &[0])], vec![]);
+        assert!(out.is_empty(), "retired state no longer matches");
+        let out = run(&mut st, vec![dr(1, 30, 1, &[0, 2])], vec![]);
+        assert_eq!(out.len(), 2, "both right rows on key 1 survive");
+        for r in &out.rows {
+            assert!(!r.mask.contains(QueryId(1)));
+        }
+    }
+
+    #[test]
+    fn retire_merges_entries_left_equal() {
+        // Same row stored under masks {0} and {0,1}: retiring q1 makes them
+        // equal and they must merge, summing weights.
+        let mut st = JoinState::new();
+        run(&mut st, vec![dr(1, 10, 1, &[0]), dr(1, 10, 1, &[0, 1])], vec![]);
+        assert_eq!(st.left_size(), 2);
+        let freed = st.retire_query(QueryId(1));
+        assert_eq!(freed, 1);
+        assert_eq!(st.left_size(), 1);
+        let out = run(&mut st, vec![], vec![dr(1, 20, 1, &[0])]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.rows[0].weight, 2, "merged entry weight is the sum");
     }
 
     #[test]

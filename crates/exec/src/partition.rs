@@ -55,7 +55,9 @@
 use crate::aggregate::{AggSpec, AggState, AggTrace};
 use crate::join::{JoinKeys, JoinState, JoinTrace};
 use ishare_common::fxhash::partition_of;
-use ishare_common::{CostWeights, KeyBuf, Result, StrInterner, WorkBreakdown, WorkCounter};
+use ishare_common::{
+    CostWeights, KeyBuf, QueryId, Result, StrInterner, WorkBreakdown, WorkCounter,
+};
 use ishare_expr::KeyExtractor;
 use ishare_storage::{DeltaBatch, DeltaRow};
 
@@ -220,6 +222,36 @@ impl PartitionedJoin {
         self.parts.iter().map(|p| p.right_size()).sum()
     }
 
+    /// Widen every stored entry whose mask contains `q_ref` with `q_new`,
+    /// partition by partition in index order. Routing is unaffected: widening
+    /// changes masks, never key values, so each entry stays in its partition.
+    pub fn widen_query(&mut self, q_ref: QueryId, q_new: QueryId) {
+        for p in &mut self.parts {
+            p.widen_query(q_ref, q_new);
+        }
+    }
+
+    /// Remove `q` from every stored entry and GC entries/keys whose mask
+    /// goes empty. Returns the total number of entries reclaimed, summed in
+    /// partition-index order (a plain integer sum — partition-count
+    /// independent because partitions hold disjoint entries).
+    pub fn retire_query(&mut self, q: QueryId) -> usize {
+        self.parts.iter_mut().map(|p| p.retire_query(q)).sum()
+    }
+
+    /// Concatenate per-partition [`JoinState::snapshot_product`] outputs in
+    /// partition-index order. The result is *unconsolidated and
+    /// partition-order dependent*; callers must consolidate globally (sort by
+    /// encoded row + merge weights) before the snapshot crosses a
+    /// determinism boundary.
+    pub fn snapshot_product(&self, q_ref: QueryId, q_new: QueryId) -> Vec<DeltaRow> {
+        let mut out = Vec::new();
+        for p in &self.parts {
+            out.extend(p.snapshot_product(q_ref, q_new));
+        }
+        out
+    }
+
     /// Run one incremental execution: exchange-route both deltas, execute
     /// every partition (traced), merge outputs in the sequential emission
     /// order — left-probe phase in batch order, then right-probe phase.
@@ -318,6 +350,38 @@ impl PartitionedAgg {
     /// Number of live groups, all partitions.
     pub fn group_count(&self) -> usize {
         self.parts.iter().map(|p| p.group_count()).sum()
+    }
+
+    /// Total stored state entries (classes + outstanding emitted pairs),
+    /// all partitions.
+    pub fn state_size(&self) -> usize {
+        self.parts.iter().map(|p| p.state_size()).sum()
+    }
+
+    /// Widen classes and outstanding emitted pairs containing `q_ref` with
+    /// `q_new`, partition by partition in index order.
+    pub fn widen_query(&mut self, q_ref: QueryId, q_new: QueryId) {
+        for p in &mut self.parts {
+            p.widen_query(q_ref, q_new);
+        }
+    }
+
+    /// Remove `q` from all classes and emitted pairs, GC empties. Returns
+    /// the total number of state entries reclaimed (integer sum over
+    /// disjoint partitions — partition-count independent).
+    pub fn retire_query(&mut self, q: QueryId) -> usize {
+        self.parts.iter_mut().map(|p| p.retire_query(q)).sum()
+    }
+
+    /// Concatenate per-partition [`AggState::snapshot_emitted`] outputs in
+    /// partition-index order. Unconsolidated and partition-order dependent;
+    /// callers must consolidate globally before use.
+    pub fn snapshot_emitted(&self, q_ref: QueryId, q_new: QueryId) -> Vec<DeltaRow> {
+        let mut out = Vec::new();
+        for p in &self.parts {
+            out.extend(p.snapshot_emitted(q_ref, q_new));
+        }
+        out
     }
 
     /// Run one incremental execution: exchange-route by group key, execute

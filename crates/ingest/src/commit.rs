@@ -23,6 +23,52 @@ pub struct TopicCommit {
     pub offsets: Vec<u64>,
 }
 
+/// The kind of a query-churn event recorded at a wavefront boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChurnKind {
+    /// A query was admitted into the live shared plan.
+    Admit,
+    /// A query was removed from the live shared plan.
+    Remove,
+}
+
+impl ChurnKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            ChurnKind::Admit => "admit",
+            ChurnKind::Remove => "remove",
+        }
+    }
+}
+
+/// One query-churn event (admission or removal), committed at the wavefront
+/// boundary where it took effect. Every field is a deterministic function
+/// of the run, so a resumed run verifies it re-derived the identical churn
+/// trajectory the same way it verifies offsets and paces. Work numbers are
+/// stored as exact f64 bit patterns (`f64::to_bits`) — the determinism
+/// contract is bit-level, not approximate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChurnRecord {
+    /// Admission or removal.
+    pub kind: ChurnKind,
+    /// The churned query's id (bit index in the plan's query sets).
+    pub query: u16,
+    /// DAG nodes the incremental merge reused (admit) / kept live (remove).
+    pub nodes_reused: u32,
+    /// DAG nodes the merge created (admit) / tombstoned (remove).
+    pub nodes_created: u32,
+    /// Live subplans after the event was applied.
+    pub subplans: u32,
+    /// Rows handed to the admitted query from shared operator state and
+    /// buffers (0 for removals).
+    pub handoff_rows: u64,
+    /// State/buffer rows reclaimed by a removal (0 for admissions).
+    pub reclaimed_rows: u64,
+    /// `f64::to_bits` of the work charged while seeding the admitted
+    /// query's state (0 for removals).
+    pub handoff_work_bits: u64,
+}
+
 /// The commit for one completed wavefront.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CommitEntry {
@@ -37,6 +83,9 @@ pub struct CommitEntry {
     /// here, so a resumed run can verify it re-derived the identical switch
     /// sequence; static runs repeat the planned paces in every entry.
     pub paces: Vec<u32>,
+    /// Query-churn events applied at this boundary (usually empty). Events
+    /// are listed in application order.
+    pub churn: Vec<ChurnRecord>,
     /// Per-topic consumer state, keyed by topic name (`t<table-id>`).
     pub topics: BTreeMap<String, TopicCommit>,
 }
@@ -83,13 +132,38 @@ impl CommitLog {
                         )
                     })
                     .collect();
-                json!({
-                    "wavefront": e.wavefront as u64,
-                    "num": e.num,
-                    "den": e.den,
-                    "paces": e.paces.iter().map(|&p| Value::from(p)).collect::<Vec<_>>(),
-                    "topics": Value::Object(topics),
-                })
+                let mut fields: Vec<(String, Value)> = vec![
+                    ("wavefront".into(), Value::from(e.wavefront as u64)),
+                    ("num".into(), Value::from(e.num)),
+                    ("den".into(), Value::from(e.den)),
+                    (
+                        "paces".into(),
+                        Value::Array(e.paces.iter().map(|&p| Value::from(p)).collect()),
+                    ),
+                ];
+                // Only emit `churn` when present, keeping churn-free logs
+                // byte-compatible with logs written before churn existed.
+                if !e.churn.is_empty() {
+                    let churn: Vec<Value> = e
+                        .churn
+                        .iter()
+                        .map(|c| {
+                            json!({
+                                "op": c.kind.as_str(),
+                                "query": c.query,
+                                "nodes_reused": c.nodes_reused,
+                                "nodes_created": c.nodes_created,
+                                "subplans": c.subplans,
+                                "handoff_rows": c.handoff_rows,
+                                "reclaimed_rows": c.reclaimed_rows,
+                                "handoff_work_bits": c.handoff_work_bits,
+                            })
+                        })
+                        .collect();
+                    fields.push(("churn".into(), Value::Array(churn)));
+                }
+                fields.push(("topics".into(), Value::Object(topics)));
+                Value::Object(fields)
             })
             .collect();
         json!({ "entries": entries })
@@ -145,11 +219,42 @@ impl CommitLog {
                     .ok_or_else(|| bad(&format!("entry {i} has non-integer pace")))?,
                 Some(_) => return Err(bad(&format!("entry {i} has non-array `paces`"))),
             };
+            // Same leniency for `churn` (absent in pre-churn logs).
+            let churn = match e.get("churn") {
+                None => Vec::new(),
+                Some(Value::Array(items)) => items
+                    .iter()
+                    .map(|c| {
+                        let field = |name: &str| {
+                            c.get(name).and_then(|v| v.as_i64()).map(|v| v as u64).ok_or_else(
+                                || bad(&format!("entry {i} churn record lacks integer `{name}`")),
+                            )
+                        };
+                        let kind = match c.get("op").and_then(|v| v.as_str()) {
+                            Some("admit") => ChurnKind::Admit,
+                            Some("remove") => ChurnKind::Remove,
+                            _ => return Err(bad(&format!("entry {i} churn record has bad `op`"))),
+                        };
+                        Ok(ChurnRecord {
+                            kind,
+                            query: field("query")? as u16,
+                            nodes_reused: field("nodes_reused")? as u32,
+                            nodes_created: field("nodes_created")? as u32,
+                            subplans: field("subplans")? as u32,
+                            handoff_rows: field("handoff_rows")?,
+                            reclaimed_rows: field("reclaimed_rows")?,
+                            handoff_work_bits: field("handoff_work_bits")?,
+                        })
+                    })
+                    .collect::<Result<Vec<ChurnRecord>>>()?,
+                Some(_) => return Err(bad(&format!("entry {i} has non-array `churn`"))),
+            };
             log.entries.push(CommitEntry {
                 wavefront: int("wavefront")? as usize,
                 num: int("num")? as u32,
                 den: int("den")? as u32,
                 paces,
+                churn,
                 topics,
             });
         }
@@ -173,11 +278,26 @@ mod tests {
                 "t3".to_string(),
                 TopicCommit { delivered: i as u64, offsets: vec![i as u64] },
             );
+            let churn = if i == 1 {
+                vec![ChurnRecord {
+                    kind: ChurnKind::Admit,
+                    query: 2,
+                    nodes_reused: 3,
+                    nodes_created: 1,
+                    subplans: 5,
+                    handoff_rows: 42,
+                    reclaimed_rows: 0,
+                    handoff_work_bits: 6.5f64.to_bits(),
+                }]
+            } else {
+                Vec::new()
+            };
             log.entries.push(CommitEntry {
                 wavefront: i,
                 num: *num,
                 den: *den,
                 paces: vec![1, 2 + i as u32],
+                churn,
                 topics,
             });
         }
@@ -202,6 +322,30 @@ mod tests {
             r#"{"entries": [{"wavefront": 0, "num": 1, "den": 2,
                 "topics": {"t0": {"delivered": 1}}}]}"#,
             r#"{"entries": [{"wavefront": 0, "num": 1, "den": 2, "paces": [1, "x"],
+                "topics": {"t0": {"delivered": 1, "offsets": [1]}}}]}"#,
+        ] {
+            let doc = serde_json::from_str(text).unwrap();
+            assert!(CommitLog::from_json(&doc).is_err(), "{text} should be rejected");
+        }
+    }
+
+    #[test]
+    fn churn_records_round_trip_and_stay_optional() {
+        let log = sample();
+        let doc = log.to_json();
+        // Churn-free entries omit the field entirely (pre-churn log shape).
+        assert!(doc["entries"][0].get("churn").is_none());
+        assert_eq!(doc["entries"][1]["churn"][0]["op"], "admit");
+        let back = CommitLog::from_json(&doc).unwrap();
+        assert_eq!(back.entries[1].churn[0].handoff_work_bits, 6.5f64.to_bits());
+        assert!(back.entries[0].churn.is_empty());
+        // A present churn record with a bad op or missing field is rejected.
+        for text in [
+            r#"{"entries": [{"wavefront": 0, "num": 1, "den": 2, "churn": [{"op": "merge"}],
+                "topics": {"t0": {"delivered": 1, "offsets": [1]}}}]}"#,
+            r#"{"entries": [{"wavefront": 0, "num": 1, "den": 2, "churn": [{"op": "admit"}],
+                "topics": {"t0": {"delivered": 1, "offsets": [1]}}}]}"#,
+            r#"{"entries": [{"wavefront": 0, "num": 1, "den": 2, "churn": 7,
                 "topics": {"t0": {"delivered": 1, "offsets": [1]}}}]}"#,
         ] {
             let doc = serde_json::from_str(text).unwrap();

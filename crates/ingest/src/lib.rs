@@ -39,7 +39,7 @@ pub mod jitter;
 pub mod source;
 pub mod topic;
 
-pub use commit::{CommitEntry, CommitLog, TopicCommit};
+pub use commit::{ChurnKind, ChurnRecord, CommitEntry, CommitLog, TopicCommit};
 pub use jitter::jittered_arrivals;
 pub use source::{Source, SourceConfig, TopicStats};
 pub use topic::{Partition, PushError, Record, Topic};

@@ -12,7 +12,7 @@
 //! prefixes for any jitter seed, which is what keeps the drivers'
 //! bit-identical determinism contract intact.
 
-use crate::commit::{CommitEntry, CommitLog, TopicCommit};
+use crate::commit::{ChurnRecord, CommitEntry, CommitLog, TopicCommit};
 use crate::jitter::jittered_arrivals;
 use crate::topic::{PushError, Record, Topic};
 use ishare_common::{Error, Result, TableId};
@@ -256,6 +256,21 @@ impl Source {
     /// `paces` records the pace configuration that was in effect during the
     /// wavefront, so adaptive runs can verify replayed pace switches.
     pub fn commit(&mut self, wavefront: usize, num: u32, den: u32, paces: &[u32]) -> &CommitEntry {
+        self.commit_with_churn(wavefront, num, den, paces, Vec::new())
+    }
+
+    /// [`Self::commit`] plus the query-churn events applied at this
+    /// boundary, in application order. Churn is committed *with* the
+    /// boundary it took effect at, so a resumed run replays admissions and
+    /// removals at exactly the same wavefronts.
+    pub fn commit_with_churn(
+        &mut self,
+        wavefront: usize,
+        num: u32,
+        den: u32,
+        paces: &[u32],
+        churn: Vec<ChurnRecord>,
+    ) -> &CommitEntry {
         let topics = self
             .topics
             .iter()
@@ -269,7 +284,14 @@ impl Source {
                 )
             })
             .collect();
-        self.log.entries.push(CommitEntry { wavefront, num, den, paces: paces.to_vec(), topics });
+        self.log.entries.push(CommitEntry {
+            wavefront,
+            num,
+            den,
+            paces: paces.to_vec(),
+            churn,
+            topics,
+        });
         self.log.entries.last().expect("just pushed")
     }
 

@@ -1,10 +1,9 @@
 //! Signature-based hash-consing of normalized query plans into a
 //! [`SharedDag`].
 
-use ishare_common::{Error, NodeId, QueryId, QuerySet, Result};
-use ishare_plan::{DagOp, LogicalPlan, SelectBranch, SharedDag};
+use ishare_common::{QueryId, Result};
+use ishare_plan::{LogicalPlan, SharedDag};
 use ishare_storage::Catalog;
-use std::collections::HashMap;
 
 /// Configuration of the MQO pass.
 #[derive(Debug, Clone)]
@@ -38,191 +37,23 @@ impl MqoConfig {
 ///
 /// Every query should be normalized first ([`crate::normalize()`]); the caller
 /// keeps control so tests can exercise non-normalized shapes.
+///
+/// This is a thin replay over [`crate::IncrementalSharer`]: each query is
+/// admitted in order against a fresh (unsealed) sharer, so a batch build and
+/// an incremental admission sequence over the same queries produce the same
+/// DAG by construction.
 pub fn build_shared_dag(
     queries: &[(QueryId, LogicalPlan)],
     catalog: &Catalog,
     config: &MqoConfig,
 ) -> Result<SharedDag> {
-    let mut b = DagBuilder {
-        dag: SharedDag::new(),
-        by_signature: HashMap::new(),
-        select_preds: HashMap::new(),
-        subtree_ops: HashMap::new(),
-        config,
-    };
+    let mut sharer = crate::IncrementalSharer::new(config.clone());
     for (q, plan) in queries {
-        let root = b.cons(*q, plan)?;
-        b.dag.set_query_root(*q, root)?;
+        sharer.admit(*q, plan)?;
     }
-    // Materialize collected per-query select predicates into branches.
-    for (node_idx, preds) in b.select_preds {
-        let node = &mut b.dag.nodes[node_idx as usize];
-        let mut branches: Vec<SelectBranch> = Vec::new();
-        for (q, pred) in preds {
-            if let Some(existing) = branches.iter_mut().find(|br| br.predicate == pred) {
-                existing.queries.insert(q);
-            } else {
-                branches.push(SelectBranch { queries: QuerySet::single(q), predicate: pred });
-            }
-        }
-        match &mut node.op {
-            DagOp::Select { branches: slot } => *slot = branches,
-            other => {
-                return Err(Error::InvalidPlan(format!(
-                    "collected predicates for non-select node ({})",
-                    other.label()
-                )))
-            }
-        }
-    }
-    b.dag.validate(catalog)?;
-    Ok(b.dag)
-}
-
-struct DagBuilder<'a> {
-    dag: SharedDag,
-    /// signature → node.
-    by_signature: HashMap<String, NodeId>,
-    /// Per select node: the (query, predicate) pairs collected so far.
-    select_preds: HashMap<u32, Vec<(QueryId, ishare_expr::Expr)>>,
-    /// Per node: operator count of its subtree (for the sharing guard).
-    subtree_ops: HashMap<u32, usize>,
-    config: &'a MqoConfig,
-}
-
-impl DagBuilder<'_> {
-    fn cons(&mut self, q: QueryId, plan: &LogicalPlan) -> Result<NodeId> {
-        match plan {
-            LogicalPlan::Scan { table } => {
-                let sig = format!("scan({table})");
-                self.intern(q, sig, DagOp::Scan { table: *table }, vec![], 1)
-            }
-            LogicalPlan::Select { input, predicate } => {
-                let child = self.cons(q, input)?;
-                let ops = self.subtree_ops[&child.0] + 1;
-                self.intern_select(q, child, predicate, ops)
-            }
-            LogicalPlan::Project { input, exprs } => {
-                let child = self.cons(q, input)?;
-                let ops = self.subtree_ops[&child.0] + 1;
-                // Expressions included: only identical projects merge (see
-                // crate docs for the documented deviation on union-merge).
-                let mut sig = format!("project({child};");
-                for (e, _) in exprs {
-                    sig.push_str(&format!("{e},"));
-                }
-                sig.push(')');
-                self.intern(q, sig, DagOp::Project { exprs: exprs.clone() }, vec![child], ops)
-            }
-            LogicalPlan::Join { left, right, keys } => {
-                let l = self.cons(q, left)?;
-                let r = self.cons(q, right)?;
-                let ops = self.subtree_ops[&l.0] + self.subtree_ops[&r.0] + 1;
-                let mut sig = format!("join({l},{r};");
-                for (lk, rk) in keys {
-                    sig.push_str(&format!("{lk}={rk},"));
-                }
-                sig.push(')');
-                self.intern(q, sig, DagOp::Join { keys: keys.clone() }, vec![l, r], ops)
-            }
-            LogicalPlan::Aggregate { input, group_by, aggs } => {
-                let child = self.cons(q, input)?;
-                let ops = self.subtree_ops[&child.0] + 1;
-                // Group exprs and aggregate (func, arg) included; output
-                // names excluded (they differ per query without changing
-                // the computation).
-                let mut sig = format!("agg({child};by=");
-                for (e, _) in group_by {
-                    sig.push_str(&format!("{e},"));
-                }
-                sig.push_str(";aggs=");
-                for a in aggs {
-                    sig.push_str(&format!("{}({}),", a.func, a.arg));
-                }
-                sig.push(')');
-                self.intern(
-                    q,
-                    sig,
-                    DagOp::Aggregate { group_by: group_by.clone(), aggs: aggs.clone() },
-                    vec![child],
-                    ops,
-                )
-            }
-        }
-    }
-
-    /// Intern a select node. Predicates are excluded from signatures (that
-    /// is what makes differing selects sharable), which creates one wrinkle:
-    /// a single query may contain two *different* selects over the same
-    /// child (a self-join with different filters). Such occurrences must not
-    /// merge — their branches would overlap on the query. Each (child)
-    /// signature therefore carries an occurrence index, and a query's select
-    /// takes the first occurrence that has no conflicting predicate for it.
-    fn intern_select(
-        &mut self,
-        q: QueryId,
-        child: NodeId,
-        predicate: &ishare_expr::Expr,
-        subtree_ops: usize,
-    ) -> Result<NodeId> {
-        for attempt in 0.. {
-            let sig = format!("select({child})#{attempt}");
-            let salted = self.salt(q, sig, subtree_ops);
-            if let Some(&id) = self.by_signature.get(&salted) {
-                let conflict = self
-                    .select_preds
-                    .get(&id.0)
-                    .map(|ps| ps.iter().any(|(pq, pp)| *pq == q && pp != predicate))
-                    .unwrap_or(false);
-                if conflict {
-                    continue;
-                }
-                self.dag.nodes[id.0 as usize].queries.insert(q);
-                let preds = self.select_preds.entry(id.0).or_default();
-                if !preds.iter().any(|(pq, pp)| *pq == q && pp == predicate) {
-                    preds.push((q, predicate.clone()));
-                }
-                return Ok(id);
-            }
-            let id = self.dag.add_node(
-                DagOp::Select { branches: vec![] },
-                vec![child],
-                QuerySet::single(q),
-            )?;
-            self.by_signature.insert(salted, id);
-            self.subtree_ops.insert(id.0, subtree_ops);
-            self.select_preds.entry(id.0).or_default().push((q, predicate.clone()));
-            return Ok(id);
-        }
-        unreachable!("occurrence loop always returns")
-    }
-
-    fn salt(&self, q: QueryId, sig: String, subtree_ops: usize) -> String {
-        if !self.config.enable_sharing || subtree_ops < self.config.min_shared_ops {
-            format!("{sig}@{q}")
-        } else {
-            sig
-        }
-    }
-
-    fn intern(
-        &mut self,
-        q: QueryId,
-        sig: String,
-        op: DagOp,
-        children: Vec<NodeId>,
-        subtree_ops: usize,
-    ) -> Result<NodeId> {
-        let sig = self.salt(q, sig, subtree_ops);
-        if let Some(&id) = self.by_signature.get(&sig) {
-            self.dag.nodes[id.0 as usize].queries.insert(q);
-            return Ok(id);
-        }
-        let id = self.dag.add_node(op, children, QuerySet::single(q))?;
-        self.by_signature.insert(sig, id);
-        self.subtree_ops.insert(id.0, subtree_ops);
-        Ok(id)
-    }
+    let dag = sharer.into_dag();
+    dag.validate(catalog)?;
+    Ok(dag)
 }
 
 #[cfg(test)]
@@ -231,7 +62,7 @@ mod tests {
     use crate::normalize::normalize;
     use ishare_common::DataType;
     use ishare_expr::Expr;
-    use ishare_plan::{PlanBuilder, SharedPlan};
+    use ishare_plan::{DagOp, PlanBuilder, SharedPlan};
     use ishare_storage::{Field, Schema, TableStats};
 
     fn catalog() -> Catalog {

@@ -1,0 +1,239 @@
+//! Property pins for the incremental sharer (DESIGN.md §14).
+//!
+//! The churn subsystem's structural guarantees, under a randomized query
+//! grammar that deliberately includes the two classic sharing traps:
+//!
+//! * **commutative join reorderings** — `t ⋈ u` and `u ⋈ t` compute the
+//!   same relation but are structurally distinct plans; signature-based
+//!   sharing must treat them consistently (share neither, or both, but
+//!   identically in the incremental and batch builders);
+//! * **predicate/alias collisions** — different expressions published
+//!   under the *same* output alias, and equal predicates reached through
+//!   different builder chains; a signature scheme keyed on names alone
+//!   would falsely merge them.
+//!
+//! Pinned properties:
+//!
+//! 1. *Merge equivalence*: admitting queries one at a time into an
+//!    unsealed [`IncrementalSharer`] builds the exact DAG of the
+//!    from-scratch batch [`build_shared_dag`] over the same list.
+//! 2. *Removal isolation*: removing one query never perturbs the nodes
+//!    reachable from any surviving query's root.
+//! 3. *Script determinism*: any admit/seal/admit/remove script replayed on
+//!    a fresh sharer reproduces the DAG node for node — the property the
+//!    kill/resume replay of churn trajectories rests on.
+
+use ishare_common::{DataType, NodeId, QueryId, QuerySet};
+use ishare_expr::Expr;
+use ishare_mqo::{build_shared_dag, normalize, IncrementalSharer, MqoConfig};
+use ishare_plan::{DagOp, LogicalPlan, PlanBuilder, SharedDag};
+use ishare_storage::{Catalog, Field, Schema, TableStats};
+use proptest::prelude::*;
+
+fn catalog() -> Catalog {
+    let mut c = Catalog::new();
+    c.add_table(
+        "t",
+        Schema::new(vec![Field::new("k", DataType::Int), Field::new("v", DataType::Int)]),
+        TableStats::unknown(100.0, 2),
+    )
+    .unwrap();
+    c.add_table(
+        "u",
+        Schema::new(vec![Field::new("uk", DataType::Int), Field::new("w", DataType::Int)]),
+        TableStats::unknown(80.0, 2),
+    )
+    .unwrap();
+    c
+}
+
+/// One randomized query: an optional `t ⋈ u` (either side order), an
+/// optional predicate, and an aggregate whose output alias is drawn from a
+/// tiny pool so distinct expressions collide on their published name.
+#[derive(Debug, Clone)]
+struct QuerySpec {
+    join: Option<bool>,       // Some(swap): join t and u, u on the left if true
+    pred: Option<(u8, bool)>, // (threshold index, gt-vs-lt)
+    agg_col_v: bool,          // sum(v) vs sum(w); joinless queries force v
+    alias_s: bool,            // publish the sum as "s" vs "x"
+}
+
+fn spec_strategy() -> impl Strategy<Value = QuerySpec> {
+    (
+        proptest::option::of(proptest::bool::ANY),
+        proptest::option::of((0u8..4, proptest::bool::ANY)),
+        proptest::bool::ANY,
+        proptest::bool::ANY,
+    )
+        .prop_map(|(join, pred, agg_col_v, alias_s)| QuerySpec {
+            join,
+            pred,
+            agg_col_v,
+            alias_s,
+        })
+}
+
+fn build_query(c: &Catalog, spec: &QuerySpec) -> LogicalPlan {
+    let thresholds = [2i64, 5, 20, 50];
+    let mut b = match spec.join {
+        None => PlanBuilder::scan(c, "t").unwrap(),
+        Some(false) => PlanBuilder::scan(c, "t")
+            .unwrap()
+            .join(PlanBuilder::scan(c, "u").unwrap(), &[("k", "uk")])
+            .unwrap(),
+        Some(true) => PlanBuilder::scan(c, "u")
+            .unwrap()
+            .join(PlanBuilder::scan(c, "t").unwrap(), &[("uk", "k")])
+            .unwrap(),
+    };
+    if let Some((i, gt)) = spec.pred {
+        let lim = thresholds[i as usize];
+        b = b
+            .select(|x| {
+                let col = x.col("v")?;
+                Ok(if gt { col.gt(Expr::lit(lim)) } else { col.lt(Expr::lit(lim)) })
+            })
+            .unwrap();
+    }
+    let sum_col = if spec.join.is_some() && !spec.agg_col_v { "w" } else { "v" };
+    let alias = if spec.alias_s { "s" } else { "x" };
+    normalize(&b.aggregate(&["k"], |x| Ok(vec![x.sum(sum_col, alias)?])).unwrap().build())
+}
+
+fn dags_equal(a: &SharedDag, b: &SharedDag) -> bool {
+    if a.nodes.len() != b.nodes.len() || a.query_roots != b.query_roots {
+        return false;
+    }
+    a.nodes.iter().zip(&b.nodes).all(|(x, y)| {
+        x.id == y.id
+            && x.children == y.children
+            && x.queries == y.queries
+            && match (&x.op, &y.op) {
+                (DagOp::Select { branches: bx }, DagOp::Select { branches: by }) => bx == by,
+                (ox, oy) => ox.label() == oy.label(),
+            }
+    })
+}
+
+/// Node ids reachable from `q`'s root.
+fn reachable(dag: &SharedDag, q: QueryId) -> Vec<NodeId> {
+    let Some(&(_, root)) = dag.query_roots.iter().find(|(qq, _)| *qq == q) else {
+        return Vec::new();
+    };
+    let mut seen = vec![false; dag.nodes.len()];
+    let mut stack = vec![root];
+    let mut out = Vec::new();
+    while let Some(n) = stack.pop() {
+        if std::mem::replace(&mut seen[n.0 as usize], true) {
+            continue;
+        }
+        out.push(n);
+        stack.extend(dag.nodes[n.0 as usize].children.iter().copied());
+    }
+    out.sort();
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Incremental admission == from-scratch batch build, node for node.
+    #[test]
+    fn incremental_merge_equals_batch_rebuild(
+        specs in proptest::collection::vec(spec_strategy(), 1..6),
+    ) {
+        let c = catalog();
+        let queries: Vec<(QueryId, LogicalPlan)> = specs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (QueryId(i as u16), build_query(&c, s)))
+            .collect();
+        let batch = build_shared_dag(&queries, &c, &MqoConfig::default()).unwrap();
+        let mut inc = IncrementalSharer::new(MqoConfig::default());
+        for (q, lp) in &queries {
+            inc.admit(*q, lp).unwrap();
+        }
+        prop_assert!(
+            dags_equal(inc.dag(), &batch),
+            "incremental {:?} != batch {:?}",
+            inc.dag().nodes.len(),
+            batch.nodes.len()
+        );
+    }
+
+    /// Removing one query leaves every survivor's reachable cone untouched.
+    #[test]
+    fn removal_never_perturbs_survivors(
+        specs in proptest::collection::vec(spec_strategy(), 2..6),
+        victim in 0usize..5,
+        seal_first in proptest::bool::ANY,
+    ) {
+        let c = catalog();
+        let victim = victim % specs.len();
+        let mut s = IncrementalSharer::new(MqoConfig::default());
+        for (i, spec) in specs.iter().enumerate() {
+            s.admit(QueryId(i as u16), &build_query(&c, spec)).unwrap();
+        }
+        if seal_first {
+            s.seal();
+        }
+        let before: Vec<(QueryId, Vec<NodeId>)> = (0..specs.len())
+            .filter(|&i| i != victim)
+            .map(|i| (QueryId(i as u16), reachable(s.dag(), QueryId(i as u16))))
+            .collect();
+        s.remove(QueryId(victim as u16)).unwrap();
+        prop_assert!(!s.queries().contains(QueryId(victim as u16)));
+        for (q, cone) in before {
+            prop_assert_eq!(
+                reachable(s.dag(), q),
+                cone,
+                "removal of another query moved {}'s cone",
+                q
+            );
+        }
+        for node in &s.dag().nodes {
+            prop_assert!(
+                !node.queries.contains(QueryId(victim as u16)),
+                "victim bit survives in node {:?}",
+                node.id
+            );
+        }
+    }
+
+    /// Any admit/seal/admit/remove script replays to an identical DAG.
+    #[test]
+    fn churn_script_is_deterministic(
+        pre in proptest::collection::vec(spec_strategy(), 1..4),
+        post in proptest::collection::vec(spec_strategy(), 0..3),
+        remove_mask in 0u8..8,
+    ) {
+        let c = catalog();
+        let run = || {
+            let mut s = IncrementalSharer::new(MqoConfig::default());
+            let mut next = 0u16;
+            for spec in &pre {
+                s.admit(QueryId(next), &build_query(&c, spec)).unwrap();
+                next += 1;
+            }
+            s.seal();
+            for spec in &post {
+                s.admit(QueryId(next), &build_query(&c, spec)).unwrap();
+                next += 1;
+            }
+            let live = next;
+            let mut removed = QuerySet::EMPTY;
+            for q in 0..live {
+                // Keep at least one query live.
+                if remove_mask & (1 << (q % 8)) != 0 && removed.len() + 1 < live as usize {
+                    s.remove(QueryId(q)).unwrap();
+                    removed = removed.union(QuerySet::single(QueryId(q)));
+                }
+            }
+            s
+        };
+        let a = run();
+        let b = run();
+        prop_assert!(dags_equal(a.dag(), b.dag()));
+        prop_assert_eq!(a.queries(), b.queries());
+    }
+}

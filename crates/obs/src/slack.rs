@@ -137,6 +137,20 @@ impl SlackLedger {
         self.queries.get(&q)
     }
 
+    /// Admit a query mid-run (live churn): it starts sampling at the next
+    /// recorded front with budget `l`, with no retroactive samples. Replaces
+    /// any previous ledger for the id (a re-admitted id starts fresh).
+    pub fn add_query(&mut self, q: QueryId, l: f64) {
+        self.queries.insert(q, QuerySlack { budget: l, samples: Vec::new() });
+    }
+
+    /// Release a removed query's ledger (live churn), returning it so the
+    /// driver can fold the truncated history into its report if it wants.
+    /// `None` when the id carried no budget.
+    pub fn drop_query(&mut self, q: QueryId) -> Option<QuerySlack> {
+        self.queries.remove(&q)
+    }
+
     /// Number of queries whose final consumed work exceeded the budget.
     pub fn misses(&self) -> usize {
         self.queries.values().filter(|q| !q.met()).count()

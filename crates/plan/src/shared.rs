@@ -19,7 +19,7 @@
 
 use crate::agg::AggExpr;
 use crate::dag::{DagNode, DagOp, SelectBranch, SharedDag};
-use ishare_common::{Error, QueryId, QuerySet, Result, SubplanId, TableId};
+use ishare_common::{Error, NodeId, QueryId, QuerySet, Result, SubplanId, TableId};
 use ishare_expr::typecheck::infer_type;
 use ishare_expr::Expr;
 use ishare_storage::{Catalog, Field, Schema};
@@ -313,7 +313,45 @@ impl SharedPlan {
     /// subplan boundaries (used by the NoShare-Nonuniform baseline to cut at
     /// blocking operators); the standard iShare split passes `|_| false`.
     pub fn from_dag(dag: &SharedDag, extra_cut: impl Fn(&DagNode) -> bool) -> Result<SharedPlan> {
-        let parent_counts = dag.parent_counts();
+        Self::from_dag_with_roots(dag, extra_cut, &[]).map(|(plan, _)| plan)
+    }
+
+    /// [`from_dag`](Self::from_dag), generalized for live query churn.
+    ///
+    /// Also returns, per subplan, the DAG node its root came from — the
+    /// stable identity the stream layer uses to match subplans across churn
+    /// events (subplan ids are re-dealt on every re-split; node ids never
+    /// move).
+    ///
+    /// Two extensions over the plain split:
+    ///
+    /// * **Tombstones** — nodes with an empty query set (left behind by
+    ///   `ishare_mqo::IncrementalSharer::remove`) are skipped entirely:
+    ///   they produce no subplan, contribute no parent edges, and are never
+    ///   reached from a live root (a live node's children are live, because
+    ///   every parent's query set is a subset of its child's).
+    /// * **Forced cuts** — `forced_cuts` lists nodes that must become
+    ///   subplan roots even when single-parent. The stream layer forces a
+    ///   cut at every *previous* subplan root so re-splitting after churn
+    ///   never fuses subplans whose operator state and buffers already
+    ///   exist, and at each admission's attachment frontier so a new
+    ///   query's private cone taps a materialized buffer rather than
+    ///   duplicating shared operators. Scans ignore forced cuts (base
+    ///   relations are already buffers), matching the standard rule.
+    pub fn from_dag_with_roots(
+        dag: &SharedDag,
+        extra_cut: impl Fn(&DagNode) -> bool,
+        forced_cuts: &[NodeId],
+    ) -> Result<(SharedPlan, Vec<NodeId>)> {
+        let live = |n: &DagNode| !n.queries.is_empty();
+        // Parent counts over live nodes only: a tombstoned parent must not
+        // force a cut below it.
+        let mut parent_counts = vec![0usize; dag.nodes.len()];
+        for n in dag.nodes.iter().filter(|n| live(n)) {
+            for c in &n.children {
+                parent_counts[c.0 as usize] += 1;
+            }
+        }
         let mut root_queries: HashMap<u32, QuerySet> = HashMap::new();
         for (q, n) in &dag.query_roots {
             root_queries.entry(n.0).or_insert(QuerySet::EMPTY).insert(*q);
@@ -321,11 +359,11 @@ impl SharedPlan {
 
         // Decide which nodes become subplan roots.
         let mut is_sp_root = vec![false; dag.nodes.len()];
-        for n in &dag.nodes {
+        for n in dag.nodes.iter().filter(|n| live(n)) {
             let idx = n.id.0 as usize;
             let is_query_root = root_queries.contains_key(&n.id.0);
             let multi_parent = parent_counts[idx] > 1;
-            let cut = is_query_root || multi_parent || extra_cut(n);
+            let cut = is_query_root || multi_parent || extra_cut(n) || forced_cuts.contains(&n.id);
             let is_scan = matches!(n.op, DagOp::Scan { .. });
             // Scans are buffers already; only a bare-scan *query root* needs
             // an identity subplan to have somewhere to emit results.
@@ -357,7 +395,7 @@ impl SharedPlan {
             });
         }
         let plan = SharedPlan { subplans };
-        Ok(plan)
+        Ok((plan, roots_in_order))
     }
 
     /// Look up a subplan.
@@ -865,6 +903,59 @@ mod tests {
         let sp = plan.subplan(SubplanId(0)).unwrap();
         assert!(matches!(sp.root.op, TreeOp::Input(InputSource::Base(_))));
         assert_eq!(sp.output_queries, qs(&[0]));
+    }
+
+    #[test]
+    fn from_dag_with_roots_skips_tombstones_and_honors_forced_cuts() {
+        let c = catalog();
+        let mut dag = fig2_dag(&c);
+        let (plan, roots) = SharedPlan::from_dag_with_roots(&dag, |_| false, &[]).unwrap();
+        plan.validate(&c).unwrap();
+        assert_eq!(roots.len(), plan.len());
+        // Root mapping points at the node whose queries/outputs match.
+        for (sp, node) in plan.subplans.iter().zip(&roots) {
+            assert_eq!(sp.queries, dag.node(*node).unwrap().queries);
+        }
+
+        // Forcing a cut at the first select re-splits the shared subplan in
+        // two without changing query coverage.
+        let sel =
+            dag.nodes.iter().find(|n| matches!(n.op, DagOp::Select { .. })).map(|n| n.id).unwrap();
+        let (forced, froots) = SharedPlan::from_dag_with_roots(&dag, |_| false, &[sel]).unwrap();
+        forced.validate(&c).unwrap();
+        assert_eq!(forced.len(), plan.len() + 1);
+        assert!(froots.contains(&sel));
+        assert_eq!(forced.queries(), plan.queries());
+        // Forced cuts at scans are ignored: base relations are buffers.
+        let scan =
+            dag.nodes.iter().find(|n| matches!(n.op, DagOp::Scan { .. })).map(|n| n.id).unwrap();
+        let (scut, _) = SharedPlan::from_dag_with_roots(&dag, |_| false, &[scan]).unwrap();
+        assert_eq!(scut.len(), plan.len());
+
+        // Tombstone Q1's private cone (join + agg2 + scan u): the split must
+        // skip those nodes and drop the query-1 plan entirely.
+        dag.query_roots.retain(|(q, _)| *q != QueryId(1));
+        for n in &mut dag.nodes {
+            n.queries.remove(QueryId(1));
+        }
+        let (gc, gc_roots) = SharedPlan::from_dag_with_roots(&dag, |_| false, &[]).unwrap();
+        assert_eq!(gc.queries(), qs(&[0]));
+        assert!(gc.len() < plan.len());
+        for node in gc_roots {
+            assert!(!dag.node(node).unwrap().queries.is_empty());
+        }
+        // A select branch still referencing q1 would fail validation; the
+        // churn path clears branches via the sharer, emulated here.
+        for n in &mut dag.nodes {
+            if let DagOp::Select { branches } = &mut n.op {
+                for b in branches.iter_mut() {
+                    b.queries.remove(QueryId(1));
+                }
+                branches.retain(|b| !b.queries.is_empty());
+            }
+        }
+        let (gc, _) = SharedPlan::from_dag_with_roots(&dag, |_| false, &[]).unwrap();
+        gc.validate(&c).unwrap();
     }
 
     #[test]

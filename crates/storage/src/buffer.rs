@@ -11,7 +11,7 @@
 //! cursors, which exercises the same pull-new-since-offset code path.
 
 use crate::row::{DeltaBatch, DeltaRow};
-use ishare_common::{Error, Result};
+use ishare_common::{Error, QueryId, Result};
 
 /// Identifies one registered consumer (parent subplan) of a buffer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -48,6 +48,9 @@ pub struct DeltaBuffer {
     /// `offsets[c]` = absolute position of the first row consumer `c` has
     /// NOT yet read.
     offsets: Vec<usize>,
+    /// `retired[c]` = consumer `c` was dropped by query churn: it no longer
+    /// reads, holds no rows resident, and its id is never reused.
+    retired: Vec<bool>,
     /// Largest number of rows ever resident at once (post-compaction peak).
     high_water: usize,
     /// Compaction policy (see [`Retain`]).
@@ -76,7 +79,78 @@ impl DeltaBuffer {
             )));
         }
         self.offsets.push(0);
+        self.retired.push(false);
         Ok(ConsumerId(self.offsets.len() - 1))
+    }
+
+    /// Register a consumer starting at the *current end* of the stream —
+    /// it sees only rows appended after this call. Unlike
+    /// [`register_consumer`](Self::register_consumer) this is safe at any
+    /// time, compacted or not: the cursor starts at `len()`, which is never
+    /// below the compacted base. Query admission uses this to wire a new
+    /// query's private cone onto a live shared buffer whose history is
+    /// covered by state handoff instead of re-reading.
+    pub fn register_consumer_at_end(&mut self) -> ConsumerId {
+        self.offsets.push(self.len());
+        self.retired.push(false);
+        ConsumerId(self.offsets.len() - 1)
+    }
+
+    /// Retire a consumer: it stops reading and stops holding rows resident
+    /// (compaction no longer waits for it). Query removal retires the
+    /// cursors of garbage-collected subplans so the buffers they read can
+    /// shrink again. Retiring twice is an error, as is an unknown id.
+    pub fn retire_consumer(&mut self, c: ConsumerId) -> Result<()> {
+        let slot = self
+            .retired
+            .get_mut(c.0)
+            .ok_or_else(|| Error::NotFound(format!("buffer consumer #{}", c.0)))?;
+        if *slot {
+            return Err(Error::InvalidDelta(format!("buffer consumer #{} already retired", c.0)));
+        }
+        *slot = true;
+        Ok(())
+    }
+
+    /// `true` iff the consumer was retired.
+    pub fn is_retired(&self, c: ConsumerId) -> bool {
+        self.retired.get(c.0).copied().unwrap_or(false)
+    }
+
+    /// Drop every resident row (the owning subplan is being garbage
+    /// collected), returning how many rows were freed. The stream position
+    /// keeps counting from where it was.
+    pub fn drain(&mut self) -> usize {
+        let n = self.rows.len();
+        self.base += n;
+        self.rows.clear();
+        n
+    }
+
+    /// Add `q`'s bit to every resident row's query mask (admission of a
+    /// query onto a *base* buffer: rows not yet consumed by a shared
+    /// subplan must become visible to it). Returns rows touched.
+    pub fn widen_all(&mut self, q: QueryId) -> usize {
+        for r in &mut self.rows {
+            r.mask.insert(q);
+        }
+        self.rows.len()
+    }
+
+    /// Add `q_new`'s bit to every resident row whose mask contains
+    /// `q_ref` (admission onto a *shared subplan* buffer: the witness
+    /// query `q_ref` has seen exactly the rows `q_new` would have, so
+    /// pending rows visible to the witness become visible to the new
+    /// query too). Returns rows widened.
+    pub fn widen_where(&mut self, q_ref: QueryId, q_new: QueryId) -> usize {
+        let mut n = 0;
+        for r in &mut self.rows {
+            if r.mask.contains(q_ref) {
+                r.mask.insert(q_new);
+                n += 1;
+            }
+        }
+        n
     }
 
     /// Set the compaction policy. Called once at wiring time by whoever
@@ -163,6 +237,9 @@ impl DeltaBuffer {
 
     /// Current cursor of a consumer (absolute stream position).
     pub fn offset(&self, c: ConsumerId) -> Result<usize> {
+        if self.is_retired(c) {
+            return Err(Error::InvalidDelta(format!("buffer consumer #{} is retired", c.0)));
+        }
         self.offsets
             .get(c.0)
             .copied()
@@ -175,9 +252,14 @@ impl DeltaBuffer {
     }
 
     /// Lag of every registered consumer, indexed by registration order.
+    /// Retired consumers report 0 (they hold nothing resident).
     pub fn lags(&self) -> Vec<usize> {
         let len = self.len();
-        self.offsets.iter().map(|&off| len - off).collect()
+        self.offsets
+            .iter()
+            .zip(&self.retired)
+            .map(|(&off, &dead)| if dead { 0 } else { len - off })
+            .collect()
     }
 
     /// Drop the prefix every registered consumer has already read, returning
@@ -188,10 +270,20 @@ impl DeltaBuffer {
     /// (nothing is known to be consumed), so callers can compact every
     /// buffer uniformly.
     pub fn compact(&mut self) -> usize {
-        if self.retention == Retain::All || self.offsets.is_empty() {
+        if self.retention == Retain::All {
             return 0;
         }
-        let min_off = *self.offsets.iter().min().expect("non-empty offsets");
+        // Retired consumers never read again; only active cursors pin rows.
+        let Some(min_off) = self
+            .offsets
+            .iter()
+            .zip(&self.retired)
+            .filter(|(_, &dead)| !dead)
+            .map(|(&off, _)| off)
+            .min()
+        else {
+            return 0;
+        };
         let drop = min_off - self.base;
         if drop > 0 {
             self.rows.drain(..drop);
@@ -368,6 +460,73 @@ mod tests {
         fresh.push(dr(1));
         assert_eq!(fresh.compact(), 0);
         assert!(fresh.register_consumer().is_ok());
+    }
+
+    #[test]
+    fn register_at_end_sees_only_future_rows() {
+        let mut b = DeltaBuffer::new();
+        let c0 = b.register_consumer().unwrap();
+        b.push(dr(1));
+        b.push(dr(2));
+        b.pull(c0).unwrap();
+        assert_eq!(b.compact(), 2);
+        // Plain registration is rejected after compaction, end-registration
+        // always works.
+        assert!(b.register_consumer().is_err());
+        let c1 = b.register_consumer_at_end();
+        assert_eq!(b.pending(c1).unwrap(), 0);
+        b.push(dr(3));
+        let got = b.pull(c1).unwrap();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got.rows[0].row.get(0), &Value::Int(3));
+    }
+
+    #[test]
+    fn retired_consumers_release_their_prefix() {
+        let mut b = DeltaBuffer::new();
+        let live = b.register_consumer().unwrap();
+        let dead = b.register_consumer().unwrap();
+        for v in 0..4 {
+            b.push(dr(v));
+        }
+        b.pull(live).unwrap();
+        // `dead` lags at 0 and pins everything.
+        assert_eq!(b.compact(), 0);
+        b.retire_consumer(dead).unwrap();
+        assert_eq!(b.lags(), vec![0, 0]);
+        assert_eq!(b.compact(), 4, "retired cursor no longer pins rows");
+        assert!(b.pull(dead).is_err(), "retired consumers cannot read");
+        assert!(b.retire_consumer(dead).is_err(), "double retire rejected");
+        // Live consumer is unaffected.
+        b.push(dr(9));
+        assert_eq!(b.pull(live).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn drain_frees_resident_rows_and_keeps_position() {
+        let mut b = DeltaBuffer::new();
+        b.push(dr(1));
+        b.push(dr(2));
+        assert_eq!(b.drain(), 2);
+        assert_eq!(b.retained_len(), 0);
+        assert_eq!(b.len(), 2, "stream position keeps counting");
+        b.push(dr(3));
+        assert_eq!(b.len(), 3);
+    }
+
+    #[test]
+    fn widen_adds_query_bits() {
+        let q0 = QueryId(0);
+        let q1 = QueryId(1);
+        let q2 = QueryId(2);
+        let mut b = DeltaBuffer::new();
+        b.push(DeltaRow::insert(Row::new(vec![Value::Int(1)]), QuerySet::single(q0)));
+        b.push(DeltaRow::insert(Row::new(vec![Value::Int(2)]), QuerySet::single(q1)));
+        assert_eq!(b.widen_where(q0, q2), 1);
+        assert!(b.all_rows()[0].mask.contains(q2));
+        assert!(!b.all_rows()[1].mask.contains(q2));
+        assert_eq!(b.widen_all(q2), 2);
+        assert!(b.all_rows()[1].mask.contains(q2));
     }
 
     #[test]

@@ -48,11 +48,16 @@
 
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod driver;
 pub mod measure;
 pub mod parallel;
 pub mod schedule;
 
+pub use admission::{
+    execute_churn_from_source, ChurnEvent, ChurnOp, ChurnOptions, ChurnOutcome, ChurnRunResult,
+    ChurnScript,
+};
 pub use driver::{
     execute_adaptive_from_source_obs, execute_from_source_obs, execute_planned,
     execute_planned_deltas, execute_planned_deltas_obs, execute_planned_deltas_partitioned,
@@ -60,7 +65,7 @@ pub use driver::{
     RunResult, SourceOptions, SourceOutcome,
 };
 pub use ishare_exec::{ExecMode, ExecOptions};
-pub use ishare_ingest::{CommitLog, Source, SourceConfig};
+pub use ishare_ingest::{ChurnKind, ChurnRecord, CommitLog, Source, SourceConfig};
 pub use ishare_obs::{
     AuxKind, AuxSpan, ExecCounts, ObsConfig, ObsReport, QuerySlack, SlackLedger, SlackPoint,
     SlackSample,
