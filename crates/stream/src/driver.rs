@@ -474,6 +474,16 @@ pub(crate) fn partition_gauges(report: &mut ObsReport, executors: &[SubplanExecu
     }
 }
 
+/// Record end-of-run vectorized batch gauges (per-subplan mean input batch
+/// length and select survival fraction) into an [`ObsReport`]'s registry.
+/// No-op for subplans that saw no batches — i.e. every non-vectorized run.
+pub(crate) fn batch_gauges(report: &mut ObsReport, executors: &[SubplanExecutor]) {
+    for (i, ex) in executors.iter().enumerate() {
+        let s = ex.batch_stats();
+        ishare_obs::record_batch_gauges(&mut report.metrics, i, s.batches, s.mean_fill(), s.selectivity());
+    }
+}
+
 /// Record end-of-run ingest gauges (per-partition ring high-water marks,
 /// producer stall ticks, consumer lag, delivered cuts) into an
 /// [`ObsReport`]'s registry.
@@ -720,6 +730,30 @@ pub fn execute_planned_deltas_reference(
         &mut source,
         weights,
         SourceOptions { mode: ExecMode::Reference, ..Default::default() },
+    )?
+    .into_result()
+}
+
+/// [`execute_planned_deltas`] on the [`ExecMode::Vectorized`] datapath —
+/// columnar SoA batches with selection-vector kernels through the
+/// scan/select/project hot path (DESIGN.md §15). Everything measured (work
+/// totals, per-query `final_work`, results) is bit-identical to the default
+/// kernel datapath and the reference; only wall-clock differs.
+pub fn execute_planned_deltas_vectorized(
+    plan: &SharedPlan,
+    paces: &[u32],
+    catalog: &Catalog,
+    data: &HashMap<TableId, Vec<(Row, i64)>>,
+    weights: CostWeights,
+) -> Result<RunResult> {
+    let mut source = Source::in_order(data);
+    execute_from_source_obs(
+        plan,
+        paces,
+        catalog,
+        &mut source,
+        weights,
+        SourceOptions { mode: ExecMode::Vectorized, ..Default::default() },
     )?
     .into_result()
 }
@@ -980,6 +1014,7 @@ fn run_from_source(
     if let Some(report) = obs_report.as_mut() {
         buffer_gauges(report, &base_buffers, &sp_buffers);
         partition_gauges(report, &executors);
+        batch_gauges(report, &executors);
         ingest_gauges(report, &source.stats());
         if let Some(ctrl) = adapt.as_deref() {
             adapt_gauges(report, ctrl);

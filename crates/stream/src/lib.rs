@@ -61,8 +61,9 @@ pub use admission::{
 pub use driver::{
     execute_adaptive_from_source_obs, execute_from_source_obs, execute_planned,
     execute_planned_deltas, execute_planned_deltas_obs, execute_planned_deltas_partitioned,
-    execute_planned_deltas_partitioned_obs, execute_planned_deltas_reference, execute_planned_obs,
-    RunResult, SourceOptions, SourceOutcome,
+    execute_planned_deltas_partitioned_obs, execute_planned_deltas_reference,
+    execute_planned_deltas_vectorized, execute_planned_obs, RunResult, SourceOptions,
+    SourceOutcome,
 };
 pub use ishare_exec::{ExecMode, ExecOptions};
 pub use ishare_ingest::{ChurnKind, ChurnRecord, CommitLog, Source, SourceConfig};

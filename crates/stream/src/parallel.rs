@@ -31,8 +31,9 @@
 //! sequential driver performs within a front are no-ops anyway.
 
 use crate::driver::{
-    adapt_gauges, buffer_gauges, commit_wavefront, feed_from_source, fold_run, ingest_gauges,
-    insert_feeds, partition_gauges, per_query_views, setup_engine, wavefront_observation, AdaptRec,
+    adapt_gauges, batch_gauges, buffer_gauges, commit_wavefront, feed_from_source, fold_run,
+    ingest_gauges, insert_feeds, partition_gauges, per_query_views, setup_engine,
+    wavefront_observation, AdaptRec,
     EngineState, FrontRec, PollRec, RunResult, SourceOptions, SourceOutcome, TickRec,
 };
 use crate::schedule::{build_schedule, depth_levels, front_at, reschedule_after, Tick};
@@ -411,6 +412,7 @@ fn run_from_source_parallel(
     if let Some(report) = obs_report.as_mut() {
         buffer_gauges(report, &base_buffers, &sp_buffers);
         partition_gauges(report, &executors);
+        batch_gauges(report, &executors);
         ingest_gauges(report, &source.stats());
         if let Some(ctrl) = adapt.as_deref() {
             adapt_gauges(report, ctrl);
